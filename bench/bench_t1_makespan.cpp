@@ -1,0 +1,51 @@
+// T1 — the in-text results of Section 5.2.
+//
+// Paper:   total experiment        16h 18min 43s
+//          first part              1h 15min 11s
+//          second part (average)   1h 24min 01s
+//          sequential estimate     > 141 h
+//          overhead per simulation ~ 70.6 ms, ~7 s total
+//
+// This binary replays the campaign on the modeled Grid'5000 deployment
+// and prints the same rows (plus the derived speedup).
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "workflow/campaign.hpp"
+
+int main() {
+  gc::set_log_level(gc::LogLevel::kWarn);
+
+  gc::workflow::CampaignConfig config;
+  const gc::workflow::CampaignResult result =
+      gc::workflow::run_grid5000_campaign(config);
+
+  std::printf("T1: Section 5.2 headline results (paper vs reproduced)\n");
+  std::printf("%-28s %18s %18s\n", "metric", "paper", "reproduced");
+  std::printf("%-28s %18s %18s\n", "total experiment", "16h 18min 43s",
+              gc::format_duration(result.makespan).c_str());
+  std::printf("%-28s %18s %18s\n", "first part", "1h 15min 11s",
+              gc::format_duration(result.part1_duration).c_str());
+  std::printf("%-28s %18s %18s\n", "second part (mean)", "1h 24min 01s",
+              gc::format_duration(result.part2_mean_exec).c_str());
+  std::printf("%-28s %18s %18s\n", "sequential estimate", "> 141h",
+              gc::format_duration(result.sequential_estimate).c_str());
+  const double speedup = result.sequential_estimate / result.makespan;
+  std::printf("%-28s %18s %17.2fx\n", "speedup vs sequential", "~8.7x",
+              speedup);
+  std::printf("%-28s %18s %18s\n", "mean finding time", "49.8ms",
+              gc::format_duration(result.finding_mean).c_str());
+  std::printf("%-28s %18s %18s\n", "total DIET overhead", "~7s",
+              gc::format_duration(result.overhead_total).c_str());
+  std::printf("%-28s %18s %18llu\n", "failed calls", "0",
+              static_cast<unsigned long long>(result.failed_calls));
+
+  // Request distribution (the "9 requests each, one got 10" sentence).
+  std::printf("\nrequest distribution over the %zu SEDs:", result.seds.size());
+  for (const auto& sed : result.seds) {
+    std::printf(" %llu", static_cast<unsigned long long>(sed.requests));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// V1 — substrate validation: the RAMSES-style solver under MiniMPI.
+//
+// The paper runs RAMSES over MPI on 16 machines per SED with Peano-Hilbert
+// domain decomposition. This bench validates that machinery at laptop
+// scale: per-rank load balance of the Hilbert decomposition on a clustered
+// particle distribution, agreement between serial and parallel runs, and
+// wall-clock throughput per step.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "ramses/domain.hpp"
+#include "ramses/loader.hpp"
+#include "ramses/simulation.hpp"
+
+int main() {
+  gc::set_log_level(gc::LogLevel::kWarn);
+
+  gc::ramses::RunParams params;
+  params.npart_dim = 16;
+  params.pm_grid = 32;
+  params.steps = 12;
+  params.a_start = 0.1;
+  params.seed = 99;
+
+  std::printf("V1: PM/N-body over MiniMPI (%d^3 particles, %d^3 mesh, %d "
+              "steps)\n",
+              params.npart_dim, params.pm_grid, params.steps);
+
+  // Serial reference.
+  const auto t0 = std::chrono::steady_clock::now();
+  const gc::ramses::RunResult serial = gc::ramses::run_simulation(params);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("serial: %zu particles, %d steps, %.0f ms (%.1f ms/step)\n",
+              serial.particle_count, serial.steps_taken, serial_ms,
+              serial_ms / params.steps);
+
+  // Parallel runs.
+  std::printf("%6s %16s %12s %18s\n", "ranks", "wall ms", "imbalance",
+              "max |dx| vs serial");
+  for (const int ranks : {1, 2, 4}) {
+    const auto p0 = std::chrono::steady_clock::now();
+    const gc::ramses::RunResult parallel =
+        gc::ramses::run_simulation_parallel(params, ranks);
+    const auto p1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(p1 - p0).count();
+
+    // Compare final snapshots by particle id.
+    double max_dx = 0.0;
+    if (!serial.snapshots.empty() && !parallel.snapshots.empty()) {
+      const auto& a = serial.snapshots.back().particles;
+      const auto& b = parallel.snapshots.back().particles;
+      std::vector<std::size_t> index_of(a.size() + 1, 0);
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        index_of[static_cast<std::size_t>(b.id[i])] = i;
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::size_t j = index_of[static_cast<std::size_t>(a.id[i])];
+        auto wrap = [](double d) {
+          if (d > 0.5) d -= 1.0;
+          if (d < -0.5) d += 1.0;
+          return std::abs(d);
+        };
+        max_dx = std::max(max_dx, wrap(a.x[i] - b.x[j]));
+        max_dx = std::max(max_dx, wrap(a.y[i] - b.y[j]));
+        max_dx = std::max(max_dx, wrap(a.z[i] - b.z[j]));
+      }
+    }
+    std::printf("%6d %16.0f %12.3f %18.2e\n", ranks, ms,
+                parallel.final_imbalance, max_dx);
+  }
+
+  // Hilbert decomposition balance on the evolved (clustered) distribution.
+  std::printf("\nHilbert decomposition balance on the clustered final "
+              "state:\n%6s %12s\n", "ranks", "max/mean");
+  const auto& final_particles = serial.snapshots.back().particles;
+  for (const int ranks : {2, 4, 8, 16, 32}) {
+    gc::ramses::DomainDecomposition domain(final_particles, 4, ranks);
+    std::printf("%6d %12.3f\n", ranks, domain.imbalance(final_particles));
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The Section 5 experiment, runnable and configurable.
+//
+// Deploys DIET on the modeled Grid'5000 platform (1 MA, 6 LAs, 11 SEDs x
+// 16 machines), submits the 128^3 / 100 Mpc/h first-part simulation, then
+// the simultaneous sub-simulations, and prints the full report: headline
+// numbers, per-SED distribution, and the finding-time/latency series.
+//
+//   ./zoom_campaign                      # the paper's exact campaign
+//   ./zoom_campaign --subsims 30 --policy mct --seed 3
+//   ./zoom_campaign --machines 32        # what 32-machine SEDs would do
+//   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
+#include <algorithm>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "workflow/campaign.hpp"
+
+int main(int argc, char** argv) {
+  gc::set_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+
+  gc::workflow::CampaignConfig config;
+  config.sub_simulations = static_cast<int>(args.get_int("subsims", 100));
+  config.policy = args.get("policy", "default");
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  config.machines_per_sed = static_cast<int>(args.get_int("machines", 16));
+  config.resolution = static_cast<int>(args.get_int("resolution", 128));
+  config.nb_box = static_cast<int>(args.get_int("nbbox", 2));
+  config.fault_sed_index = static_cast<int>(args.get_int("fault-sed", -1));
+  config.fault_at_s = args.get_double("fault-at", 0.0);
+  if (config.fault_sed_index >= 0) {
+    // Survive the injected failure: bound calls and allow resubmission.
+    config.call_deadline_s = args.get_double("deadline", 16.0 * 3600.0);
+    config.max_retries = static_cast<int>(args.get_int("retries", 2));
+  }
+
+  std::printf("zoom campaign: %d sub-simulations of %d^3 particles, "
+              "%d nested boxes, policy '%s', %d machines/SED\n\n",
+              config.sub_simulations, config.resolution, config.nb_box,
+              config.policy.c_str(), config.machines_per_sed);
+
+  const gc::workflow::CampaignResult result =
+      gc::workflow::run_grid5000_campaign(config);
+
+  std::printf("first part (ramsesZoom1) : %s on %s\n",
+              gc::format_duration(result.part1_duration).c_str(),
+              result.zoom1.sed_name.c_str());
+  std::printf("second part mean exec    : %s\n",
+              gc::format_duration(result.part2_mean_exec).c_str());
+  std::printf("total experiment         : %s\n",
+              gc::format_duration(result.makespan).c_str());
+  std::printf("sequential estimate      : %s (speedup %.2fx)\n",
+              gc::format_duration(result.sequential_estimate).c_str(),
+              result.sequential_estimate / result.makespan);
+  std::printf("mean finding time        : %s\n",
+              gc::format_duration(result.finding_mean).c_str());
+  std::printf("total middleware overhead: %s\n",
+              gc::format_duration(result.overhead_total).c_str());
+  std::printf("failed calls             : %llu (%llu resubmissions)\n",
+              static_cast<unsigned long long>(result.failed_calls),
+              static_cast<unsigned long long>(result.resubmissions));
+  std::printf("network traffic          : %s in %llu messages\n\n",
+              gc::format_bytes(result.network_bytes).c_str(),
+              static_cast<unsigned long long>(result.network_messages));
+
+  std::printf("%-22s %-10s %6s %9s %16s\n", "SED", "site", "power",
+              "requests", "busy");
+  for (const auto& sed : result.seds) {
+    std::printf("%-22s %-10s %6.2f %9llu %16s\n", sed.name.c_str(),
+                sed.site.c_str(), sed.machine_power,
+                static_cast<unsigned long long>(sed.requests),
+                gc::format_duration(sed.busy_seconds).c_str());
+  }
+
+  // Latency percentiles (the log-scale curve of Figure 5 in four numbers).
+  std::vector<double> latencies;
+  for (const auto& record : result.zoom2) {
+    latencies.push_back(record.latency());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    auto at = [&](double frac) {
+      return latencies[static_cast<std::size_t>(
+          frac * static_cast<double>(latencies.size() - 1))];
+    };
+    std::printf("\nlatency (xfer + queue + init): min %s, median %s, "
+                "p90 %s, max %s\n",
+                gc::format_duration(at(0.0)).c_str(),
+                gc::format_duration(at(0.5)).c_str(),
+                gc::format_duration(at(0.9)).c_str(),
+                gc::format_duration(at(1.0)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace gc {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!starts_with(token, "--")) continue;
+    token = token.substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";  // boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key, std::string fallback) const {
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : std::move(fallback);
+}
+
+long CliArgs::get_int(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace gc

@@ -1,0 +1,67 @@
+// Minimal leveled logger + assertion macros.
+//
+// The logger is process-global and thread-safe; benchmark binaries lower the
+// level to kWarn so figure output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& text);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[noreturn]] void fatal(const std::string& message, const char* file, int line);
+
+}  // namespace gc
+
+#define GC_LOG(level)                               \
+  if (static_cast<int>(level) <                     \
+      static_cast<int>(::gc::log_level())) {        \
+  } else                                            \
+    ::gc::detail::LogStream(level)
+
+#define GC_DEBUG GC_LOG(::gc::LogLevel::kDebug)
+#define GC_INFO GC_LOG(::gc::LogLevel::kInfo)
+#define GC_WARN GC_LOG(::gc::LogLevel::kWarn)
+#define GC_ERROR GC_LOG(::gc::LogLevel::kError)
+
+// Invariant check: aborts with location on failure. Used for programming
+// errors only; recoverable conditions go through Status.
+#define GC_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) ::gc::fatal("check failed: " #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define GC_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::gc::fatal(std::string("check failed: " #cond ": ") + (msg),    \
+                  __FILE__, __LINE__);                                 \
+  } while (0)

@@ -1,0 +1,78 @@
+// Lightweight error handling: Status + Result<T>.
+//
+// The middleware and the simulation pipeline both report recoverable
+// failures (bad profile, missing file, service not found) through these
+// types instead of exceptions; exceptions are reserved for programming
+// errors (see GC_CHECK in log.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gc {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kIoError,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("not_found", ...).
+const char* to_string(ErrorCode code);
+
+/// A success/failure outcome with an optional message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gc

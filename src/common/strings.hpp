@@ -1,0 +1,33 @@
+// Small string utilities shared by the namelist parser, config readers and
+// report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gc {
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on a delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on arbitrary whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// ASCII lower-casing (config keys are case-insensitive, like Fortran
+/// namelists).
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace gc

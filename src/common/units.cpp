@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gc {
+
+std::string format_duration(SimTime seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    return "-" + format_duration(-seconds);
+  }
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+    return buf;
+  }
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+    return buf;
+  }
+  const auto total = static_cast<std::int64_t>(std::llround(seconds));
+  const std::int64_t h = total / 3600;
+  const std::int64_t m = (total % 3600) / 60;
+  const std::int64_t s = total % 60;
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh %02lldmin %02llds",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldmin %02llds",
+                  static_cast<long long>(m), static_cast<long long>(s));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace gc

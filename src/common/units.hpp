@@ -1,0 +1,34 @@
+// Time and size units used across the middleware and the simulator.
+//
+// Simulated time is a double in seconds (the DES kernel's native unit);
+// helpers here format durations the way the paper reports them
+// ("16h 18min 43s") and convert byte sizes and bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gc {
+
+/// Simulated time in seconds since the start of the experiment.
+using SimTime = double;
+
+constexpr double kMillisecond = 1e-3;
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Bits-per-second bandwidth to bytes-per-second.
+constexpr double gbit_per_s(double gbits) { return gbits * 1e9 / 8.0; }
+
+/// "1h 24min 01s" (paper style). Sub-second durations fall back to "X.Yms".
+std::string format_duration(SimTime seconds);
+
+/// "12.3 MiB" style.
+std::string format_bytes(std::int64_t bytes);
+
+}  // namespace gc

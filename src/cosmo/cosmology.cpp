@@ -1,0 +1,82 @@
+#include "cosmo/cosmology.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "math/integrate.hpp"
+
+namespace gc::cosmo {
+
+Cosmology::Cosmology(const Params& params)
+    : params_(params), growth_norm_(1.0) {
+  GC_CHECK(params_.omega_m > 0.0);
+  growth_norm_ = growth_unnormalized(1.0);
+}
+
+double Cosmology::efunc(double a) const {
+  GC_CHECK(a > 0.0);
+  const double a2 = a * a;
+  const double a3 = a2 * a;
+  return std::sqrt(params_.omega_m / a3 + params_.omega_k() / a2 +
+                   params_.omega_l);
+}
+
+double Cosmology::hubble(double a) const { return 100.0 * params_.h * efunc(a); }
+
+double Cosmology::age(double a) const {
+  // t(a) = ∫_0^a da' / (a' E(a')); integrand ~ sqrt(a) near 0, substitute
+  // a = x^2 to remove the mild singularity.
+  return math::simpson(
+      [this](double x) {
+        const double aa = x * x;
+        if (aa <= 0.0) return 0.0;
+        return 2.0 * x / (aa * efunc(aa));
+      },
+      0.0, std::sqrt(a), 512);
+}
+
+double Cosmology::hubble_time_gyr() const {
+  // 1/H0 = 9.778 h^-1 Gyr.
+  return 9.778131 / params_.h;
+}
+
+double Cosmology::a_of_age(double t) const {
+  double lo = 1e-6;
+  double hi = 64.0;
+  for (int i = 0; i < 96; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (age(mid) < t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Cosmology::growth_unnormalized(double a) const {
+  // Heath (1977) integral, exact for ΛCDM (no radiation):
+  // D(a) ∝ E(a) ∫_0^a da' / (a' E(a'))^3, substitute a = x^2 again.
+  const double integral = math::simpson(
+      [this](double x) {
+        const double aa = x * x;
+        if (aa <= 0.0) return 0.0;
+        const double denom = aa * efunc(aa);
+        return 2.0 * x / (denom * denom * denom);
+      },
+      0.0, std::sqrt(a), 512);
+  return efunc(a) * integral;
+}
+
+double Cosmology::growth(double a) const {
+  return growth_unnormalized(a) / growth_norm_;
+}
+
+double Cosmology::growth_rate(double a) const {
+  const double eps = 1e-4;
+  const double lo = std::log(growth(a * (1.0 - eps)));
+  const double hi = std::log(growth(a * (1.0 + eps)));
+  return (hi - lo) / (std::log1p(eps) - std::log1p(-eps));
+}
+
+}  // namespace gc::cosmo

@@ -1,0 +1,65 @@
+// Background cosmology: ΛCDM expansion history and linear growth.
+//
+// GRAFIC generates "Gaussian random fields [...] consistent with current
+// observational data obtained by the WMAP satellite" (Section 3); the
+// parameter defaults below are the WMAP 3-year flat ΛCDM values in use in
+// 2006-2007. The expansion-factor machinery also drives the leapfrog
+// integrator (RAMSES outputs snapshots at a "list of time steps (or
+// expansion factor)").
+#pragma once
+
+#include <vector>
+
+namespace gc::cosmo {
+
+struct Params {
+  double omega_m = 0.27;   ///< total matter density today
+  double omega_l = 0.73;   ///< cosmological constant
+  double omega_b = 0.044;  ///< baryons (part of omega_m)
+  double h = 0.71;         ///< H0 / (100 km/s/Mpc)
+  double sigma8 = 0.80;    ///< power normalization in 8 Mpc/h spheres
+  double n_s = 0.95;       ///< scalar spectral index
+
+  [[nodiscard]] double omega_k() const { return 1.0 - omega_m - omega_l; }
+};
+
+class Cosmology {
+ public:
+  explicit Cosmology(const Params& params = Params{});
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Dimensionless expansion rate E(a) = H(a)/H0.
+  [[nodiscard]] double efunc(double a) const;
+
+  /// H(a) in km/s/Mpc.
+  [[nodiscard]] double hubble(double a) const;
+
+  /// Age of the universe at expansion factor a, in units of 1/H0
+  /// (multiply by hubble_time_gyr() for Gyr).
+  [[nodiscard]] double age(double a) const;
+
+  /// 1/H0 in Gyr.
+  [[nodiscard]] double hubble_time_gyr() const;
+
+  /// Expansion factor at age t (same 1/H0 units); bisection on age().
+  [[nodiscard]] double a_of_age(double t) const;
+
+  /// Linear growth factor, normalized so growth(1) = 1.
+  [[nodiscard]] double growth(double a) const;
+
+  /// Logarithmic growth rate f = dlnD/dlna (finite difference).
+  [[nodiscard]] double growth_rate(double a) const;
+
+  /// Redshift helpers.
+  [[nodiscard]] static double z_of_a(double a) { return 1.0 / a - 1.0; }
+  [[nodiscard]] static double a_of_z(double z) { return 1.0 / (1.0 + z); }
+
+ private:
+  [[nodiscard]] double growth_unnormalized(double a) const;
+
+  Params params_;
+  double growth_norm_;
+};
+
+}  // namespace gc::cosmo

@@ -1,0 +1,55 @@
+#include "cosmo/massfunction.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "math/integrate.hpp"
+
+namespace gc::cosmo {
+
+MassFunction::MassFunction(const Params& params)
+    : params_(params), power_(params), cosmology_(params) {}
+
+double MassFunction::mean_density() const {
+  // rho_crit = 2.775e11 h^2 Msun/Mpc^3; expressed per (Mpc/h)^3 in Msun/h
+  // the h's cancel: rho_mean = 2.775e11 * Omega_m [Msun/h / (Mpc/h)^3].
+  return 2.775e11 * params_.omega_m;
+}
+
+double MassFunction::radius_of_mass(double m) const {
+  GC_CHECK(m > 0.0);
+  return std::cbrt(3.0 * m / (4.0 * M_PI * mean_density()));
+}
+
+double MassFunction::mass_of_radius(double r) const {
+  GC_CHECK(r > 0.0);
+  return 4.0 / 3.0 * M_PI * r * r * r * mean_density();
+}
+
+double MassFunction::sigma_mass(double m, double a) const {
+  return power_.sigma_r(radius_of_mass(m)) * cosmology_.growth(a);
+}
+
+double MassFunction::dn_dlnm(double m, double a) const {
+  const double sigma = sigma_mass(m, a);
+  if (sigma <= 0.0) return 0.0;
+  // dln(sigma)/dlnM by central difference.
+  const double eps = 0.05;
+  const double dlns = (std::log(sigma_mass(m * (1.0 + eps), a)) -
+                       std::log(sigma_mass(m * (1.0 - eps), a))) /
+                      (std::log1p(eps) - std::log1p(-eps));
+  const double nu = kDeltaC / sigma;
+  return std::sqrt(2.0 / M_PI) * mean_density() / m * nu * std::abs(dlns) *
+         std::exp(-0.5 * nu * nu);
+}
+
+double MassFunction::count_above(double m, double box_mpc, double a) const {
+  const double volume = box_mpc * box_mpc * box_mpc;
+  // Integrate dn/dlnM over lnM up to a generous cutoff.
+  const double integral = math::simpson(
+      [this, a](double lnm) { return dn_dlnm(std::exp(lnm), a); },
+      std::log(m), std::log(m) + 12.0, 256);
+  return integral * volume;
+}
+
+}  // namespace gc::cosmo

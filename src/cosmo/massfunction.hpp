@@ -1,0 +1,49 @@
+// Press-Schechter halo mass function.
+//
+// The analytic abundance of collapsed dark-matter halos; the classic
+// cross-check for any halo finder running on any N-body code — our
+// bench_v1/pm_simulation print measured FoF abundances against it.
+//
+//   dn/dlnM = sqrt(2/pi) (rho_mean/M) (delta_c/sigma) |dln sigma/dlnM|
+//             exp(-delta_c^2 / (2 sigma^2))
+//
+// Masses in Msun/h, volumes in (Mpc/h)^3, k in h/Mpc throughout.
+#pragma once
+
+#include "cosmo/power.hpp"
+
+namespace gc::cosmo {
+
+class MassFunction {
+ public:
+  explicit MassFunction(const Params& params = Params{});
+
+  /// Mean comoving matter density, Msun h^2 / Mpc^3 (in "per (Mpc/h)^3 of
+  /// Msun/h" units this is rho = 2.775e11 * Omega_m * h^2 / h ... all h's
+  /// folded: rho [Msun/h per (Mpc/h)^3] = 2.775e11 * Omega_m).
+  [[nodiscard]] double mean_density() const;
+
+  /// Lagrangian top-hat radius of mass M (Msun/h), in Mpc/h.
+  [[nodiscard]] double radius_of_mass(double m) const;
+  [[nodiscard]] double mass_of_radius(double r) const;
+
+  /// RMS fluctuation sigma(M) at expansion factor a.
+  [[nodiscard]] double sigma_mass(double m, double a = 1.0) const;
+
+  /// Press-Schechter dn/dlnM at expansion factor a, per (Mpc/h)^3.
+  [[nodiscard]] double dn_dlnm(double m, double a = 1.0) const;
+
+  /// Expected number of halos above mass m in a (box_mpc)^3 volume.
+  [[nodiscard]] double count_above(double m, double box_mpc,
+                                   double a = 1.0) const;
+
+  /// Critical linear overdensity for collapse.
+  static constexpr double kDeltaC = 1.686;
+
+ private:
+  Params params_;
+  PowerSpectrum power_;
+  Cosmology cosmology_;
+};
+
+}  // namespace gc::cosmo

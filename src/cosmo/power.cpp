@@ -1,0 +1,81 @@
+#include "cosmo/power.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "math/integrate.hpp"
+
+namespace gc::cosmo {
+
+PowerSpectrum::PowerSpectrum(const Params& params)
+    : params_(params), cosmology_(params), norm_(1.0) {
+  // Eisenstein & Hu (1998), eqs. 26 & 31: effective sound horizon and the
+  // baryon suppression of the apparent shape parameter.
+  const double om = params_.omega_m * params_.h * params_.h;
+  const double ob = params_.omega_b * params_.h * params_.h;
+  const double fb = params_.omega_b / params_.omega_m;
+  sound_horizon_ =
+      44.5 * std::log(9.83 / om) / std::sqrt(1.0 + 10.0 * std::pow(ob, 0.75));
+  alpha_gamma_ = 1.0 - 0.328 * std::log(431.0 * om) * fb +
+                 0.38 * std::log(22.3 * om) * fb * fb;
+
+  // Normalize to sigma8.
+  const double target = params_.sigma8;
+  const double raw = sigma_r(8.0);
+  GC_CHECK(raw > 0.0);
+  norm_ = target * target / (raw * raw);
+}
+
+double PowerSpectrum::transfer(double k) const {
+  if (k <= 0.0) return 1.0;
+  // k arrives in h/Mpc; EH98 works with k in 1/Mpc.
+  const double k_mpc = k * params_.h;
+  const double s = sound_horizon_;
+  const double gamma_eff =
+      params_.omega_m * params_.h *
+      (alpha_gamma_ +
+       (1.0 - alpha_gamma_) / (1.0 + std::pow(0.43 * k_mpc * s, 4)));
+  const double q =
+      k * std::pow(2.725 / 2.7, 2) / gamma_eff;  // theta_cmb = T/2.7K
+  const double l0 = std::log(2.0 * M_E + 1.8 * q);
+  const double c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+  return l0 / (l0 + c0 * q * q);
+}
+
+double PowerSpectrum::unnormalized(double k) const {
+  const double t = transfer(k);
+  return std::pow(k, params_.n_s) * t * t;
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  return norm_ * unnormalized(k);
+}
+
+double PowerSpectrum::at(double k, double a) const {
+  const double d = cosmology_.growth(a);
+  return (*this)(k) * d * d;
+}
+
+double PowerSpectrum::sigma_r(double r) const {
+  GC_CHECK(r > 0.0);
+  // sigma^2(R) = 1/(2 pi^2) ∫ k^2 P(k) W^2(kR) dk with the top-hat window
+  // W(x) = 3 (sin x - x cos x) / x^3. Integrate in ln k over a generous
+  // range.
+  const double integral = math::simpson(
+      [this, r](double lnk) {
+        const double k = std::exp(lnk);
+        const double x = k * r;
+        double w;
+        if (x < 1e-3) {
+          w = 1.0 - x * x / 10.0;  // small-x expansion, avoids 0/0
+        } else {
+          w = 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+        }
+        return k * k * k * norm_ * unnormalized(k) * w * w;
+      },
+      std::log(1e-5), std::log(1e3), 2048);
+  return std::sqrt(integral / (2.0 * M_PI * M_PI));
+}
+
+}  // namespace gc::cosmo

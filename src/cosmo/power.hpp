@@ -1,0 +1,41 @@
+// Linear matter power spectrum: Eisenstein & Hu (1998) no-wiggle transfer
+// function, normalized to sigma8.
+//
+// This is the P(k) GRAFIC samples to build its Gaussian random fields.
+// k is in h/Mpc throughout; P(k) in (Mpc/h)^3.
+#pragma once
+
+#include "cosmo/cosmology.hpp"
+
+namespace gc::cosmo {
+
+class PowerSpectrum {
+ public:
+  explicit PowerSpectrum(const Params& params = Params{});
+
+  /// EH98 zero-baryon-wiggle transfer function T(k), k in h/Mpc.
+  [[nodiscard]] double transfer(double k) const;
+
+  /// Linear P(k) today (z = 0), sigma8-normalized.
+  [[nodiscard]] double operator()(double k) const;
+
+  /// P(k) at expansion factor a: P(k) * D(a)^2.
+  [[nodiscard]] double at(double k, double a) const;
+
+  /// RMS linear fluctuation in a top-hat sphere of radius r [Mpc/h].
+  [[nodiscard]] double sigma_r(double r) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double unnormalized(double k) const;
+
+  Params params_;
+  Cosmology cosmology_;
+  double norm_;
+  // EH98 fitted scales.
+  double sound_horizon_;  ///< s, Mpc
+  double alpha_gamma_;
+};
+
+}  // namespace gc::cosmo

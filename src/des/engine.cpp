@@ -1,0 +1,52 @@
+#include "des/engine.hpp"
+
+#include <utility>
+
+namespace gc::des {
+
+EventId Engine::schedule_at(SimTime t, EventFn fn) {
+  GC_CHECK_MSG(t >= now_, "event scheduled in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) continue;  // cancelled: tombstone in queue
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime t_end) {
+  while (!queue_.empty()) {
+    // Skip tombstones so we do not advance the clock for cancelled events.
+    const Event ev = queue_.top();
+    if (handlers_.find(ev.id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace gc::des

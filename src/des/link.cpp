@@ -1,0 +1,25 @@
+#include "des/link.hpp"
+
+#include <utility>
+
+namespace gc::des {
+
+void Link::transfer(std::int64_t bytes, EventFn on_arrival) {
+  ++transfers_;
+  bytes_carried_ += bytes;
+  const double service = static_cast<double>(bytes) / bandwidth_;
+  if (mode_ == LinkMode::kDelayOnly) {
+    engine_.schedule_after(latency_ + service, std::move(on_arrival));
+    return;
+  }
+  // Serialized: occupy the channel for the service time; latency is
+  // propagation and does not hold the channel.
+  channel_.acquire([this, service, cb = std::move(on_arrival)]() mutable {
+    engine_.schedule_after(service, [this, cb = std::move(cb)]() mutable {
+      channel_.release();
+      engine_.schedule_after(latency_, std::move(cb));
+    });
+  });
+}
+
+}  // namespace gc::des

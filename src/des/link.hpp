@@ -1,0 +1,55 @@
+// Network link model for the DES.
+//
+// Two fidelity levels:
+//  - kDelayOnly: transfer time = latency + bytes/bandwidth, transfers do
+//    not interact. This is the model used for the paper reproduction (the
+//    experiment's transfers are small against RENATER's 1-10 Gb/s).
+//  - kSerialized: the link is a FIFO resource; concurrent transfers queue.
+//    Used by the ablation benches to show when contention starts to matter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/engine.hpp"
+#include "des/resource.hpp"
+
+namespace gc::des {
+
+enum class LinkMode { kDelayOnly, kSerialized };
+
+class Link {
+ public:
+  /// latency in seconds, bandwidth in bytes/second.
+  Link(Engine& engine, double latency_s, double bandwidth_bps,
+       LinkMode mode = LinkMode::kDelayOnly)
+      : engine_(engine),
+        latency_(latency_s),
+        bandwidth_(bandwidth_bps),
+        mode_(mode),
+        channel_(engine, 1) {}
+
+  /// Delivers on_arrival after the modeled transfer time for `bytes`.
+  void transfer(std::int64_t bytes, EventFn on_arrival);
+
+  /// Pure model query (no event scheduled).
+  [[nodiscard]] double transfer_time(std::int64_t bytes) const {
+    return latency_ + static_cast<double>(bytes) / bandwidth_;
+  }
+
+  [[nodiscard]] double latency() const { return latency_; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::int64_t bytes_carried() const { return bytes_carried_; }
+
+ private:
+  Engine& engine_;
+  double latency_;
+  double bandwidth_;
+  LinkMode mode_;
+  Resource channel_;
+  std::uint64_t transfers_ = 0;
+  std::int64_t bytes_carried_ = 0;
+};
+
+}  // namespace gc::des

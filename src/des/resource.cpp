@@ -1,0 +1,27 @@
+#include "des/resource.hpp"
+
+#include <utility>
+
+namespace gc::des {
+
+void Resource::acquire(EventFn on_grant) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    engine_.schedule_after(0.0, std::move(on_grant));
+  } else {
+    waiters_.push_back(std::move(on_grant));
+  }
+}
+
+void Resource::release() {
+  GC_CHECK_MSG(in_use_ > 0, "release without acquire");
+  if (!waiters_.empty()) {
+    EventFn next = std::move(waiters_.front());
+    waiters_.pop_front();
+    engine_.schedule_after(0.0, std::move(next));
+  } else {
+    --in_use_;
+  }
+}
+
+}  // namespace gc::des

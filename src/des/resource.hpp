@@ -1,0 +1,40 @@
+// FIFO resource for the DES: a server pool with fixed capacity.
+//
+// Used to model exclusive compute slots (a SED "cannot compute more than
+// one simulation at the same time" — capacity 1) and, in tests, generic
+// queueing behaviour.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "des/engine.hpp"
+
+namespace gc::des {
+
+class Resource {
+ public:
+  /// capacity = number of simultaneous holders.
+  Resource(Engine& engine, std::size_t capacity)
+      : engine_(engine), capacity_(capacity) {}
+
+  /// Requests one slot; on_grant runs (as a fresh event, never inline)
+  /// once the slot is available. FIFO order.
+  void acquire(EventFn on_grant);
+
+  /// Returns one slot; the next waiter (if any) is granted.
+  void release();
+
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  Engine& engine_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<EventFn> waiters_;
+};
+
+}  // namespace gc::des

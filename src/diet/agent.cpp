@@ -1,0 +1,342 @@
+#include "diet/agent.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gc::diet {
+
+Agent::Agent(Kind kind, std::string name,
+             std::unique_ptr<sched::Policy> policy, AgentTuning tuning,
+             std::uint64_t seed)
+    : kind_(kind),
+      name_(std::move(name)),
+      policy_(std::move(policy)),
+      tuning_(tuning),
+      rng_(seed) {
+  GC_CHECK(policy_ != nullptr);
+}
+
+void Agent::set_policy(std::unique_ptr<sched::Policy> policy) {
+  GC_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+void Agent::register_at(net::Endpoint parent) {
+  GC_CHECK_MSG(kind_ == Kind::kLocal, "only LAs register at a parent");
+  parent_ = parent;
+  propagate_services();
+}
+
+void Agent::propagate_services() {
+  if (parent_ == net::kNullEndpoint) return;
+  AgentRegisterMsg msg;
+  msg.name = name_;
+  msg.services.assign(services_.begin(), services_.end());
+  env()->send(
+      net::Envelope{endpoint(), parent_, kAgentRegister, msg.encode(), 0});
+}
+
+double Agent::noisy(double base) {
+  if (tuning_.delay_noise_cv <= 0.0 || base <= 0.0) return base;
+  return rng_.lognormal_with_mean(base, tuning_.delay_noise_cv);
+}
+
+void Agent::charge_cpu(double cost) {
+  const double now = env()->now();
+  cpu_busy_until_ = std::max(cpu_busy_until_, now) + cost;
+}
+
+void Agent::process_for(double cost, std::function<void()> fn) {
+  const double now = env()->now();
+  cpu_busy_until_ = std::max(cpu_busy_until_, now) + cost;
+  env()->post_after(cpu_busy_until_ - now, std::move(fn));
+}
+
+double Agent::outstanding(std::uint64_t sed_uid) const {
+  auto it = outstanding_.find(sed_uid);
+  return it != outstanding_.end() ? it->second : 0.0;
+}
+
+std::uint64_t Agent::assigned_total(std::uint64_t sed_uid) const {
+  auto it = assigned_total_.find(sed_uid);
+  return it != assigned_total_.end() ? it->second : 0;
+}
+
+void Agent::on_message(const net::Envelope& envelope) {
+  switch (envelope.type) {
+    case kSedRegister:
+      handle_sed_register(envelope);
+      break;
+    case kAgentRegister:
+      handle_agent_register(envelope);
+      break;
+    case kRequestSubmit:
+      handle_submit(envelope);
+      break;
+    case kRequestCollect:
+      handle_collect(envelope);
+      break;
+    case kCandidates:
+      handle_candidates(envelope);
+      break;
+    case kJobDone:
+      handle_job_done(envelope);
+      break;
+    case kLoadReport:
+      break;  // monitoring data; agents store nothing extra in this repo
+    case kRegisterAck:
+      break;
+    default:
+      GC_WARN << "agent " << name_ << ": unexpected message type "
+              << envelope.type;
+  }
+}
+
+void Agent::handle_sed_register(const net::Envelope& envelope) {
+  const SedRegisterMsg msg = SedRegisterMsg::decode(envelope.payload);
+  Child child;
+  child.endpoint = envelope.from;
+  child.is_sed = true;
+  child.name = msg.name;
+  for (const auto& desc : msg.services) {
+    child.services.insert(desc.path());
+    services_.insert(desc.path());
+  }
+  children_.push_back(std::move(child));
+  env()->send(net::Envelope{endpoint(), envelope.from, kRegisterAck, {}, 0});
+  propagate_services();
+}
+
+void Agent::handle_agent_register(const net::Envelope& envelope) {
+  const AgentRegisterMsg msg = AgentRegisterMsg::decode(envelope.payload);
+  // An LA re-registers whenever its service list grows; update in place.
+  for (auto& child : children_) {
+    if (child.endpoint == envelope.from) {
+      child.services.insert(msg.services.begin(), msg.services.end());
+      services_.insert(msg.services.begin(), msg.services.end());
+      propagate_services();
+      return;
+    }
+  }
+  Child child;
+  child.endpoint = envelope.from;
+  child.is_sed = false;
+  child.name = msg.name;
+  child.services.insert(msg.services.begin(), msg.services.end());
+  services_.insert(msg.services.begin(), msg.services.end());
+  children_.push_back(std::move(child));
+  env()->send(net::Envelope{endpoint(), envelope.from, kRegisterAck, {}, 0});
+  propagate_services();
+}
+
+void Agent::handle_submit(const net::Envelope& envelope) {
+  GC_CHECK_MSG(kind_ == Kind::kMaster, "clients must submit to the MA");
+  const RequestSubmitMsg msg = RequestSubmitMsg::decode(envelope.payload);
+  Pending pending;
+  pending.from_client = true;
+  pending.reply_to = envelope.from;
+  pending.client_request_id = msg.client_request_id;
+  pending.service = msg.desc.path();
+  pending.in_bytes = msg.in_bytes;
+
+  RequestCollectMsg collect;
+  collect.request_key = next_key_++;
+  collect.desc = msg.desc;
+  collect.in_bytes = msg.in_bytes;
+  collect.timeout_s = tuning_.collect_timeout;
+  start_collect(collect.request_key, std::move(pending), collect);
+}
+
+void Agent::handle_collect(const net::Envelope& envelope) {
+  const RequestCollectMsg msg = RequestCollectMsg::decode(envelope.payload);
+  Pending pending;
+  pending.from_client = false;
+  pending.reply_to = envelope.from;
+  pending.service = msg.desc.path();
+  pending.in_bytes = msg.in_bytes;
+  start_collect(msg.request_key, std::move(pending), msg);
+}
+
+void Agent::start_collect(std::uint64_t key, Pending pending,
+                          const RequestCollectMsg& msg) {
+  std::vector<net::Endpoint> targets;
+  for (const auto& child : children_) {
+    if (child.services.count(pending.service) > 0) {
+      targets.push_back(child.endpoint);
+    }
+  }
+  pending.expected = targets.size();
+  pending.asked = targets;
+  auto [it, inserted] = pending_.emplace(key, std::move(pending));
+  if (!inserted) {
+    GC_WARN << "agent " << name_ << ": duplicate request key " << key;
+    return;
+  }
+
+  if (targets.empty()) {
+    // No capable child: answer (empty) after the processing delay.
+    process_for(noisy(tuning_.processing_delay),
+                [this, key]() { finalize(key); });
+    return;
+  }
+
+  // My wait budget; children get a reduced share so their (possibly
+  // partial) answers arrive before I give up.
+  const double budget =
+      msg.timeout_s > 0.0 ? msg.timeout_s : tuning_.collect_timeout;
+  RequestCollectMsg forwarded = msg;
+  forwarded.timeout_s = 0.6 * budget;
+
+  // Fan-out costs exclusive CPU: base processing plus marshalling one
+  // collect message per child.
+  process_for(
+      noisy(tuning_.processing_delay) +
+          tuning_.per_message_cost * static_cast<double>(1 + targets.size()),
+      [this, key, forwarded, targets, budget]() {
+        for (const net::Endpoint target : targets) {
+          env()->send(net::Envelope{endpoint(), target, kRequestCollect,
+                                    forwarded.encode(), 0});
+        }
+        // Schedule with whatever arrived if a child never answers.
+        const net::TimerId timer = env()->post_after(budget, [this, key]() {
+          auto it = pending_.find(key);
+          if (it != pending_.end() && !it->second.finalizing) {
+            GC_WARN << "agent " << name_ << ": request " << key
+                    << " timed out with " << it->second.received << "/"
+                    << it->second.expected << " answers";
+            it->second.finalizing = true;
+            finalize(key);
+          }
+        });
+        auto it = pending_.find(key);
+        if (it != pending_.end()) it->second.timeout_timer = timer;
+      });
+}
+
+void Agent::handle_candidates(const net::Envelope& envelope) {
+  CandidatesMsg msg = CandidatesMsg::decode(envelope.payload);
+  auto it = pending_.find(msg.request_key);
+  if (it == pending_.end()) return;  // late answer after timeout
+  Pending& pending = it->second;
+  pending.received += 1;
+  pending.answered.insert(envelope.from);
+  // Unmarshalling one reply (and its candidate list) is exclusive CPU.
+  charge_cpu(tuning_.per_message_cost *
+             static_cast<double>(1 + msg.candidates.size()));
+  for (auto& candidate : msg.candidates) {
+    pending.candidates.push_back(std::move(candidate));
+  }
+  if (pending.received >= pending.expected && !pending.finalizing) {
+    pending.finalizing = true;
+    const std::uint64_t key = msg.request_key;
+    process_for(noisy(tuning_.processing_delay) +
+                    tuning_.per_message_cost *
+                        static_cast<double>(pending.candidates.size()),
+                [this, key]() { finalize(key); });
+  }
+}
+
+void Agent::finalize(std::uint64_t key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.timeout_timer != 0) {
+    env()->cancel_timer(pending.timeout_timer);
+  }
+  note_timeouts(pending);
+
+  sched::RequestContext request;
+  request.request_id = key;
+  request.service = pending.service;
+  request.in_bytes = pending.in_bytes;
+
+  if (kind_ == Kind::kMaster) {
+    // Fill the agent-side view of each SED's outstanding assignments
+    // before ranking (Section 2.1's request bookkeeping).
+    for (auto& candidate : pending.candidates) {
+      candidate.est.agent_assigned = outstanding(candidate.sed_uid);
+    }
+  }
+  policy_->rank(pending.candidates, request, rng_);
+
+  if (kind_ == Kind::kMaster) {
+    GC_CHECK_MSG(pending.from_client, "MA finalizing a non-client request");
+    RequestReplyMsg reply;
+    reply.client_request_id = pending.client_request_id;
+    reply.found = !pending.candidates.empty();
+    if (reply.found) {
+      reply.chosen = pending.candidates.front();
+      outstanding_[reply.chosen.sed_uid] += 1.0;
+      assigned_total_[reply.chosen.sed_uid] += 1;
+    }
+    ++requests_handled_;
+    env()->send(net::Envelope{endpoint(), pending.reply_to, kRequestReply,
+                              reply.encode(), 0});
+    return;
+  }
+
+  // LA: forward the (sorted, possibly truncated) list to the parent.
+  if (tuning_.forward_limit > 0 &&
+      pending.candidates.size() > tuning_.forward_limit) {
+    pending.candidates.resize(tuning_.forward_limit);
+  }
+  CandidatesMsg up;
+  up.request_key = key;
+  up.candidates = std::move(pending.candidates);
+  env()->send(
+      net::Envelope{endpoint(), pending.reply_to, kCandidates, up.encode(), 0});
+}
+
+void Agent::note_timeouts(const Pending& pending) {
+  if (tuning_.max_child_timeouts <= 0) return;
+  bool evicted = false;
+  for (auto it = children_.begin(); it != children_.end();) {
+    Child& child = *it;
+    const bool was_asked =
+        std::find(pending.asked.begin(), pending.asked.end(),
+                  child.endpoint) != pending.asked.end();
+    if (!was_asked) {
+      ++it;
+      continue;
+    }
+    if (pending.answered.count(child.endpoint) > 0) {
+      child.consecutive_timeouts = 0;
+      ++it;
+      continue;
+    }
+    if (++child.consecutive_timeouts >= tuning_.max_child_timeouts) {
+      GC_WARN << "agent " << name_ << ": evicting unresponsive child "
+              << child.name;
+      it = children_.erase(it);
+      evicted = true;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted) {
+    // Recompute the service union and tell the parent.
+    services_.clear();
+    for (const auto& child : children_) {
+      services_.insert(child.services.begin(), child.services.end());
+    }
+    propagate_services();
+  }
+}
+
+void Agent::handle_job_done(const net::Envelope& envelope) {
+  const JobDoneMsg msg = JobDoneMsg::decode(envelope.payload);
+  if (kind_ == Kind::kMaster) {
+    auto it = outstanding_.find(msg.sed_uid);
+    if (it != outstanding_.end() && it->second > 0.0) it->second -= 1.0;
+    return;
+  }
+  if (parent_ != net::kNullEndpoint) {
+    env()->send(net::Envelope{endpoint(), parent_, kJobDone,
+                              envelope.payload, 0});
+  }
+}
+
+}  // namespace gc::diet

@@ -1,0 +1,147 @@
+// Scheduling agents: Master Agent (MA) and Local Agent (LA).
+//
+// "When a Master Agent receives a computation request from a client,
+// agents collect computation abilities from servers (through the
+// hierarchy) and chooses the best one according to some scheduling
+// heuristics." (Section 2.1.)
+//
+// One class implements both kinds: an LA is an Agent with a parent; the MA
+// is the root and is the only one that picks a server and answers clients.
+// Every level applies the scheduling Policy to the candidates flowing up,
+// and the MA additionally tracks its outstanding assignments per SED (the
+// "list of requests" of Section 2.1) — the state that makes the default
+// policy distribute simultaneous requests evenly (Figure 4 left).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diet/protocol.hpp"
+#include "net/env.hpp"
+#include "sched/policy.hpp"
+
+namespace gc::diet {
+
+struct AgentTuning {
+  /// CPU time an agent spends per scheduling hop (request fan-out or
+  /// response aggregation). Exclusive: an agent is a single-threaded
+  /// reactor, so concurrent requests queue on it — this is what makes a
+  /// flat (LA-less) hierarchy degrade with the SED count (bench A2).
+  double processing_delay = 0.2e-3;
+  /// Additional exclusive CPU per message sent or received (CORBA
+  /// marshalling/unmarshalling of one request or candidate list).
+  double per_message_cost = 10e-6;
+  /// Log-normal CV applied to the processing delay.
+  double delay_noise_cv = 0.06;
+  /// How long to wait for children before scheduling with partial
+  /// information (tolerates dead SEDs).
+  double collect_timeout = 5.0;
+  /// Evict a child after this many *consecutive* collect timeouts, so a
+  /// dead SED stops slowing every request down. 0 disables eviction.
+  int max_child_timeouts = 2;
+  /// LA only: cap on candidates forwarded to the parent (0 = all).
+  std::size_t forward_limit = 0;
+};
+
+class Agent final : public net::Actor {
+ public:
+  enum class Kind { kMaster, kLocal };
+
+  Agent(Kind kind, std::string name, std::unique_ptr<sched::Policy> policy,
+        AgentTuning tuning, std::uint64_t seed);
+
+  /// LA only: announces this agent (and its current services) to a parent.
+  void register_at(net::Endpoint parent);
+
+  void on_message(const net::Envelope& envelope) override;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t requests_handled() const {
+    return requests_handled_;
+  }
+  [[nodiscard]] std::size_t child_count() const { return children_.size(); }
+  [[nodiscard]] const std::set<std::string>& services() const {
+    return services_;
+  }
+  /// MA: requests assigned to a SED and not yet reported done.
+  [[nodiscard]] double outstanding(std::uint64_t sed_uid) const;
+  /// MA: total assignments ever made to a SED (Figure 4's request counts).
+  [[nodiscard]] std::uint64_t assigned_total(std::uint64_t sed_uid) const;
+  [[nodiscard]] const sched::Policy& policy() const { return *policy_; }
+
+  /// Replaces the scheduling policy (the plug-in scheduler hook).
+  void set_policy(std::unique_ptr<sched::Policy> policy);
+
+ private:
+  struct Child {
+    net::Endpoint endpoint;
+    bool is_sed;
+    std::string name;
+    std::set<std::string> services;
+    int consecutive_timeouts = 0;
+  };
+
+  struct Pending {
+    bool from_client = false;
+    net::Endpoint reply_to = net::kNullEndpoint;
+    std::uint64_t client_request_id = 0;
+    std::string service;
+    std::int64_t in_bytes = 0;
+    std::size_t expected = 0;
+    std::size_t received = 0;
+    std::vector<sched::Candidate> candidates;
+    std::vector<net::Endpoint> asked;
+    std::set<net::Endpoint> answered;
+    bool finalizing = false;
+    net::TimerId timeout_timer = 0;
+  };
+
+  void handle_sed_register(const net::Envelope& envelope);
+  void handle_agent_register(const net::Envelope& envelope);
+  void handle_submit(const net::Envelope& envelope);
+  void handle_collect(const net::Envelope& envelope);
+  void handle_candidates(const net::Envelope& envelope);
+  void handle_job_done(const net::Envelope& envelope);
+
+  void start_collect(std::uint64_t key, Pending pending,
+                     const RequestCollectMsg& msg);
+  void finalize(std::uint64_t key);
+  /// Timeout bookkeeping: non-answering children accumulate strikes and
+  /// are eventually evicted; answering children reset.
+  void note_timeouts(const Pending& pending);
+  void propagate_services();
+  [[nodiscard]] double noisy(double base);
+
+  /// Runs fn after `cost` seconds of *exclusive* agent CPU: work queues
+  /// behind whatever the agent is already processing.
+  void process_for(double cost, std::function<void()> fn);
+  /// Accounts CPU without a continuation (cheap bookkeeping like
+  /// unmarshalling one reply).
+  void charge_cpu(double cost);
+
+  Kind kind_;
+  std::string name_;
+  std::unique_ptr<sched::Policy> policy_;
+  AgentTuning tuning_;
+  Rng rng_;
+
+  net::Endpoint parent_ = net::kNullEndpoint;
+  std::vector<Child> children_;
+  std::set<std::string> services_;
+
+  std::uint64_t next_key_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  double cpu_busy_until_ = 0.0;
+
+  // MA bookkeeping (Section 2.1's per-request state).
+  std::unordered_map<std::uint64_t, double> outstanding_;
+  std::unordered_map<std::uint64_t, std::uint64_t> assigned_total_;
+  std::uint64_t requests_handled_ = 0;
+};
+
+}  // namespace gc::diet

@@ -1,0 +1,221 @@
+#include "diet/client.hpp"
+
+#include <future>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gc::diet {
+
+std::uint64_t Client::call_async(Profile profile, DoneFn done,
+                                 double deadline_s) {
+  GC_CHECK_MSG(ma_ != net::kNullEndpoint, "client not connected to an MA");
+  const std::uint64_t id = next_id_.fetch_add(1);
+  // All state mutation happens on the dispatch context so the client needs
+  // no locking even when call_async is invoked from an application thread.
+  // Submissions serialize behind the client's marshalling work.
+  env()->post_after(0.0, [this, id, profile = std::move(profile),
+                          done = std::move(done), deadline_s]() mutable {
+    const double now = env()->now();
+    submit_busy_until_ =
+        std::max(submit_busy_until_, now) + tuning_.submit_marshalling;
+    env()->post_after(submit_busy_until_ - now,
+                      [this, id, profile = std::move(profile),
+                       done = std::move(done), deadline_s]() mutable {
+                        submit(id, std::move(profile), std::move(done),
+                               deadline_s);
+                      });
+  });
+  return id;
+}
+
+gc::Status Client::call(Profile& profile) {
+  if (env()->is_simulated()) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "blocking diet_call is not available under the DES; "
+                      "use call_async");
+  }
+  std::promise<gc::Status> promise;
+  auto future = promise.get_future();
+  call_async(profile, [&promise, &profile](const gc::Status& status,
+                                           Profile& result) {
+    profile = result;  // merge OUT/INOUT values back into the caller's view
+    promise.set_value(status);
+  });
+  return future.get();
+}
+
+void Client::submit(std::uint64_t id, Profile profile, DoneFn done,
+                    double deadline_s) {
+  CallRecord record;
+  record.id = id;
+  record.service = profile.path();
+  record.submitted = env()->now();
+  record_of_[id] = records_.size();
+  records_.push_back(record);
+
+  RequestSubmitMsg msg;
+  msg.client_request_id = id;
+  msg.desc = profile.desc();
+  msg.in_bytes = profile.in_bytes();
+
+  net::TimerId deadline_timer = 0;
+  if (deadline_s > 0.0) {
+    deadline_timer = env()->post_after(deadline_s, [this, id]() {
+      if (pending_.count(id) == 0) return;  // completed in time
+      GC_WARN << "client " << name_ << ": call " << id
+              << " exceeded its deadline";
+      complete(id, make_error(ErrorCode::kUnavailable,
+                              "call deadline exceeded"));
+    });
+  }
+  pending_.emplace(id, PendingCall{std::move(profile), std::move(done),
+                                   records_.size() - 1, deadline_timer});
+  env()->send(net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0});
+}
+
+void Client::on_message(const net::Envelope& envelope) {
+  switch (envelope.type) {
+    case kRequestReply:
+      handle_reply(envelope);
+      break;
+    case kCallStarted:
+      handle_started(envelope);
+      break;
+    case kCallResult:
+      handle_result(envelope);
+      break;
+    default:
+      GC_WARN << "client " << name_ << ": unexpected message type "
+              << envelope.type;
+  }
+}
+
+void Client::handle_reply(const net::Envelope& envelope) {
+  const RequestReplyMsg msg = RequestReplyMsg::decode(envelope.payload);
+  auto it = pending_.find(msg.client_request_id);
+  if (it == pending_.end()) return;
+  CallRecord& record = records_[it->second.record_index];
+  record.found = env()->now();
+
+  if (!msg.found) {
+    complete(msg.client_request_id,
+             make_error(ErrorCode::kUnavailable,
+                        "no server can solve " + record.service));
+    return;
+  }
+  record.sed_uid = msg.chosen.sed_uid;
+  record.sed_name = msg.chosen.sed_name;
+  it->second.sed_uid = msg.chosen.sed_uid;
+  call_sed_[msg.client_request_id] = msg.chosen.sed_endpoint;
+
+  send_call_data(msg.client_request_id, msg.chosen.sed_endpoint,
+                 msg.chosen.sed_uid, /*force_full=*/false);
+}
+
+void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
+                            std::uint64_t sed_uid, bool force_full) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Profile& profile = it->second.profile;
+
+  // Assign content-derived data ids to persistent arguments (DIET's DTM
+  // naming) so the SED can store and later resolve them.
+  for (int i = 0; i <= profile.last_inout(); ++i) {
+    ArgValue& arg = profile.arg(i);
+    if (arg.has_value() && !arg.is_reference() &&
+        arg.desc.persistence != Persistence::kVolatile &&
+        arg.data_id().empty()) {
+      arg.set_data_id(arg.content_id());
+    }
+  }
+
+  // Ship the IN/INOUT data to the chosen SED (the "computing phase" hand-
+  // off of Section 2.2); arguments this SED is known to hold travel as
+  // references. Location is registered at *send* time: per-destination
+  // delivery is FIFO, so a later reference can never overtake the data it
+  // refers to (and the missing-data retry is the safety net regardless).
+  Profile wire = profile;
+  auto& known = known_at_[sed_uid];
+  for (int i = 0; i <= wire.last_inout(); ++i) {
+    ArgValue& arg = wire.arg(i);
+    if (!arg.has_value() || arg.data_id().empty() ||
+        arg.desc.persistence == Persistence::kVolatile) {
+      continue;
+    }
+    if (!force_full && known.count(arg.data_id()) > 0) {
+      arg.make_reference();
+    } else {
+      known.insert(arg.data_id());
+    }
+  }
+
+  CallDataMsg data;
+  data.call_id = id;
+  data.path = wire.path();
+  data.last_in = wire.last_in();
+  data.last_inout = wire.last_inout();
+  data.last_out = wire.last_out();
+  net::Writer w;
+  wire.serialize_inputs(w);
+  data.inputs = w.take();
+  env()->send(net::Envelope{endpoint(), sed, kCallData, data.encode(),
+                            wire.in_file_bytes()});
+}
+
+void Client::handle_started(const net::Envelope& envelope) {
+  const CallStartedMsg msg = CallStartedMsg::decode(envelope.payload);
+  auto it = record_of_.find(msg.call_id);
+  if (it == record_of_.end()) return;
+  records_[it->second].started = env()->now();
+}
+
+void Client::handle_result(const net::Envelope& envelope) {
+  const CallResultMsg msg = CallResultMsg::decode(envelope.payload);
+  auto it = pending_.find(msg.call_id);
+  if (it == pending_.end()) return;
+
+  // Persistent-data miss: the SED no longer holds a referenced value
+  // (evicted, or our cache was stale). Resend the full data once.
+  if (msg.solve_status == kMissingDataStatus && !it->second.resent_full) {
+    GC_WARN << "client " << name_ << ": call " << msg.call_id
+            << " hit a persistent-data miss; resending full data";
+    it->second.resent_full = true;
+    known_at_[it->second.sed_uid].clear();
+    auto sed_it = call_sed_.find(msg.call_id);
+    if (sed_it != call_sed_.end()) {
+      send_call_data(msg.call_id, sed_it->second, it->second.sed_uid,
+                     /*force_full=*/true);
+      return;
+    }
+  }
+
+  CallRecord& record = records_[it->second.record_index];
+  record.completed = env()->now();
+  record.solve_status = msg.solve_status;
+
+  net::Reader r(msg.outputs);
+  it->second.profile.merge_outputs(r);
+
+  if (msg.solve_status != 0) {
+    complete(msg.call_id,
+             make_error(ErrorCode::kInternal,
+                        "solve function returned " +
+                            std::to_string(msg.solve_status)));
+    return;
+  }
+  record.ok = true;
+  complete(msg.call_id, Status::ok());
+}
+
+void Client::complete(std::uint64_t id, const gc::Status& status) {
+  auto it = pending_.find(id);
+  GC_CHECK(it != pending_.end());
+  PendingCall call = std::move(it->second);
+  pending_.erase(it);
+  call_sed_.erase(id);
+  if (call.deadline_timer != 0) env()->cancel_timer(call.deadline_timer);
+  if (call.done) call.done(status, call.profile);
+}
+
+}  // namespace gc::diet

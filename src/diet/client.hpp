@@ -1,0 +1,124 @@
+// DIET client.
+//
+// "The goal of the client is to connect to a Master Agent in order to
+// dispose of a SED which will be able to solve the problem. Then the
+// client sends input data to the chosen SED and, after the end of
+// computation, retrieve output data from the SED." (Section 4.3.)
+//
+// The client records, per call, the timestamps behind Figure 5:
+//   submitted -> found      : the *finding time* (scheduling round-trip)
+//   found -> started        : the *latency* (data transfer + queue wait +
+//                             service initiation)
+//   started -> completed    : the service execution + result return.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "diet/protocol.hpp"
+#include "net/env.hpp"
+
+namespace gc::diet {
+
+class Client final : public net::Actor {
+ public:
+  struct CallRecord {
+    std::uint64_t id = 0;
+    std::string service;
+    SimTime submitted = -1.0;
+    SimTime found = -1.0;      ///< kRequestReply received
+    SimTime started = -1.0;    ///< kCallStarted received
+    SimTime completed = -1.0;  ///< kCallResult received
+    std::uint64_t sed_uid = 0;
+    std::string sed_name;
+    int solve_status = -1;
+    bool ok = false;
+
+    [[nodiscard]] double finding_time() const { return found - submitted; }
+    /// The paper's latency: data transfer + queue wait + initiation.
+    [[nodiscard]] double latency() const { return started - found; }
+    [[nodiscard]] double total_time() const { return completed - submitted; }
+  };
+
+  using DoneFn = std::function<void(const gc::Status&, Profile&)>;
+
+  struct Tuning {
+    /// Client CPU per call submission (profile marshalling, GridRPC
+    /// bookkeeping). Submissions serialize on the client thread, so a
+    /// burst of 100 diet_call_async spreads out — as in the paper's
+    /// client loop.
+    double submit_marshalling = 1.0e-3;
+  };
+
+  explicit Client(std::string name) : name_(std::move(name)) {}
+  Client(std::string name, const Tuning& tuning)
+      : name_(std::move(name)), tuning_(tuning) {}
+
+  /// Points this client at its Master Agent (diet_initialize resolves the
+  /// MA name from the configuration file to this endpoint).
+  void connect(net::Endpoint master_agent) { ma_ = master_agent; }
+
+  /// GridRPC-style asynchronous call (diet_call_async). Thread-safe: may
+  /// be invoked from any thread; `done` runs on the Env dispatch context
+  /// with the profile containing merged OUT/INOUT values.
+  /// `deadline_s` > 0 bounds the whole call: if no result arrived within
+  /// that many seconds of submission, the call completes with
+  /// kUnavailable (a late result from the SED is then ignored). This is
+  /// how a client survives a SED dying with its job (see Sed::fail).
+  std::uint64_t call_async(Profile profile, DoneFn done,
+                           double deadline_s = 0.0);
+
+  /// Synchronous diet_call. Only valid under RealEnv (a simulated client
+  /// cannot block); merges results into `profile`.
+  gc::Status call(Profile& profile);
+
+  void on_message(const net::Envelope& envelope) override;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Completed + in-flight call records, in submission order. Only read
+  /// this when the Env is idle (or from the dispatch context).
+  [[nodiscard]] const std::vector<CallRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  struct PendingCall {
+    Profile profile;
+    DoneFn done;
+    std::size_t record_index = 0;
+    net::TimerId deadline_timer = 0;
+    std::uint64_t sed_uid = 0;
+    bool resent_full = false;  ///< one retry after a missing-data miss
+  };
+
+  void submit(std::uint64_t id, Profile profile, DoneFn done,
+              double deadline_s);
+  /// Ships the IN/INOUT data to the chosen SED. Persistent arguments the
+  /// SED is known to hold travel as id-only references unless
+  /// `force_full` (the missing-data retry).
+  void send_call_data(std::uint64_t id, net::Endpoint sed,
+                      std::uint64_t sed_uid, bool force_full);
+  void handle_reply(const net::Envelope& envelope);
+  void handle_started(const net::Envelope& envelope);
+  void handle_result(const net::Envelope& envelope);
+  void complete(std::uint64_t id, const gc::Status& status);
+
+  std::string name_;
+  Tuning tuning_;
+  net::Endpoint ma_ = net::kNullEndpoint;
+  double submit_busy_until_ = 0.0;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint64_t, net::Endpoint> call_sed_;
+  std::vector<CallRecord> records_;
+  std::unordered_map<std::uint64_t, std::size_t> record_of_;
+  /// Persistent data ids each SED (by uid) is known to hold.
+  std::unordered_map<std::uint64_t, std::set<std::string>> known_at_;
+};
+
+}  // namespace gc::diet

@@ -1,0 +1,89 @@
+#include "diet/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace gc::diet {
+
+gc::Result<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kIoError, "cannot open config: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  for (const auto& raw_line : split(text, '\n')) {
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string key = to_lower(trim(line.substr(0, eq)));
+    const std::string value{trim(line.substr(eq + 1))};
+    if (!key.empty()) config.values_[key] = value;
+  }
+  return config;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(to_lower(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key,
+                           std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+gc::Result<long> Config::get_int(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return make_error(ErrorCode::kNotFound, "missing key: " + key);
+  char* end = nullptr;
+  const long value = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "not an integer: " + key + " = " + *v);
+  }
+  return value;
+}
+
+gc::Result<double> Config::get_double(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return make_error(ErrorCode::kNotFound, "missing key: " + key);
+  char* end = nullptr;
+  const double value = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "not a number: " + key + " = " + *v);
+  }
+  return value;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[to_lower(key)] = value;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gc::diet

@@ -1,0 +1,43 @@
+// DIET configuration files.
+//
+// Real DIET components read small "key = value" files (client.cfg names the
+// MA to contact, a SED's cfg names its parent LA, ...). Section 4.3.1:
+// diet_initialize "parses the configuration file given as the first
+// argument, to set all options and get a reference to the DIET Master
+// Agent". Same format here; '#' starts a comment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace gc::diet {
+
+class Config {
+ public:
+  Config() = default;
+
+  static gc::Result<Config> load(const std::string& path);
+  static Config parse(std::string_view text);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   std::string fallback) const;
+  [[nodiscard]] gc::Result<long> get_int(const std::string& key) const;
+  [[nodiscard]] gc::Result<double> get_double(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Serializes back to "key = value" lines (stable order).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Keys are stored lower-cased; lookups are case-insensitive like DIET's.
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gc::diet

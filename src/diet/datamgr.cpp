@@ -1,0 +1,56 @@
+#include "diet/datamgr.hpp"
+
+#include "common/log.hpp"
+
+namespace gc::diet {
+
+void DataManager::store(const ArgValue& value) {
+  if (value.data_id().empty() || value.is_reference() || !value.has_value()) {
+    return;
+  }
+  const std::string& id = value.data_id();
+  auto it = store_.find(id);
+  if (it != store_.end()) {
+    bytes_ -= it->second.value.wire_bytes();
+    lru_.erase(it->second.lru_position);
+    store_.erase(it);
+  }
+  lru_.push_front(id);
+  store_.emplace(id, Entry{value, lru_.begin()});
+  bytes_ += value.wire_bytes();
+  evict_to_fit();
+}
+
+const ArgValue* DataManager::lookup(const std::string& data_id) {
+  auto it = store_.find(data_id);
+  if (it == store_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(data_id);
+  it->second.lru_position = lru_.begin();
+  return &it->second.value;
+}
+
+bool DataManager::erase(const std::string& data_id) {
+  auto it = store_.find(data_id);
+  if (it == store_.end()) return false;
+  bytes_ -= it->second.value.wire_bytes();
+  lru_.erase(it->second.lru_position);
+  store_.erase(it);
+  return true;
+}
+
+void DataManager::evict_to_fit() {
+  if (max_bytes_ <= 0) return;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    GC_DEBUG << "datamgr: evicting " << victim;
+    erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace gc::diet

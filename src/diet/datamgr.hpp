@@ -1,0 +1,63 @@
+// Server-side persistent data storage (DIET's Data Tree Manager).
+//
+// DIET's non-VOLATILE persistence modes keep argument data on the server
+// between calls so a client can ship an id instead of the bytes:
+//
+//   call 1: client -> SED  full data, persistence = DIET_PERSISTENT
+//           SED stores it under the argument's data id
+//   call 2: client -> SED  reference (id only)
+//           SED materializes the stored value before solving
+//
+// The store is LRU-bounded by bytes; eviction makes the next reference
+// miss, which the client handles by resending the full data (see
+// Client::handle_result).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "diet/data.hpp"
+
+namespace gc::diet {
+
+class DataManager {
+ public:
+  /// max_bytes bounds the total wire_bytes of stored values (0 = unbounded).
+  explicit DataManager(std::int64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Stores (or refreshes) a value under its data id; no-op for values
+  /// without an id or for references.
+  void store(const ArgValue& value);
+
+  /// Looks up a stored value; nullptr on miss. Refreshes LRU order.
+  [[nodiscard]] const ArgValue* lookup(const std::string& data_id);
+
+  /// Explicit removal (DIET_VOLATILE cleanup / diet_free_data).
+  bool erase(const std::string& data_id);
+
+  [[nodiscard]] std::size_t count() const { return store_.size(); }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_fit();
+
+  struct Entry {
+    ArgValue value;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  std::int64_t max_bytes_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::string, Entry> store_;
+  std::list<std::string> lru_;  ///< front = most recently used
+};
+
+}  // namespace gc::diet

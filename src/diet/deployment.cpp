@@ -1,0 +1,56 @@
+#include "diet/deployment.hpp"
+
+#include "common/log.hpp"
+#include "sched/policy.hpp"
+
+namespace gc::diet {
+
+Deployment::Deployment(net::Env& env, naming::Registry& registry,
+                       ServiceTable& services, const DeploymentSpec& spec) {
+  Rng seeder(spec.seed);
+
+  auto ma_policy = sched::make_policy(spec.policy);
+  GC_CHECK_MSG(ma_policy != nullptr, "unknown policy: " + spec.policy);
+  ma_ = std::make_unique<Agent>(Agent::Kind::kMaster, spec.ma_name,
+                                std::move(ma_policy), spec.agent_tuning,
+                                seeder.next_u64());
+  env.attach(*ma_, spec.ma_node);
+  registry.rebind(spec.ma_name, ma_->endpoint());
+
+  // SEDs first (so LAs can hand them a parent immediately after attach).
+  seds_.reserve(spec.seds.size());
+  for (std::size_t i = 0; i < spec.seds.size(); ++i) {
+    const auto& sed_spec = spec.seds[i];
+    auto sed = std::make_unique<Sed>(
+        /*uid=*/static_cast<std::uint64_t>(i + 1), sed_spec.name, services,
+        sed_spec.host_power, sed_spec.machines, spec.sed_tuning,
+        seeder.next_u64());
+    env.attach(*sed, sed_spec.node);
+    registry.rebind(sed_spec.name, sed->endpoint());
+    seds_.push_back(std::move(sed));
+  }
+
+  las_.reserve(spec.las.size());
+  for (const auto& la_spec : spec.las) {
+    auto la_policy = sched::make_policy(spec.policy);
+    auto la = std::make_unique<Agent>(Agent::Kind::kLocal, la_spec.name,
+                                      std::move(la_policy), spec.agent_tuning,
+                                      seeder.next_u64());
+    env.attach(*la, la_spec.node);
+    registry.rebind(la_spec.name, la->endpoint());
+    la->register_at(ma_->endpoint());
+    for (const int sed_index : la_spec.sed_indexes) {
+      GC_CHECK(sed_index >= 0 &&
+               static_cast<std::size_t>(sed_index) < seds_.size());
+      seds_[static_cast<std::size_t>(sed_index)]->register_at(la->endpoint());
+    }
+    las_.push_back(std::move(la));
+  }
+}
+
+Sed* Deployment::sed_by_uid(std::uint64_t uid) {
+  if (uid == 0 || uid > seds_.size()) return nullptr;
+  return seds_[uid - 1].get();
+}
+
+}  // namespace gc::diet

@@ -1,0 +1,71 @@
+// Deployment: instantiates and wires an MA / LA / SED hierarchy on an Env.
+//
+// This is the programmatic equivalent of the GoDIET-style deployment the
+// paper's experiment used (Section 5.1): one MA, one LA per cluster, SEDs
+// under their LA. All components share one ServiceTable here (every SED of
+// the experiment offered the same two services).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diet/agent.hpp"
+#include "diet/client.hpp"
+#include "diet/sed.hpp"
+#include "naming/registry.hpp"
+#include "net/env.hpp"
+
+namespace gc::diet {
+
+struct DeploymentSpec {
+  struct SedSpec {
+    std::string name;
+    net::NodeId node = 0;
+    double host_power = 1.0;
+    int machines = 1;
+  };
+  struct LaSpec {
+    std::string name;
+    net::NodeId node = 0;
+    std::vector<int> sed_indexes;  ///< indexes into `seds`
+  };
+
+  std::string ma_name = "MA1";
+  net::NodeId ma_node = 0;
+  std::string policy = "default";
+  AgentTuning agent_tuning;
+  SedTuning sed_tuning;
+  std::vector<LaSpec> las;
+  std::vector<SedSpec> seds;
+  std::uint64_t seed = 42;
+};
+
+class Deployment {
+ public:
+  /// Creates and attaches all actors and fires the registration messages.
+  /// Under a SimEnv, run the engine briefly (e.g. run_until(now + 1.0))
+  /// before submitting requests so registration settles; under a RealEnv,
+  /// call env.wait_idle().
+  Deployment(net::Env& env, naming::Registry& registry,
+             ServiceTable& services, const DeploymentSpec& spec);
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] Agent& ma() { return *ma_; }
+  [[nodiscard]] std::size_t la_count() const { return las_.size(); }
+  [[nodiscard]] Agent& la(std::size_t i) { return *las_.at(i); }
+  [[nodiscard]] std::size_t sed_count() const { return seds_.size(); }
+  [[nodiscard]] Sed& sed(std::size_t i) { return *seds_.at(i); }
+
+  /// Finds a SED by uid (uids are assigned 1..N in spec order).
+  [[nodiscard]] Sed* sed_by_uid(std::uint64_t uid);
+
+ private:
+  std::unique_ptr<Agent> ma_;
+  std::vector<std::unique_ptr<Agent>> las_;
+  std::vector<std::unique_ptr<Sed>> seds_;
+};
+
+}  // namespace gc::diet

@@ -1,0 +1,153 @@
+// Wire protocol between DIET actors (client, MA, LA, SED).
+//
+// Message flow for one diet_call:
+//
+//   client --kRequestSubmit--> MA
+//   MA     --kRequestCollect-> LAs --kRequestCollect-> SEDs
+//   SEDs   --kCandidates-----> LAs --kCandidates-----> MA   (sorted per hop)
+//   MA     --kRequestReply---> client                       (chosen SED)
+//   client --kCallData-------> SED                          (IN/INOUT data)
+//   SED    --kCallStarted----> client                       (service began)
+//   SED    --kCallResult-----> client                       (OUT/INOUT data)
+//   SED    --kJobDone--------> LA --kJobDone--> MA          (bookkeeping)
+//
+// plus deployment-time registration and periodic load reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diet/profile.hpp"
+#include "net/message.hpp"
+#include "sched/estimation.hpp"
+
+namespace gc::diet {
+
+/// Solve-status value a SED returns when a call referenced persistent
+/// data it no longer holds (evicted / never seen); the client reacts by
+/// resending the full data.
+inline constexpr std::int32_t kMissingDataStatus = -3;
+
+enum MsgType : std::uint32_t {
+  kSedRegister = 1,
+  kAgentRegister = 2,
+  kRegisterAck = 3,
+  kRequestSubmit = 10,
+  kRequestCollect = 11,
+  kCandidates = 12,
+  kRequestReply = 13,
+  kCallData = 20,
+  kCallStarted = 21,
+  kCallResult = 22,
+  kJobDone = 23,
+  kLoadReport = 30,
+};
+
+struct SedRegisterMsg {
+  std::uint64_t sed_uid = 0;
+  std::string name;
+  double host_power = 1.0;
+  std::int32_t machines = 1;
+  std::vector<ProfileDesc> services;
+
+  net::Bytes encode() const;
+  static SedRegisterMsg decode(const net::Bytes& payload);
+};
+
+struct AgentRegisterMsg {
+  std::string name;
+  std::vector<std::string> services;  ///< service paths available below
+
+  net::Bytes encode() const;
+  static AgentRegisterMsg decode(const net::Bytes& payload);
+};
+
+struct RequestSubmitMsg {
+  std::uint64_t client_request_id = 0;
+  ProfileDesc desc;
+  std::int64_t in_bytes = 0;
+
+  net::Bytes encode() const;
+  static RequestSubmitMsg decode(const net::Bytes& payload);
+};
+
+struct RequestCollectMsg {
+  std::uint64_t request_key = 0;  ///< MA-global key
+  ProfileDesc desc;
+  std::int64_t in_bytes = 0;
+  /// Remaining time budget for answering; each agent waits at most this
+  /// long and hands its children a smaller share, so partial answers from
+  /// a subtree still reach the root before IT gives up. 0 = use the
+  /// receiving agent's configured timeout.
+  double timeout_s = 0.0;
+
+  net::Bytes encode() const;
+  static RequestCollectMsg decode(const net::Bytes& payload);
+};
+
+struct CandidatesMsg {
+  std::uint64_t request_key = 0;
+  std::vector<sched::Candidate> candidates;
+
+  net::Bytes encode() const;
+  static CandidatesMsg decode(const net::Bytes& payload);
+};
+
+struct RequestReplyMsg {
+  std::uint64_t client_request_id = 0;
+  bool found = false;
+  sched::Candidate chosen;
+
+  net::Bytes encode() const;
+  static RequestReplyMsg decode(const net::Bytes& payload);
+};
+
+struct CallDataMsg {
+  std::uint64_t call_id = 0;  ///< client request id, reused
+  std::string path;
+  std::int32_t last_in = -1;
+  std::int32_t last_inout = -1;
+  std::int32_t last_out = -1;
+  net::Bytes inputs;  ///< Profile::serialize_inputs payload
+
+  net::Bytes encode() const;
+  static CallDataMsg decode(const net::Bytes& payload);
+};
+
+struct CallStartedMsg {
+  std::uint64_t call_id = 0;
+
+  net::Bytes encode() const;
+  static CallStartedMsg decode(const net::Bytes& payload);
+};
+
+struct CallResultMsg {
+  std::uint64_t call_id = 0;
+  std::int32_t solve_status = 0;  ///< solve function's return value
+  net::Bytes outputs;             ///< Profile::serialize_outputs payload
+
+  net::Bytes encode() const;
+  static CallResultMsg decode(const net::Bytes& payload);
+};
+
+struct JobDoneMsg {
+  std::uint64_t sed_uid = 0;
+  std::uint64_t call_id = 0;
+  double busy_seconds = 0.0;
+
+  net::Bytes encode() const;
+  static JobDoneMsg decode(const net::Bytes& payload);
+};
+
+struct LoadReportMsg {
+  std::uint64_t sed_uid = 0;
+  double queue_length = 0.0;
+  double queued_work_s = 0.0;
+  std::uint64_t jobs_completed = 0;
+
+  net::Bytes encode() const;
+  static LoadReportMsg decode(const net::Bytes& payload);
+};
+
+}  // namespace gc::diet

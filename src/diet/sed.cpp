@@ -1,0 +1,302 @@
+#include "diet/sed.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gc::diet {
+
+namespace {
+
+/// ServiceContext bound to one running job on one SED.
+class SedContext final : public ServiceContext {
+ public:
+  SedContext(Sed& sed, Sed::PendingJob job, SimTime started)
+      : sed_(sed), job_(std::move(job)), started_(started) {}
+
+  Profile& profile() override { return job_.profile; }
+  net::Env& env() override { return *sed_.env(); }
+  double host_power() const override { return sed_.host_power(); }
+  int machines() const override { return sed_.machines(); }
+  const std::string& sed_name() const override { return sed_.name(); }
+  const std::string& work_dir() const override { return work_dir_; }
+  Rng& rng() override { return rng_; }
+
+  void compute(double modeled_seconds, std::function<int()> work,
+               std::function<void(int)> then) override {
+    sed_.env()->execute(sed_.node(), modeled_seconds, std::move(work),
+                        std::move(then));
+  }
+
+  void finish(int solve_status) override {
+    GC_CHECK_MSG(!finished_, "ServiceContext::finish called twice");
+    finished_ = true;
+    sed_.complete_job(job_.call_id, job_.client, job_.profile, job_.arrived,
+                      started_, job_.comp_estimate_s, solve_status);
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  friend class gc::diet::Sed;
+  Sed& sed_;
+  Sed::PendingJob job_;
+  SimTime started_;
+  std::string work_dir_;
+  Rng rng_{0};
+  bool finished_ = false;
+};
+
+}  // namespace
+
+Sed::Sed(std::uint64_t uid, std::string name, ServiceTable& services,
+         double host_power, int machines, SedTuning tuning,
+         std::uint64_t seed)
+    : uid_(uid),
+      name_(std::move(name)),
+      services_(services),
+      host_power_(host_power),
+      machines_(machines),
+      tuning_(std::move(tuning)),
+      rng_(seed),
+      data_manager_(tuning_.data_store_max_bytes) {}
+
+void Sed::register_at(net::Endpoint parent) {
+  parent_ = parent;
+  SedRegisterMsg msg;
+  msg.sed_uid = uid_;
+  msg.name = name_;
+  msg.host_power = host_power_;
+  msg.machines = machines_;
+  for (const auto& path : services_.service_paths()) {
+    msg.services.push_back(services_.find_by_path(path)->desc);
+  }
+  env()->send(net::Envelope{endpoint(), parent, kSedRegister, msg.encode(), 0});
+  if (tuning_.load_report_period > 0.0) {
+    env()->post_after(tuning_.load_report_period,
+                      [this]() { send_load_report(); });
+  }
+}
+
+void Sed::send_load_report() {
+  if (failed_ || parent_ == net::kNullEndpoint) return;
+  LoadReportMsg report;
+  report.sed_uid = uid_;
+  report.queue_length = static_cast<double>(queue_length());
+  report.queued_work_s = queued_work_s_;
+  report.jobs_completed = completed_;
+  env()->send(
+      net::Envelope{endpoint(), parent_, kLoadReport, report.encode(), 0});
+  env()->post_after(tuning_.load_report_period,
+                    [this]() { send_load_report(); });
+}
+
+void Sed::fail() {
+  failed_ = true;
+  queue_.clear();
+  queued_work_s_ = 0.0;
+  // Running contexts are abandoned: their finish() becomes a no-op send
+  // from a detached endpoint once we leave the Env.
+  env()->detach(endpoint());
+}
+
+void Sed::on_message(const net::Envelope& envelope) {
+  if (failed_) return;
+  switch (envelope.type) {
+    case kRequestCollect:
+      handle_collect(envelope);
+      break;
+    case kCallData:
+      handle_call(envelope);
+      break;
+    case kRegisterAck:
+      break;
+    default:
+      GC_WARN << "sed " << name_ << ": unexpected message type "
+              << envelope.type;
+  }
+}
+
+double Sed::noisy(double base) {
+  if (tuning_.delay_noise_cv <= 0.0 || base <= 0.0) return base;
+  return rng_.lognormal_with_mean(base, tuning_.delay_noise_cv);
+}
+
+sched::Estimation Sed::make_estimation(const ProfileDesc& request) {
+  sched::Estimation est;
+  est.timestamp = env()->now();
+  est.host_power = host_power_;
+  est.machines = machines_;
+  est.queue_length = static_cast<double>(queue_length());
+  est.queued_work_s = queued_work_s_;
+  est.free_cpu = running_ > 0 ? 0.15 : 0.95;
+  est.free_mem_mb = running_ > 0 ? 1024.0 : 3584.0;
+  est.jobs_completed = completed_;
+  const ServiceEntry* entry = services_.find(request);
+  if (entry != nullptr && entry->estimator) {
+    entry->estimator(request, host_power_, machines_, est);
+  }
+  return est;
+}
+
+void Sed::handle_collect(const net::Envelope& envelope) {
+  const RequestCollectMsg msg = RequestCollectMsg::decode(envelope.payload);
+  CandidatesMsg reply;
+  reply.request_key = msg.request_key;
+  if (services_.find(msg.desc) != nullptr) {
+    sched::Candidate self;
+    self.sed_uid = uid_;
+    self.sed_endpoint = endpoint();
+    self.sed_name = name_;
+    self.est = make_estimation(msg.desc);
+    reply.candidates.push_back(std::move(self));
+  }
+  const net::Endpoint to = envelope.from;
+  env()->post_after(noisy(tuning_.estimation_delay), [this, to, reply]() {
+    if (failed_) return;
+    env()->send(net::Envelope{endpoint(), to, kCandidates, reply.encode(), 0});
+  });
+}
+
+void Sed::handle_call(const net::Envelope& envelope) {
+  CallDataMsg msg = CallDataMsg::decode(envelope.payload);
+  net::Reader r(msg.inputs);
+  PendingJob job;
+  job.call_id = msg.call_id;
+  job.client = envelope.from;
+  job.profile = Profile::deserialize_inputs(msg.path, msg.last_in,
+                                            msg.last_inout, msg.last_out, r);
+  job.arrived = env()->now();
+  job.comp_estimate_s = 0.0;
+
+  const ServiceEntry* entry = services_.find_by_path(msg.path);
+  if (entry == nullptr) {
+    GC_WARN << "sed " << name_ << ": no service " << msg.path;
+    CallResultMsg result;
+    result.call_id = msg.call_id;
+    result.solve_status = -1;
+    env()->send(net::Envelope{endpoint(), job.client, kCallResult,
+                              result.encode(), 0});
+    return;
+  }
+
+  // Persistent data management (DTM): incoming persistent values are
+  // stored on receipt so calls queued behind this one can reference them;
+  // incoming references are resolved against the store.
+  for (int i = 0; i <= job.profile.last_inout(); ++i) {
+    ArgValue& arg = job.profile.arg(i);
+    if (!arg.has_value()) continue;
+    if (arg.is_reference()) {
+      const ArgValue* stored = data_manager_.lookup(arg.data_id());
+      if (stored == nullptr) {
+        GC_WARN << "sed " << name_ << ": missing persistent data "
+                << arg.data_id() << " for call " << msg.call_id;
+        CallResultMsg result;
+        result.call_id = msg.call_id;
+        result.solve_status = kMissingDataStatus;
+        env()->send(net::Envelope{endpoint(), job.client, kCallResult,
+                                  result.encode(), 0});
+        return;
+      }
+      arg.materialize_from(*stored);
+    } else if (arg.desc.persistence != Persistence::kVolatile &&
+               !arg.data_id().empty()) {
+      data_manager_.store(arg);
+    }
+  }
+  if (entry->estimator) {
+    sched::Estimation est;
+    est.host_power = host_power_;
+    est.machines = machines_;
+    entry->estimator(entry->desc, host_power_, machines_, est);
+    if (est.service_comp_s > 0.0) job.comp_estimate_s = est.service_comp_s;
+  }
+  queued_work_s_ += job.comp_estimate_s;
+  queue_.push_back(std::move(job));
+  start_next();
+}
+
+void Sed::start_next() {
+  if (running_ >= tuning_.concurrency || queue_.empty()) return;
+  ++running_;
+  PendingJob job = std::move(queue_.front());
+  queue_.pop_front();
+
+  const double init = noisy(tuning_.init_delay);
+  env()->post_after(init, [this, job = std::move(job)]() mutable {
+    if (failed_) return;
+    // Service initiation complete: tell the client (the latency series of
+    // Figure 5 ends here) and hand over to the solve function.
+    CallStartedMsg started;
+    started.call_id = job.call_id;
+    env()->send(net::Envelope{endpoint(), job.client, kCallStarted,
+                              started.encode(), 0});
+    const std::string path = job.profile.path();
+    const ServiceEntry* entry = services_.find_by_path(path);
+    GC_CHECK(entry != nullptr);  // checked on enqueue
+    auto ctx =
+        std::make_unique<SedContext>(*this, std::move(job), env()->now());
+    ctx->work_dir_ = tuning_.work_dir;
+    ctx->rng_.reseed(rng_.next_u64());
+    ServiceContext& ref = *ctx;
+    live_contexts_.push_back(std::move(ctx));
+    entry->solve(ref);
+  });
+}
+
+void Sed::complete_job(std::uint64_t call_id, net::Endpoint client,
+                       Profile& profile, SimTime arrived, SimTime started,
+                       double comp_estimate_s, int solve_status) {
+  if (failed_) return;  // a dead SED sends nothing
+  const SimTime finished = env()->now();
+
+  // Persist non-volatile arguments for future reference calls.
+  if (solve_status == 0) {
+    for (int i = 0; i < profile.arg_count(); ++i) {
+      const ArgValue& arg = profile.arg(i);
+      if (arg.desc.persistence != Persistence::kVolatile &&
+          arg.has_value() && !arg.data_id().empty()) {
+        data_manager_.store(arg);
+      }
+    }
+  }
+
+  CallResultMsg result;
+  result.call_id = call_id;
+  result.solve_status = solve_status;
+  net::Writer w;
+  profile.serialize_outputs(w);
+  result.outputs = w.take();
+  env()->send(net::Envelope{endpoint(), client, kCallResult, result.encode(),
+                            profile.out_file_bytes()});
+
+  ++completed_;
+  busy_seconds_ += finished - started;
+  queued_work_s_ = std::max(0.0, queued_work_s_ - comp_estimate_s);
+  job_log_.push_back(JobRecord{call_id, profile.path(), arrived, started,
+                               finished, solve_status});
+
+  if (parent_ != net::kNullEndpoint) {
+    JobDoneMsg done;
+    done.sed_uid = uid_;
+    done.call_id = call_id;
+    done.busy_seconds = finished - started;
+    env()->send(net::Envelope{endpoint(), parent_, kJobDone, done.encode(), 0});
+  }
+
+  --running_;
+  // Retire finished contexts on a fresh event: the caller's stack frame
+  // still lives inside the context we are about to destroy.
+  env()->post_after(0.0, [this]() {
+    live_contexts_.erase(
+        std::remove_if(live_contexts_.begin(), live_contexts_.end(),
+                       [](const std::unique_ptr<ServiceContext>& c) {
+                         return static_cast<SedContext*>(c.get())->finished();
+                       }),
+        live_contexts_.end());
+    start_next();
+  });
+}
+
+}  // namespace gc::diet

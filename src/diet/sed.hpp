@@ -1,0 +1,138 @@
+// Server Daemon (SED).
+//
+// "A SED encapsulates a computational server. [...] The information stored
+// by a SED is a list of the data available on its server, all information
+// concerning its load [...] and the list of problems that it can solve."
+// (Section 2.1.)
+//
+// Behaviourally faithful to the deployment of Section 5: one SED fronts a
+// set of cluster machines, answers estimation requests from its Local
+// Agent, queues incoming calls FIFO, and runs at most one simulation at a
+// time ("each server cannot compute more than one simulation at the same
+// time"). Job timestamps are logged for the Gantt chart of Figure 4.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diet/datamgr.hpp"
+#include "diet/protocol.hpp"
+#include "diet/service.hpp"
+#include "net/env.hpp"
+
+namespace gc::diet {
+
+struct SedTuning {
+  /// Time to fill the estimation vector on a collect request (probing
+  /// load averages, free memory, queue state). Not exclusive: the SED
+  /// answers estimations from a dedicated dispatch thread, so concurrent
+  /// requests overlap (this is why the paper's finding time stays constant
+  /// under 100 simultaneous requests).
+  double estimation_delay = 7.5e-3;
+  /// Service initiation time: forking the solver, setting up the MPI
+  /// environment (the paper measured 20.8 ms on the first 12 executions).
+  double init_delay = 20.8e-3;
+  /// Log-normal coefficient of variation applied to the two delays above.
+  double delay_noise_cv = 0.06;
+  /// Concurrent jobs this SED may run (the paper's deployment: 1).
+  int concurrency = 1;
+  /// Period of unsolicited load reports to the parent LA ("answer to
+  /// monitoring queries from its responsible Local Agent", Section 2.2).
+  /// 0 disables them.
+  double load_report_period = 0.0;
+  /// Byte budget of the persistent data store (DIET's DTM); 0 = unbounded.
+  std::int64_t data_store_max_bytes = 0;
+  /// Scratch directory for real service executions.
+  std::string work_dir = "/tmp";
+};
+
+class Sed final : public net::Actor {
+ public:
+  struct JobRecord {
+    std::uint64_t call_id;
+    std::string service;
+    SimTime arrived;
+    SimTime started;   ///< solve began (after init delay)
+    SimTime finished;  ///< result shipped
+    int solve_status;
+  };
+
+  Sed(std::uint64_t uid, std::string name, ServiceTable& services,
+      double host_power, int machines, SedTuning tuning, std::uint64_t seed);
+
+  /// Announces this SED and its service table to a parent agent
+  /// (diet_SeD's registration step) and starts periodic load reports when
+  /// configured.
+  void register_at(net::Endpoint parent);
+
+  /// Marks this SED dead: it stops answering estimation requests, drops
+  /// queued and running jobs, and sends nothing further. Used by the
+  /// fault-injection benches; combined with agent collect timeouts and
+  /// client call deadlines this exercises the middleware's failure paths.
+  void fail();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  void on_message(const net::Envelope& envelope) override;
+
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double host_power() const { return host_power_; }
+  [[nodiscard]] int machines() const { return machines_; }
+  [[nodiscard]] std::size_t queue_length() const {
+    return queue_.size() + static_cast<std::size_t>(running_);
+  }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return completed_; }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+  [[nodiscard]] const std::vector<JobRecord>& job_log() const {
+    return job_log_;
+  }
+  [[nodiscard]] const ServiceTable& services() const { return services_; }
+  [[nodiscard]] const DataManager& data_manager() const {
+    return data_manager_;
+  }
+
+  struct PendingJob {
+    std::uint64_t call_id;
+    net::Endpoint client;
+    Profile profile;
+    SimTime arrived;
+    double comp_estimate_s;  ///< plugin estimate at enqueue time (or 0)
+  };
+
+  /// Internal: invoked by the running job's ServiceContext on finish().
+  void complete_job(std::uint64_t call_id, net::Endpoint client,
+                    Profile& profile, SimTime arrived, SimTime started,
+                    double comp_estimate_s, int solve_status);
+
+ private:
+  void handle_collect(const net::Envelope& envelope);
+  void handle_call(const net::Envelope& envelope);
+  void start_next();
+  void send_load_report();
+  [[nodiscard]] sched::Estimation make_estimation(const ProfileDesc& request);
+  [[nodiscard]] double noisy(double base);
+
+  std::uint64_t uid_;
+  std::string name_;
+  ServiceTable& services_;
+  double host_power_;
+  int machines_;
+  SedTuning tuning_;
+  Rng rng_;
+
+  net::Endpoint parent_ = net::kNullEndpoint;
+  std::deque<PendingJob> queue_;
+  int running_ = 0;
+  double queued_work_s_ = 0.0;
+  std::uint64_t completed_ = 0;
+  double busy_seconds_ = 0.0;
+  std::vector<JobRecord> job_log_;
+  std::vector<std::unique_ptr<ServiceContext>> live_contexts_;
+  DataManager data_manager_;
+  bool failed_ = false;
+};
+
+}  // namespace gc::diet

@@ -1,0 +1,76 @@
+#include "diet/service.hpp"
+
+#include "common/strings.hpp"
+
+namespace gc::diet {
+
+gc::Status ServiceTable::add(const ProfileDesc& desc, SolveFn solve,
+                             PerfEstimator estimator) {
+  if (!desc.valid()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "invalid profile for service " + desc.path());
+  }
+  if (entries_.size() >= max_size_) {
+    return make_error(ErrorCode::kOutOfRange, "service table full");
+  }
+  for (const auto& e : entries_) {
+    if (e.desc.matches(desc)) {
+      return make_error(ErrorCode::kAlreadyExists,
+                        "service already registered: " + desc.path());
+    }
+  }
+  entries_.push_back(ServiceEntry{desc, std::move(solve), std::move(estimator)});
+  return Status::ok();
+}
+
+gc::Status ServiceTable::add_sync(
+    const ProfileDesc& desc, SyncSolveFn solve,
+    std::function<double(const Profile&, double, int)> modeled_cost,
+    PerfEstimator estimator) {
+  SolveFn wrapper = [solve = std::move(solve),
+                     modeled_cost = std::move(modeled_cost)](
+                        ServiceContext& ctx) {
+    const double cost =
+        modeled_cost
+            ? modeled_cost(ctx.profile(), ctx.host_power(), ctx.machines())
+            : 0.0;
+    ctx.compute(
+        cost, [&ctx, &solve]() { return solve(ctx.profile()); },
+        [&ctx](int status) { ctx.finish(status); });
+  };
+  return add(desc, std::move(wrapper), std::move(estimator));
+}
+
+const ServiceEntry* ServiceTable::find(const ProfileDesc& request) const {
+  for (const auto& e : entries_) {
+    if (e.desc.matches(request)) return &e;
+  }
+  return nullptr;
+}
+
+const ServiceEntry* ServiceTable::find_by_path(const std::string& path) const {
+  for (const auto& e : entries_) {
+    if (e.desc.path() == path) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ServiceTable::service_paths() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.desc.path());
+  return out;
+}
+
+std::string ServiceTable::to_string() const {
+  std::string out = strformat("service table (%zu/%zu):\n", entries_.size(),
+                              max_size_);
+  for (const auto& e : entries_) {
+    out += strformat("  %-24s in:0..%d inout:..%d out:..%d\n",
+                     e.desc.path().c_str(), e.desc.last_in(),
+                     e.desc.last_inout(), e.desc.last_out());
+  }
+  return out;
+}
+
+}  // namespace gc::diet

@@ -1,0 +1,63 @@
+// GalaxyMaker: semi-analytic galaxy formation on merger trees.
+//
+// "GalaxyMaker: applies a semi-analytical model to the results of
+// TreeMaker to form galaxies, and creates a catalog of galaxies"
+// (Section 3). The recipe is the classic GALICS-style minimal SAM:
+//   - each new halo receives its cosmic baryon share as hot gas;
+//   - hot gas cools onto the disc at a halo-mass-dependent efficiency;
+//   - stars form from cold gas on a dynamical time;
+//   - supernova feedback reheats part of the cold gas;
+//   - when halos merge, their galaxies merge (stars and gas add).
+// Walking the forest in time order makes each galaxy's history follow its
+// halo's merger tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "cosmo/cosmology.hpp"
+#include "tree/treemaker.hpp"
+
+namespace gc::galaxy {
+
+struct SamParams {
+  double baryon_fraction = 0.16;     ///< Omega_b / Omega_m
+  double cooling_efficiency = 0.5;   ///< hot -> cold per dynamical time
+  double star_formation_eff = 0.10;  ///< cold -> stars per dynamical time
+  double feedback_efficiency = 0.3;  ///< reheated mass per stellar mass formed
+  double disc_tdyn_fraction = 0.02;  ///< t_dyn = fraction / H(a)
+};
+
+struct Galaxy {
+  std::int32_t node = -1;      ///< forest node this galaxy lives in
+  std::uint64_t halo_id = 0;
+  std::int32_t snapshot = 0;
+  double aexp = 0.0;
+  double halo_mass = 0.0;  ///< box-mass units, as in the halo catalog
+  double mhot = 0.0;       ///< hot gas (same units)
+  double mcold = 0.0;      ///< cold disc gas
+  double mstar = 0.0;      ///< stars
+  double sfr = 0.0;        ///< star formation rate, mass units per 1/H0
+  std::int32_t n_mergers = 0;  ///< cumulative merger count in its history
+};
+
+struct GalaxyCatalog {
+  double aexp = 0.0;
+  std::vector<Galaxy> galaxies;  ///< one per halo at that snapshot
+};
+
+/// Runs the SAM over the whole forest; returns one catalog per snapshot.
+std::vector<GalaxyCatalog> run_sam(const tree::MergerForest& forest,
+                                   const cosmo::Cosmology& cosmology,
+                                   const SamParams& params = {});
+
+/// Text form (one galaxy per line) for the result tarball.
+std::string catalog_to_text(const GalaxyCatalog& catalog);
+
+gc::Status write_catalog(const std::string& path,
+                         const GalaxyCatalog& catalog);
+gc::Result<GalaxyCatalog> read_catalog(const std::string& path);
+
+}  // namespace gc::galaxy

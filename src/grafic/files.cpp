@@ -1,0 +1,116 @@
+#include "grafic/files.hpp"
+
+#include <array>
+#include <filesystem>
+
+#include "io/fortran.hpp"
+
+namespace gc::grafic {
+
+namespace {
+
+constexpr std::array<const char*, 7> kFiles = {
+    "ic_deltac", "ic_poscx", "ic_poscy", "ic_poscz",
+    "ic_velcx",  "ic_velcy", "ic_velcz"};
+
+gc::Status write_component(const std::string& path, const GraficHeader& header,
+                           const std::vector<float>& data, int n) {
+  io::FortranWriter writer(path);
+  if (!writer.ok()) {
+    return make_error(ErrorCode::kIoError, "cannot create " + path);
+  }
+  auto status = writer.record_scalar(header);
+  if (!status.is_ok()) return status;
+  const auto plane = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  for (int k = 0; k < n; ++k) {
+    status = writer.record_array(std::span<const float>(
+        data.data() + static_cast<std::size_t>(k) * plane, plane));
+    if (!status.is_ok()) return status;
+  }
+  return writer.close();
+}
+
+gc::Result<std::vector<float>> read_component(const std::string& path,
+                                              GraficHeader& header) {
+  io::FortranReader reader(path);
+  if (!reader.ok()) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  auto h = reader.record_scalar<GraficHeader>();
+  if (!h.is_ok()) return h.status();
+  header = h.value();
+  if (header.np1 <= 0 || header.np1 != header.np2 ||
+      header.np2 != header.np3) {
+    return make_error(ErrorCode::kIoError, "non-cubic grafic grid in " + path);
+  }
+  const auto n = static_cast<std::size_t>(header.np1);
+  std::vector<float> data;
+  data.reserve(n * n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto plane = reader.record_array<float>();
+    if (!plane.is_ok()) return plane.status();
+    if (plane.value().size() != n * n) {
+      return make_error(ErrorCode::kIoError, "bad plane size in " + path);
+    }
+    data.insert(data.end(), plane.value().begin(), plane.value().end());
+  }
+  return data;
+}
+
+}  // namespace
+
+gc::Status write_level(const std::string& dir, const IcLevel& level,
+                       const cosmo::Params& params) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return make_error(ErrorCode::kIoError, "cannot create dir " + dir);
+
+  GraficHeader header;
+  header.np1 = header.np2 = header.np3 = level.n;
+  header.dx = static_cast<float>(level.cell_mpc());
+  header.x1o = static_cast<float>(level.origin.x);
+  header.x2o = static_cast<float>(level.origin.y);
+  header.x3o = static_cast<float>(level.origin.z);
+  header.astart = static_cast<float>(level.a_start);
+  header.omega_m = static_cast<float>(params.omega_m);
+  header.omega_v = static_cast<float>(params.omega_l);
+  header.h0 = static_cast<float>(100.0 * params.h);
+
+  const std::vector<float>* fields[7] = {
+      &level.delta,   &level.disp[0], &level.disp[1], &level.disp[2],
+      &level.vel[0], &level.vel[1],  &level.vel[2]};
+  for (std::size_t f = 0; f < kFiles.size(); ++f) {
+    auto status = write_component(dir + "/" + kFiles[f], header, *fields[f],
+                                  level.n);
+    if (!status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
+gc::Result<IcLevel> read_level(const std::string& dir) {
+  IcLevel level;
+  GraficHeader header{};
+  std::vector<float>* fields[7] = {
+      &level.delta,   &level.disp[0], &level.disp[1], &level.disp[2],
+      &level.vel[0], &level.vel[1],  &level.vel[2]};
+  for (std::size_t f = 0; f < kFiles.size(); ++f) {
+    auto data = read_component(dir + "/" + kFiles[f], header);
+    if (!data.is_ok()) return data.status();
+    *fields[f] = std::move(data.value());
+  }
+  level.n = header.np1;
+  level.box_mpc = static_cast<double>(header.dx) * header.np1;
+  level.origin = Vec3{header.x1o, header.x2o, header.x3o};
+  level.a_start = header.astart;
+  return level;
+}
+
+gc::Result<GraficHeader> read_header(const std::string& file) {
+  io::FortranReader reader(file);
+  if (!reader.ok()) {
+    return make_error(ErrorCode::kIoError, "cannot open " + file);
+  }
+  return reader.record_scalar<GraficHeader>();
+}
+
+}  // namespace gc::grafic

@@ -1,0 +1,38 @@
+// GRAFIC file format.
+//
+// Real GRAFIC writes, per field component, a Fortran binary file with a
+// header record (grid dims, cell size, offsets, a_start, cosmology) and
+// one record per z-plane of float32 values; RAMSES reads exactly that
+// ("These initial conditions are read from Fortran binary files",
+// Section 3). write_level produces the seven standard files in a directory:
+//   ic_deltac, ic_poscx/y/z, ic_velcx/y/z
+// and read_level loads them back.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "grafic/ic.hpp"
+
+namespace gc::grafic {
+
+struct GraficHeader {
+  std::int32_t np1, np2, np3;
+  float dx;              ///< cell size (Mpc/h)
+  float x1o, x2o, x3o;   ///< level origin (Mpc/h)
+  float astart;
+  float omega_m, omega_v;
+  float h0;              ///< km/s/Mpc
+};
+
+/// Writes one IC level into `dir` (created if needed).
+gc::Status write_level(const std::string& dir, const IcLevel& level,
+                       const cosmo::Params& params);
+
+/// Reads a level previously written by write_level.
+gc::Result<IcLevel> read_level(const std::string& dir);
+
+/// Reads only the header of one component file.
+gc::Result<GraficHeader> read_header(const std::string& file);
+
+}  // namespace gc::grafic

@@ -1,0 +1,110 @@
+#include "grafic/grf.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "math/fft.hpp"
+
+namespace gc::grafic {
+
+math::Grid3<double> gaussian_random_field(int n, double box_mpc,
+                                          const PowerFn& power, Rng& rng,
+                                          const GrfOptions& options) {
+  GC_CHECK(n > 0 && math::is_pow2(static_cast<std::size_t>(n)));
+  GC_CHECK(box_mpc > 0.0);
+  const auto nu = static_cast<std::size_t>(n);
+  const double volume = box_mpc * box_mpc * box_mpc;
+  const double n3 = static_cast<double>(nu * nu * nu);
+
+  // White noise, unit variance per cell.
+  std::vector<math::Complex> field(nu * nu * nu);
+  for (auto& v : field) v = math::Complex(rng.normal(), 0.0);
+
+  math::fft3(field, nu, false);
+
+  // Scale each mode: after a forward FFT of unit white noise, |W_k|^2
+  // averages N^3; the discrete field with spectrum P needs |delta_k|^2 =
+  // P(k) N^6 / V, so multiply by sqrt(P(k) / V) (white noise supplies the
+  // sqrt(N^3) and the inverse FFT divides by N^3).
+  const double kf = 2.0 * M_PI / box_mpc;  // fundamental frequency
+  for (std::size_t i = 0; i < nu; ++i) {
+    for (std::size_t j = 0; j < nu; ++j) {
+      for (std::size_t l = 0; l < nu; ++l) {
+        const double kx = kf * static_cast<double>(math::freq_index(i, nu));
+        const double ky = kf * static_cast<double>(math::freq_index(j, nu));
+        const double kz = kf * static_cast<double>(math::freq_index(l, nu));
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        double amp = 0.0;
+        if (k > 0.0 && (options.k_min <= 0.0 || k >= options.k_min) &&
+            (options.k_max <= 0.0 || k <= options.k_max)) {
+          amp = std::sqrt(power(k) * n3 / volume);
+        }
+        field[(i * nu + j) * nu + l] *= amp;
+      }
+    }
+  }
+
+  math::fft3(field, nu, true);
+
+  // With the conventions F_k = sum_x f_x e^{-ikx} and P(k) = V <|F_k|^2> /
+  // N^6, white noise gives <|W_k|^2> = N^3, so the sqrt(P N^3 / V) factor
+  // above yields exactly the target spectrum after the (1/N^3) inverse.
+  math::Grid3<double> out(nu);
+  for (std::size_t idx = 0; idx < field.size(); ++idx) {
+    out.raw()[idx] = field[idx].real();
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> measure_power(
+    const math::Grid3<double>& delta, double box_mpc, int bins) {
+  const std::size_t n = delta.n();
+  std::vector<math::Complex> field(n * n * n);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = math::Complex(delta.raw()[i], 0.0);
+  }
+  math::fft3(field, n, false);
+
+  const double volume = box_mpc * box_mpc * box_mpc;
+  const double n3 = static_cast<double>(n * n * n);
+  const double kf = 2.0 * M_PI / box_mpc;
+  const double k_nyq = kf * static_cast<double>(n) / 2.0;
+
+  std::vector<double> power_sum(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> k_sum(static_cast<std::size_t>(bins), 0.0);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(bins), 0);
+  const double log_lo = std::log(kf);
+  const double log_hi = std::log(k_nyq);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t l = 0; l < n; ++l) {
+        const double kx = kf * static_cast<double>(math::freq_index(i, n));
+        const double ky = kf * static_cast<double>(math::freq_index(j, n));
+        const double kz = kf * static_cast<double>(math::freq_index(l, n));
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (k <= 0.0 || k > k_nyq) continue;
+        int bin = static_cast<int>((std::log(k) - log_lo) /
+                                   (log_hi - log_lo) * bins);
+        if (bin < 0) bin = 0;
+        if (bin >= bins) bin = bins - 1;
+        const math::Complex& m = field[(i * n + j) * n + l];
+        const double p = std::norm(m) * volume / (n3 * n3);
+        power_sum[static_cast<std::size_t>(bin)] += p;
+        k_sum[static_cast<std::size_t>(bin)] += k;
+        counts[static_cast<std::size_t>(bin)] += 1;
+      }
+    }
+  }
+
+  std::vector<std::pair<double, double>> out;
+  for (int b = 0; b < bins; ++b) {
+    const auto bu = static_cast<std::size_t>(b);
+    if (counts[bu] == 0) continue;
+    out.emplace_back(k_sum[bu] / static_cast<double>(counts[bu]),
+                     power_sum[bu] / static_cast<double>(counts[bu]));
+  }
+  return out;
+}
+
+}  // namespace gc::grafic

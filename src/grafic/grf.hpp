@@ -1,0 +1,41 @@
+// Gaussian random fields with a prescribed power spectrum.
+//
+// GRAFIC's core operation: fill a periodic grid with a realization of the
+// linear density field. Method: unit white noise in real space, forward
+// FFT, multiply each mode by sqrt(P(k) / V_cell) (convolution theorem),
+// inverse FFT. The result is real by construction and has the target
+// spectrum in expectation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "math/grid3.hpp"
+
+namespace gc::grafic {
+
+/// P(k) with k in h/Mpc, P in (Mpc/h)^3.
+using PowerFn = std::function<double(double)>;
+
+struct GrfOptions {
+  /// Only keep modes with k >= k_min (h/Mpc). Used by the multi-level
+  /// generator: a child box only adds power above its parent's Nyquist
+  /// frequency. 0 = keep everything.
+  double k_min = 0.0;
+  /// Only keep modes with k <= k_max; 0 = no cutoff (grid Nyquist rules).
+  double k_max = 0.0;
+};
+
+/// Generates delta on an n^3 grid covering a periodic box of box_mpc
+/// (Mpc/h) per side.
+math::Grid3<double> gaussian_random_field(int n, double box_mpc,
+                                          const PowerFn& power, Rng& rng,
+                                          const GrfOptions& options = {});
+
+/// Measured P(k) of a field, binned in k (used by tests to close the
+/// loop). Returns pairs (k_center, P) for `bins` log bins.
+std::vector<std::pair<double, double>> measure_power(
+    const math::Grid3<double>& delta, double box_mpc, int bins);
+
+}  // namespace gc::grafic

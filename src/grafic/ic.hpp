@@ -1,0 +1,103 @@
+// Initial conditions generator (our GRAFIC).
+//
+// Section 3: "Two types of initial conditions can be generated with
+// GRAFIC: single level [...] multiple levels: [...] multiple, nested boxes
+// of smaller and smaller dimensions, as for Russian dolls. The smallest
+// box is centered around the halo region."
+//
+// A level carries Zel'dovich displacement and peculiar-velocity fields on
+// its grid; RAMSES turns them into particles. Multi-level generation takes
+// the long-wavelength modes from the parent level (trilinear resampling)
+// and adds only the power above the parent's Nyquist frequency — the
+// nested boxes therefore agree on shared scales, as GRAFIC's mode
+// conditioning guarantees.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cosmo/cosmology.hpp"
+#include "cosmo/power.hpp"
+#include "grafic/grf.hpp"
+
+namespace gc::grafic {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+struct IcLevel {
+  int level = 0;        ///< 0 = base box
+  int n = 0;            ///< grid points per dimension
+  double box_mpc = 0.0; ///< comoving size of this level's box (Mpc/h)
+  Vec3 origin;          ///< lower corner in base-box coordinates (Mpc/h)
+  double a_start = 0.0;
+
+  /// Zel'dovich displacement (Mpc/h) and peculiar velocity (km/s), n^3
+  /// row-major grids per component.
+  std::array<std::vector<float>, 3> disp;
+  std::array<std::vector<float>, 3> vel;
+  /// Linear overdensity at a_start (kept for diagnostics/halo seeding).
+  std::vector<float> delta;
+
+  [[nodiscard]] std::size_t cells() const {
+    return static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+           static_cast<std::size_t>(n);
+  }
+  [[nodiscard]] double cell_mpc() const {
+    return box_mpc / static_cast<double>(n);
+  }
+};
+
+struct InitialConditions {
+  cosmo::Params params;
+  std::vector<IcLevel> levels;  ///< [0] = base, then nested boxes
+};
+
+class Generator {
+ public:
+  Generator(const cosmo::Params& params, std::uint64_t seed);
+
+  /// Enables second-order Lagrangian perturbation theory (2LPT, as in
+  /// GRAFIC2): displacements gain the -3/7 D^2 correction term, which
+  /// suppresses the transients a pure Zel'dovich start injects. Off by
+  /// default (the paper's era mostly ran Zel'dovich ICs).
+  void set_second_order(bool enabled) { second_order_ = enabled; }
+  [[nodiscard]] bool second_order() const { return second_order_; }
+
+  /// "Standard" single-level ICs for the first, low-resolution run.
+  InitialConditions single_level(int n, double box_mpc, double a_start);
+
+  /// Zoom ICs: base box plus `extra_levels` nested boxes, each half the
+  /// size of its parent, centred on `centre` (base-box Mpc/h coordinates).
+  /// This matches the "number of zoom levels (number of nested boxes)"
+  /// IN argument of ramsesZoom2.
+  InitialConditions multi_level(int n, double box_mpc, double a_start,
+                                Vec3 centre, int extra_levels);
+
+ private:
+  IcLevel build_level(int level_index, int n, double box_mpc, Vec3 origin,
+                      double a_start, const IcLevel* parent);
+
+  cosmo::Params params_;
+  cosmo::Cosmology cosmology_;
+  cosmo::PowerSpectrum power_;
+  Rng rng_;
+  bool second_order_ = false;
+};
+
+/// Second-order source S2 = sum_{i<j} (phi,ii phi,jj - phi,ij^2) and the
+/// resulting 2LPT displacement field psi2 = grad(laplace^-1 S2), computed
+/// spectrally from the (first-order) density field. Exposed for tests.
+std::array<std::vector<float>, 3> second_order_displacement(
+    const std::vector<float>& delta, int n, double box_mpc);
+
+/// Trilinear periodic sample of an n^3 row-major float grid at fractional
+/// grid coordinates (gx, gy, gz). Exposed for tests and the particle
+/// loader.
+double trilinear(const std::vector<float>& grid, int n, double gx, double gy,
+                 double gz);
+
+}  // namespace gc::grafic

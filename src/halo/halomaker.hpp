@@ -1,0 +1,73 @@
+// HaloMaker: friends-of-friends dark matter halo finder.
+//
+// "HaloMaker: detects dark matter halos present in RAMSES output files,
+// and creates a catalog of halos" (Section 3) — each halo with "position,
+// mass and velocity", which is exactly what ramsesZoom1 returns to the
+// client so it can choose re-simulation targets.
+//
+// Standard FoF: particles closer than b times the mean inter-particle
+// separation are friends; connected components with at least min_npart
+// members are halos. Linked-cell acceleration, periodic box.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::ramses {
+struct Snapshot;  // halo only needs particle arrays; avoid a hard dep
+}
+
+namespace gc::halo {
+
+struct FofOptions {
+  double linking_factor = 0.2;  ///< b, in units of mean separation
+  std::size_t min_npart = 20;
+};
+
+struct Halo {
+  std::uint64_t id = 0;          ///< 1-based, ordered by mass (descending)
+  std::size_t npart = 0;
+  double mass = 0.0;             ///< box mass units (sum of member masses)
+  double x = 0.0, y = 0.0, z = 0.0;  ///< centre of mass, box units
+  double vx = 0.0, vy = 0.0, vz = 0.0;  ///< mean velocity, km/s
+  double r_rms = 0.0;            ///< rms member distance to centre, box units
+  double sigma_v = 0.0;          ///< 1D velocity dispersion, km/s
+  std::vector<std::uint64_t> members;  ///< particle ids (TreeMaker input)
+};
+
+struct HaloCatalog {
+  double aexp = 0.0;
+  double box_mpc = 0.0;
+  std::size_t total_particles = 0;
+  std::vector<Halo> halos;  ///< sorted by mass, heaviest first
+};
+
+/// Input view decoupled from ramses::Snapshot (positions in box units,
+/// velocities in km/s).
+struct ParticleView {
+  const std::vector<double>* x;
+  const std::vector<double>* y;
+  const std::vector<double>* z;
+  const std::vector<double>* vx_kms;
+  const std::vector<double>* vy_kms;
+  const std::vector<double>* vz_kms;
+  const std::vector<double>* mass;
+  const std::vector<std::uint64_t>* id;
+  [[nodiscard]] std::size_t size() const { return x->size(); }
+};
+
+/// Runs FoF on the view; aexp/box recorded in the catalog header.
+HaloCatalog find_halos(const ParticleView& particles, double aexp,
+                       double box_mpc, const FofOptions& options = {});
+
+/// Catalog I/O, Fortran-record "tree brick" style.
+gc::Status write_catalog(const std::string& path, const HaloCatalog& catalog);
+gc::Result<HaloCatalog> read_catalog(const std::string& path);
+
+/// Text form for the tarball the SED returns (one halo per line).
+std::string catalog_to_text(const HaloCatalog& catalog);
+
+}  // namespace gc::halo

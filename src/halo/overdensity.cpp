@@ -1,0 +1,67 @@
+#include "halo/overdensity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gc::halo {
+
+namespace {
+double periodic_delta(double a, double b) {
+  double d = a - b;
+  if (d > 0.5) d -= 1.0;
+  if (d < -0.5) d += 1.0;
+  return d;
+}
+}  // namespace
+
+SoProperties spherical_overdensity(const ParticleView& particles, double cx,
+                                   double cy, double cz, double overdensity) {
+  // Collect (distance^2, mass) pairs out to the largest meaningful radius
+  // (a quarter box: beyond that "sphere" loses meaning in a periodic box).
+  constexpr double kMaxRadius = 0.25;
+  const double max_r2 = kMaxRadius * kMaxRadius;
+  std::vector<std::pair<double, double>> shells;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const double dx = periodic_delta((*particles.x)[i], cx);
+    const double dy = periodic_delta((*particles.y)[i], cy);
+    const double dz = periodic_delta((*particles.z)[i], cz);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 <= max_r2) shells.emplace_back(r2, (*particles.mass)[i]);
+  }
+  std::sort(shells.begin(), shells.end());
+
+  // Walk outward: mean enclosed density (mean matter density = 1 in these
+  // units because total box mass ~ 1 and box volume = 1) falls through
+  // `overdensity`; the last radius above the threshold defines R_Delta.
+  SoProperties result;
+  double enclosed = 0.0;
+  std::size_t count = 0;
+  for (const auto& [r2, mass] : shells) {
+    enclosed += mass;
+    ++count;
+    const double r = std::sqrt(r2);
+    if (r <= 0.0) continue;
+    const double volume = 4.0 / 3.0 * M_PI * r * r * r;
+    if (enclosed / volume >= overdensity) {
+      result.radius = r;
+      result.mass = enclosed;
+      result.npart = count;
+    }
+  }
+  return result;
+}
+
+std::vector<SoProperties> so_properties(const ParticleView& particles,
+                                        const HaloCatalog& catalog,
+                                        double overdensity) {
+  std::vector<SoProperties> out;
+  out.reserve(catalog.halos.size());
+  for (const Halo& halo : catalog.halos) {
+    out.push_back(spherical_overdensity(particles, halo.x, halo.y, halo.z,
+                                        overdensity));
+  }
+  return out;
+}
+
+}  // namespace gc::halo

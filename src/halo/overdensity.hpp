@@ -1,0 +1,32 @@
+// Spherical-overdensity halo properties.
+//
+// FoF masses depend on the linking length; the standard complementary
+// definition is M_Delta: the mass inside the sphere (centred on the halo)
+// whose mean density is Delta times the mean matter density. HaloMaker
+// derivatives report both; zoom target selection typically uses M200.
+#pragma once
+
+#include "halo/halomaker.hpp"
+
+namespace gc::halo {
+
+struct SoProperties {
+  double radius = 0.0;  ///< R_Delta in box units (0 when undefined)
+  double mass = 0.0;    ///< M_Delta in box-mass units
+  std::size_t npart = 0;
+};
+
+/// Computes M_Delta/R_Delta around (cx, cy, cz) for the given overdensity
+/// (e.g. 200). `particles` is the full snapshot view (periodic box, box
+/// units, total mass ~1). Returns zeros when even the innermost shell is
+/// below the threshold.
+SoProperties spherical_overdensity(const ParticleView& particles, double cx,
+                                   double cy, double cz,
+                                   double overdensity = 200.0);
+
+/// Convenience: fills SO properties for every halo in the catalog.
+std::vector<SoProperties> so_properties(const ParticleView& particles,
+                                        const HaloCatalog& catalog,
+                                        double overdensity = 200.0);
+
+}  // namespace gc::halo

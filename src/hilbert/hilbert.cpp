@@ -1,0 +1,133 @@
+#include "hilbert/hilbert.hpp"
+
+#include "common/log.hpp"
+
+namespace gc::hilbert {
+
+namespace {
+constexpr int kDims = 3;
+
+/// Skilling: axes -> transposed Hilbert pattern (in place).
+void axes_to_transpose(std::uint32_t* x, int order) {
+  const std::uint32_t m = 1u << (order - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) x[i] ^= t;
+}
+
+/// Skilling: transposed Hilbert pattern -> axes (in place).
+void transpose_to_axes(std::uint32_t* x, int order) {
+  const std::uint32_t n = 2u << (order - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t encode(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                     int order) {
+  GC_CHECK(order >= 1 && order <= kMaxOrder);
+  std::uint32_t axes[kDims] = {x, y, z};
+  axes_to_transpose(axes, order);
+  // Interleave: bit b of the key triplet comes from (axes[0], axes[1],
+  // axes[2]) at bit position b, most significant first.
+  std::uint64_t key = 0;
+  for (int b = order - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      key = (key << 1) | ((axes[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+void decode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y,
+            std::uint32_t& z) {
+  GC_CHECK(order >= 1 && order <= kMaxOrder);
+  std::uint32_t axes[kDims] = {0, 0, 0};
+  for (int b = order - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      const int shift = b * kDims + (kDims - 1 - i);
+      axes[i] |= static_cast<std::uint32_t>((key >> shift) & 1u) << b;
+    }
+  }
+  transpose_to_axes(axes, order);
+  x = axes[0];
+  y = axes[1];
+  z = axes[2];
+}
+
+std::vector<std::size_t> partition(const std::vector<double>& weights,
+                                   int parts) {
+  GC_CHECK(parts >= 1);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  bounds[static_cast<std::size_t>(parts)] = weights.size();
+  double acc = 0.0;
+  int part = 1;
+  for (std::size_t i = 0; i < weights.size() && part < parts; ++i) {
+    acc += weights[i];
+    // Close part p once its cumulative share is reached; keeps every part
+    // non-empty as long as there are at least `parts` cells.
+    const double target = total * part / parts;
+    const std::size_t remaining_cells = weights.size() - (i + 1);
+    const std::size_t remaining_parts = static_cast<std::size_t>(parts - part);
+    if (acc >= target || remaining_cells == remaining_parts) {
+      bounds[static_cast<std::size_t>(part)] = i + 1;
+      ++part;
+    }
+  }
+  // Any unclosed parts (e.g. zero-weight tail): close them at the end.
+  for (; part < parts; ++part) {
+    bounds[static_cast<std::size_t>(part)] = weights.size();
+  }
+  return bounds;
+}
+
+std::vector<std::uint64_t> curve_order(int order) {
+  const std::size_t n = std::size_t{1} << order;
+  std::vector<std::uint64_t> out(n * n * n);
+  for (std::uint64_t key = 0; key < out.size(); ++key) {
+    std::uint32_t x;
+    std::uint32_t y;
+    std::uint32_t z;
+    decode(key, order, x, y, z);
+    out[key] = (static_cast<std::uint64_t>(x) * n + y) * n + z;
+  }
+  return out;
+}
+
+}  // namespace gc::hilbert

@@ -1,0 +1,37 @@
+// 3D Peano-Hilbert curve.
+//
+// RAMSES decomposes its computational space with "a mesh partitionning
+// strategy based on the Peano-Hilbert cell ordering" (Section 3, refs
+// [5, 6]): cells are sorted along the space-filling curve and each MPI
+// rank takes a contiguous, load-balanced segment. encode/decode implement
+// Skilling's transpose algorithm ("Programming the Hilbert curve", 2004).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gc::hilbert {
+
+/// Maximum bits per axis (3*21 = 63 key bits fits in uint64).
+inline constexpr int kMaxOrder = 21;
+
+/// Hilbert key of cell (x, y, z) on a 2^order per-axis grid.
+std::uint64_t encode(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                     int order);
+
+/// Inverse of encode.
+void decode(std::uint64_t key, int order, std::uint32_t& x, std::uint32_t& y,
+            std::uint32_t& z);
+
+/// Splits `weights` (per-cell-in-curve-order) into `parts` contiguous
+/// segments with near-equal weight. Returns `parts + 1` boundaries
+/// (b[0] = 0, b[parts] = weights.size()); segment p is [b[p], b[p+1]).
+std::vector<std::size_t> partition(const std::vector<double>& weights,
+                                   int parts);
+
+/// Curve-order traversal of an n^3 grid (n = 2^order): element i of the
+/// result is the flat row-major cell index ((x*n)+y)*n+z of curve
+/// position i.
+std::vector<std::uint64_t> curve_order(int order);
+
+}  // namespace gc::hilbert

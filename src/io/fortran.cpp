@@ -1,0 +1,56 @@
+#include "io/fortran.hpp"
+
+#include <cstring>
+
+namespace gc::io {
+
+FortranWriter::FortranWriter(const std::string& path)
+    : out_(path, std::ios::binary) {}
+
+gc::Status FortranWriter::record(std::span<const std::uint8_t> payload) {
+  if (!out_) return make_error(ErrorCode::kIoError, "stream not writable");
+  const auto marker = static_cast<std::uint32_t>(payload.size());
+  out_.write(reinterpret_cast<const char*>(&marker), sizeof marker);
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  out_.write(reinterpret_cast<const char*>(&marker), sizeof marker);
+  if (!out_) return make_error(ErrorCode::kIoError, "short write");
+  return Status::ok();
+}
+
+gc::Status FortranWriter::close() {
+  out_.close();
+  if (out_.fail()) return make_error(ErrorCode::kIoError, "close failed");
+  return Status::ok();
+}
+
+FortranReader::FortranReader(const std::string& path)
+    : in_(path, std::ios::binary) {}
+
+bool FortranReader::eof() {
+  if (!in_) return true;
+  return in_.peek() == std::char_traits<char>::eof();
+}
+
+gc::Result<std::vector<std::uint8_t>> FortranReader::record() {
+  if (!in_) return make_error(ErrorCode::kIoError, "stream not readable");
+  std::uint32_t head = 0;
+  if (!in_.read(reinterpret_cast<char*>(&head), sizeof head)) {
+    return make_error(ErrorCode::kIoError, "missing record header");
+  }
+  std::vector<std::uint8_t> payload(head);
+  if (head > 0 &&
+      !in_.read(reinterpret_cast<char*>(payload.data()), head)) {
+    return make_error(ErrorCode::kIoError, "truncated record payload");
+  }
+  std::uint32_t tail = 0;
+  if (!in_.read(reinterpret_cast<char*>(&tail), sizeof tail)) {
+    return make_error(ErrorCode::kIoError, "missing record trailer");
+  }
+  if (tail != head) {
+    return make_error(ErrorCode::kIoError, "record markers disagree");
+  }
+  return payload;
+}
+
+}  // namespace gc::io

@@ -1,0 +1,85 @@
+// Fortran sequential-access binary records.
+//
+// RAMSES reads its initial conditions from "Fortran binary files" and
+// writes snapshots the same way (Section 3): every record is framed by a
+// 4-byte little-endian length marker before and after the payload. These
+// classes implement exactly that framing so our GRAFIC/RAMSES/GALICS
+// stand-ins interoperate through the paper's on-disk contract.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::io {
+
+class FortranWriter {
+ public:
+  explicit FortranWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  gc::Status record(std::span<const std::uint8_t> payload);
+
+  template <typename T>
+  gc::Status record_array(std::span<const T> values) {
+    return record(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(values.data()),
+        values.size_bytes()));
+  }
+
+  template <typename T>
+  gc::Status record_scalar(const T& value) {
+    return record_array(std::span<const T>(&value, 1));
+  }
+
+  gc::Status close();
+
+ private:
+  std::ofstream out_;
+};
+
+class FortranReader {
+ public:
+  explicit FortranReader(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(in_); }
+  [[nodiscard]] bool eof();
+
+  /// Reads the next record; checks both length markers.
+  gc::Result<std::vector<std::uint8_t>> record();
+
+  template <typename T>
+  gc::Result<std::vector<T>> record_array() {
+    auto raw = record();
+    if (!raw.is_ok()) return raw.status();
+    if (raw.value().size() % sizeof(T) != 0) {
+      return make_error(ErrorCode::kIoError, "record size not a multiple of element size");
+    }
+    std::vector<T> out(raw.value().size() / sizeof(T));
+    if (!out.empty()) {
+      std::memcpy(out.data(), raw.value().data(), raw.value().size());
+    }
+    return out;
+  }
+
+  template <typename T>
+  gc::Result<T> record_scalar() {
+    auto arr = record_array<T>();
+    if (!arr.is_ok()) return arr.status();
+    if (arr.value().size() != 1) {
+      return make_error(ErrorCode::kIoError, "expected a one-element record");
+    }
+    return arr.value()[0];
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace gc::io

@@ -1,0 +1,171 @@
+#include "io/tar.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gc::io {
+
+namespace {
+
+constexpr std::size_t kBlock = 512;
+
+struct UstarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char pad[12];
+};
+static_assert(sizeof(UstarHeader) == kBlock);
+
+void octal(char* field, std::size_t width, std::uint64_t value) {
+  // width includes the trailing NUL.
+  std::snprintf(field, width, "%0*llo", static_cast<int>(width - 1),
+                static_cast<unsigned long long>(value));
+}
+
+std::uint32_t checksum(const UstarHeader& h) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&h);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    // Checksum field counts as spaces.
+    const bool in_chksum = i >= offsetof(UstarHeader, chksum) &&
+                           i < offsetof(UstarHeader, chksum) + 8;
+    sum += in_chksum ? ' ' : bytes[i];
+  }
+  return sum;
+}
+
+}  // namespace
+
+gc::Status TarWriter::add(const std::string& name,
+                          const std::vector<std::uint8_t>& data) {
+  if (finished_) {
+    return make_error(ErrorCode::kFailedPrecondition, "archive finished");
+  }
+  if (name.empty() || name.size() > 99) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "tar entry name must be 1..99 chars: " + name);
+  }
+  UstarHeader h;
+  std::memset(&h, 0, sizeof h);
+  std::memcpy(h.name, name.data(), name.size());
+  octal(h.mode, sizeof h.mode, 0644);
+  octal(h.uid, sizeof h.uid, 0);
+  octal(h.gid, sizeof h.gid, 0);
+  octal(h.size, sizeof h.size, data.size());
+  octal(h.mtime, sizeof h.mtime, 0);
+  h.typeflag = '0';
+  std::memcpy(h.magic, "ustar", 6);
+  std::memcpy(h.version, "00", 2);
+  std::memcpy(h.uname, "gridcosmo", 9);
+  std::memcpy(h.gname, "gridcosmo", 9);
+  // Checksum: 6 octal digits, NUL, space.
+  const std::uint32_t sum = checksum(h);
+  std::snprintf(h.chksum, sizeof h.chksum, "%06o", sum);
+  h.chksum[7] = ' ';
+
+  const auto* hb = reinterpret_cast<const std::uint8_t*>(&h);
+  buffer_.insert(buffer_.end(), hb, hb + kBlock);
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  const std::size_t rem = data.size() % kBlock;
+  if (rem != 0) buffer_.insert(buffer_.end(), kBlock - rem, 0);
+  ++entries_;
+  return Status::ok();
+}
+
+gc::Status TarWriter::add_text(const std::string& name,
+                               const std::string& text) {
+  return add(name, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+gc::Status TarWriter::add_file(const std::string& name,
+                               const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(ErrorCode::kIoError, "cannot open " + path);
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return add(name, data);
+}
+
+std::vector<std::uint8_t> TarWriter::finish() {
+  if (!finished_) {
+    buffer_.insert(buffer_.end(), 2 * kBlock, 0);
+    finished_ = true;
+  }
+  return buffer_;
+}
+
+gc::Status TarWriter::write(const std::string& path) {
+  const auto archive = finish();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return make_error(ErrorCode::kIoError, "cannot write " + path);
+  out.write(reinterpret_cast<const char*>(archive.data()),
+            static_cast<std::streamsize>(archive.size()));
+  if (!out) return make_error(ErrorCode::kIoError, "short write " + path);
+  return Status::ok();
+}
+
+gc::Result<std::vector<TarEntry>> TarReader::parse(
+    const std::vector<std::uint8_t>& archive) {
+  std::vector<TarEntry> entries;
+  std::size_t pos = 0;
+  while (pos + kBlock <= archive.size()) {
+    const auto* h = reinterpret_cast<const UstarHeader*>(&archive[pos]);
+    // Two all-zero blocks terminate the archive; one is enough to stop.
+    bool all_zero = true;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      if (archive[pos + i] != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) break;
+    if (std::memcmp(h->magic, "ustar", 5) != 0) {
+      return make_error(ErrorCode::kIoError, "bad ustar magic");
+    }
+    char size_field[13];
+    std::memcpy(size_field, h->size, 12);
+    size_field[12] = '\0';
+    const auto size =
+        static_cast<std::size_t>(std::strtoull(size_field, nullptr, 8));
+    pos += kBlock;
+    if (pos + size > archive.size()) {
+      return make_error(ErrorCode::kIoError, "truncated tar entry");
+    }
+    if (h->typeflag == '0' || h->typeflag == '\0') {
+      TarEntry entry;
+      entry.name.assign(h->name, strnlen(h->name, sizeof h->name));
+      entry.data.assign(archive.begin() + static_cast<std::ptrdiff_t>(pos),
+                        archive.begin() +
+                            static_cast<std::ptrdiff_t>(pos + size));
+      entries.push_back(std::move(entry));
+    }
+    pos += (size + kBlock - 1) / kBlock * kBlock;
+  }
+  return entries;
+}
+
+gc::Result<std::vector<TarEntry>> TarReader::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(ErrorCode::kIoError, "cannot open " + path);
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return parse(data);
+}
+
+}  // namespace gc::io

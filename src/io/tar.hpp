@@ -1,0 +1,53 @@
+// POSIX ustar archives.
+//
+// "The results of the simulation are packed into a tarball file if it
+// succeeded" (Section 4.2.3) — the ramsesZoom2 OUT file is that tarball.
+// Minimal but standards-conforming ustar subset: regular files, path up to
+// 100 characters, octal headers, 512-byte blocks, two-zero-block trailer.
+// Archives produced here extract with GNU/BSD tar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::io {
+
+struct TarEntry {
+  std::string name;
+  std::vector<std::uint8_t> data;
+};
+
+class TarWriter {
+ public:
+  /// Adds a regular file with mode 0644.
+  gc::Status add(const std::string& name,
+                 const std::vector<std::uint8_t>& data);
+  gc::Status add_text(const std::string& name, const std::string& text);
+  /// Reads `path` from disk into the archive under `name`.
+  gc::Status add_file(const std::string& name, const std::string& path);
+
+  /// Appends the trailer and returns the archive bytes.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// finish() + write to disk.
+  gc::Status write(const std::string& path);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t entries_ = 0;
+  bool finished_ = false;
+};
+
+class TarReader {
+ public:
+  static gc::Result<std::vector<TarEntry>> parse(
+      const std::vector<std::uint8_t>& archive);
+  static gc::Result<std::vector<TarEntry>> load(const std::string& path);
+};
+
+}  // namespace gc::io

@@ -1,0 +1,85 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gc::math {
+
+namespace {
+
+/// Core butterfly passes on a strided sequence; caller has already done
+/// the bit-reversal permutation.
+void butterflies(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse) {
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        Complex& a = data[(i + j) * stride];
+        Complex& b = data[(i + j + len / 2) * stride];
+        const Complex u = a;
+        const Complex v = b * w;
+        a = u + v;
+        b = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void bit_reverse(Complex* data, std::size_t n, std::size_t stride) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+}
+
+}  // namespace
+
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse) {
+  GC_CHECK_MSG(is_pow2(n), "FFT size must be a power of two");
+  bit_reverse(data, n, stride);
+  butterflies(data, n, stride, inverse);
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i * stride] *= scale;
+  }
+}
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  fft_strided(data.data(), data.size(), 1, inverse);
+}
+
+void fft3(std::vector<Complex>& data, std::size_t n0, std::size_t n1,
+          std::size_t n2, bool inverse) {
+  GC_CHECK(data.size() == n0 * n1 * n2);
+  GC_CHECK_MSG(is_pow2(n0) && is_pow2(n1) && is_pow2(n2),
+               "FFT dims must be powers of two");
+  // Transform along axis 2 (contiguous rows).
+  for (std::size_t i0 = 0; i0 < n0; ++i0) {
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+      fft_strided(&data[(i0 * n1 + i1) * n2], n2, 1, inverse);
+    }
+  }
+  // Axis 1 (stride n2).
+  for (std::size_t i0 = 0; i0 < n0; ++i0) {
+    for (std::size_t i2 = 0; i2 < n2; ++i2) {
+      fft_strided(&data[i0 * n1 * n2 + i2], n1, n2, inverse);
+    }
+  }
+  // Axis 0 (stride n1*n2).
+  for (std::size_t i1 = 0; i1 < n1; ++i1) {
+    for (std::size_t i2 = 0; i2 < n2; ++i2) {
+      fft_strided(&data[i1 * n2 + i2], n0, n1 * n2, inverse);
+    }
+  }
+}
+
+}  // namespace gc::math

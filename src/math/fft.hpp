@@ -1,0 +1,45 @@
+// Radix-2 complex FFT, 1D and 3D.
+//
+// The PM gravity solver and the GRAFIC initial-conditions generator both
+// need 3D transforms on power-of-two grids. This is a classic iterative
+// Cooley-Tukey implementation: bit-reversal permutation + butterfly
+// passes, O(N log N), no external dependency.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gc::math {
+
+using Complex = std::complex<double>;
+
+/// True iff n is a power of two (and > 0).
+constexpr bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// In-place 1D FFT. `inverse` applies the conjugate transform and divides
+/// by N, so fft(fft(x), inverse=true) == x up to rounding.
+void fft(std::vector<Complex>& data, bool inverse);
+
+/// In-place 1D FFT on a strided view (used by the 3D transform).
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse);
+
+/// In-place 3D FFT on an n0*n1*n2 row-major array (index = (i0*n1+i1)*n2+i2).
+/// All dimensions must be powers of two.
+void fft3(std::vector<Complex>& data, std::size_t n0, std::size_t n1,
+          std::size_t n2, bool inverse);
+
+/// Convenience: cube transform (n^3 elements).
+inline void fft3(std::vector<Complex>& data, std::size_t n, bool inverse) {
+  fft3(data, n, n, n, inverse);
+}
+
+/// Frequency (in cycles per box) of index k on an n-point grid: the usual
+/// wrap-around convention, k <= n/2 ? k : k - n.
+constexpr long freq_index(std::size_t k, std::size_t n) {
+  return k <= n / 2 ? static_cast<long>(k)
+                    : static_cast<long>(k) - static_cast<long>(n);
+}
+
+}  // namespace gc::math

@@ -1,0 +1,57 @@
+#include "math/integrate.hpp"
+
+#include "common/log.hpp"
+
+namespace gc::math {
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int n) {
+  GC_CHECK(n > 0);
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + h * i) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+double rk4(const std::function<double(double, double)>& f, double x0,
+           double y0, double x1, int n) {
+  GC_CHECK(n > 0);
+  const double h = (x1 - x0) / n;
+  double x = x0;
+  double y = y0;
+  for (int i = 0; i < n; ++i) {
+    const double k1 = f(x, y);
+    const double k2 = f(x + 0.5 * h, y + 0.5 * h * k1);
+    const double k3 = f(x + 0.5 * h, y + 0.5 * h * k2);
+    const double k4 = f(x + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    x += h;
+  }
+  return y;
+}
+
+Vec2 rk4_2(const std::function<Vec2(double, const Vec2&)>& f, double x0,
+           Vec2 y0, double x1, int n) {
+  GC_CHECK(n > 0);
+  const double h = (x1 - x0) / n;
+  double x = x0;
+  Vec2 y = y0;
+  auto axpy = [](const Vec2& base, double s, const Vec2& d) {
+    return Vec2{base.a + s * d.a, base.b + s * d.b};
+  };
+  for (int i = 0; i < n; ++i) {
+    const Vec2 k1 = f(x, y);
+    const Vec2 k2 = f(x + 0.5 * h, axpy(y, 0.5 * h, k1));
+    const Vec2 k3 = f(x + 0.5 * h, axpy(y, 0.5 * h, k2));
+    const Vec2 k4 = f(x + h, axpy(y, h, k3));
+    y.a += h / 6.0 * (k1.a + 2.0 * k2.a + 2.0 * k3.a + k4.a);
+    y.b += h / 6.0 * (k1.b + 2.0 * k2.b + 2.0 * k3.b + k4.b);
+    x += h;
+  }
+  return y;
+}
+
+}  // namespace gc::math

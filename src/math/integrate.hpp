@@ -1,0 +1,25 @@
+// Small numeric helpers: adaptive-free fixed-step quadrature and RK4 ODE
+// integration, enough for the Friedmann and growth-factor integrals.
+#pragma once
+
+#include <functional>
+
+namespace gc::math {
+
+/// Composite Simpson quadrature of f on [a, b] with n (even) intervals.
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int n = 256);
+
+/// Classic fixed-step RK4 for a scalar ODE y' = f(x, y) from (x0, y0) to
+/// x1 in n steps; returns y(x1).
+double rk4(const std::function<double(double, double)>& f, double x0,
+           double y0, double x1, int n = 512);
+
+/// RK4 for a 2-component system (used for the linear growth ODE).
+struct Vec2 {
+  double a, b;
+};
+Vec2 rk4_2(const std::function<Vec2(double, const Vec2&)>& f, double x0,
+           Vec2 y0, double x1, int n = 512);
+
+}  // namespace gc::math

@@ -1,0 +1,89 @@
+#include "minimpi/comm.hpp"
+
+#include <thread>
+
+namespace gc::minimpi {
+
+namespace detail {
+
+struct World {
+  explicit World(int nranks) : size(nranks), mailboxes(nranks) {}
+
+  struct Message {
+    int source;
+    int tag;
+    Bytes data;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int size;
+  std::vector<Mailbox> mailboxes;
+
+  // Sense-reversing barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_count = 0;
+  std::uint64_t barrier_generation = 0;
+};
+
+}  // namespace detail
+
+void Comm::send(int dest, int tag, const Bytes& data) {
+  GC_CHECK(dest >= 0 && dest < size_);
+  auto& box = world_->mailboxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(detail::World::Message{rank_, tag, data});
+  }
+  box.cv.notify_all();
+}
+
+Bytes Comm::recv(int source, int tag) {
+  auto& box = world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if ((source == kAnySource || it->source == source) && it->tag == tag) {
+        Bytes data = std::move(it->data);
+        box.queue.erase(it);
+        return data;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mutex);
+  const std::uint64_t generation = world_->barrier_generation;
+  if (++world_->barrier_count == world_->size) {
+    world_->barrier_count = 0;
+    ++world_->barrier_generation;
+    world_->barrier_cv.notify_all();
+    return;
+  }
+  world_->barrier_cv.wait(lock, [this, generation] {
+    return world_->barrier_generation != generation;
+  });
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  GC_CHECK(nranks >= 1);
+  detail::World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, r, nranks]() {
+      Comm comm(world, r, nranks);
+      fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace gc::minimpi

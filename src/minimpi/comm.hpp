@@ -1,0 +1,204 @@
+// MiniMPI: a rank-based message-passing runtime over std::thread.
+//
+// The paper's solve function "will manage the MPI environment required by
+// RAMSES" (Section 4.2). This module provides that environment in-process:
+// the same explicit message-passing model as MPI (LLNL tutorial idioms —
+// blocking pt2pt, collectives, communicator-scoped ranks) with threads
+// standing in for processes. The RAMSES solver and its domain
+// decomposition are written against Comm exactly as they would be against
+// MPI_Comm.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace gc::minimpi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+namespace detail {
+struct World;
+}  // namespace detail
+
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Blocking standard-mode send (buffered: never deadlocks on itself).
+  void send(int dest, int tag, const Bytes& data);
+
+  /// Blocking receive matching (source, tag). kAnySource = -1 accepted.
+  Bytes recv(int source, int tag);
+  static constexpr int kAnySource = -1;
+
+  // Typed convenience wrappers (POD element types).
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& values) {
+    Bytes b(values.size() * sizeof(T));
+    if (!values.empty()) std::memcpy(b.data(), values.data(), b.size());
+    send(dest, tag, b);
+  }
+
+  template <typename T>
+  std::vector<T> recv_vec(int source, int tag) {
+    const Bytes b = recv(source, tag);
+    GC_CHECK(b.size() % sizeof(T) == 0);
+    std::vector<T> out(b.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
+    return out;
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send_vec<T>(dest, tag, {value});
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto v = recv_vec<T>(source, tag);
+    GC_CHECK(v.size() == 1);
+    return v[0];
+  }
+
+  // --- collectives (all ranks must participate) ---
+  void barrier();
+
+  template <typename T>
+  void bcast(std::vector<T>& values, int root) {
+    if (rank_ == root) {
+      for (int r = 0; r < size_; ++r) {
+        if (r != root) send_vec<T>(r, kTagBcast, values);
+      }
+    } else {
+      values = recv_vec<T>(root, kTagBcast);
+    }
+  }
+
+  template <typename T, typename Op>
+  T reduce(const T& value, int root, Op op) {
+    if (rank_ == root) {
+      T acc = value;
+      for (int r = 0; r < size_; ++r) {
+        if (r != root) acc = op(acc, recv_value<T>(r, kTagReduce));
+      }
+      return acc;
+    }
+    send_value<T>(root, kTagReduce, value);
+    return T{};
+  }
+
+  template <typename T, typename Op>
+  T allreduce(const T& value, Op op) {
+    T result = reduce<T>(value, 0, op);
+    std::vector<T> box = {result};
+    bcast(box, 0);
+    return box[0];
+  }
+
+  template <typename T>
+  T allreduce_sum(const T& value) {
+    return allreduce<T>(value, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(const T& value) {
+    return allreduce<T>(value, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T allreduce_min(const T& value) {
+    return allreduce<T>(value, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  /// Gathers per-rank vectors to root (concatenated in rank order).
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& mine, int root) {
+    if (rank_ == root) {
+      std::vector<T> all;
+      for (int r = 0; r < size_; ++r) {
+        std::vector<T> part =
+            r == root ? mine : recv_vec<T>(r, kTagGather);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      return all;
+    }
+    send_vec<T>(root, kTagGather, mine);
+    return {};
+  }
+
+  template <typename T>
+  std::vector<T> allgather(const std::vector<T>& mine) {
+    std::vector<T> all = gather(mine, 0);
+    bcast(all, 0);
+    return all;
+  }
+
+  /// Element-wise sum-reduction of equal-length vectors across all ranks;
+  /// every rank ends with the total (the PM solver reduces its density
+  /// mesh this way).
+  template <typename T>
+  void allreduce_vec_sum(std::vector<T>& values) {
+    if (rank_ == 0) {
+      for (int r = 1; r < size_; ++r) {
+        const std::vector<T> part = recv_vec<T>(r, kTagReduce);
+        GC_CHECK(part.size() == values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) values[i] += part[i];
+      }
+    } else {
+      send_vec<T>(0, kTagReduce, values);
+    }
+    bcast(values, 0);
+  }
+
+  /// All-to-all personalized exchange: outgoing[r] goes to rank r; returns
+  /// incoming[r] from each rank r.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(
+      const std::vector<std::vector<T>>& outgoing) {
+    GC_CHECK(static_cast<int>(outgoing.size()) == size_);
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      if (r == rank_) {
+        incoming[static_cast<std::size_t>(r)] =
+            outgoing[static_cast<std::size_t>(r)];
+      } else {
+        send_vec<T>(r, kTagAlltoall, outgoing[static_cast<std::size_t>(r)]);
+      }
+    }
+    for (int r = 0; r < size_; ++r) {
+      if (r != rank_) {
+        incoming[static_cast<std::size_t>(r)] =
+            recv_vec<T>(r, kTagAlltoall);
+      }
+    }
+    return incoming;
+  }
+
+ private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(detail::World& world, int rank, int size)
+      : world_(&world), rank_(rank), size_(size) {}
+
+  static constexpr int kTagBcast = -101;
+  static constexpr int kTagReduce = -102;
+  static constexpr int kTagGather = -103;
+  static constexpr int kTagAlltoall = -104;
+
+  detail::World* world_;
+  int rank_;
+  int size_;
+};
+
+/// Spawns `nranks` threads, each running fn with its Comm; joins all.
+/// Any GC_CHECK failure aborts the process (like an MPI error).
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace gc::minimpi

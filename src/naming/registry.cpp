@@ -1,0 +1,53 @@
+#include "naming/registry.hpp"
+
+namespace gc::naming {
+
+gc::Status Registry::bind(const std::string& name, net::Endpoint endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = names_.emplace(name, endpoint);
+  (void)it;
+  if (!inserted) {
+    return make_error(ErrorCode::kAlreadyExists, "name already bound: " + name);
+  }
+  return Status::ok();
+}
+
+void Registry::rebind(const std::string& name, net::Endpoint endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  names_[name] = endpoint;
+}
+
+gc::Status Registry::unbind(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (names_.erase(name) == 0) {
+    return make_error(ErrorCode::kNotFound, "name not bound: " + name);
+  }
+  return Status::ok();
+}
+
+gc::Result<net::Endpoint> Registry::resolve(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return make_error(ErrorCode::kNotFound, "name not bound: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Registry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(names_.size());
+  for (const auto& [name, ep] : names_) {
+    (void)ep;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace gc::naming

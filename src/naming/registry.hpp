@@ -1,0 +1,44 @@
+// Name service (the omniORB naming-service substitute).
+//
+// DIET components find each other by name: a client's configuration file
+// names a Master Agent ("MA1"), an LA's configuration names its parent,
+// and so on. The Registry maps those names to Env endpoints. In a real
+// deployment this is a distinct CORBA service; here it is a synchronous
+// in-process directory (name resolution happens at deployment time, not on
+// the request path, so it does not perturb the measured finding time).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/message.hpp"
+
+namespace gc::naming {
+
+class Registry {
+ public:
+  /// Binds a name to an endpoint. Rebinding an existing name fails (names
+  /// are unique per deployment, as in the CORBA naming service).
+  gc::Status bind(const std::string& name, net::Endpoint endpoint);
+
+  /// Replaces any existing binding.
+  void rebind(const std::string& name, net::Endpoint endpoint);
+
+  gc::Status unbind(const std::string& name);
+
+  /// Resolves a name; kNotFound if absent.
+  [[nodiscard]] gc::Result<net::Endpoint> resolve(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, net::Endpoint> names_;
+};
+
+}  // namespace gc::naming

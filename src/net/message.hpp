@@ -1,0 +1,36 @@
+// Message envelopes exchanged between middleware actors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/codec.hpp"
+
+namespace gc::net {
+
+/// Actor address, unique within an Env. 0 is invalid.
+using Endpoint = std::uint32_t;
+inline constexpr Endpoint kNullEndpoint = 0;
+
+/// Physical node hosting an actor (index into the platform's node table).
+using NodeId = std::uint32_t;
+
+struct Envelope {
+  Endpoint from = kNullEndpoint;
+  Endpoint to = kNullEndpoint;
+  std::uint32_t type = 0;  ///< protocol-defined message tag
+  Bytes payload;
+  /// Bytes of bulk data this message *represents* beyond the payload it
+  /// physically carries (e.g. a multi-GiB simulation result file in the
+  /// DES). Charged to the link cost model, never materialized.
+  std::int64_t modeled_extra_bytes = 0;
+
+  /// Size charged to the network model: fixed header + payload + bulk data.
+  [[nodiscard]] std::int64_t wire_size() const {
+    constexpr std::int64_t kHeaderBytes = 32;
+    return kHeaderBytes + static_cast<std::int64_t>(payload.size()) +
+           modeled_extra_bytes;
+  }
+};
+
+}  // namespace gc::net

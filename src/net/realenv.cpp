@@ -1,0 +1,174 @@
+#include "net/realenv.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gc::net {
+
+using Clock = std::chrono::steady_clock;
+
+RealEnv::RealEnv(const Topology& topology, double delay_scale)
+    : Env(topology), delay_scale_(delay_scale), origin_(Clock::now()) {}
+
+RealEnv::~RealEnv() { stop(); }
+
+SimTime RealEnv::now() const {
+  return std::chrono::duration<double>(Clock::now() - origin_).count();
+}
+
+void RealEnv::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+void RealEnv::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!running_) return;
+    idle_cv_.wait(lock,
+                  [this] { return live_queued() == 0 && in_flight_ == 0; });
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+    running_ = false;
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void RealEnv::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock,
+                [this] { return live_queued() == 0 && in_flight_ == 0; });
+}
+
+TimerId RealEnv::enqueue(SimTime deadline, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Timed{deadline, seq, std::move(fn)});
+  queued_ids_.insert(seq);
+  cv_.notify_all();
+  return seq;
+}
+
+TimerId RealEnv::post_after(SimTime delay, std::function<void()> fn) {
+  GC_CHECK_MSG(delay >= 0.0, "negative delay");
+  return enqueue(now() + delay, std::move(fn));
+}
+
+bool RealEnv::cancel_timer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queued_ids_.count(id) == 0 || cancelled_.count(id) > 0) return false;
+  cancelled_.insert(id);
+  cv_.notify_all();  // the dispatcher may now be idle
+  idle_cv_.notify_all();
+  return true;
+}
+
+Endpoint RealEnv::do_attach(Actor& actor, NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Endpoint ep = next_endpoint_++;
+  actors_.emplace(ep, Entry{&actor, node});
+  return ep;
+}
+
+void RealEnv::detach(Endpoint endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  actors_.erase(endpoint);
+}
+
+void RealEnv::send(Envelope envelope) {
+  NodeId src = 0;
+  NodeId dst = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto to_it = actors_.find(envelope.to);
+    if (to_it == actors_.end()) {
+      GC_WARN << "realenv: dropping message type " << envelope.type
+              << " to unknown endpoint " << envelope.to;
+      return;
+    }
+    dst = to_it->second.node;
+    auto from_it = actors_.find(envelope.from);
+    src = from_it != actors_.end() ? from_it->second.node : dst;
+  }
+  const double delay =
+      delay_scale_ * topology().transfer_time(src, dst, envelope.wire_size());
+  const Endpoint to = envelope.to;
+  enqueue(now() + delay, [this, to, env = std::move(envelope)]() mutable {
+    Actor* actor = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = actors_.find(to);
+      if (it != actors_.end()) actor = it->second.actor;
+    }
+    if (actor != nullptr) actor->on_message(env);
+  });
+}
+
+void RealEnv::execute(NodeId /*node*/, double /*modeled_seconds*/,
+                      std::function<int()> work,
+                      std::function<void(int)> done) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++in_flight_;
+  }
+  std::thread worker([this, work = std::move(work),
+                      done = std::move(done)]() mutable {
+    const int result = work ? work() : 0;
+    enqueue(now(), [done = std::move(done), result]() { done(result); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    idle_cv_.notify_all();
+  });
+  std::lock_guard<std::mutex> lock(mutex_);
+  workers_.push_back(std::move(worker));
+}
+
+void RealEnv::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // Drain cancelled timers eagerly so they neither delay shutdown nor
+    // hold the idle predicate.
+    while (!queue_.empty() && cancelled_.count(queue_.top().seq) > 0) {
+      cancelled_.erase(queue_.top().seq);
+      queued_ids_.erase(queue_.top().seq);
+      queue_.pop();
+    }
+    if (stop_requested_ && queue_.empty()) break;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+      cv_.wait(lock);
+      continue;
+    }
+    const SimTime deadline = queue_.top().deadline;
+    const SimTime t = now();
+    if (deadline > t) {
+      if (live_queued() == 0 && in_flight_ == 0) idle_cv_.notify_all();
+      cv_.wait_for(lock, std::chrono::duration<double>(deadline - t));
+      continue;
+    }
+    // Pop and run outside the lock so callbacks can post/send freely.
+    auto fn = std::move(const_cast<Timed&>(queue_.top()).fn);
+    queued_ids_.erase(queue_.top().seq);
+    queue_.pop();
+    ++in_flight_;
+    lock.unlock();
+    fn();
+    lock.lock();
+    --in_flight_;
+    if (live_queued() == 0 && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace gc::net

@@ -1,0 +1,62 @@
+#include "net/simenv.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace gc::net {
+
+Endpoint SimEnv::do_attach(Actor& actor, NodeId node) {
+  const Endpoint ep = next_endpoint_++;
+  actors_.emplace(ep, Entry{&actor, node});
+  return ep;
+}
+
+void SimEnv::send(Envelope envelope) {
+  auto from_it = actors_.find(envelope.from);
+  auto to_it = actors_.find(envelope.to);
+  if (to_it == actors_.end()) {
+    GC_WARN << "simenv: dropping message type " << envelope.type
+            << " to unknown endpoint " << envelope.to;
+    return;
+  }
+  const NodeId src =
+      from_it != actors_.end() ? from_it->second.node : to_it->second.node;
+  const NodeId dst = to_it->second.node;
+  const double delay =
+      topology().transfer_time(src, dst, envelope.wire_size());
+  ++messages_sent_;
+  bytes_sent_ += envelope.wire_size();
+
+  // FIFO per connection: never deliver before an earlier message on the
+  // same (src, dst) endpoint pair.
+  const std::uint64_t stream_key =
+      (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
+  SimTime deliver_at = engine_.now() + delay;
+  auto stream = stream_clock_.find(stream_key);
+  if (stream != stream_clock_.end()) {
+    deliver_at = std::max(deliver_at, stream->second);
+  }
+  stream_clock_[stream_key] = deliver_at;
+
+  const Endpoint to = envelope.to;
+  engine_.schedule_at(deliver_at, [this, to, env = std::move(envelope)]() {
+    auto it = actors_.find(to);
+    if (it == actors_.end()) return;  // actor detached in flight
+    it->second.actor->on_message(env);
+  });
+}
+
+void SimEnv::execute(NodeId /*node*/, double modeled_seconds,
+                     std::function<int()> work,
+                     std::function<void(int)> done) {
+  GC_CHECK_MSG(modeled_seconds >= 0.0, "negative computation time");
+  engine_.schedule_after(
+      modeled_seconds,
+      [work = std::move(work), done = std::move(done)]() mutable {
+        const int result = work ? work() : 0;
+        done(result);
+      });
+}
+
+}  // namespace gc::net

@@ -1,0 +1,59 @@
+// DES-backed Env: virtual time, modeled transfer and computation costs.
+#pragma once
+
+#include <unordered_map>
+
+#include "des/engine.hpp"
+#include "net/env.hpp"
+
+namespace gc::net {
+
+class SimEnv final : public Env {
+ public:
+  SimEnv(des::Engine& engine, const Topology& topology)
+      : Env(topology), engine_(engine) {}
+
+  [[nodiscard]] SimTime now() const override { return engine_.now(); }
+
+  TimerId post_after(SimTime delay, std::function<void()> fn) override {
+    return engine_.schedule_after(delay, std::move(fn));
+  }
+
+  bool cancel_timer(TimerId id) override { return engine_.cancel(id); }
+
+  void detach(Endpoint endpoint) override { actors_.erase(endpoint); }
+
+  void send(Envelope envelope) override;
+
+  void execute(NodeId node, double modeled_seconds, std::function<int()> work,
+               std::function<void(int)> done) override;
+
+  [[nodiscard]] bool is_simulated() const override { return true; }
+
+  [[nodiscard]] des::Engine& engine() { return engine_; }
+
+  /// Total bytes charged to the network model so far.
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  Endpoint do_attach(Actor& actor, NodeId node) override;
+
+  struct Entry {
+    Actor* actor;
+    NodeId node;
+  };
+
+  des::Engine& engine_;
+  Endpoint next_endpoint_ = 1;
+  std::unordered_map<Endpoint, Entry> actors_;
+  /// Per (src, dst) endpoint pair: time of the latest scheduled delivery.
+  /// Messages on one pair deliver in send order, like a TCP/CORBA stream
+  /// — a small control message cannot overtake a bulk transfer sent
+  /// earlier on the same connection.
+  std::unordered_map<std::uint64_t, SimTime> stream_clock_;
+  std::int64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace gc::net

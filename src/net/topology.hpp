@@ -1,0 +1,47 @@
+// Network topology interface: where actors live and what links cost.
+//
+// The platform library provides the Grid'5000 implementation; tests use
+// UniformTopology.
+#pragma once
+
+#include "net/message.hpp"
+
+namespace gc::net {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// One-way propagation latency between two nodes, in seconds.
+  [[nodiscard]] virtual double latency(NodeId a, NodeId b) const = 0;
+
+  /// Bottleneck bandwidth between two nodes, in bytes/second.
+  [[nodiscard]] virtual double bandwidth(NodeId a, NodeId b) const = 0;
+
+  /// Modeled one-way transfer time for `bytes` between two nodes.
+  [[nodiscard]] double transfer_time(NodeId a, NodeId b,
+                                     std::int64_t bytes) const {
+    if (a == b) return 0.0;  // same host: loopback, free in the model
+    return latency(a, b) + static_cast<double>(bytes) / bandwidth(a, b);
+  }
+};
+
+/// Flat topology: every pair of distinct nodes has the same link.
+class UniformTopology final : public Topology {
+ public:
+  UniformTopology(double latency_s, double bandwidth_bps)
+      : latency_(latency_s), bandwidth_(bandwidth_bps) {}
+
+  [[nodiscard]] double latency(NodeId a, NodeId b) const override {
+    return a == b ? 0.0 : latency_;
+  }
+  [[nodiscard]] double bandwidth(NodeId, NodeId) const override {
+    return bandwidth_;
+  }
+
+ private:
+  double latency_;
+  double bandwidth_;
+};
+
+}  // namespace gc::net

@@ -1,0 +1,10 @@
+// The cost model is header-only; this translation unit exists so the
+// platform library always has at least one object file and to host the
+// static checks on the calibration anchors.
+#include "platform/cost_model.hpp"
+
+namespace gc::platform {
+
+static_assert(sizeof(RamsesCostModel) > 0);
+
+}  // namespace gc::platform

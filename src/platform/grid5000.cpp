@@ -1,0 +1,82 @@
+#include "platform/grid5000.hpp"
+
+#include "common/units.hpp"
+
+namespace gc::platform {
+
+namespace {
+struct ClusterSpec {
+  const char* site;
+  const char* cluster;
+  int opteron_model;
+  int sed_count;
+};
+}  // namespace
+
+G5kDeployment make_grid5000(int machines_per_sed) {
+  // RENATER backbone between sites: ~20 ms effective one-way delay for a
+  // CORBA message (propagation via the Paris hub + TCP/ORB overheads),
+  // 1 Gb/s towards the provincial sites. Calibrated against the paper's
+  // ~50 ms finding time: two WAN hops dominate the scheduling round-trip.
+  G5kDeployment d{Platform(/*wan_latency=*/20e-3,
+                           /*wan_bandwidth=*/gbit_per_s(1.0)),
+                  0, 0, {}, {}};
+
+  const ClusterSpec specs[] = {
+      // Lyon first: the MA/client node lives on the Lyon site.
+      {"lyon", "sagittaire", 252, 2},
+      {"lyon", "capricorne", 250, 1},  // reservation restrictions: one SED
+      {"lille", "chti", 250, 2},
+      {"nancy", "grelon", 275, 2},
+      {"toulouse", "violette", 246, 2},
+      {"sophia", "helios", 248, 2},
+  };
+
+  SiteId lyon = 0;
+  bool first = true;
+  std::string last_site_name;
+  SiteId current_site = 0;
+  for (const auto& spec : specs) {
+    if (first || spec.site != last_site_name) {
+      current_site = d.platform.add_site(spec.site);
+      last_site_name = spec.site;
+      if (first) lyon = current_site;
+      first = false;
+    }
+    // Per cluster: 1 service/frontal node per SED + the compute machines.
+    const int node_count = spec.sed_count * (1 + machines_per_sed) + 1;
+    const ClusterId cid = d.platform.add_cluster(
+        current_site, spec.cluster, opteron(spec.opteron_model), node_count);
+    const Cluster& cluster = d.platform.cluster(cid);
+
+    LaPlacement la;
+    la.name = std::string("LA-") + spec.cluster;
+    la.node = cluster.nodes[0];
+    la.cluster = cid;
+    for (int s = 0; s < spec.sed_count; ++s) {
+      SedPlacement sed;
+      sed.name = std::string("SeD-") + spec.cluster + "-" +
+                 std::to_string(s);
+      sed.frontal = cluster.nodes[1 + s * (1 + machines_per_sed)];
+      sed.cluster = cid;
+      sed.machines = machines_per_sed;
+      la.sed_indexes.push_back(static_cast<int>(d.seds.size()));
+      d.seds.push_back(sed);
+    }
+    d.las.push_back(std::move(la));
+  }
+
+  // Nancy is on the faster 10 Gb/s RENATER segment from Lyon.
+  // (Latency dominates the finding time either way.)
+  d.platform.set_wan_link(lyon, /*nancy=*/2, 18e-3, gbit_per_s(10.0));
+
+  // MA + client co-located on the Lyon sagittaire frontal-adjacent node:
+  // "1 MA deployed on a single node, along with omniORB, the monitoring
+  // tools, and the client".
+  const Cluster& sagittaire = d.platform.cluster(0);
+  d.ma_node = sagittaire.nodes.back();
+  d.client_node = d.ma_node;
+  return d;
+}
+
+}  // namespace gc::platform

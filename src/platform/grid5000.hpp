@@ -1,0 +1,48 @@
+// The Grid'5000 deployment of Section 5.1, as a reusable preset:
+//   - 5 sites (Lyon, Lille, Nancy, Toulouse, Sophia), 6 clusters
+//     (Lyon hosts two);
+//   - 1 MA on a single node (client and naming service co-located, as in
+//     the paper);
+//   - 6 LAs, one per cluster;
+//   - 11 SEDs, two per cluster except Lyon-capricorne (reservation
+//     restrictions left it one), each controlling 16 machines.
+//
+// Cluster CPU models are assigned so the per-cluster RAMSES throughput
+// reproduces Figure 4 (right): Toulouse slowest (~15h busy), Nancy fastest
+// (~10h30).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace gc::platform {
+
+struct SedPlacement {
+  std::string name;       ///< e.g. "SeD-toulouse-0"
+  net::NodeId frontal;    ///< node running the server daemon
+  ClusterId cluster;
+  int machines;           ///< compute nodes behind this SED
+};
+
+struct LaPlacement {
+  std::string name;       ///< e.g. "LA-toulouse"
+  net::NodeId node;
+  ClusterId cluster;
+  std::vector<int> sed_indexes;  ///< indexes into G5kDeployment::seds
+};
+
+struct G5kDeployment {
+  Platform platform;
+  net::NodeId ma_node = 0;
+  net::NodeId client_node = 0;  ///< co-located with the MA
+  std::vector<LaPlacement> las;
+  std::vector<SedPlacement> seds;
+};
+
+/// Builds the Section 5.1 deployment. `machines_per_sed` defaults to the
+/// paper's 16.
+G5kDeployment make_grid5000(int machines_per_sed = 16);
+
+}  // namespace gc::platform

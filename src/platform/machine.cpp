@@ -1,0 +1,26 @@
+#include "platform/machine.hpp"
+
+namespace gc::platform {
+
+MachineModel opteron(int model) {
+  switch (model) {
+    case 246:
+      return {"opteron-246", 2.0, 1.00};
+    case 248:
+      return {"opteron-248", 2.2, 1.10};
+    case 250:
+      return {"opteron-250", 2.4, 1.20};
+    case 252:
+      return {"opteron-252", 2.6, 1.30};
+    case 275:
+      // Dual-core 2.2 GHz; the RAMSES runs of the paper used one MPI
+      // process per machine slot, so the second core mostly helps the
+      // OS/NFS side: effective throughput calibrated from the Nancy
+      // cluster's per-job times.
+      return {"opteron-275", 2.2, 1.43};
+    default:
+      return {"opteron-246", 2.0, 1.00};
+  }
+}
+
+}  // namespace gc::platform

@@ -1,0 +1,26 @@
+// Machine catalogue for the Grid'5000 deployment of Section 5.1.
+//
+// The paper's SEDs each control 16 machines drawn from five AMD Opteron
+// models (246, 248, 250, 252, 275). Absolute FLOP rates are irrelevant to
+// the reproduction; what matters is the *relative* per-machine throughput
+// on the RAMSES workload, which sets the per-cluster simulation times in
+// Figure 4 (right). relative_power is calibrated so the slowest cluster
+// (Opteron 246) to fastest (Opteron 275 nodes) ratio matches the paper's
+// ~15h : ~10h30 spread.
+#pragma once
+
+#include <string>
+
+namespace gc::platform {
+
+struct MachineModel {
+  std::string name;       ///< e.g. "opteron-250"
+  double clock_ghz;       ///< nominal core clock
+  double relative_power;  ///< RAMSES throughput relative to Opteron 246
+};
+
+/// Returns the catalogue entry for an Opteron model number (246..275).
+/// Unknown models fall back to the 246 baseline.
+MachineModel opteron(int model);
+
+}  // namespace gc::platform

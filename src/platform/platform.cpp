@@ -1,0 +1,62 @@
+#include "platform/platform.hpp"
+
+#include "common/strings.hpp"
+
+namespace gc::platform {
+
+SiteId Platform::add_site(const std::string& name) {
+  const SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(Site{id, name});
+  return id;
+}
+
+ClusterId Platform::add_cluster(SiteId site, const std::string& name,
+                                const MachineModel& model, int machine_count,
+                                double lan_latency_s,
+                                double lan_bandwidth_bps) {
+  GC_CHECK(site < sites_.size());
+  GC_CHECK(machine_count > 0);
+  const ClusterId id = static_cast<ClusterId>(clusters_.size());
+  Cluster cluster{id,   name,          site,
+                  model, {},           lan_latency_s,
+                  lan_bandwidth_bps};
+  cluster.nodes.reserve(static_cast<std::size_t>(machine_count));
+  for (int i = 0; i < machine_count; ++i) {
+    const auto node_id = static_cast<net::NodeId>(nodes_.size());
+    nodes_.push_back(Node{node_id, strformat("%s-%d", name.c_str(), i), id,
+                          site, model});
+    cluster.nodes.push_back(node_id);
+  }
+  clusters_.push_back(std::move(cluster));
+  return id;
+}
+
+void Platform::set_wan_link(SiteId a, SiteId b, double latency_s,
+                            double bandwidth_bps) {
+  wan_links_[wan_key(a, b)] = WanLink{latency_s, bandwidth_bps};
+}
+
+double Platform::latency(net::NodeId a, net::NodeId b) const {
+  if (a == b) return 0.0;
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.cluster == nb.cluster) return clusters_[na.cluster].lan_latency_s;
+  if (na.site == nb.site) {
+    // Two clusters on one site: site backbone, LAN-class latency.
+    return 2.0 * clusters_[na.cluster].lan_latency_s;
+  }
+  auto it = wan_links_.find(wan_key(na.site, nb.site));
+  return it != wan_links_.end() ? it->second.latency_s : wan_latency_;
+}
+
+double Platform::bandwidth(net::NodeId a, net::NodeId b) const {
+  if (a == b) return 1e12;  // loopback: effectively free
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.cluster == nb.cluster) return clusters_[na.cluster].lan_bandwidth_bps;
+  if (na.site == nb.site) return clusters_[na.cluster].lan_bandwidth_bps;
+  auto it = wan_links_.find(wan_key(na.site, nb.site));
+  return it != wan_links_.end() ? it->second.bandwidth_bps : wan_bandwidth_;
+}
+
+}  // namespace gc::platform

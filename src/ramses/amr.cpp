@@ -1,0 +1,177 @@
+#include "ramses/amr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gc::ramses {
+
+AmrTree::AmrTree(const ParticleSet& particles, const AmrOptions& options)
+    : options_(options),
+      root_grid_n_(std::size_t{1} << options.levelmin) {
+  GC_CHECK(options_.levelmin >= 0 && options_.levelmin <= options_.levelmax);
+  GC_CHECK(options_.m_refine >= 1);
+  build(particles);
+}
+
+void AmrTree::build(const ParticleSet& particles) {
+  const std::size_t n = root_grid_n_;
+  const double cell_size = 1.0 / static_cast<double>(n);
+
+  // Base mesh at levelmin.
+  cells_.reserve(n * n * n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        Cell cell;
+        cell.cx = (static_cast<double>(i) + 0.5) * cell_size;
+        cell.cy = (static_cast<double>(j) + 0.5) * cell_size;
+        cell.cz = (static_cast<double>(k) + 0.5) * cell_size;
+        cell.half = 0.5 * cell_size;
+        cell.level = options_.levelmin;
+        cells_.push_back(cell);
+      }
+    }
+  }
+
+  // Bucket particles into base cells.
+  std::vector<std::vector<std::uint32_t>> buckets(n * n * n);
+  const double nd = static_cast<double>(n);
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    auto i = static_cast<std::size_t>(particles.x[p] * nd);
+    auto j = static_cast<std::size_t>(particles.y[p] * nd);
+    auto k = static_cast<std::size_t>(particles.z[p] * nd);
+    i = std::min(i, n - 1);
+    j = std::min(j, n - 1);
+    k = std::min(k, n - 1);
+    buckets[(i * n + j) * n + k].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  for (std::size_t c = 0; c < buckets.size(); ++c) {
+    refine(c, std::move(buckets[c]), particles);
+  }
+}
+
+void AmrTree::refine(std::size_t cell_index,
+                     std::vector<std::uint32_t> members,
+                     const ParticleSet& particles) {
+  {
+    Cell& cell = cells_[cell_index];
+    cell.count = static_cast<std::uint32_t>(members.size());
+    cell.mass = 0.0;
+    for (const std::uint32_t p : members) cell.mass += particles.mass[p];
+    if (cell.level >= options_.levelmax ||
+        members.size() <= static_cast<std::size_t>(options_.m_refine)) {
+      return;  // leaf
+    }
+  }
+
+  // Split into 8 children. Note: cells_ may reallocate, so re-read the
+  // parent by index after the insertion.
+  const std::size_t first_child = cells_.size();
+  {
+    const Cell parent = cells_[cell_index];
+    for (int octant = 0; octant < 8; ++octant) {
+      Cell child;
+      child.half = 0.5 * parent.half;
+      child.cx = parent.cx + ((octant & 1) ? child.half : -child.half);
+      child.cy = parent.cy + ((octant & 2) ? child.half : -child.half);
+      child.cz = parent.cz + ((octant & 4) ? child.half : -child.half);
+      child.level = parent.level + 1;
+      cells_.push_back(child);
+    }
+    cells_[cell_index].first_child = static_cast<std::int32_t>(first_child);
+  }
+
+  std::vector<std::uint32_t> child_members[8];
+  const Cell& parent = cells_[cell_index];
+  for (const std::uint32_t p : members) {
+    int octant = 0;
+    if (particles.x[p] >= parent.cx) octant |= 1;
+    if (particles.y[p] >= parent.cy) octant |= 2;
+    if (particles.z[p] >= parent.cz) octant |= 4;
+    child_members[octant].push_back(p);
+  }
+  members.clear();
+  members.shrink_to_fit();
+  for (int octant = 0; octant < 8; ++octant) {
+    refine(first_child + static_cast<std::size_t>(octant),
+           std::move(child_members[octant]), particles);
+  }
+}
+
+std::vector<std::size_t> AmrTree::cells_per_level() const {
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(options_.levelmax) + 1, 0);
+  for (const Cell& cell : cells_) {
+    counts[static_cast<std::size_t>(cell.level)] += 1;
+  }
+  return counts;
+}
+
+std::size_t AmrTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Cell& cell : cells_) {
+    if (cell.first_child < 0) ++leaves;
+  }
+  return leaves;
+}
+
+int AmrTree::max_level() const {
+  int level = 0;
+  for (const Cell& cell : cells_) level = std::max(level, int{cell.level});
+  return level;
+}
+
+std::size_t AmrTree::leaf_at(double x, double y, double z) const {
+  const std::size_t n = root_grid_n_;
+  const double nd = static_cast<double>(n);
+  auto i = std::min(static_cast<std::size_t>(x * nd), n - 1);
+  auto j = std::min(static_cast<std::size_t>(y * nd), n - 1);
+  auto k = std::min(static_cast<std::size_t>(z * nd), n - 1);
+  std::size_t cell = (i * n + j) * n + k;
+  while (cells_[cell].first_child >= 0) {
+    const Cell& c = cells_[cell];
+    int octant = 0;
+    if (x >= c.cx) octant |= 1;
+    if (y >= c.cy) octant |= 2;
+    if (z >= c.cz) octant |= 4;
+    cell = static_cast<std::size_t>(c.first_child) +
+           static_cast<std::size_t>(octant);
+  }
+  return cell;
+}
+
+double AmrTree::density_at(double x, double y, double z) const {
+  const Cell& leaf = cells_[leaf_at(x, y, z)];
+  const double volume = std::pow(2.0 * leaf.half, 3);
+  return leaf.mass / volume;
+}
+
+bool AmrTree::check_invariants() const {
+  for (const Cell& cell : cells_) {
+    if (cell.level < options_.levelmin || cell.level > options_.levelmax) {
+      return false;
+    }
+    if (cell.first_child >= 0) {
+      std::uint32_t count = 0;
+      double mass = 0.0;
+      for (int o = 0; o < 8; ++o) {
+        const Cell& child =
+            cells_[static_cast<std::size_t>(cell.first_child) +
+                   static_cast<std::size_t>(o)];
+        if (child.level != cell.level + 1) return false;
+        count += child.count;
+        mass += child.mass;
+      }
+      if (count != cell.count) return false;
+      if (std::abs(mass - cell.mass) > 1e-12 + 1e-9 * std::abs(cell.mass)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gc::ramses

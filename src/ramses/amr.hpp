@@ -1,0 +1,69 @@
+// Adaptive Mesh Refinement octree.
+//
+// RAMSES couples its N-body solver to "a finite volume Euler solver,
+// based on the Adaptive Mesh Refinement technics" (Section 3). This tree
+// implements the AMR side of that design: cells refine where the particle
+// count exceeds m_refine, from levelmin down to levelmax, giving the
+// quasi-Lagrangian mesh RAMSES uses. The dark-matter-only pipeline in this
+// repository uses the tree for refinement statistics, density estimation
+// and the zoom region bookkeeping (the gravity solve itself is spectral on
+// the base mesh — see DESIGN.md, Known limitations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ramses/particles.hpp"
+
+namespace gc::ramses {
+
+struct AmrOptions {
+  int levelmin = 3;   ///< the base mesh is 2^levelmin per dimension
+  int levelmax = 9;   ///< finest allowed level
+  int m_refine = 8;   ///< refine a cell holding more than this many particles
+};
+
+class AmrTree {
+ public:
+  struct Cell {
+    double cx, cy, cz;       ///< centre, box units
+    double half;             ///< half-size, box units
+    std::int32_t level;
+    std::int32_t first_child = -1;  ///< index of child 0 (children are
+                                    ///< contiguous); -1 for leaves
+    std::uint32_t count = 0;        ///< particles inside
+    double mass = 0.0;              ///< mass inside
+  };
+
+  AmrTree(const ParticleSet& particles, const AmrOptions& options);
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] const AmrOptions& options() const { return options_; }
+
+  /// Number of cells per level (index = level).
+  [[nodiscard]] std::vector<std::size_t> cells_per_level() const;
+  [[nodiscard]] std::size_t leaf_count() const;
+  [[nodiscard]] int max_level() const;
+
+  /// Index of the leaf containing a position (box units).
+  [[nodiscard]] std::size_t leaf_at(double x, double y, double z) const;
+
+  /// Local density estimate (mean box density = 1) at a position: leaf
+  /// mass / leaf volume.
+  [[nodiscard]] double density_at(double x, double y, double z) const;
+
+  /// Invariants: each internal cell's count/mass equals the sum over its
+  /// children; leaf levels within bounds. Used by property tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  void build(const ParticleSet& particles);
+  void refine(std::size_t cell_index, std::vector<std::uint32_t> members,
+              const ParticleSet& particles);
+
+  AmrOptions options_;
+  std::vector<Cell> cells_;
+  std::size_t root_grid_n_;  ///< 2^levelmin
+};
+
+}  // namespace gc::ramses

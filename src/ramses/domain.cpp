@@ -1,0 +1,109 @@
+#include "ramses/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "hilbert/hilbert.hpp"
+
+namespace gc::ramses {
+
+DomainDecomposition::DomainDecomposition(const ParticleSet& particles,
+                                         int order, int nranks)
+    : order_(order), nranks_(nranks) {
+  GC_CHECK(order >= 1 && order <= 10);
+  GC_CHECK(nranks >= 1);
+  const std::size_t n = std::size_t{1} << order;
+  const std::size_t cells = n * n * n;
+
+  // Per-cell particle counts, addressed by Hilbert key.
+  std::vector<double> weights(cells, 0.0);
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    weights[key_of(particles.x[p], particles.y[p], particles.z[p])] += 1.0;
+  }
+
+  bounds_ = hilbert::partition(weights, nranks);
+  rank_of_key_.assign(cells, nranks - 1);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t c = bounds_[static_cast<std::size_t>(r)];
+         c < bounds_[static_cast<std::size_t>(r) + 1]; ++c) {
+      rank_of_key_[c] = r;
+    }
+  }
+}
+
+std::uint64_t DomainDecomposition::key_of(double x, double y, double z) const {
+  const auto n = std::size_t{1} << order_;
+  const double nd = static_cast<double>(n);
+  const auto clamp = [&](double v) {
+    return static_cast<std::uint32_t>(
+        std::min(static_cast<std::size_t>(v * nd), n - 1));
+  };
+  return hilbert::encode(clamp(x), clamp(y), clamp(z), order_);
+}
+
+int DomainDecomposition::rank_of(double x, double y, double z) const {
+  return rank_of_key_[key_of(x, y, z)];
+}
+
+std::vector<std::size_t> DomainDecomposition::load(
+    const ParticleSet& particles) const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nranks_), 0);
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    counts[static_cast<std::size_t>(
+        rank_of(particles.x[p], particles.y[p], particles.z[p]))] += 1;
+  }
+  return counts;
+}
+
+double DomainDecomposition::imbalance(const ParticleSet& particles) const {
+  const auto counts = load(particles);
+  std::size_t max = 0;
+  std::size_t total = 0;
+  for (const std::size_t c : counts) {
+    max = std::max(max, c);
+    total += c;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(nranks_);
+  return static_cast<double>(max) / mean;
+}
+
+ParticleSet exchange_particles(minimpi::Comm& comm, const ParticleSet& mine,
+                               const DomainDecomposition& domain) {
+  const int nranks = comm.size();
+  GC_CHECK(domain.nranks() == nranks);
+
+  // Pack per-destination payloads: 7 doubles + id + level per particle.
+  struct Packed {
+    double x, y, z, px, py, pz, mass;
+    std::uint64_t id;
+    std::int32_t level;
+    std::int32_t pad = 0;
+  };
+  std::vector<std::vector<Packed>> outgoing(
+      static_cast<std::size_t>(nranks));
+  for (std::size_t p = 0; p < mine.size(); ++p) {
+    const int dest = domain.rank_of(mine.x[p], mine.y[p], mine.z[p]);
+    outgoing[static_cast<std::size_t>(dest)].push_back(
+        Packed{mine.x[p], mine.y[p], mine.z[p], mine.px[p], mine.py[p],
+               mine.pz[p], mine.mass[p], mine.id[p], mine.level[p], 0});
+  }
+
+  const auto incoming = comm.alltoall(outgoing);
+
+  ParticleSet result;
+  std::size_t total = 0;
+  for (const auto& part : incoming) total += part.size();
+  result.reserve(total);
+  for (const auto& part : incoming) {
+    for (const Packed& q : part) {
+      result.push_back(q.x, q.y, q.z, q.px, q.py, q.pz, q.mass, q.id,
+                       q.level);
+    }
+  }
+  return result;
+}
+
+}  // namespace gc::ramses

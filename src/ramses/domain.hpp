@@ -1,0 +1,55 @@
+// Peano-Hilbert domain decomposition.
+//
+// "The computational space is decomposed among the available processors
+// using a mesh partitionning strategy based on the Peano-Hilbert cell
+// ordering" (Section 3). Cells of a 2^order^3 coarse mesh are walked in
+// Hilbert order; consecutive curve segments with near-equal particle
+// counts are assigned to ranks, so each rank owns a compact, contiguous,
+// load-balanced region.
+#pragma once
+
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "ramses/particles.hpp"
+
+namespace gc::ramses {
+
+class DomainDecomposition {
+ public:
+  /// Builds the decomposition for `nranks` from the particle distribution.
+  DomainDecomposition(const ParticleSet& particles, int order, int nranks);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] int order() const { return order_; }
+
+  /// Owner rank of a position (box units).
+  [[nodiscard]] int rank_of(double x, double y, double z) const;
+
+  /// Particle count each rank would own under this decomposition.
+  [[nodiscard]] std::vector<std::size_t> load(const ParticleSet& particles) const;
+
+  /// Max/mean load ratio (1.0 = perfect balance).
+  [[nodiscard]] double imbalance(const ParticleSet& particles) const;
+
+  /// Curve-segment boundaries (in Hilbert key space), nranks + 1 entries.
+  [[nodiscard]] const std::vector<std::size_t>& bounds() const {
+    return bounds_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(double x, double y, double z) const;
+
+  int order_;
+  int nranks_;
+  std::vector<std::size_t> bounds_;       ///< partition over curve positions
+  std::vector<int> rank_of_key_;          ///< curve position -> rank
+};
+
+/// Redistributes particles so each rank holds exactly its domain
+/// (collective over comm; every rank passes its current particles).
+ParticleSet exchange_particles(minimpi::Comm& comm,
+                               const ParticleSet& mine,
+                               const DomainDecomposition& domain);
+
+}  // namespace gc::ramses

@@ -1,0 +1,69 @@
+#include "ramses/loader.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "ramses/pm.hpp"
+
+namespace gc::ramses {
+
+namespace {
+
+/// Is base-box position (in Mpc/h) inside level `lvl`'s box?
+bool inside(const grafic::IcLevel& lvl, double x, double y, double z) {
+  return x >= lvl.origin.x && x < lvl.origin.x + lvl.box_mpc &&
+         y >= lvl.origin.y && y < lvl.origin.y + lvl.box_mpc &&
+         z >= lvl.origin.z && z < lvl.origin.z + lvl.box_mpc;
+}
+
+}  // namespace
+
+ParticleSet particles_from_ic(const grafic::InitialConditions& ic) {
+  GC_CHECK(!ic.levels.empty());
+  const grafic::IcLevel& base = ic.levels[0];
+  const double box = base.box_mpc;
+  const double a = base.a_start;
+
+  ParticleSet particles;
+  std::uint64_t next_id = 1;
+
+  for (std::size_t li = 0; li < ic.levels.size(); ++li) {
+    const grafic::IcLevel& lvl = ic.levels[li];
+    const grafic::IcLevel* finer =
+        li + 1 < ic.levels.size() ? &ic.levels[li + 1] : nullptr;
+    const auto n = static_cast<std::size_t>(lvl.n);
+    const double cell = lvl.cell_mpc();
+    // Equal-volume cells within a level: mass fraction = cell volume /
+    // box volume.
+    const double mass = std::pow(cell / box, 3);
+
+    particles.reserve(particles.size() + n * n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+          // Lagrangian position: cell centre in base-box Mpc/h.
+          const double qx = lvl.origin.x + (static_cast<double>(i) + 0.5) * cell;
+          const double qy = lvl.origin.y + (static_cast<double>(j) + 0.5) * cell;
+          const double qz = lvl.origin.z + (static_cast<double>(k) + 0.5) * cell;
+          // The finest level covering a region provides its particles.
+          if (finer != nullptr && inside(*finer, qx, qy, qz)) continue;
+
+          const std::size_t idx = (i * n + j) * n + k;
+          const double x = (qx + lvl.disp[0][idx]) / box;
+          const double y = (qy + lvl.disp[1][idx]) / box;
+          const double z = (qz + lvl.disp[2][idx]) / box;
+          particles.push_back(
+              x - std::floor(x), y - std::floor(y), z - std::floor(z),
+              momentum_from_kms(lvl.vel[0][idx], a, box),
+              momentum_from_kms(lvl.vel[1][idx], a, box),
+              momentum_from_kms(lvl.vel[2][idx], a, box), mass, next_id++,
+              lvl.level);
+        }
+      }
+    }
+  }
+  particles.wrap_positions();
+  return particles;
+}
+
+}  // namespace gc::ramses

@@ -1,0 +1,21 @@
+// Builds the particle load from GRAFIC initial conditions.
+//
+// Single level: one particle per grid cell, displaced from the cell
+// centre by the Zel'dovich field, equal masses summing to 1.
+//
+// Multi level ("zoom"): the finest level covering a region wins — base
+// particles inside a nested box are dropped and replaced by the nested
+// level's lighter particles, exactly the "add in the Lagrangian volume of
+// the chosen halo a lot more particles" strategy of Section 3.
+#pragma once
+
+#include "grafic/ic.hpp"
+#include "ramses/particles.hpp"
+
+namespace gc::ramses {
+
+/// Creates particles from `ic`. Masses are normalized so a full single
+/// level box has total mass 1; zoom sets conserve that total.
+ParticleSet particles_from_ic(const grafic::InitialConditions& ic);
+
+}  // namespace gc::ramses

@@ -1,0 +1,40 @@
+#include "ramses/particles.hpp"
+
+#include <cmath>
+
+namespace gc::ramses {
+
+namespace {
+double wrap01(double v) {
+  v -= std::floor(v);
+  if (v >= 1.0) v = 0.0;  // guard against -1e-17 -> 1.0 rounding
+  return v;
+}
+}  // namespace
+
+void ParticleSet::wrap_positions() {
+  for (std::size_t i = 0; i < size(); ++i) {
+    x[i] = wrap01(x[i]);
+    y[i] = wrap01(y[i]);
+    z[i] = wrap01(z[i]);
+  }
+}
+
+bool ParticleSet::valid() const {
+  const std::size_t n = x.size();
+  if (y.size() != n || z.size() != n || px.size() != n || py.size() != n ||
+      pz.size() != n || mass.size() != n || id.size() != n ||
+      level.size() != n) {
+    return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(x[i] >= 0.0 && x[i] < 1.0) || !(y[i] >= 0.0 && y[i] < 1.0) ||
+        !(z[i] >= 0.0 && z[i] < 1.0)) {
+      return false;
+    }
+    if (!(mass[i] > 0.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace gc::ramses

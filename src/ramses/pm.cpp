@@ -1,0 +1,165 @@
+#include "ramses/pm.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "math/fft.hpp"
+
+namespace gc::ramses {
+
+math::Grid3<double> cic_deposit(const ParticleSet& particles, int n) {
+  GC_CHECK(n > 0);
+  math::Grid3<double> delta(static_cast<std::size_t>(n), 0.0);
+  const double nd = static_cast<double>(n);
+  const double cell_mass_unit = nd * nd * nd;  // delta normalization
+
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    // Cell-centred CIC: the particle shares mass with the 8 nearest cell
+    // centres.
+    const double gx = particles.x[p] * nd - 0.5;
+    const double gy = particles.y[p] * nd - 0.5;
+    const double gz = particles.z[p] * nd - 0.5;
+    const long i0 = static_cast<long>(std::floor(gx));
+    const long j0 = static_cast<long>(std::floor(gy));
+    const long k0 = static_cast<long>(std::floor(gz));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double fz = gz - static_cast<double>(k0);
+    const double m = particles.mass[p] * cell_mass_unit;
+    for (int di = 0; di <= 1; ++di) {
+      const double wx = di ? fx : 1.0 - fx;
+      for (int dj = 0; dj <= 1; ++dj) {
+        const double wy = dj ? fy : 1.0 - fy;
+        for (int dk = 0; dk <= 1; ++dk) {
+          const double wz = dk ? fz : 1.0 - fz;
+          delta.atp(i0 + di, j0 + dj, k0 + dk) += m * wx * wy * wz;
+        }
+      }
+    }
+  }
+  // rho/rho_mean - 1 (total mass 1 spread over n^3 cells gives mean 1).
+  for (auto& v : delta.raw()) v -= 1.0;
+  return delta;
+}
+
+math::Grid3<double> solve_poisson(const math::Grid3<double>& delta,
+                                  double rhs_factor) {
+  const std::size_t n = delta.n();
+  std::vector<math::Complex> field(n * n * n);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = math::Complex(delta.raw()[i], 0.0);
+  }
+  math::fft3(field, n, false);
+
+  // Discrete spectral Green function: phi_k = -rhs / k_eff^2 with the
+  // exact continuum k; k=0 mode (mean) is gauge and set to zero.
+  const double two_pi = 2.0 * M_PI;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t l = 0; l < n; ++l) {
+        const double kx = two_pi * static_cast<double>(math::freq_index(i, n));
+        const double ky = two_pi * static_cast<double>(math::freq_index(j, n));
+        const double kz = two_pi * static_cast<double>(math::freq_index(l, n));
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        const std::size_t idx = (i * n + j) * n + l;
+        field[idx] *= k2 > 0.0 ? -rhs_factor / k2 : 0.0;
+      }
+    }
+  }
+  math::fft3(field, n, true);
+
+  math::Grid3<double> phi(n);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    phi.raw()[i] = field[i].real();
+  }
+  return phi;
+}
+
+std::array<std::vector<double>, 3> interpolate_forces(
+    const math::Grid3<double>& phi, const ParticleSet& particles) {
+  const auto n = static_cast<long>(phi.n());
+  const double nd = static_cast<double>(n);
+  const double inv_2h = nd / 2.0;  // central difference over 2 cells
+
+  std::array<std::vector<double>, 3> acc;
+  for (auto& a : acc) a.assign(particles.size(), 0.0);
+
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    const double gx = particles.x[p] * nd - 0.5;
+    const double gy = particles.y[p] * nd - 0.5;
+    const double gz = particles.z[p] * nd - 0.5;
+    const long i0 = static_cast<long>(std::floor(gx));
+    const long j0 = static_cast<long>(std::floor(gy));
+    const long k0 = static_cast<long>(std::floor(gz));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double fz = gz - static_cast<double>(k0);
+    for (int di = 0; di <= 1; ++di) {
+      const double wx = di ? fx : 1.0 - fx;
+      for (int dj = 0; dj <= 1; ++dj) {
+        const double wy = dj ? fy : 1.0 - fy;
+        for (int dk = 0; dk <= 1; ++dk) {
+          const double wz = dk ? fz : 1.0 - fz;
+          const double w = wx * wy * wz;
+          const long i = i0 + di;
+          const long j = j0 + dj;
+          const long k = k0 + dk;
+          // -grad(phi), central differences on the periodic mesh.
+          acc[0][p] -= w * (phi.atp(i + 1, j, k) - phi.atp(i - 1, j, k)) * inv_2h;
+          acc[1][p] -= w * (phi.atp(i, j + 1, k) - phi.atp(i, j - 1, k)) * inv_2h;
+          acc[2][p] -= w * (phi.atp(i, j, k + 1) - phi.atp(i, j, k - 1)) * inv_2h;
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+std::array<std::vector<double>, 3> PmSolver::accelerations(
+    const ParticleSet& particles, double a) const {
+  const math::Grid3<double> delta = cic_deposit(particles, options_.grid_n);
+  const double rhs = 1.5 * options_.omega_m / a;
+  const math::Grid3<double> phi = solve_poisson(delta, rhs);
+  return interpolate_forces(phi, particles);
+}
+
+void PmSolver::kick(ParticleSet& particles,
+                    const std::array<std::vector<double>, 3>& acc, double a,
+                    double da) const {
+  // p = a^2 dx/dt obeys dp/dt = -grad(phi), so dp/da = -grad(phi)/(a E).
+  const double factor = da / (a * cosmology_.efunc(a));
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    particles.px[p] += acc[0][p] * factor;
+    particles.py[p] += acc[1][p] * factor;
+    particles.pz[p] += acc[2][p] * factor;
+  }
+}
+
+void PmSolver::drift(ParticleSet& particles, double a, double da) const {
+  const double factor = da / (a * a * a * cosmology_.efunc(a));
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    particles.x[p] += particles.px[p] * factor;
+    particles.y[p] += particles.py[p] * factor;
+    particles.z[p] += particles.pz[p] * factor;
+  }
+  particles.wrap_positions();
+}
+
+void PmSolver::step(ParticleSet& particles, double a, double da) const {
+  // KDK: half kick at a, full drift at midpoint, half kick at a + da.
+  auto acc = accelerations(particles, a);
+  kick(particles, acc, a, 0.5 * da);
+  drift(particles, a + 0.5 * da, da);
+  acc = accelerations(particles, a + da);
+  kick(particles, acc, a + da, 0.5 * da);
+}
+
+double momentum_from_kms(double v_kms, double a, double box_mpc) {
+  return a * v_kms / (100.0 * box_mpc);
+}
+
+double kms_from_momentum(double p, double a, double box_mpc) {
+  return p * 100.0 * box_mpc / a;
+}
+
+}  // namespace gc::ramses

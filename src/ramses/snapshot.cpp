@@ -1,0 +1,109 @@
+#include "ramses/snapshot.hpp"
+
+#include <filesystem>
+
+#include "common/strings.hpp"
+#include "io/fortran.hpp"
+
+namespace gc::ramses {
+
+gc::Result<std::string> write_snapshot(const std::string& dir, int number,
+                                       const Snapshot& snapshot) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return make_error(ErrorCode::kIoError, "cannot create dir " + dir);
+  const std::string path = dir + "/" + strformat("output_%05d.bin", number);
+
+  io::FortranWriter writer(path);
+  if (!writer.ok()) {
+    return make_error(ErrorCode::kIoError, "cannot create " + path);
+  }
+  SnapshotHeader header{};
+  header.version = 1;
+  header.reserved = 0;
+  header.npart = snapshot.particles.size();
+  header.aexp = snapshot.aexp;
+  header.box_mpc = snapshot.box_mpc;
+  header.omega_m = snapshot.params.omega_m;
+  header.omega_l = snapshot.params.omega_l;
+  header.h = snapshot.params.h;
+
+  auto status = writer.record_scalar(header);
+  const ParticleSet& p = snapshot.particles;
+  auto span_of = [](const std::vector<double>& v) {
+    return std::span<const double>(v.data(), v.size());
+  };
+  if (status.is_ok()) status = writer.record_array(span_of(p.x));
+  if (status.is_ok()) status = writer.record_array(span_of(p.y));
+  if (status.is_ok()) status = writer.record_array(span_of(p.z));
+  if (status.is_ok()) status = writer.record_array(span_of(p.px));
+  if (status.is_ok()) status = writer.record_array(span_of(p.py));
+  if (status.is_ok()) status = writer.record_array(span_of(p.pz));
+  if (status.is_ok()) status = writer.record_array(span_of(p.mass));
+  if (status.is_ok()) {
+    status = writer.record_array(
+        std::span<const std::uint64_t>(p.id.data(), p.id.size()));
+  }
+  if (status.is_ok()) {
+    status = writer.record_array(
+        std::span<const std::int32_t>(p.level.data(), p.level.size()));
+  }
+  if (status.is_ok()) status = writer.close();
+  if (!status.is_ok()) return status;
+  return path;
+}
+
+gc::Result<Snapshot> read_snapshot(const std::string& path) {
+  io::FortranReader reader(path);
+  if (!reader.ok()) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  auto header = reader.record_scalar<SnapshotHeader>();
+  if (!header.is_ok()) return header.status();
+  const SnapshotHeader& h = header.value();
+  if (h.version != 1) {
+    return make_error(ErrorCode::kIoError, "unsupported snapshot version");
+  }
+
+  Snapshot snap;
+  snap.aexp = h.aexp;
+  snap.box_mpc = h.box_mpc;
+  snap.params.omega_m = h.omega_m;
+  snap.params.omega_l = h.omega_l;
+  snap.params.h = h.h;
+
+  auto read_d = [&](std::vector<double>& out) -> gc::Status {
+    auto r = reader.record_array<double>();
+    if (!r.is_ok()) return r.status();
+    out = std::move(r.value());
+    if (out.size() != h.npart) {
+      return make_error(ErrorCode::kIoError, "array size mismatch");
+    }
+    return Status::ok();
+  };
+  ParticleSet& p = snap.particles;
+  gc::Status status = read_d(p.x);
+  if (status.is_ok()) status = read_d(p.y);
+  if (status.is_ok()) status = read_d(p.z);
+  if (status.is_ok()) status = read_d(p.px);
+  if (status.is_ok()) status = read_d(p.py);
+  if (status.is_ok()) status = read_d(p.pz);
+  if (status.is_ok()) status = read_d(p.mass);
+  if (status.is_ok()) {
+    auto ids = reader.record_array<std::uint64_t>();
+    if (!ids.is_ok()) return ids.status();
+    p.id = std::move(ids.value());
+  }
+  if (status.is_ok()) {
+    auto levels = reader.record_array<std::int32_t>();
+    if (!levels.is_ok()) return levels.status();
+    p.level = std::move(levels.value());
+  }
+  if (!status.is_ok()) return status;
+  if (!snap.particles.valid()) {
+    return make_error(ErrorCode::kIoError, "snapshot fails validation");
+  }
+  return snap;
+}
+
+}  // namespace gc::ramses

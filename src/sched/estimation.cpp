@@ -1,0 +1,64 @@
+#include "sched/estimation.hpp"
+
+namespace gc::sched {
+
+void Estimation::serialize(net::Writer& w) const {
+  w.f64(timestamp);
+  w.f64(host_power);
+  w.i32(machines);
+  w.f64(queue_length);
+  w.f64(queued_work_s);
+  w.f64(free_cpu);
+  w.f64(free_mem_mb);
+  w.f64(service_comp_s);
+  w.u64(jobs_completed);
+  w.f64(agent_assigned);
+}
+
+Estimation Estimation::deserialize(net::Reader& r) {
+  Estimation e;
+  e.timestamp = r.f64();
+  e.host_power = r.f64();
+  e.machines = r.i32();
+  e.queue_length = r.f64();
+  e.queued_work_s = r.f64();
+  e.free_cpu = r.f64();
+  e.free_mem_mb = r.f64();
+  e.service_comp_s = r.f64();
+  e.jobs_completed = r.u64();
+  e.agent_assigned = r.f64();
+  return e;
+}
+
+void Candidate::serialize(net::Writer& w) const {
+  w.u64(sed_uid);
+  w.u32(sed_endpoint);
+  w.str(sed_name);
+  est.serialize(w);
+}
+
+Candidate Candidate::deserialize(net::Reader& r) {
+  Candidate c;
+  c.sed_uid = r.u64();
+  c.sed_endpoint = r.u32();
+  c.sed_name = r.str();
+  c.est = Estimation::deserialize(r);
+  return c;
+}
+
+void serialize_candidates(net::Writer& w, const std::vector<Candidate>& c) {
+  w.u32(static_cast<std::uint32_t>(c.size()));
+  for (const auto& candidate : c) candidate.serialize(w);
+}
+
+std::vector<Candidate> deserialize_candidates(net::Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Candidate> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    out.push_back(Candidate::deserialize(r));
+  }
+  return out;
+}
+
+}  // namespace gc::sched

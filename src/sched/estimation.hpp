@@ -1,0 +1,53 @@
+// Performance estimation vectors.
+//
+// When an agent hierarchy "collects computation abilities from servers"
+// (Section 2.1), what travels up the tree is one Estimation per capable
+// SED. The default deployment fills the generic fields; plug-in
+// schedulers (paper ref [2]) may additionally fill service_comp_s with an
+// application-specific completion estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+
+namespace gc::sched {
+
+struct Estimation {
+  double timestamp = 0.0;       ///< when the SED produced this vector
+  double host_power = 1.0;      ///< aggregate relative power of the SED's machines
+  std::int32_t machines = 1;    ///< machines behind the SED
+  double queue_length = 0.0;    ///< jobs running + waiting at the SED
+  double queued_work_s = 0.0;   ///< modeled seconds of work in that queue
+  double free_cpu = 1.0;        ///< frontal node idle fraction
+  double free_mem_mb = 0.0;
+  double service_comp_s = -1.0; ///< plugin estimate for THIS service; <0 = unknown
+  std::uint64_t jobs_completed = 0;
+  /// Filled agent-side, never by the SED: requests this MA has already
+  /// assigned to the SED and not yet seen completed. This is the
+  /// "list of requests" state of Section 2.1 and what makes the default
+  /// policy distribute 100 simultaneous requests evenly.
+  double agent_assigned = 0.0;
+
+  void serialize(net::Writer& w) const;
+  static Estimation deserialize(net::Reader& r);
+};
+
+/// One schedulable server, as seen by an agent.
+struct Candidate {
+  std::uint64_t sed_uid = 0;       ///< stable id (registration order)
+  net::Endpoint sed_endpoint = net::kNullEndpoint;
+  std::string sed_name;
+  Estimation est;
+
+  void serialize(net::Writer& w) const;
+  static Candidate deserialize(net::Reader& r);
+};
+
+void serialize_candidates(net::Writer& w, const std::vector<Candidate>& c);
+std::vector<Candidate> deserialize_candidates(net::Reader& r);
+
+}  // namespace gc::sched

@@ -1,0 +1,124 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::sched {
+
+namespace {
+
+/// Outstanding load the scheduler believes a SED has.
+double outstanding(const Candidate& c) {
+  // agent_assigned already includes everything this MA routed to the SED
+  // and has not seen complete; queue_length is the SED's own (possibly
+  // slightly stale) view. Take the max so neither a stale SED view nor a
+  // cold agent counter under-reports.
+  return std::max(c.est.agent_assigned, c.est.queue_length);
+}
+
+class DefaultPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "default"; }
+
+  void rank(std::vector<Candidate>& candidates, const RequestContext&,
+            Rng& rng) override {
+    // Shuffle first so ties resolve uniformly (DIET's default behaviour:
+    // share the requests, no power awareness), then stable-sort by
+    // outstanding load.
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng.uniform_u64(i)]);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return outstanding(a) < outstanding(b);
+                     });
+  }
+};
+
+class MctPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "mct"; }
+
+  void rank(std::vector<Candidate>& candidates, const RequestContext&,
+            Rng&) override {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return completion_estimate(a) < completion_estimate(b);
+                     });
+  }
+
+ private:
+  static double completion_estimate(const Candidate& c) {
+    // Per-job compute estimate: plugin-filled when available, otherwise
+    // infer from the queue (queued_work / queue_length) or fall back to a
+    // power-only ranking.
+    double per_job = c.est.service_comp_s;
+    if (per_job < 0.0) {
+      per_job = c.est.queue_length > 0.0
+                    ? c.est.queued_work_s / c.est.queue_length
+                    : 1.0 / std::max(c.est.host_power, 1e-9);
+    }
+    const double backlog =
+        std::max(c.est.queued_work_s,
+                 outstanding_jobs(c) * per_job);
+    return backlog + per_job;
+  }
+
+  static double outstanding_jobs(const Candidate& c) {
+    return std::max(c.est.agent_assigned, c.est.queue_length);
+  }
+};
+
+class FastestPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fastest"; }
+
+  void rank(std::vector<Candidate>& candidates, const RequestContext&,
+            Rng&) override {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.est.host_power > b.est.host_power;
+                     });
+  }
+};
+
+class RandomPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  void rank(std::vector<Candidate>& candidates, const RequestContext&,
+            Rng& rng) override {
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng.uniform_u64(i)]);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_default_policy() {
+  return std::make_unique<DefaultPolicy>();
+}
+std::unique_ptr<Policy> make_mct_policy() {
+  return std::make_unique<MctPolicy>();
+}
+std::unique_ptr<Policy> make_fastest_policy() {
+  return std::make_unique<FastestPolicy>();
+}
+std::unique_ptr<Policy> make_random_policy() {
+  return std::make_unique<RandomPolicy>();
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  if (name == "default") return make_default_policy();
+  if (name == "mct") return make_mct_policy();
+  if (name == "fastest") return make_fastest_policy();
+  if (name == "random") return make_random_policy();
+  return nullptr;
+}
+
+std::vector<std::string> policy_names() {
+  return {"default", "mct", "fastest", "random"};
+}
+
+}  // namespace gc::sched

@@ -1,0 +1,60 @@
+// Scheduling policies ("plug-in schedulers", paper ref [2]).
+//
+// A Policy ranks the candidate SEDs collected for one request, best first.
+// Agents apply the policy at every level of the hierarchy: LAs pre-sort
+// their subtree's candidates, the MA does the final merge-and-sort and
+// picks the head of the list.
+//
+// Policies shipped:
+//   - "default"  : what the deployed DIET of the paper did — spread the
+//                  load by outstanding request count, ignoring machine
+//                  power (this is exactly why Figure 4 right is uneven);
+//   - "mct"      : Minimum Completion Time plug-in — uses the plugin-
+//                  filled per-service compute estimate and the queued work
+//                  to finish each job earliest (the paper's "better
+//                  makespan could be attained" fix);
+//   - "fastest"  : highest aggregate power first;
+//   - "random"   : uniform random (baseline for ablations).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/estimation.hpp"
+
+namespace gc::sched {
+
+/// What the scheduler may know about the request being placed.
+struct RequestContext {
+  std::uint64_t request_id = 0;
+  std::string service;
+  std::int64_t in_bytes = 0;  ///< IN-data volume the client will push
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reorders candidates best-first. `rng` provides the tie-breaking /
+  /// randomization source so runs are reproducible.
+  virtual void rank(std::vector<Candidate>& candidates,
+                    const RequestContext& request, Rng& rng) = 0;
+};
+
+std::unique_ptr<Policy> make_default_policy();
+std::unique_ptr<Policy> make_mct_policy();
+std::unique_ptr<Policy> make_fastest_policy();
+std::unique_ptr<Policy> make_random_policy();
+
+/// Plug-in registry: policies are constructed by name, so deployments and
+/// config files can select them ("schedulerPolicy = mct"). Unknown names
+/// return nullptr.
+std::unique_ptr<Policy> make_policy(const std::string& name);
+
+/// Names make_policy understands.
+std::vector<std::string> policy_names();
+
+}  // namespace gc::sched

@@ -1,0 +1,224 @@
+#include "workflow/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "des/engine.hpp"
+#include "halo/halomaker.hpp"
+#include "naming/registry.hpp"
+#include "net/simenv.hpp"
+#include "ramses/simulation.hpp"
+
+namespace gc::workflow {
+
+diet::DeploymentSpec deployment_spec_from_g5k(
+    const platform::G5kDeployment& g5k, const CampaignConfig& config) {
+  diet::DeploymentSpec spec;
+  spec.ma_name = "MA1";
+  spec.ma_node = g5k.ma_node;
+  spec.policy = config.policy;
+  spec.agent_tuning = config.agent_tuning;
+  spec.sed_tuning = config.sed_tuning;
+  spec.seed = config.seed;
+
+  for (const platform::SedPlacement& sed : g5k.seds) {
+    diet::DeploymentSpec::SedSpec s;
+    s.name = sed.name;
+    s.node = sed.frontal;
+    s.host_power = g5k.platform.cluster(sed.cluster).model.relative_power;
+    s.machines = sed.machines;
+    spec.seds.push_back(std::move(s));
+  }
+  for (const platform::LaPlacement& la : g5k.las) {
+    diet::DeploymentSpec::LaSpec l;
+    l.name = la.name;
+    l.node = la.node;
+    l.sed_indexes = la.sed_indexes;
+    spec.las.push_back(std::move(l));
+  }
+  return spec;
+}
+
+CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
+  platform::G5kDeployment g5k =
+      platform::make_grid5000(config.machines_per_sed);
+
+  des::Engine engine;
+  net::SimEnv env(engine, g5k.platform);
+  naming::Registry registry;
+
+  ServiceOptions service_options = config.services;
+  service_options.work_dir += "/campaign_" + std::to_string(config.seed);
+  diet::ServiceTable services;
+  GC_CHECK(register_services(services, service_options).is_ok());
+
+  const diet::DeploymentSpec spec = deployment_spec_from_g5k(g5k, config);
+  diet::Deployment deployment(env, registry, services, spec);
+  if (config.policy_factory) {
+    deployment.ma().set_policy(config.policy_factory());
+  }
+
+  diet::Client client("client");
+  env.attach(client, g5k.client_node);
+  auto ma = registry.resolve("MA1");
+  GC_CHECK(ma.is_ok());
+  client.connect(ma.value());
+
+  // Let registration settle before the campaign starts.
+  engine.run_until(engine.now() + 2.0);
+
+  // The namelist the client ships (IN argument 0 of both services).
+  std::error_code ec;
+  std::filesystem::create_directories(service_options.work_dir, ec);
+  const std::string namelist_path = service_options.work_dir + "/zoom.nml";
+  {
+    ramses::RunParams params;
+    params.npart_dim = config.resolution;
+    params.box_mpc = config.size_mpc;
+    std::ofstream out(namelist_path);
+    out << params.to_namelist();
+  }
+
+  CampaignResult result;
+  std::size_t completed = 0;
+  bool zoom1_done = false;
+
+  // Scheduled fault: kill one SED mid-campaign (bench A4).
+  if (config.fault_sed_index >= 0) {
+    GC_CHECK(static_cast<std::size_t>(config.fault_sed_index) <
+             deployment.sed_count());
+    const double delay = std::max(0.0, config.fault_at_s - engine.now());
+    env.post_after(delay, [&deployment, &config]() {
+      GC_WARN << "fault injection: killing "
+              << deployment.sed(
+                     static_cast<std::size_t>(config.fault_sed_index))
+                     .name();
+      deployment.sed(static_cast<std::size_t>(config.fault_sed_index))
+          .fail();
+    });
+  }
+
+  // Part 2: issued all at once when part 1 completes; failed calls are
+  // resubmitted up to config.max_retries times each.
+  auto submit_one = std::make_shared<
+      std::function<void(const halo::Halo&, int)>>();
+  *submit_one = [&, submit_one](const halo::Halo& halo, int retries_left) {
+    const int cx = static_cast<int>(halo.x * config.resolution);
+    const int cy = static_cast<int>(halo.y * config.resolution);
+    const int cz = static_cast<int>(halo.z * config.resolution);
+    diet::Profile profile = make_zoom2_profile(
+        namelist_path, config.shipped_input_bytes, config.resolution,
+        config.size_mpc, cx, cy, cz, config.nb_box, config.input_mode);
+    client.call_async(
+        std::move(profile),
+        [&, submit_one, halo, retries_left](const gc::Status& status,
+                                            diet::Profile&) {
+          if (status.is_ok()) {
+            ++completed;
+            return;
+          }
+          if (retries_left > 0) {
+            ++result.resubmissions;
+            (*submit_one)(halo, retries_left - 1);
+            return;
+          }
+          ++result.failed_calls;
+          ++completed;
+        },
+        config.call_deadline_s);
+  };
+
+  auto submit_zoom2 = [&](const std::string& catalog_path) {
+    auto catalog = halo::read_catalog(catalog_path);
+    std::vector<halo::Halo> halos;
+    if (catalog.is_ok()) halos = std::move(catalog.value().halos);
+    GC_CHECK_MSG(!halos.empty(), "zoom1 produced no halos");
+    for (int i = 0; i < config.sub_simulations; ++i) {
+      (*submit_one)(halos[static_cast<std::size_t>(i) % halos.size()],
+                    config.max_retries);
+    }
+  };
+
+  diet::Profile zoom1 =
+      make_zoom1_profile(namelist_path, config.shipped_input_bytes,
+                         config.resolution, config.size_mpc,
+                         config.input_mode);
+  client.call_async(
+      std::move(zoom1),
+      [&](const gc::Status& status, diet::Profile& profile) {
+        zoom1_done = true;
+        GC_CHECK_MSG(status.is_ok(), "zoom1 failed: " + status.to_string());
+        auto file = profile.arg(3).get_file();
+        GC_CHECK(file.is_ok());
+        submit_zoom2(file.value().path);
+      });
+
+  engine.run();
+  GC_CHECK_MSG(zoom1_done, "zoom1 never completed");
+  GC_CHECK_MSG(completed == static_cast<std::size_t>(config.sub_simulations),
+               "campaign did not finish all sub-simulations");
+
+  // ---- metrics ----
+  const auto& records = client.records();
+  GC_CHECK(records.size() >=
+           1 + static_cast<std::size_t>(config.sub_simulations));
+  result.zoom1 = records[0];
+  result.zoom2.assign(records.begin() + 1, records.end());
+
+  result.part1_duration = result.zoom1.total_time();
+
+  RunningStats exec_stats;
+  RunningStats finding_stats;
+  double first_submit = result.zoom1.submitted;
+  double last_completed = result.zoom1.completed;
+  double sequential = 0.0;
+
+  for (std::size_t i = 0; i < deployment.sed_count(); ++i) {
+    const diet::Sed& sed = deployment.sed(i);
+    SedSummary summary;
+    summary.name = sed.name();
+    const platform::SedPlacement& placement = g5k.seds[i];
+    const platform::Cluster& cluster = g5k.platform.cluster(placement.cluster);
+    summary.cluster = cluster.name;
+    summary.site = g5k.platform.site(cluster.site).name;
+    summary.machine_power = cluster.model.relative_power;
+    summary.jobs = sed.job_log();
+    for (const auto& job : summary.jobs) {
+      if (job.service == "ramsesZoom2") {
+        summary.requests += 1;
+        summary.busy_seconds += job.finished - job.started;
+      }
+      sequential += job.finished - job.started;
+    }
+    result.seds.push_back(std::move(summary));
+  }
+
+  for (const auto& record : result.zoom2) {
+    if (record.found >= 0.0) finding_stats.add(record.finding_time());
+    if (record.ok && record.started >= 0.0 && record.completed >= 0.0) {
+      exec_stats.add(record.completed - record.started);
+    }
+    last_completed = std::max(last_completed, record.completed);
+    first_submit = std::min(first_submit, record.submitted);
+  }
+  finding_stats.add(result.zoom1.finding_time());
+
+  result.part2_mean_exec = exec_stats.mean();
+  result.makespan = last_completed - first_submit;
+  result.sequential_estimate = sequential;
+  result.finding_mean = finding_stats.mean();
+  // Overhead per the paper: finding time + service initiation, everything
+  // else being either payload transfer or computation.
+  result.overhead_total =
+      finding_stats.sum() +
+      config.sed_tuning.init_delay *
+          static_cast<double>(config.sub_simulations + 1);
+  result.network_bytes = env.bytes_sent();
+  result.network_messages = env.messages_sent();
+  return result;
+}
+
+}  // namespace gc::workflow

@@ -1,0 +1,259 @@
+// Tests for the paper-style C API (DIET_client.h / DIET_server.h veneer)
+// including the asynchronous GridRPC family.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "diet/agent.hpp"
+#include "diet/capi.hpp"
+#include "sched/policy.hpp"
+
+namespace {
+
+int solve_double(diet_profile_t* pb) {
+  const std::int32_t* in = nullptr;
+  if (diet_scalar_get(diet_parameter(pb, 0), &in, nullptr) != 0) return 1;
+  const std::int32_t out = *in * 2;
+  diet_scalar_set(diet_parameter(pb, 1), &out, DIET_VOLATILE, DIET_INT);
+  return 0;
+}
+
+int solve_fail(diet_profile_t*) { return 42; }
+
+/// One full in-process deployment usable by the C API.
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("gc_capi_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    topology_ = std::make_unique<gc::net::UniformTopology>(1e-4, 1e9);
+    env_ = std::make_unique<gc::net::RealEnv>(*topology_);
+    registry_ = std::make_unique<gc::naming::Registry>();
+    gc::diet::capi::bind_process(*env_, *registry_, 0);
+
+    ma_ = std::make_unique<gc::diet::Agent>(
+        gc::diet::Agent::Kind::kMaster, "MA1",
+        gc::sched::make_default_policy(), gc::diet::AgentTuning{}, 1);
+    env_->attach(*ma_, 1);
+    registry_->rebind("MA1", ma_->endpoint());
+    la_ = std::make_unique<gc::diet::Agent>(
+        gc::diet::Agent::Kind::kLocal, "LA1",
+        gc::sched::make_default_policy(), gc::diet::AgentTuning{}, 2);
+    env_->attach(*la_, 2);
+    registry_->rebind("LA1", la_->endpoint());
+    la_->register_at(ma_->endpoint());
+
+    sed_cfg_ = dir_ + "/sed.cfg";
+    std::ofstream(sed_cfg_) << "parentName = LA1\nname = SeD-capi\n"
+                               "nodeId = 3\nhostPower = 1.0\nmachines = 1\n";
+    client_cfg_ = dir_ + "/client.cfg";
+    std::ofstream(client_cfg_) << "MAName = MA1\n";
+
+    // Registration messages are already queued; run the dispatcher so
+    // tests that never call diet_initialize/diet_SeD still drain them.
+    env_->start();
+  }
+
+  void TearDown() override {
+    diet_finalize();
+    env_->stop();
+    gc::diet::capi::unbind_process();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void register_services() {
+    diet_service_table_init(4);
+    diet_profile_desc_t* desc = diet_profile_desc_alloc("double", 0, 0, 1);
+    diet_generic_desc_set(diet_parameter(desc, 0), DIET_SCALAR, DIET_INT);
+    diet_generic_desc_set(diet_parameter(desc, 1), DIET_SCALAR, DIET_INT);
+    ASSERT_EQ(diet_service_table_add(desc, nullptr, solve_double), 0);
+    diet_profile_desc_t* fail_desc =
+        diet_profile_desc_alloc("always_fails", 0, 0, 1);
+    diet_generic_desc_set(diet_parameter(fail_desc, 0), DIET_SCALAR, DIET_INT);
+    diet_generic_desc_set(diet_parameter(fail_desc, 1), DIET_SCALAR, DIET_INT);
+    ASSERT_EQ(diet_service_table_add(fail_desc, nullptr, solve_fail), 0);
+    diet_profile_desc_free(desc);
+    diet_profile_desc_free(fail_desc);
+    ASSERT_EQ(diet_SeD(sed_cfg_.c_str(), 0, nullptr), 0);
+  }
+
+  diet_profile_t* make_profile(const char* name, std::int32_t value) {
+    diet_profile_t* profile = diet_profile_alloc(name, 0, 0, 1);
+    diet_scalar_set(diet_parameter(profile, 0), &value, DIET_VOLATILE,
+                    DIET_INT);
+    // OUT declared without value.
+    diet_parameter(profile, 1)->desc.type = gc::diet::DataType::kScalar;
+    diet_parameter(profile, 1)->desc.base = gc::diet::BaseType::kInt;
+    return profile;
+  }
+
+  std::string dir_;
+  std::string sed_cfg_;
+  std::string client_cfg_;
+  std::unique_ptr<gc::net::UniformTopology> topology_;
+  std::unique_ptr<gc::net::RealEnv> env_;
+  std::unique_ptr<gc::naming::Registry> registry_;
+  std::unique_ptr<gc::diet::Agent> ma_;
+  std::unique_ptr<gc::diet::Agent> la_;
+};
+
+TEST_F(CapiTest, InitializeRequiresValidConfig) {
+  EXPECT_NE(diet_initialize("/nonexistent.cfg", 0, nullptr), 0);
+  const std::string bad = dir_ + "/bad.cfg";
+  std::ofstream(bad) << "MAName = NoSuchMA\n";
+  EXPECT_NE(diet_initialize(bad.c_str(), 0, nullptr), 0);
+  EXPECT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+}
+
+TEST_F(CapiTest, SynchronousCallRoundtrip) {
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+  env_->wait_idle();
+
+  diet_profile_t* profile = make_profile("double", 21);
+  ASSERT_EQ(diet_call(profile), 0);
+  const std::int32_t* result = nullptr;
+  ASSERT_EQ(diet_scalar_get(diet_parameter(profile, 1), &result, nullptr), 0);
+  EXPECT_EQ(*result, 42);
+  diet_profile_free(profile);
+}
+
+TEST_F(CapiTest, FailingSolveSurfacesError) {
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+  env_->wait_idle();
+  diet_profile_t* profile = make_profile("always_fails", 1);
+  EXPECT_NE(diet_call(profile), 0);
+  diet_profile_free(profile);
+}
+
+TEST_F(CapiTest, GrpcAliasesWork) {
+  register_services();
+  ASSERT_EQ(grpc_initialize(client_cfg_.c_str()), 0);
+  env_->wait_idle();
+  diet_profile_t* profile = make_profile("double", 5);
+  ASSERT_EQ(grpc_call(profile), 0);
+  const std::int32_t* result = nullptr;
+  diet_scalar_get(diet_parameter(profile, 1), &result, nullptr);
+  EXPECT_EQ(*result, 10);
+  diet_profile_free(profile);
+  EXPECT_EQ(grpc_finalize(), 0);
+}
+
+TEST_F(CapiTest, AsyncCallAndWait) {
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+  env_->wait_idle();
+
+  diet_profile_t* profile = make_profile("double", 100);
+  diet_reqID_t id = 0;
+  ASSERT_EQ(diet_call_async(profile, &id), 0);
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(diet_wait(id), 0);
+  EXPECT_EQ(diet_probe(id), 0);  // completed
+  const std::int32_t* result = nullptr;
+  diet_scalar_get(diet_parameter(profile, 1), &result, nullptr);
+  EXPECT_EQ(*result, 200);
+  EXPECT_EQ(diet_cancel(id), 0);
+  EXPECT_EQ(diet_probe(id), -1);  // forgotten
+  diet_profile_free(profile);
+}
+
+TEST_F(CapiTest, AsyncBurstWaitAll) {
+  // The paper's client pattern: "he requests simultaneously 100
+  // sub-simulations" — here a burst of 8 async calls + wait_all.
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+  env_->wait_idle();
+
+  std::vector<diet_profile_t*> profiles;
+  std::vector<diet_reqID_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    profiles.push_back(make_profile("double", i));
+    diet_reqID_t id = 0;
+    ASSERT_EQ(diet_call_async(profiles.back(), &id), 0);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(diet_wait_all(), 0);
+  for (int i = 0; i < 8; ++i) {
+    const std::int32_t* result = nullptr;
+    diet_scalar_get(diet_parameter(profiles[static_cast<size_t>(i)], 1),
+                    &result, nullptr);
+    EXPECT_EQ(*result, 2 * i);
+    diet_profile_free(profiles[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(CapiTest, WaitAnyReturnsACompletedRequest) {
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+  env_->wait_idle();
+
+  diet_profile_t* a = make_profile("double", 1);
+  diet_profile_t* b = make_profile("double", 2);
+  diet_reqID_t id_a = 0;
+  diet_reqID_t id_b = 0;
+  ASSERT_EQ(diet_call_async(a, &id_a), 0);
+  ASSERT_EQ(diet_call_async(b, &id_b), 0);
+  diet_reqID_t winner = 0;
+  EXPECT_EQ(diet_wait_any(&winner), 0);
+  EXPECT_TRUE(winner == id_a || winner == id_b);
+  EXPECT_EQ(diet_wait_all(), 0);
+  diet_profile_free(a);
+  diet_profile_free(b);
+}
+
+TEST_F(CapiTest, ServiceTablePrintsAndRejectsDuplicates) {
+  register_services();
+  diet_print_service_table();
+  diet_profile_desc_t* dup = diet_profile_desc_alloc("double", 0, 0, 1);
+  diet_generic_desc_set(diet_parameter(dup, 0), DIET_SCALAR, DIET_INT);
+  diet_generic_desc_set(diet_parameter(dup, 1), DIET_SCALAR, DIET_INT);
+  EXPECT_NE(diet_service_table_add(dup, nullptr, solve_double), 0);
+  diet_profile_desc_free(dup);
+}
+
+TEST_F(CapiTest, FreeDataClearsValue) {
+  diet_profile_t* profile = diet_profile_alloc("x", 0, 0, 1);
+  const std::int32_t v = 7;
+  diet_scalar_set(diet_parameter(profile, 0), &v, DIET_VOLATILE, DIET_INT);
+  EXPECT_TRUE(diet_parameter(profile, 0)->has_value());
+  EXPECT_EQ(diet_free_data(diet_parameter(profile, 0)), 0);
+  EXPECT_FALSE(diet_parameter(profile, 0)->has_value());
+  EXPECT_NE(diet_free_data(nullptr), 0);
+  diet_profile_free(profile);
+}
+
+TEST_F(CapiTest, FileArgumentsThroughCApi) {
+  register_services();
+  ASSERT_EQ(diet_initialize(client_cfg_.c_str(), 0, nullptr), 0);
+
+  const std::string payload = dir_ + "/input.bin";
+  std::ofstream(payload) << std::string(2048, 'z');
+
+  diet_profile_t* profile = diet_profile_alloc("unused", 0, 0, 1);
+  ASSERT_EQ(diet_file_set(diet_parameter(profile, 0), DIET_VOLATILE,
+                          payload.c_str()),
+            0);
+  std::size_t size = 0;
+  char* path = nullptr;
+  ASSERT_EQ(diet_file_get(diet_parameter(profile, 0), nullptr, &size, &path),
+            0);
+  EXPECT_EQ(size, 2048u);
+  EXPECT_STREQ(path, payload.c_str());
+  std::free(path);
+  // NULL-path OUT declaration (Section 4.3.2).
+  ASSERT_EQ(diet_file_set(diet_parameter(profile, 1), DIET_VOLATILE, nullptr),
+            0);
+  EXPECT_FALSE(diet_parameter(profile, 1)->has_value());
+  diet_profile_free(profile);
+}
+
+}  // namespace

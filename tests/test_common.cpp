@@ -1,0 +1,273 @@
+// Tests for src/common: status, rng, units, strings, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace gc {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = make_error(ErrorCode::kNotFound, "thing missing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "thing missing");
+  EXPECT_EQ(status.to_string(), "not_found: thing missing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kOutOfRange,
+        ErrorCode::kFailedPrecondition, ErrorCode::kUnavailable,
+        ErrorCode::kIoError, ErrorCode::kInternal}) {
+    EXPECT_STRNE(to_string(code), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(make_error(ErrorCode::kInternal, "boom"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.is_ok());
+  auto owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounded) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalPreservesMean) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(rng.lognormal_with_mean(100.0, 0.1));
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 0.5);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.1, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng rng(5);
+  const std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+// ---------- units ----------
+
+struct DurationCase {
+  double seconds;
+  const char* expected;
+};
+
+class FormatDuration : public ::testing::TestWithParam<DurationCase> {};
+
+TEST_P(FormatDuration, Formats) {
+  EXPECT_EQ(format_duration(GetParam().seconds), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FormatDuration,
+    ::testing::Values(DurationCase{0.0498, "49.8ms"},
+                      DurationCase{12.3, "12.3s"},
+                      DurationCase{75.0, "1min 15s"},
+                      DurationCase{4511.0, "1h 15min 11s"},
+                      DurationCase{58723.0, "16h 18min 43s"},
+                      DurationCase{508680.0, "141h 18min 00s"}));
+
+TEST(Units, NegativeDuration) {
+  EXPECT_EQ(format_duration(-75.0), "-1min 15s");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+}
+
+TEST(Units, Bandwidth) {
+  EXPECT_DOUBLE_EQ(gbit_per_s(1.0), 1.25e8);
+  EXPECT_DOUBLE_EQ(gbit_per_s(10.0), 1.25e9);
+}
+
+// ---------- strings ----------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  one\ttwo  three \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("ramsesZoom2", "ramses"));
+  EXPECT_FALSE(starts_with("ram", "ramses"));
+  EXPECT_TRUE(ends_with("results.tar", ".tar"));
+  EXPECT_FALSE(ends_with(".tar", "results.tar"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("MAName"), "maname"); }
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+// ---------- stats ----------
+
+TEST(Stats, RunningBasics) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 100.0);
+  EXPECT_NEAR(percentile(values, 50), 50.5, 1e-9);
+  EXPECT_NEAR(percentile(values, 90), 90.1, 1e-9);
+}
+
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 50), 3.0);
+}
+
+}  // namespace
+}  // namespace gc

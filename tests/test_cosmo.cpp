@@ -1,0 +1,239 @@
+// Tests for the background cosmology and the linear power spectrum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/cosmology.hpp"
+#include "cosmo/massfunction.hpp"
+#include "cosmo/power.hpp"
+
+namespace gc::cosmo {
+namespace {
+
+Params eds() {
+  Params params;
+  params.omega_m = 1.0;
+  params.omega_l = 0.0;
+  return params;
+}
+
+TEST(Cosmology, EfuncToday) {
+  Cosmology cosmology;
+  EXPECT_NEAR(cosmology.efunc(1.0), 1.0, 1e-12);
+}
+
+TEST(Cosmology, EfuncMatterScaling) {
+  // Deep in matter domination E(a) ~ sqrt(Om) a^-3/2.
+  Cosmology cosmology;
+  const double a = 0.02;
+  EXPECT_NEAR(cosmology.efunc(a), std::sqrt(0.27) * std::pow(a, -1.5),
+              0.01 * cosmology.efunc(a));
+}
+
+TEST(Cosmology, HubbleToday) {
+  Cosmology cosmology;
+  EXPECT_NEAR(cosmology.hubble(1.0), 71.0, 1e-9);
+}
+
+TEST(Cosmology, EdsAgeIsTwoThirds) {
+  // Einstein-de Sitter: t(a) = (2/3) a^{3/2} in 1/H0 units.
+  Cosmology cosmology(eds());
+  EXPECT_NEAR(cosmology.age(1.0), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(cosmology.age(0.25), 2.0 / 3.0 * std::pow(0.25, 1.5), 1e-6);
+}
+
+TEST(Cosmology, LcdmAgeIsReasonable) {
+  Cosmology cosmology;  // WMAP3-ish
+  const double age_gyr = cosmology.age(1.0) * cosmology.hubble_time_gyr();
+  EXPECT_GT(age_gyr, 13.0);
+  EXPECT_LT(age_gyr, 14.5);
+}
+
+TEST(Cosmology, AgeMonotonic) {
+  Cosmology cosmology;
+  double last = 0.0;
+  for (double a = 0.05; a <= 2.0; a += 0.05) {
+    const double t = cosmology.age(a);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(Cosmology, AOfAgeInverts) {
+  Cosmology cosmology;
+  for (const double a : {0.1, 0.3, 0.5, 1.0, 1.5}) {
+    EXPECT_NEAR(cosmology.a_of_age(cosmology.age(a)), a, 1e-6);
+  }
+}
+
+TEST(Cosmology, GrowthNormalizedToday) {
+  Cosmology cosmology;
+  EXPECT_NEAR(cosmology.growth(1.0), 1.0, 1e-12);
+}
+
+TEST(Cosmology, EdsGrowthIsLinearInA) {
+  Cosmology cosmology(eds());
+  for (const double a : {0.1, 0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(cosmology.growth(a), a, 1e-4 * a);
+  }
+}
+
+TEST(Cosmology, LcdmGrowthSuppressed) {
+  // Lambda suppresses late growth: D(a) < a for a < 1 ... actually
+  // D(a)/a rises towards early times, so D(0.5) > 0.5 * D(1)/1 scaled:
+  // the robust statement is D(a) >= a for ΛCDM normalized at 1.
+  Cosmology cosmology;
+  for (const double a : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_GT(cosmology.growth(a), a * 0.999);
+  }
+}
+
+TEST(Cosmology, GrowthMonotonic) {
+  Cosmology cosmology;
+  double last = 0.0;
+  for (double a = 0.02; a <= 1.0; a += 0.02) {
+    const double d = cosmology.growth(a);
+    EXPECT_GT(d, last);
+    last = d;
+  }
+}
+
+TEST(Cosmology, GrowthRateMatchesOmegaPower) {
+  // f(a) ~ Omega_m(a)^0.55 to ~1% for ΛCDM.
+  Cosmology cosmology;
+  for (const double a : {0.2, 0.5, 1.0}) {
+    const double e = cosmology.efunc(a);
+    const double omega_a = 0.27 / (a * a * a) / (e * e);
+    EXPECT_NEAR(cosmology.growth_rate(a), std::pow(omega_a, 0.55), 0.02);
+  }
+}
+
+TEST(Cosmology, EdsGrowthRateIsOne) {
+  Cosmology cosmology(eds());
+  EXPECT_NEAR(cosmology.growth_rate(0.5), 1.0, 1e-3);
+}
+
+TEST(Cosmology, RedshiftHelpers) {
+  EXPECT_DOUBLE_EQ(Cosmology::z_of_a(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Cosmology::a_of_z(3.0), 0.25);
+}
+
+// ---------- power spectrum ----------
+
+TEST(Power, Sigma8Normalization) {
+  PowerSpectrum power;
+  EXPECT_NEAR(power.sigma_r(8.0), 0.80, 1e-6);
+}
+
+TEST(Power, SigmaDecreasesWithScale) {
+  PowerSpectrum power;
+  EXPECT_GT(power.sigma_r(1.0), power.sigma_r(8.0));
+  EXPECT_GT(power.sigma_r(8.0), power.sigma_r(32.0));
+}
+
+TEST(Power, TransferLimits) {
+  PowerSpectrum power;
+  EXPECT_NEAR(power.transfer(1e-5), 1.0, 1e-3);  // large scales untouched
+  EXPECT_LT(power.transfer(10.0), 0.01);         // small scales suppressed
+  // Monotone decreasing.
+  double last = 2.0;
+  for (double k = 1e-4; k < 1e2; k *= 2.0) {
+    const double t = power.transfer(k);
+    EXPECT_LT(t, last);
+    last = t;
+  }
+}
+
+TEST(Power, SpectrumPositiveWithTurnover) {
+  PowerSpectrum power;
+  EXPECT_EQ(power(0.0), 0.0);
+  double peak_k = 0.0;
+  double peak_p = 0.0;
+  for (double k = 1e-4; k < 10.0; k *= 1.1) {
+    const double p = power(k);
+    EXPECT_GT(p, 0.0);
+    if (p > peak_p) {
+      peak_p = p;
+      peak_k = k;
+    }
+  }
+  // ΛCDM turnover sits near k ~ 0.01-0.03 h/Mpc.
+  EXPECT_GT(peak_k, 0.005);
+  EXPECT_LT(peak_k, 0.05);
+}
+
+TEST(Power, GrowsWithExpansionFactor) {
+  PowerSpectrum power;
+  const double k = 0.1;
+  EXPECT_LT(power.at(k, 0.5), power(k));
+  EXPECT_NEAR(power.at(k, 1.0), power(k), 1e-9);
+  // P scales as D^2.
+  Cosmology cosmology;
+  const double d = cosmology.growth(0.5);
+  EXPECT_NEAR(power.at(k, 0.5), power(k) * d * d, power(k) * 1e-6);
+}
+
+TEST(Power, RespondsToSigma8) {
+  Params hi;
+  hi.sigma8 = 1.0;
+  PowerSpectrum strong(hi);
+  PowerSpectrum fiducial;
+  const double ratio = strong(0.1) / fiducial(0.1);
+  EXPECT_NEAR(ratio, (1.0 / 0.8) * (1.0 / 0.8), 1e-6);
+}
+
+// ---------- mass function ----------
+
+TEST(MassFunction, RadiusMassInverse) {
+  MassFunction mf;
+  for (const double m : {1e10, 1e12, 1e14}) {
+    EXPECT_NEAR(mf.mass_of_radius(mf.radius_of_mass(m)) / m, 1.0, 1e-12);
+  }
+  // 8 Mpc/h sphere ~ 1.8e14 Msun/h for Omega_m = 0.27.
+  EXPECT_NEAR(mf.mass_of_radius(8.0) / 1.6e14, 1.0, 0.1);
+}
+
+TEST(MassFunction, SigmaDecreasesWithMass) {
+  MassFunction mf;
+  double last = 1e18;
+  for (double m = 1e10; m < 1e16; m *= 10.0) {
+    const double sigma = mf.sigma_mass(m);
+    EXPECT_LT(sigma, last);
+    EXPECT_GT(sigma, 0.0);
+    last = sigma;
+  }
+}
+
+TEST(MassFunction, ExponentialHighMassCutoff) {
+  MassFunction mf;
+  EXPECT_GT(mf.dn_dlnm(1e12), 0.0);
+  // Clusters are rare; 1e16 halos essentially nonexistent today.
+  EXPECT_GT(mf.dn_dlnm(1e12) / mf.dn_dlnm(1e15), 1e2);
+  EXPECT_GT(mf.dn_dlnm(1e14) / mf.dn_dlnm(1e16), 1e4);
+}
+
+TEST(MassFunction, CountAboveIsDecreasing) {
+  MassFunction mf;
+  const double box = 100.0;
+  const double n12 = mf.count_above(1e12, box);
+  const double n13 = mf.count_above(1e13, box);
+  const double n14 = mf.count_above(1e14, box);
+  EXPECT_GT(n12, n13);
+  EXPECT_GT(n13, n14);
+  // A 100 Mpc/h box holds thousands of 1e12 halos and a handful above
+  // 1e14 — the well-known orders of magnitude.
+  EXPECT_GT(n12, 1e3);
+  EXPECT_LT(n14, 1e3);
+  EXPECT_GT(n14, 1.0);
+}
+
+TEST(MassFunction, StructureGrowsWithTime) {
+  MassFunction mf;
+  // Massive halos are (much) rarer at high redshift.
+  EXPECT_LT(mf.count_above(1e14, 100.0, 0.5),
+            0.5 * mf.count_above(1e14, 100.0, 1.0));
+  EXPECT_LT(mf.dn_dlnm(1e15, 0.5), mf.dn_dlnm(1e15, 1.0));
+}
+
+}  // namespace
+}  // namespace gc::cosmo

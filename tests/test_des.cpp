@@ -1,0 +1,213 @@
+// Tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/engine.hpp"
+#include "des/link.hpp"
+#include "des/resource.hpp"
+
+namespace gc::des {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, SameTimeFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfter) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_after(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel is a no-op
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClock) {
+  Engine engine;
+  const EventId id = engine.schedule_at(100.0, [] {});
+  engine.schedule_at(1.0, [] {});
+  engine.cancel(id);
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  engine.run_until(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 42.0);
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_after(1.0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_executed(), 7u);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) engine.schedule_after(1.0, recurse);
+  };
+  engine.schedule_after(0.0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(engine.now(), 49.0);
+}
+
+class EngineRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineRandomized, AlwaysMonotonicTime) {
+  Engine engine;
+  Rng rng(GetParam());
+  double last = -1.0;
+  bool monotonic = true;
+  for (int i = 0; i < 500; ++i) {
+    engine.schedule_at(rng.uniform(0.0, 100.0), [&] {
+      if (engine.now() < last) monotonic = false;
+      last = engine.now();
+      if (engine.now() < 90.0) {
+        engine.schedule_after(rng.uniform(0.0, 5.0), [] {});
+      }
+    });
+  }
+  engine.run();
+  EXPECT_TRUE(monotonic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- Resource ----------
+
+TEST(Resource, GrantsUpToCapacity) {
+  Engine engine;
+  Resource resource(engine, 2);
+  int granted = 0;
+  for (int i = 0; i < 5; ++i) {
+    resource.acquire([&] { ++granted; });
+  }
+  engine.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(resource.in_use(), 2u);
+  EXPECT_EQ(resource.waiting(), 3u);
+}
+
+TEST(Resource, ReleaseWakesFifo) {
+  Engine engine;
+  Resource resource(engine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    resource.acquire([&order, &resource, &engine, i] {
+      order.push_back(i);
+      engine.schedule_after(1.0, [&resource] { resource.release(); });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(resource.in_use(), 0u);
+}
+
+TEST(Resource, CapacityAccessor) {
+  Engine engine;
+  Resource resource(engine, 3);
+  EXPECT_EQ(resource.capacity(), 3u);
+}
+
+// ---------- Link ----------
+
+TEST(Link, DelayOnlyTransferTime) {
+  Engine engine;
+  Link link(engine, 0.010, 1e6);  // 10ms, 1 MB/s
+  double arrived = -1.0;
+  link.transfer(1000, [&] { arrived = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(arrived, 0.011, 1e-12);
+  EXPECT_EQ(link.transfers(), 1u);
+  EXPECT_EQ(link.bytes_carried(), 1000);
+}
+
+TEST(Link, DelayOnlyTransfersOverlap) {
+  Engine engine;
+  Link link(engine, 0.010, 1e6);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.transfer(1000, [&] { arrivals.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  for (const double t : arrivals) EXPECT_NEAR(t, 0.011, 1e-12);
+}
+
+TEST(Link, SerializedTransfersQueue) {
+  Engine engine;
+  Link link(engine, 0.0, 1e6, LinkMode::kSerialized);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.transfer(1000000, [&] { arrivals.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 1.0, 1e-9);
+  EXPECT_NEAR(arrivals[1], 2.0, 1e-9);
+  EXPECT_NEAR(arrivals[2], 3.0, 1e-9);
+}
+
+TEST(Link, TransferTimeQuery) {
+  Engine engine;
+  Link link(engine, 0.020, gbit_per_s(1.0));
+  EXPECT_NEAR(link.transfer_time(125000000), 0.020 + 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gc::des

@@ -1,0 +1,175 @@
+// Tests for GalaxyMaker (the semi-analytic model).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "galaxy/galaxymaker.hpp"
+
+namespace gc::galaxy {
+namespace {
+
+halo::Halo make_halo(std::uint64_t id, double mass,
+                     std::vector<std::uint64_t> members) {
+  halo::Halo h;
+  h.id = id;
+  h.mass = mass;
+  h.npart = members.size();
+  h.members = std::move(members);
+  return h;
+}
+
+halo::HaloCatalog make_catalog(double aexp, std::vector<halo::Halo> halos) {
+  halo::HaloCatalog catalog;
+  catalog.aexp = aexp;
+  catalog.halos = std::move(halos);
+  return catalog;
+}
+
+tree::MergerForest growing_halo_forest() {
+  std::vector<halo::HaloCatalog> catalogs;
+  std::vector<std::uint64_t> members;
+  double mass = 0.5;
+  for (int s = 0; s < 5; ++s) {
+    members.push_back(static_cast<std::uint64_t>(s) + 1);
+    catalogs.push_back(
+        make_catalog(0.2 + 0.2 * s, {make_halo(1, mass, members)}));
+    mass *= 1.5;
+  }
+  return tree::build_forest(catalogs);
+}
+
+TEST(GalaxyMaker, OneCatalogPerSnapshot) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto catalogs = run_sam(forest, cosmology);
+  ASSERT_EQ(catalogs.size(), 5u);
+  for (const auto& catalog : catalogs) {
+    EXPECT_EQ(catalog.galaxies.size(), 1u);
+  }
+}
+
+TEST(GalaxyMaker, StarsFormAndGrow) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto catalogs = run_sam(forest, cosmology);
+  double last = -1.0;
+  for (const auto& catalog : catalogs) {
+    const Galaxy& g = catalog.galaxies[0];
+    EXPECT_GE(g.mstar, 0.0);
+    EXPECT_GE(g.mcold, 0.0);
+    EXPECT_GE(g.mhot, 0.0);
+    EXPECT_GE(g.sfr, 0.0);
+    EXPECT_GT(g.mstar, last);  // stellar mass is monotone non-decreasing
+    last = g.mstar;
+  }
+  EXPECT_GT(catalogs.back().galaxies[0].mstar, 0.0);
+}
+
+TEST(GalaxyMaker, BaryonBudgetConserved) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  SamParams params;
+  const auto catalogs = run_sam(forest, cosmology, params);
+  // All baryons that ever entered equal what is stored in the phases.
+  const Galaxy& g = catalogs.back().galaxies[0];
+  const double available = params.baryon_fraction * g.halo_mass;
+  EXPECT_NEAR(g.mhot + g.mcold + g.mstar, available, available * 1e-9);
+}
+
+TEST(GalaxyMaker, HeavierHaloMakesMoreStars) {
+  std::vector<halo::HaloCatalog> catalogs = {
+      make_catalog(0.5, {make_halo(1, 4.0, {1, 2, 3, 4}),
+                         make_halo(2, 1.0, {10, 11})}),
+      make_catalog(1.0, {make_halo(1, 4.2, {1, 2, 3, 4}),
+                         make_halo(2, 1.1, {10, 11})}),
+  };
+  const auto forest = tree::build_forest(catalogs);
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto result = run_sam(forest, cosmology);
+  const auto& final_galaxies = result.back().galaxies;
+  ASSERT_EQ(final_galaxies.size(), 2u);
+  const Galaxy& heavy = final_galaxies[0].halo_mass > final_galaxies[1].halo_mass
+                            ? final_galaxies[0]
+                            : final_galaxies[1];
+  const Galaxy& light = final_galaxies[0].halo_mass > final_galaxies[1].halo_mass
+                            ? final_galaxies[1]
+                            : final_galaxies[0];
+  EXPECT_GT(heavy.mstar, light.mstar);
+}
+
+TEST(GalaxyMaker, MergerCombinesGalaxies) {
+  std::vector<halo::HaloCatalog> catalogs = {
+      make_catalog(0.4, {make_halo(1, 2.0, {1, 2, 3}),
+                         make_halo(2, 1.5, {10, 11, 12})}),
+      make_catalog(1.0, {make_halo(1, 3.6, {1, 2, 3, 10, 11, 12})}),
+  };
+  const auto forest = tree::build_forest(catalogs);
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  SamParams params;
+  const auto result = run_sam(forest, cosmology, params);
+
+  const auto& before = result[0].galaxies;
+  ASSERT_EQ(before.size(), 2u);
+  const auto& after = result[1].galaxies;
+  ASSERT_EQ(after.size(), 1u);
+  // The merged galaxy inherits at least the sum of its progenitors' stars.
+  EXPECT_GE(after[0].mstar, before[0].mstar + before[1].mstar);
+  EXPECT_EQ(after[0].n_mergers, 1);
+  // Baryon budget still holds after the merger.
+  const double available = params.baryon_fraction * after[0].halo_mass;
+  EXPECT_NEAR(after[0].mhot + after[0].mcold + after[0].mstar, available,
+              available * 1e-9);
+}
+
+TEST(GalaxyMaker, FeedbackReducesStars) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  SamParams weak;
+  weak.feedback_efficiency = 0.0;
+  SamParams strong;
+  strong.feedback_efficiency = 2.0;
+  const double stars_weak =
+      run_sam(forest, cosmology, weak).back().galaxies[0].mstar;
+  const double stars_strong =
+      run_sam(forest, cosmology, strong).back().galaxies[0].mstar;
+  EXPECT_GT(stars_weak, stars_strong);
+}
+
+TEST(GalaxyMaker, TextCatalog) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto result = run_sam(forest, cosmology);
+  const std::string text = catalog_to_text(result.back());
+  EXPECT_NE(text.find("ngal=1"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(GalaxyMaker, CatalogIoRoundtrip) {
+  const auto forest = growing_halo_forest();
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto result = run_sam(forest, cosmology);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gc_gal_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  ASSERT_TRUE(write_catalog(path, result.back()).is_ok());
+  auto back = read_catalog(path);
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back.value().galaxies.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.value().galaxies[0].mstar,
+                   result.back().galaxies[0].mstar);
+  EXPECT_DOUBLE_EQ(back.value().aexp, result.back().aexp);
+  std::filesystem::remove(path);
+}
+
+TEST(GalaxyMaker, EmptyForest) {
+  const cosmo::Cosmology cosmology{cosmo::Params{}};
+  const auto result = run_sam(tree::MergerForest{}, cosmology);
+  EXPECT_TRUE(result.empty());
+}
+
+}  // namespace
+}  // namespace gc::galaxy

@@ -1,0 +1,349 @@
+// Tests for the initial-conditions generator (GRAFIC stand-in).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/stats.hpp"
+#include "grafic/files.hpp"
+#include "grafic/grf.hpp"
+#include "grafic/ic.hpp"
+
+namespace gc::grafic {
+namespace {
+
+// ---------- Gaussian random fields ----------
+
+TEST(Grf, MeanIsZero) {
+  Rng rng(1);
+  cosmo::PowerSpectrum power;
+  const auto field = gaussian_random_field(
+      32, 100.0, [&power](double k) { return power(k); }, rng);
+  EXPECT_NEAR(field.sum() / static_cast<double>(field.size()), 0.0, 1e-10);
+}
+
+TEST(Grf, DeterministicFromSeed) {
+  cosmo::PowerSpectrum power;
+  const auto p = [&power](double k) { return power(k); };
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const auto a = gaussian_random_field(16, 100.0, p, rng_a);
+  const auto b = gaussian_random_field(16, 100.0, p, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.raw()[i], b.raw()[i]);
+  }
+}
+
+TEST(Grf, MeasuredSpectrumMatchesTarget) {
+  // Closing the loop: generate with P(k), measure P(k) back, compare in
+  // the well-sampled middle of the k range.
+  Rng rng(7);
+  cosmo::PowerSpectrum power;
+  const double box = 100.0;
+  const auto field = gaussian_random_field(
+      64, box, [&power](double k) { return power(k); }, rng);
+  const auto measured = measure_power(field, box, 12);
+  ASSERT_GT(measured.size(), 6u);
+  int checked = 0;
+  for (const auto& [k, p] : measured) {
+    if (k < 0.2 || k > 1.2) continue;  // skip cosmic variance + Nyquist
+    EXPECT_NEAR(p / power(k), 1.0, 0.35) << "at k = " << k;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(Grf, FlatSpectrumVarianceMatches) {
+  // White spectrum P = const: cell variance = P * N^3 / V (sum over all
+  // modes), easy to verify analytically.
+  Rng rng(9);
+  const int n = 32;
+  const double box = 50.0;
+  const double p0 = 2.5;
+  const auto field =
+      gaussian_random_field(n, box, [p0](double) { return p0; }, rng);
+  RunningStats stats;
+  for (const double v : field.raw()) stats.add(v);
+  const double n3 = static_cast<double>(n) * n * n;
+  const double expected_var = p0 * n3 / (box * box * box);
+  // One k=0 mode of the n^3 is zeroed: irrelevant at this size.
+  EXPECT_NEAR(stats.variance() / expected_var, 1.0, 0.05);
+}
+
+TEST(Grf, KminCutRemovesLargeScales) {
+  Rng rng(11);
+  const double box = 100.0;
+  GrfOptions options;
+  options.k_min = 0.5;  // h/Mpc
+  const auto field = gaussian_random_field(
+      32, box, [](double) { return 100.0; }, rng, options);
+  const auto measured = measure_power(field, box, 10);
+  for (const auto& [k, p] : measured) {
+    if (k < 0.35) {
+      EXPECT_LT(p, 5.0) << "power leaked below k_min at k = " << k;
+    }
+  }
+}
+
+// ---------- trilinear ----------
+
+TEST(Trilinear, ExactAtGridPoints) {
+  const int n = 4;
+  std::vector<float> grid(static_cast<size_t>(n * n * n));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = static_cast<float>(i);
+  }
+  EXPECT_NEAR(trilinear(grid, n, 1.0, 2.0, 3.0),
+              grid[(1 * 4 + 2) * 4 + 3], 1e-12);
+}
+
+TEST(Trilinear, LinearFieldReproduced) {
+  // f = z is linear -> interpolation is exact away from the wrap.
+  const int n = 8;
+  std::vector<float> grid(static_cast<size_t>(n * n * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        grid[static_cast<size_t>((i * n + j) * n + k)] =
+            static_cast<float>(k);
+      }
+    }
+  }
+  EXPECT_NEAR(trilinear(grid, n, 2.0, 3.0, 4.5), 4.5, 1e-6);
+  EXPECT_NEAR(trilinear(grid, n, 2.25, 3.75, 2.5), 2.5, 1e-6);
+}
+
+TEST(Trilinear, PeriodicWrap) {
+  const int n = 4;
+  std::vector<float> grid(static_cast<size_t>(n * n * n), 0.0F);
+  grid[0] = 8.0F;  // (0,0,0)
+  // Halfway between (3,0,0) and (wrapped) (0,0,0).
+  EXPECT_NEAR(trilinear(grid, n, 3.5, 0.0, 0.0), 4.0, 1e-6);
+  EXPECT_NEAR(trilinear(grid, n, -0.5, 0.0, 0.0), 4.0, 1e-6);
+}
+
+// ---------- IC levels ----------
+
+TEST(Generator, SingleLevelShapes) {
+  cosmo::Params params;
+  Generator generator(params, 3);
+  const auto ic = generator.single_level(16, 100.0, 0.05);
+  ASSERT_EQ(ic.levels.size(), 1u);
+  const IcLevel& level = ic.levels[0];
+  EXPECT_EQ(level.n, 16);
+  EXPECT_EQ(level.level, 0);
+  EXPECT_DOUBLE_EQ(level.box_mpc, 100.0);
+  EXPECT_DOUBLE_EQ(level.a_start, 0.05);
+  EXPECT_EQ(level.cells(), 4096u);
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_EQ(level.disp[static_cast<size_t>(axis)].size(), 4096u);
+    EXPECT_EQ(level.vel[static_cast<size_t>(axis)].size(), 4096u);
+  }
+  EXPECT_EQ(level.delta.size(), 4096u);
+}
+
+TEST(Generator, DisplacementsHaveZeroMean) {
+  Generator generator(cosmo::Params{}, 5);
+  const auto ic = generator.single_level(16, 100.0, 0.05);
+  for (int axis = 0; axis < 3; ++axis) {
+    RunningStats stats;
+    for (const float d : ic.levels[0].disp[static_cast<size_t>(axis)]) {
+      stats.add(d);
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-8);
+    EXPECT_GT(stats.stddev(), 0.0);
+  }
+}
+
+TEST(Generator, VelocityProportionalToDisplacement) {
+  // Zel'dovich: v = a H f psi, one constant for the whole level.
+  Generator generator(cosmo::Params{}, 6);
+  const double a = 0.1;
+  const auto ic = generator.single_level(8, 100.0, a);
+  const IcLevel& level = ic.levels[0];
+  cosmo::Cosmology cosmology{cosmo::Params{}};
+  const double expected =
+      a * 100.0 * cosmology.efunc(a) * cosmology.growth_rate(a);
+  for (std::size_t i = 0; i < level.cells(); ++i) {
+    if (std::abs(level.disp[0][i]) < 1e-4) continue;
+    EXPECT_NEAR(level.vel[0][i] / level.disp[0][i], expected,
+                std::abs(expected) * 1e-4);
+  }
+}
+
+TEST(Generator, DisplacementAmplitudeGrows) {
+  // Later start -> larger growth factor -> larger displacements.
+  Generator g_early(cosmo::Params{}, 7);
+  Generator g_late(cosmo::Params{}, 7);  // same seed
+  const auto early = g_early.single_level(16, 100.0, 0.02);
+  const auto late = g_late.single_level(16, 100.0, 0.2);
+  RunningStats s_early;
+  RunningStats s_late;
+  for (const float d : early.levels[0].disp[0]) s_early.add(d);
+  for (const float d : late.levels[0].disp[0]) s_late.add(d);
+  cosmo::Cosmology cosmology{cosmo::Params{}};
+  const double expected_ratio =
+      cosmology.growth(0.2) / cosmology.growth(0.02);
+  EXPECT_NEAR(s_late.stddev() / s_early.stddev(), expected_ratio,
+              expected_ratio * 0.02);
+}
+
+TEST(Generator, MultiLevelRussianDolls) {
+  Generator generator(cosmo::Params{}, 8);
+  const Vec3 centre{60.0, 50.0, 40.0};
+  const auto ic = generator.multi_level(16, 100.0, 0.05, centre, 3);
+  ASSERT_EQ(ic.levels.size(), 4u);
+  double size = 100.0;
+  for (std::size_t l = 1; l < ic.levels.size(); ++l) {
+    size *= 0.5;
+    const IcLevel& level = ic.levels[l];
+    EXPECT_EQ(level.level, static_cast<int>(l));
+    EXPECT_DOUBLE_EQ(level.box_mpc, size);
+    // Centred on the requested halo position.
+    EXPECT_NEAR(level.origin.x + size / 2.0, centre.x, 1e-9);
+    EXPECT_NEAR(level.origin.y + size / 2.0, centre.y, 1e-9);
+    EXPECT_NEAR(level.origin.z + size / 2.0, centre.z, 1e-9);
+    // Nested inside the parent.
+    const IcLevel& parent = ic.levels[l - 1];
+    EXPECT_GE(level.origin.x, parent.origin.x - 1e-9);
+    EXPECT_LE(level.origin.x + level.box_mpc,
+              parent.origin.x + parent.box_mpc + 1e-9);
+    // Finer cells.
+    EXPECT_LT(level.cell_mpc(), parent.cell_mpc());
+  }
+}
+
+TEST(Generator, ChildInheritsParentLargeScales) {
+  // The child field resamples the parent's delta, so their correlation
+  // must be strongly positive (new power only above the parent Nyquist).
+  Generator generator(cosmo::Params{}, 9);
+  const auto ic =
+      generator.multi_level(32, 100.0, 0.05, Vec3{50.0, 50.0, 50.0}, 1);
+  const IcLevel& parent = ic.levels[0];
+  const IcLevel& child = ic.levels[1];
+  const double parent_cell = parent.box_mpc / parent.n;
+  const double child_cell = child.box_mpc / child.n;
+  double dot = 0.0;
+  double pp = 0.0;
+  double cc = 0.0;
+  const auto n = static_cast<std::size_t>(child.n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double px = (child.origin.x + (i + 0.5) * child_cell) /
+                              parent_cell - 0.5;
+        const double py = (child.origin.y + (j + 0.5) * child_cell) /
+                              parent_cell - 0.5;
+        const double pz = (child.origin.z + (k + 0.5) * child_cell) /
+                              parent_cell - 0.5;
+        const double parent_value =
+            trilinear(parent.delta, parent.n, px, py, pz);
+        const double child_value = child.delta[(i * n + j) * n + k];
+        dot += parent_value * child_value;
+        pp += parent_value * parent_value;
+        cc += child_value * child_value;
+      }
+    }
+  }
+  const double correlation = dot / std::sqrt(pp * cc);
+  EXPECT_GT(correlation, 0.5);
+}
+
+// ---------- 2LPT ----------
+
+TEST(SecondOrder, FieldHasZeroMeanAndFiniteRms) {
+  Generator generator(cosmo::Params{}, 31);
+  const auto ic = generator.single_level(16, 100.0, 0.1);
+  const auto psi2 =
+      second_order_displacement(ic.levels[0].delta, 16, 100.0);
+  for (int axis = 0; axis < 3; ++axis) {
+    RunningStats stats;
+    for (const float v : psi2[static_cast<size_t>(axis)]) stats.add(v);
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-6);
+    EXPECT_GT(stats.stddev(), 0.0);
+  }
+}
+
+TEST(SecondOrder, CorrectionIsSubdominantAtEarlyTimes) {
+  // psi2 scales as D^2: at an early start the 2LPT term must be a small
+  // fraction of the Zel'dovich displacement.
+  Generator first(cosmo::Params{}, 32);
+  Generator second(cosmo::Params{}, 32);
+  second.set_second_order(true);
+  const auto lpt1 = first.single_level(16, 100.0, 0.05);
+  const auto lpt2 = second.single_level(16, 100.0, 0.05);
+
+  RunningStats diff;
+  RunningStats base;
+  for (std::size_t i = 0; i < lpt1.levels[0].cells(); ++i) {
+    diff.add(lpt2.levels[0].disp[0][i] - lpt1.levels[0].disp[0][i]);
+    base.add(lpt1.levels[0].disp[0][i]);
+  }
+  EXPECT_GT(diff.stddev(), 0.0);              // the correction exists...
+  EXPECT_LT(diff.stddev(), 0.2 * base.stddev());  // ...but is subdominant
+}
+
+TEST(SecondOrder, CorrectionGrowsFasterThanLinear) {
+  // ratio(2LPT term / 1LPT term) ~ D(a): doubling the growth factor
+  // roughly doubles the relative size of the correction.
+  auto relative_correction = [](double a_start) {
+    Generator first(cosmo::Params{}, 33);
+    Generator second(cosmo::Params{}, 33);
+    second.set_second_order(true);
+    const auto lpt1 = first.single_level(16, 100.0, a_start);
+    const auto lpt2 = second.single_level(16, 100.0, a_start);
+    RunningStats diff;
+    RunningStats base;
+    for (std::size_t i = 0; i < lpt1.levels[0].cells(); ++i) {
+      diff.add(lpt2.levels[0].disp[0][i] - lpt1.levels[0].disp[0][i]);
+      base.add(lpt1.levels[0].disp[0][i]);
+    }
+    return diff.stddev() / base.stddev();
+  };
+  const double early = relative_correction(0.05);
+  const double late = relative_correction(0.2);
+  cosmo::Cosmology cosmology{cosmo::Params{}};
+  const double growth_ratio =
+      cosmology.growth(0.2) / cosmology.growth(0.05);
+  EXPECT_NEAR(late / early, growth_ratio, growth_ratio * 0.15);
+}
+
+// ---------- files ----------
+
+TEST(Files, WriteReadRoundtrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("gc_grafic_" + std::to_string(::getpid())))
+          .string();
+  Generator generator(cosmo::Params{}, 10);
+  const auto ic = generator.single_level(8, 100.0, 0.05);
+  ASSERT_TRUE(write_level(dir, ic.levels[0], ic.params).is_ok());
+
+  auto back = read_level(dir);
+  ASSERT_TRUE(back.is_ok());
+  const IcLevel& level = back.value();
+  EXPECT_EQ(level.n, 8);
+  EXPECT_NEAR(level.box_mpc, 100.0, 1e-4);
+  EXPECT_NEAR(level.a_start, 0.05, 1e-6);
+  for (std::size_t i = 0; i < level.cells(); ++i) {
+    EXPECT_FLOAT_EQ(level.disp[0][i], ic.levels[0].disp[0][i]);
+    EXPECT_FLOAT_EQ(level.vel[2][i], ic.levels[0].vel[2][i]);
+    EXPECT_FLOAT_EQ(level.delta[i], ic.levels[0].delta[i]);
+  }
+
+  auto header = read_header(dir + "/ic_deltac");
+  ASSERT_TRUE(header.is_ok());
+  EXPECT_EQ(header.value().np1, 8);
+  EXPECT_NEAR(header.value().omega_m, 0.27, 1e-6);
+  EXPECT_NEAR(header.value().h0, 71.0, 1e-4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Files, ReadMissingDirFails) {
+  EXPECT_FALSE(read_level("/nonexistent/grafic/dir").is_ok());
+}
+
+}  // namespace
+}  // namespace gc::grafic

@@ -1,0 +1,158 @@
+// Tests for the 3D Peano-Hilbert curve and curve partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "hilbert/hilbert.hpp"
+
+namespace gc::hilbert {
+namespace {
+
+class HilbertOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrder, RoundtripRandomPoints) {
+  const int order = GetParam();
+  const std::uint32_t n = 1u << order;
+  Rng rng(static_cast<std::uint64_t>(order));
+  for (int i = 0; i < 500; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    const auto z = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    const std::uint64_t key = encode(x, y, z, order);
+    EXPECT_LT(key, std::uint64_t{1} << (3 * order));
+    std::uint32_t bx, by, bz;
+    decode(key, order, bx, by, bz);
+    EXPECT_EQ(bx, x);
+    EXPECT_EQ(by, y);
+    EXPECT_EQ(bz, z);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrder,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 21));
+
+TEST(Hilbert, BijectionOrder3) {
+  const int order = 3;
+  const std::uint32_t n = 1u << order;
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t z = 0; z < n; ++z) {
+        keys.insert(encode(x, y, z, order));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), static_cast<std::size_t>(n) * n * n);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), static_cast<std::uint64_t>(n) * n * n - 1);
+}
+
+TEST(Hilbert, CurveIsContinuous) {
+  // Consecutive keys differ by exactly one unit step in one axis — the
+  // defining property of the Hilbert curve.
+  const int order = 4;
+  std::uint32_t px, py, pz;
+  decode(0, order, px, py, pz);
+  const std::uint64_t total = 1ull << (3 * order);
+  for (std::uint64_t key = 1; key < total; ++key) {
+    std::uint32_t x, y, z;
+    decode(key, order, x, y, z);
+    const int dist = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                     std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                     std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(dist, 1) << "discontinuity at key " << key;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(Hilbert, CurveOrderIsPermutation) {
+  const auto order3 = curve_order(3);
+  EXPECT_EQ(order3.size(), 512u);
+  std::set<std::uint64_t> unique(order3.begin(), order3.end());
+  EXPECT_EQ(unique.size(), 512u);
+  EXPECT_EQ(*unique.rbegin(), 511u);
+}
+
+// ---------- partition ----------
+
+TEST(Partition, EqualWeightsEvenSplit) {
+  const std::vector<double> weights(100, 1.0);
+  const auto bounds = partition(weights, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[4], 100u);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(bounds[static_cast<size_t>(p) + 1] -
+                  bounds[static_cast<size_t>(p)],
+              25u);
+  }
+}
+
+TEST(Partition, SinglePart) {
+  const auto bounds = partition(std::vector<double>(10, 1.0), 1);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 10u);
+}
+
+TEST(Partition, SkewedWeightsStayBalanced) {
+  // One heavy cell; the rest light.
+  std::vector<double> weights(64, 1.0);
+  weights[10] = 60.0;
+  const auto bounds = partition(weights, 4);
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  for (int p = 0; p < 4; ++p) {
+    double part = 0.0;
+    for (std::size_t i = bounds[static_cast<size_t>(p)];
+         i < bounds[static_cast<size_t>(p) + 1]; ++i) {
+      part += weights[i];
+    }
+    // No part can exceed target + the heavy cell.
+    EXPECT_LE(part, total / 4 + 60.0);
+  }
+}
+
+TEST(Partition, BoundsMonotonic) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> weights(rng.uniform_u64(200) + 10);
+    for (auto& w : weights) w = rng.uniform();
+    const int parts = static_cast<int>(rng.uniform_u64(8)) + 1;
+    const auto bounds = partition(weights, parts);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), weights.size());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LE(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(Partition, MorePartsThanCells) {
+  const auto bounds = partition(std::vector<double>(3, 1.0), 8);
+  ASSERT_EQ(bounds.size(), 9u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 3u);
+  // Exactly 3 non-empty parts.
+  int non_empty = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (bounds[static_cast<size_t>(p) + 1] > bounds[static_cast<size_t>(p)]) {
+      ++non_empty;
+    }
+  }
+  EXPECT_EQ(non_empty, 3);
+}
+
+TEST(Partition, ZeroWeights) {
+  const auto bounds = partition(std::vector<double>(16, 0.0), 4);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 16u);
+}
+
+}  // namespace
+}  // namespace gc::hilbert

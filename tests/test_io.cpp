@@ -1,0 +1,305 @@
+// Tests for Fortran records, namelists and tar archives.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "io/fortran.hpp"
+#include "io/namelist.hpp"
+#include "io/tar.hpp"
+
+namespace gc::io {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("gc_io_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+// ---------- Fortran records ----------
+
+TEST(Fortran, RoundtripRecords) {
+  TempDir dir;
+  const std::string path = dir.file("records.bin");
+  {
+    FortranWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    const std::vector<float> plane = {1.0F, 2.0F, 3.0F};
+    ASSERT_TRUE(writer.record_array<float>(plane).is_ok());
+    ASSERT_TRUE(writer.record_scalar<std::int32_t>(128).is_ok());
+    ASSERT_TRUE(writer.record(std::span<const std::uint8_t>{}).is_ok());
+    ASSERT_TRUE(writer.close().is_ok());
+  }
+  FortranReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  auto plane = reader.record_array<float>();
+  ASSERT_TRUE(plane.is_ok());
+  EXPECT_EQ(plane.value(), (std::vector<float>{1.0F, 2.0F, 3.0F}));
+  auto scalar = reader.record_scalar<std::int32_t>();
+  ASSERT_TRUE(scalar.is_ok());
+  EXPECT_EQ(scalar.value(), 128);
+  auto empty = reader.record();
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty.value().empty());
+  EXPECT_TRUE(reader.eof());
+}
+
+TEST(Fortran, MarkerFraming) {
+  // Verify the actual on-disk framing: 4-byte length before and after.
+  TempDir dir;
+  const std::string path = dir.file("framing.bin");
+  {
+    FortranWriter writer(path);
+    ASSERT_TRUE(writer.record_scalar<double>(1.5).is_ok());
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::uint32_t head = 0;
+  double value = 0;
+  std::uint32_t tail = 0;
+  in.read(reinterpret_cast<char*>(&head), 4);
+  in.read(reinterpret_cast<char*>(&value), 8);
+  in.read(reinterpret_cast<char*>(&tail), 4);
+  EXPECT_EQ(head, 8u);
+  EXPECT_EQ(tail, 8u);
+  EXPECT_DOUBLE_EQ(value, 1.5);
+}
+
+TEST(Fortran, CorruptTrailerDetected) {
+  TempDir dir;
+  const std::string path = dir.file("corrupt.bin");
+  {
+    FortranWriter writer(path);
+    ASSERT_TRUE(writer.record_scalar<std::int32_t>(7).is_ok());
+  }
+  // Flip the trailing marker.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8);
+    const std::uint32_t bad = 999;
+    f.write(reinterpret_cast<const char*>(&bad), 4);
+  }
+  FortranReader reader(path);
+  EXPECT_FALSE(reader.record().is_ok());
+}
+
+TEST(Fortran, TruncatedPayloadDetected) {
+  TempDir dir;
+  const std::string path = dir.file("trunc.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t marker = 100;  // claims 100 bytes, writes none
+    out.write(reinterpret_cast<const char*>(&marker), 4);
+  }
+  FortranReader reader(path);
+  EXPECT_FALSE(reader.record().is_ok());
+}
+
+TEST(Fortran, WrongElementSizeRejected) {
+  TempDir dir;
+  const std::string path = dir.file("sizes.bin");
+  {
+    FortranWriter writer(path);
+    ASSERT_TRUE(writer.record_array<float>(std::vector<float>{1, 2, 3}).is_ok());
+  }
+  FortranReader reader(path);
+  EXPECT_FALSE(reader.record_array<double>().is_ok());  // 12 % 8 != 0
+}
+
+TEST(Fortran, MissingFile) {
+  FortranReader reader("/nonexistent/file.bin");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.record().is_ok());
+}
+
+// ---------- namelist ----------
+
+TEST(Namelist, ParseRamsesStyle) {
+  auto nml = Namelist::parse(
+      "&RUN_PARAMS\n"
+      "  cosmo=.true.\n"
+      "  levelmin=7        ! base AMR level\n"
+      "  boxlen=100.0\n"
+      "  aout=0.3,0.5,1.0\n"
+      "  title='zoom run'\n"
+      "/\n"
+      "&ZOOM_PARAMS\n"
+      "  nlevels=2\n"
+      "  growth=1.5d2\n"
+      "/\n");
+  ASSERT_TRUE(nml.is_ok());
+  const NamelistGroup* run = nml.value().group("run_params");
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->get_bool("cosmo").value());
+  EXPECT_EQ(run->get_int("levelmin").value(), 7);
+  EXPECT_DOUBLE_EQ(run->get_double("boxlen").value(), 100.0);
+  EXPECT_EQ(run->get_string("title").value(), "zoom run");
+  const auto aout = run->get_doubles("aout");
+  ASSERT_TRUE(aout.is_ok());
+  EXPECT_EQ(aout.value(), (std::vector<double>{0.3, 0.5, 1.0}));
+  // Fortran d-exponent.
+  EXPECT_DOUBLE_EQ(
+      nml.value().group("zoom_params")->get_double("growth").value(), 150.0);
+}
+
+TEST(Namelist, CaseInsensitive) {
+  auto nml = Namelist::parse("&Run_Params\nLevelMin=3\n/\n");
+  ASSERT_TRUE(nml.is_ok());
+  EXPECT_EQ(nml.value().group("RUN_PARAMS")->get_int("levelmin").value(), 3);
+}
+
+TEST(Namelist, Errors) {
+  EXPECT_FALSE(Namelist::parse("&g\nx=1\n").is_ok());       // unterminated
+  EXPECT_FALSE(Namelist::parse("x=1\n/\n").is_ok());        // outside group
+  EXPECT_FALSE(Namelist::parse("&g\njust text\n/\n").is_ok());
+  EXPECT_FALSE(Namelist::load("/no/such/file.nml").is_ok());
+}
+
+TEST(Namelist, TypedErrors) {
+  auto nml = Namelist::parse("&g\nx=abc\n/\n");
+  ASSERT_TRUE(nml.is_ok());
+  const NamelistGroup* g = nml.value().group("g");
+  EXPECT_FALSE(g->get_int("x").is_ok());
+  EXPECT_FALSE(g->get_double("x").is_ok());
+  EXPECT_FALSE(g->get_bool("x").is_ok());
+  EXPECT_FALSE(g->get_int("missing").is_ok());
+}
+
+TEST(Namelist, RoundtripThroughText) {
+  Namelist nml;
+  auto& g = nml.group_or_create("run_params");
+  g.set("npart", "128");
+  g.set("boxlen", "100");
+  auto back = Namelist::parse(nml.to_string());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().group("run_params")->get_int("npart").value(), 128);
+}
+
+TEST(Namelist, SaveAndLoad) {
+  TempDir dir;
+  Namelist nml;
+  nml.group_or_create("g").set("v", "42");
+  ASSERT_TRUE(nml.save(dir.file("t.nml")).is_ok());
+  auto back = Namelist::load(dir.file("t.nml"));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().group("g")->get_int("v").value(), 42);
+}
+
+// ---------- tar ----------
+
+TEST(Tar, RoundtripMultipleFiles) {
+  TarWriter writer;
+  ASSERT_TRUE(writer.add_text("README.txt", "hello\n").is_ok());
+  std::vector<std::uint8_t> binary(1000);
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(writer.add("data/snapshot.bin", binary).is_ok());
+  ASSERT_TRUE(writer.add_text("empty.txt", "").is_ok());
+  EXPECT_EQ(writer.entry_count(), 3u);
+
+  const auto archive = writer.finish();
+  EXPECT_EQ(archive.size() % 512, 0u);
+
+  auto entries = TarReader::parse(archive);
+  ASSERT_TRUE(entries.is_ok());
+  ASSERT_EQ(entries.value().size(), 3u);
+  EXPECT_EQ(entries.value()[0].name, "README.txt");
+  EXPECT_EQ(std::string(entries.value()[0].data.begin(),
+                        entries.value()[0].data.end()),
+            "hello\n");
+  EXPECT_EQ(entries.value()[1].name, "data/snapshot.bin");
+  EXPECT_EQ(entries.value()[1].data, binary);
+  EXPECT_TRUE(entries.value()[2].data.empty());
+}
+
+TEST(Tar, WriteAndLoadFile) {
+  TempDir dir;
+  TarWriter writer;
+  ASSERT_TRUE(writer.add_text("a.txt", "contents").is_ok());
+  ASSERT_TRUE(writer.write(dir.file("out.tar")).is_ok());
+  auto entries = TarReader::load(dir.file("out.tar"));
+  ASSERT_TRUE(entries.is_ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "a.txt");
+}
+
+TEST(Tar, SystemTarCanList) {
+  // The archives claim ustar; verify with the real tar when present.
+  if (std::system("command -v tar >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no tar binary";
+  }
+  TempDir dir;
+  TarWriter writer;
+  ASSERT_TRUE(writer.add_text("halos_000.txt", "1 2 3\n").is_ok());
+  ASSERT_TRUE(writer.add_text("galaxies.txt", "4 5 6\n").is_ok());
+  ASSERT_TRUE(writer.write(dir.file("check.tar")).is_ok());
+  const std::string cmd =
+      "tar -tf " + dir.file("check.tar") + " > " + dir.file("list.txt") +
+      " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream list(dir.file("list.txt"));
+  std::string line1, line2;
+  std::getline(list, line1);
+  std::getline(list, line2);
+  EXPECT_EQ(line1, "halos_000.txt");
+  EXPECT_EQ(line2, "galaxies.txt");
+}
+
+TEST(Tar, AddFileFromDisk) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.file("src.bin"), std::ios::binary);
+    out << "payload";
+  }
+  TarWriter writer;
+  ASSERT_TRUE(writer.add_file("renamed.bin", dir.file("src.bin")).is_ok());
+  auto entries = TarReader::parse(writer.finish());
+  ASSERT_TRUE(entries.is_ok());
+  EXPECT_EQ(entries.value()[0].name, "renamed.bin");
+  EXPECT_EQ(entries.value()[0].data.size(), 7u);
+}
+
+TEST(Tar, RejectsBadNames) {
+  TarWriter writer;
+  EXPECT_FALSE(writer.add_text("", "x").is_ok());
+  EXPECT_FALSE(writer.add_text(std::string(150, 'a'), "x").is_ok());
+}
+
+TEST(Tar, AddAfterFinishFails) {
+  TarWriter writer;
+  ASSERT_TRUE(writer.add_text("a", "1").is_ok());
+  (void)writer.finish();
+  EXPECT_FALSE(writer.add_text("b", "2").is_ok());
+}
+
+TEST(Tar, ParseRejectsGarbage) {
+  std::vector<std::uint8_t> junk(1024, 0x5a);
+  EXPECT_FALSE(TarReader::parse(junk).is_ok());
+}
+
+TEST(Tar, ParseEmptyArchive) {
+  TarWriter writer;
+  auto entries = TarReader::parse(writer.finish());
+  ASSERT_TRUE(entries.is_ok());
+  EXPECT_TRUE(entries.value().empty());
+}
+
+}  // namespace
+}  // namespace gc::io

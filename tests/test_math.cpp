@@ -1,0 +1,220 @@
+// Tests for the FFT, quadrature/ODE helpers and the 3D grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "math/fft.hpp"
+#include "math/grid3.hpp"
+#include "math/integrate.hpp"
+
+namespace gc::math {
+namespace {
+
+class FftRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundtrip, InverseRecovers) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  const std::vector<Complex> original = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundtrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024));
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<Complex> data(16, Complex(0.0, 0.0));
+  data[0] = Complex(1.0, 0.0);
+  fft(data, false);
+  for (const Complex& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleModeLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> data(n);
+  const int k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(std::cos(2.0 * M_PI * k * static_cast<double>(i) / n),
+                      0.0);
+  }
+  fft(data, false);
+  // cos -> two symmetric spikes at k and n-k of height n/2.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected =
+        (i == static_cast<std::size_t>(k) || i == n - k) ? n / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(data[i]), expected, 1e-9) << "bin " << i;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 256;
+  Rng rng(3);
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, time_energy * n * 1e-12);
+}
+
+TEST(Fft, Linearity) {
+  const std::size_t n = 32;
+  Rng rng(4);
+  std::vector<Complex> a(n);
+  std::vector<Complex> b(n);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.normal(), 0.0};
+    b[i] = {rng.normal(), 0.0};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a, false);
+  fft(b, false);
+  fft(sum, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft3, RoundtripCube) {
+  const std::size_t n = 8;
+  Rng rng(5);
+  std::vector<Complex> data(n * n * n);
+  for (auto& v : data) v = {rng.normal(), 0.0};
+  const auto original = data;
+  fft3(data, n, false);
+  fft3(data, n, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+  }
+}
+
+TEST(Fft3, RoundtripNonCubic) {
+  const std::size_t n0 = 4;
+  const std::size_t n1 = 8;
+  const std::size_t n2 = 2;
+  Rng rng(6);
+  std::vector<Complex> data(n0 * n1 * n2);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft3(data, n0, n1, n2, false);
+  fft3(data, n0, n1, n2, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3, PlaneWaveSingleBin) {
+  const std::size_t n = 8;
+  std::vector<Complex> data(n * n * n);
+  // exp(i 2 pi (2 x / n)) -> spike at (2, 0, 0).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double phase = 2.0 * M_PI * 2.0 * static_cast<double>(i) / n;
+        data[(i * n + j) * n + k] = Complex(std::cos(phase), std::sin(phase));
+      }
+    }
+  }
+  fft3(data, n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double expected = (i == 2 && j == 0 && k == 0)
+                                    ? static_cast<double>(n * n * n)
+                                    : 0.0;
+        EXPECT_NEAR(std::abs(data[(i * n + j) * n + k]), expected, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(Fft, FreqIndexConvention) {
+  EXPECT_EQ(freq_index(0, 8), 0);
+  EXPECT_EQ(freq_index(3, 8), 3);
+  EXPECT_EQ(freq_index(4, 8), 4);   // Nyquist stays positive
+  EXPECT_EQ(freq_index(5, 8), -3);
+  EXPECT_EQ(freq_index(7, 8), -1);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+// ---------- integrate ----------
+
+TEST(Integrate, SimpsonPolynomialExact) {
+  // Simpson integrates cubics exactly.
+  const double integral =
+      simpson([](double x) { return x * x * x - 2.0 * x + 1.0; }, 0.0, 2.0, 2);
+  EXPECT_NEAR(integral, 4.0 - 4.0 + 2.0, 1e-12);
+}
+
+TEST(Integrate, SimpsonTranscendental) {
+  const double integral = simpson([](double x) { return std::sin(x); }, 0.0,
+                                  M_PI, 128);
+  EXPECT_NEAR(integral, 2.0, 1e-8);
+}
+
+TEST(Integrate, Rk4Exponential) {
+  // y' = y, y(0) = 1 -> y(1) = e.
+  const double y = rk4([](double, double y) { return y; }, 0.0, 1.0, 1.0, 64);
+  EXPECT_NEAR(y, M_E, 1e-8);
+}
+
+TEST(Integrate, Rk4System) {
+  // Harmonic oscillator: a' = b, b' = -a; (1, 0) at t=0 -> (cos t, -sin t).
+  const Vec2 y = rk4_2(
+      [](double, const Vec2& v) {
+        return Vec2{v.b, -v.a};
+      },
+      0.0, Vec2{1.0, 0.0}, M_PI / 2.0, 256);
+  EXPECT_NEAR(y.a, 0.0, 1e-8);
+  EXPECT_NEAR(y.b, -1.0, 1e-8);
+}
+
+// ---------- grid3 ----------
+
+TEST(Grid3, BasicIndexing) {
+  Grid3<int> grid(4);
+  grid.at(1, 2, 3) = 42;
+  EXPECT_EQ(grid.at(1, 2, 3), 42);
+  EXPECT_EQ(grid.size(), 64u);
+}
+
+TEST(Grid3, PeriodicWrap) {
+  Grid3<int> grid(4);
+  grid.at(0, 0, 0) = 7;
+  EXPECT_EQ(grid.atp(4, 4, 4), 7);
+  EXPECT_EQ(grid.atp(-4, 0, 0), 7);
+  EXPECT_EQ(grid.atp(-1, -1, -1), grid.at(3, 3, 3));
+  EXPECT_EQ(grid.atp(8, -8, 12), 7);
+}
+
+TEST(Grid3, FillAndSum) {
+  Grid3<double> grid(3, 2.0);
+  EXPECT_DOUBLE_EQ(grid.sum(), 54.0);
+  grid.fill(0.5);
+  EXPECT_DOUBLE_EQ(grid.sum(), 13.5);
+}
+
+}  // namespace
+}  // namespace gc::math

@@ -1,0 +1,202 @@
+// Tests for the MiniMPI runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "minimpi/comm.hpp"
+
+namespace gc::minimpi {
+namespace {
+
+TEST(MiniMpi, SingleRankRuns) {
+  int visits = 0;
+  run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(MiniMpi, PointToPoint) {
+  std::atomic<int> received{0};
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 7, 1234);
+    } else {
+      received = comm.recv_value<int>(0, 7);
+    }
+  });
+  EXPECT_EQ(received.load(), 1234);
+}
+
+TEST(MiniMpi, TagsKeepMessagesApart) {
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, /*tag=*/2, 22);
+      comm.send_value<int>(1, /*tag=*/1, 11);
+    } else {
+      // Receive in the opposite order of sending: matching is by tag.
+      a = comm.recv_value<int>(0, 1);
+      b = comm.recv_value<int>(0, 2);
+    }
+  });
+  EXPECT_EQ(a.load(), 11);
+  EXPECT_EQ(b.load(), 22);
+}
+
+TEST(MiniMpi, AnySource) {
+  std::atomic<int> sum{0};
+  run(4, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        sum += comm.recv_value<int>(Comm::kAnySource, 5);
+      }
+    } else {
+      comm.send_value<int>(0, 5, comm.rank());
+    }
+  });
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+TEST(MiniMpi, VectorPayloads) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data(1000);
+      std::iota(data.begin(), data.end(), 0.0);
+      comm.send_vec<double>(1, 3, data);
+    } else {
+      const auto data = comm.recv_vec<double>(0, 3);
+      ASSERT_EQ(data.size(), 1000u);
+      EXPECT_DOUBLE_EQ(data[999], 999.0);
+    }
+  });
+}
+
+TEST(MiniMpi, Barrier) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  run(4, [&](Comm& comm) {
+    ++phase1;
+    comm.barrier();
+    if (phase1.load() != 4) violated = true;
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, RepeatedBarriers) {
+  run(3, [](Comm& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+  SUCCEED();
+}
+
+TEST(MiniMpi, Bcast) {
+  run(4, [](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 2) data = {10, 20, 30};
+    comm.bcast(data, 2);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(data[1], 20);
+  });
+}
+
+TEST(MiniMpi, ReduceAndAllreduce) {
+  run(4, [](Comm& comm) {
+    const int sum = comm.allreduce_sum(comm.rank() + 1);
+    EXPECT_EQ(sum, 10);
+    const int max = comm.allreduce_max(comm.rank());
+    EXPECT_EQ(max, 3);
+    const int min = comm.allreduce_min(comm.rank() + 5);
+    EXPECT_EQ(min, 5);
+    const double dsum = comm.allreduce_sum(0.5);
+    EXPECT_DOUBLE_EQ(dsum, 2.0);
+  });
+}
+
+TEST(MiniMpi, GatherConcatenatesInRankOrder) {
+  run(3, [](Comm& comm) {
+    std::vector<int> mine(static_cast<size_t>(comm.rank()) + 1, comm.rank());
+    const auto all = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1, 1, 2, 2, 2}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(MiniMpi, Allgather) {
+  run(3, [](Comm& comm) {
+    const auto all = comm.allgather(std::vector<int>{comm.rank()});
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2}));
+  });
+}
+
+TEST(MiniMpi, AllreduceVecSum) {
+  run(4, [](Comm& comm) {
+    std::vector<double> mesh(64, static_cast<double>(comm.rank()));
+    comm.allreduce_vec_sum(mesh);
+    for (const double v : mesh) EXPECT_DOUBLE_EQ(v, 6.0);  // 0+1+2+3
+  });
+}
+
+TEST(MiniMpi, Alltoall) {
+  run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> outgoing(3);
+    for (int dest = 0; dest < 3; ++dest) {
+      outgoing[static_cast<size_t>(dest)] = {comm.rank() * 10 + dest};
+    }
+    const auto incoming = comm.alltoall(outgoing);
+    ASSERT_EQ(incoming.size(), 3u);
+    for (int src = 0; src < 3; ++src) {
+      ASSERT_EQ(incoming[static_cast<size_t>(src)].size(), 1u);
+      EXPECT_EQ(incoming[static_cast<size_t>(src)][0],
+                src * 10 + comm.rank());
+    }
+  });
+}
+
+TEST(MiniMpi, AlltoallEmptyLanes) {
+  run(4, [](Comm& comm) {
+    std::vector<std::vector<int>> outgoing(4);
+    // Only rank 0 sends, and only to rank 3.
+    if (comm.rank() == 0) outgoing[3] = {42};
+    const auto incoming = comm.alltoall(outgoing);
+    if (comm.rank() == 3) {
+      EXPECT_EQ(incoming[0], (std::vector<int>{42}));
+    }
+    for (int src = 1; src < 4; ++src) {
+      EXPECT_TRUE(incoming[static_cast<size_t>(src)].empty());
+    }
+  });
+}
+
+TEST(MiniMpi, RandomizedTrafficStress) {
+  // Deterministic pseudo-random pairwise sends; every message must arrive.
+  std::atomic<long> total_received{0};
+  const int nranks = 4;
+  const int rounds = 50;
+  run(nranks, [&](Comm& comm) {
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+    // Everyone sends `rounds` messages to (rank+1)%n and receives as many.
+    const int dest = (comm.rank() + 1) % nranks;
+    const int src = (comm.rank() + nranks - 1) % nranks;
+    for (int i = 0; i < rounds; ++i) {
+      comm.send_value<std::uint64_t>(dest, 9, rng.next_u64());
+    }
+    for (int i = 0; i < rounds; ++i) {
+      (void)comm.recv_value<std::uint64_t>(src, 9);
+      ++total_received;
+    }
+  });
+  EXPECT_EQ(total_received.load(), nranks * rounds);
+}
+
+}  // namespace
+}  // namespace gc::minimpi

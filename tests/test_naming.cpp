@@ -1,0 +1,60 @@
+// Tests for the naming service.
+#include <gtest/gtest.h>
+
+#include "naming/registry.hpp"
+
+namespace gc::naming {
+namespace {
+
+TEST(Registry, BindAndResolve) {
+  Registry registry;
+  EXPECT_TRUE(registry.bind("MA1", 42).is_ok());
+  auto resolved = registry.resolve("MA1");
+  ASSERT_TRUE(resolved.is_ok());
+  EXPECT_EQ(resolved.value(), 42u);
+}
+
+TEST(Registry, DuplicateBindFails) {
+  Registry registry;
+  EXPECT_TRUE(registry.bind("MA1", 1).is_ok());
+  const auto status = registry.bind("MA1", 2);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(registry.resolve("MA1").value(), 1u);
+}
+
+TEST(Registry, RebindReplaces) {
+  Registry registry;
+  registry.rebind("LA-lyon", 1);
+  registry.rebind("LA-lyon", 7);
+  EXPECT_EQ(registry.resolve("LA-lyon").value(), 7u);
+}
+
+TEST(Registry, ResolveMissing) {
+  Registry registry;
+  const auto resolved = registry.resolve("nope");
+  ASSERT_FALSE(resolved.is_ok());
+  EXPECT_EQ(resolved.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Registry, Unbind) {
+  Registry registry;
+  registry.rebind("x", 1);
+  EXPECT_TRUE(registry.unbind("x").is_ok());
+  EXPECT_FALSE(registry.resolve("x").is_ok());
+  EXPECT_FALSE(registry.unbind("x").is_ok());
+}
+
+TEST(Registry, ListAndSize) {
+  Registry registry;
+  registry.rebind("a", 1);
+  registry.rebind("b", 2);
+  registry.rebind("c", 3);
+  EXPECT_EQ(registry.size(), 3u);
+  auto names = registry.list();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace gc::naming

@@ -1,0 +1,259 @@
+// Tests for persistent data management (DIET's DTM): the DataManager LRU
+// store and the client <-> SED reference protocol end to end.
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+#include "diet/client.hpp"
+#include "diet/datamgr.hpp"
+#include "diet/deployment.hpp"
+#include "naming/registry.hpp"
+#include "net/simenv.hpp"
+
+namespace gc::diet {
+namespace {
+
+ArgValue vector_value(std::size_t n, double fill, Persistence mode) {
+  ArgValue value;
+  std::vector<double> data(n, fill);
+  EXPECT_TRUE(
+      value.set_vector<double>(data, BaseType::kDouble, mode).is_ok());
+  value.set_data_id(value.content_id());
+  return value;
+}
+
+// ---------- ArgValue reference mechanics ----------
+
+TEST(ArgValueRef, ContentIdIsStableAndDiscriminating) {
+  const ArgValue a = vector_value(8, 1.0, Persistence::kPersistent);
+  const ArgValue b = vector_value(8, 1.0, Persistence::kPersistent);
+  const ArgValue c = vector_value(8, 2.0, Persistence::kPersistent);
+  EXPECT_EQ(a.content_id(), b.content_id());
+  EXPECT_NE(a.content_id(), c.content_id());
+}
+
+TEST(ArgValueRef, MakeReferenceDropsPayload) {
+  ArgValue value = vector_value(1000, 3.0, Persistence::kPersistent);
+  const std::int64_t full = value.wire_bytes();
+  EXPECT_EQ(full, 8000);
+  value.make_reference();
+  EXPECT_TRUE(value.is_reference());
+  EXPECT_TRUE(value.has_value());
+  EXPECT_LT(value.wire_bytes(), 64);
+}
+
+TEST(ArgValueRef, SerializeRoundtripKeepsReferenceBit) {
+  ArgValue value = vector_value(16, 1.5, Persistence::kSticky);
+  value.make_reference();
+  net::Writer w;
+  value.serialize_value(w);
+  net::Reader r(w.data());
+  ArgValue back;
+  back.deserialize_value(r);
+  EXPECT_TRUE(back.is_reference());
+  EXPECT_EQ(back.data_id(), value.data_id());
+  EXPECT_EQ(back.desc.persistence, Persistence::kSticky);
+}
+
+TEST(ArgValueRef, MaterializeRestoresPayload) {
+  const ArgValue stored = vector_value(16, 2.5, Persistence::kPersistent);
+  ArgValue reference = stored;
+  reference.make_reference();
+  reference.materialize_from(stored);
+  EXPECT_FALSE(reference.is_reference());
+  auto data = reference.get_vector<double>();
+  ASSERT_TRUE(data.is_ok());
+  EXPECT_EQ(data.value().size(), 16u);
+  EXPECT_DOUBLE_EQ(data.value()[3], 2.5);
+  EXPECT_EQ(reference.data_id(), stored.data_id());
+}
+
+// ---------- DataManager ----------
+
+TEST(DataManager, StoreLookupErase) {
+  DataManager manager;
+  const ArgValue value = vector_value(10, 1.0, Persistence::kPersistent);
+  manager.store(value);
+  EXPECT_EQ(manager.count(), 1u);
+  EXPECT_EQ(manager.bytes(), 80);
+  const ArgValue* found = manager.lookup(value.data_id());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->wire_bytes(), 80);
+  EXPECT_EQ(manager.hits(), 1u);
+  EXPECT_EQ(manager.lookup("nope"), nullptr);
+  EXPECT_EQ(manager.misses(), 1u);
+  EXPECT_TRUE(manager.erase(value.data_id()));
+  EXPECT_FALSE(manager.erase(value.data_id()));
+  EXPECT_EQ(manager.bytes(), 0);
+}
+
+TEST(DataManager, IgnoresUnnamedAndReferences) {
+  DataManager manager;
+  ArgValue unnamed;
+  (void)unnamed.set_string("x", Persistence::kPersistent);
+  manager.store(unnamed);  // no data id
+  EXPECT_EQ(manager.count(), 0u);
+  ArgValue reference = vector_value(4, 1.0, Persistence::kPersistent);
+  reference.make_reference();
+  manager.store(reference);
+  EXPECT_EQ(manager.count(), 0u);
+}
+
+TEST(DataManager, RestoreRefreshesBytes) {
+  DataManager manager;
+  ArgValue value = vector_value(10, 1.0, Persistence::kPersistent);
+  manager.store(value);
+  manager.store(value);  // idempotent
+  EXPECT_EQ(manager.count(), 1u);
+  EXPECT_EQ(manager.bytes(), 80);
+}
+
+TEST(DataManager, LruEviction) {
+  DataManager manager(/*max_bytes=*/200);
+  const ArgValue a = vector_value(10, 1.0, Persistence::kPersistent);  // 80 B
+  const ArgValue b = vector_value(10, 2.0, Persistence::kPersistent);
+  const ArgValue c = vector_value(10, 3.0, Persistence::kPersistent);
+  manager.store(a);
+  manager.store(b);
+  EXPECT_EQ(manager.count(), 2u);
+  // Touch a so b becomes the LRU victim.
+  EXPECT_NE(manager.lookup(a.data_id()), nullptr);
+  manager.store(c);  // 240 B > 200 -> evict b
+  EXPECT_EQ(manager.evictions(), 1u);
+  EXPECT_NE(manager.lookup(a.data_id()), nullptr);
+  EXPECT_EQ(manager.lookup(b.data_id()), nullptr);
+  EXPECT_NE(manager.lookup(c.data_id()), nullptr);
+}
+
+// ---------- end to end over the middleware ----------
+
+/// Service with one persistent vector IN argument; OUT = its sum.
+ProfileDesc sum_desc() {
+  ProfileDesc desc("sum", 0, 0, 1);
+  desc.arg(0).type = DataType::kVector;
+  desc.arg(0).base = BaseType::kDouble;
+  desc.arg(1).type = DataType::kScalar;
+  desc.arg(1).base = BaseType::kDouble;
+  return desc;
+}
+
+struct PersistFixture {
+  explicit PersistFixture(std::int64_t store_bytes = 0)
+      : topology(1e-3, 1e6 /* slow link: payload size matters */),
+        env(engine, topology) {
+    SolveFn solve = [](ServiceContext& ctx) {
+      ctx.compute(
+          1.0,
+          [&ctx]() {
+            auto data = ctx.profile().arg(0).get_vector<double>();
+            if (!data.is_ok()) return 1;
+            double sum = 0.0;
+            for (const double v : data.value()) sum += v;
+            ctx.profile().arg(1).set_scalar<double>(
+                sum, BaseType::kDouble, Persistence::kVolatile);
+            return 0;
+          },
+          [&ctx](int rc) { ctx.finish(rc); });
+    };
+    GC_CHECK(services.add(sum_desc(), std::move(solve)).is_ok());
+
+    DeploymentSpec spec;
+    spec.ma_node = 0;
+    spec.sed_tuning.data_store_max_bytes = store_bytes;
+    DeploymentSpec::LaSpec la;
+    la.name = "LA";
+    la.node = 1;
+    DeploymentSpec::SedSpec sed;
+    sed.name = "SeD";
+    sed.node = 2;
+    la.sed_indexes.push_back(0);
+    spec.seds.push_back(sed);
+    spec.las.push_back(la);
+    deployment = std::make_unique<Deployment>(env, registry, services, spec);
+    env.attach(client, 0);
+    client.connect(registry.resolve("MA1").value());
+    engine.run_until(engine.now() + 1.0);
+  }
+
+  double call_sum(const std::vector<double>& data, Persistence mode) {
+    Profile profile("sum", 0, 0, 1);
+    profile.arg(0).set_vector<double>(data, BaseType::kDouble, mode);
+    profile.arg(1).desc.type = DataType::kScalar;
+    profile.arg(1).desc.base = BaseType::kDouble;
+    double sum = -1.0;
+    bool ok = false;
+    client.call_async(std::move(profile),
+                      [&](const gc::Status& status, Profile& result) {
+                        ok = status.is_ok();
+                        if (ok) {
+                          sum = result.arg(1).get_scalar<double>().value();
+                        }
+                      });
+    engine.run();
+    EXPECT_TRUE(ok);
+    return sum;
+  }
+
+  des::Engine engine;
+  net::UniformTopology topology;
+  net::SimEnv env;
+  naming::Registry registry;
+  ServiceTable services;
+  std::unique_ptr<Deployment> deployment;
+  Client client{"client"};
+};
+
+TEST(Persistence, SecondCallShipsReferenceOnly) {
+  PersistFixture fix;
+  const std::vector<double> data(20000, 0.5);  // 160 KB payload
+
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 10000.0);
+  const std::int64_t after_first = fix.env.bytes_sent();
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 10000.0);
+  const std::int64_t second_call = fix.env.bytes_sent() - after_first;
+
+  // The second call must not re-ship the 160 KB payload.
+  EXPECT_LT(second_call, 4096);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 1u);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().hits(), 1u);
+}
+
+TEST(Persistence, VolatileAlwaysShipsFullData) {
+  PersistFixture fix;
+  const std::vector<double> data(20000, 0.5);
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kVolatile), 10000.0);
+  const std::int64_t after_first = fix.env.bytes_sent();
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kVolatile), 10000.0);
+  const std::int64_t second_call = fix.env.bytes_sent() - after_first;
+  EXPECT_GT(second_call, 160000);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 0u);
+}
+
+TEST(Persistence, EvictionTriggersTransparentResend) {
+  // Store fits only one value: the second datum evicts the first; re-using
+  // the first then misses and the client resends transparently.
+  PersistFixture fix(/*store_bytes=*/200000);
+  const std::vector<double> first(20000, 1.0);
+  const std::vector<double> second(20000, 2.0);
+
+  EXPECT_DOUBLE_EQ(fix.call_sum(first, Persistence::kPersistent), 20000.0);
+  EXPECT_DOUBLE_EQ(fix.call_sum(second, Persistence::kPersistent), 40000.0);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().evictions(), 1u);
+  // First datum evicted -> reference misses -> client resends -> correct
+  // answer anyway.
+  EXPECT_DOUBLE_EQ(fix.call_sum(first, Persistence::kPersistent), 20000.0);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().misses(), 1u);
+}
+
+TEST(Persistence, DistinctDataGetDistinctIds) {
+  PersistFixture fix;
+  EXPECT_DOUBLE_EQ(
+      fix.call_sum(std::vector<double>(100, 1.0), Persistence::kPersistent),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      fix.call_sum(std::vector<double>(100, 2.0), Persistence::kPersistent),
+      200.0);
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 2u);
+}
+
+}  // namespace
+}  // namespace gc::diet

@@ -1,0 +1,205 @@
+// Tests for the Grid'5000 platform model and the RAMSES cost model.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/rng.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/grid5000.hpp"
+#include "platform/platform.hpp"
+
+namespace gc::platform {
+namespace {
+
+TEST(Platform, BuilderShapes) {
+  Platform platform(10e-3, 1e8);
+  const SiteId site_a = platform.add_site("a");
+  const SiteId site_b = platform.add_site("b");
+  const ClusterId c0 = platform.add_cluster(site_a, "c0", opteron(246), 4);
+  const ClusterId c1 = platform.add_cluster(site_b, "c1", opteron(275), 2);
+  EXPECT_EQ(platform.site_count(), 2u);
+  EXPECT_EQ(platform.cluster_count(), 2u);
+  EXPECT_EQ(platform.node_count(), 6u);
+  EXPECT_EQ(platform.cluster(c0).nodes.size(), 4u);
+  EXPECT_EQ(platform.cluster(c1).nodes.size(), 2u);
+  EXPECT_EQ(platform.node(0).cluster, c0);
+  EXPECT_EQ(platform.node(5).cluster, c1);
+}
+
+TEST(Platform, LatencyTiers) {
+  Platform platform(10e-3, 1e8);
+  const SiteId site_a = platform.add_site("a");
+  const SiteId site_b = platform.add_site("b");
+  const ClusterId c0 = platform.add_cluster(site_a, "c0", opteron(246), 2,
+                                            0.05e-3, 1e9 / 8);
+  const ClusterId c1 = platform.add_cluster(site_a, "c1", opteron(248), 2,
+                                            0.05e-3, 1e9 / 8);
+  const ClusterId c2 = platform.add_cluster(site_b, "c2", opteron(250), 2);
+  const net::NodeId n0 = platform.cluster(c0).nodes[0];
+  const net::NodeId n1 = platform.cluster(c0).nodes[1];
+  const net::NodeId n2 = platform.cluster(c1).nodes[0];
+  const net::NodeId n3 = platform.cluster(c2).nodes[0];
+
+  EXPECT_DOUBLE_EQ(platform.latency(n0, n0), 0.0);          // loopback
+  EXPECT_DOUBLE_EQ(platform.latency(n0, n1), 0.05e-3);      // LAN
+  EXPECT_DOUBLE_EQ(platform.latency(n0, n2), 0.1e-3);       // same site
+  EXPECT_DOUBLE_EQ(platform.latency(n0, n3), 10e-3);        // WAN default
+}
+
+TEST(Platform, WanOverride) {
+  Platform platform(10e-3, 1e8);
+  const SiteId site_a = platform.add_site("a");
+  const SiteId site_b = platform.add_site("b");
+  const ClusterId c0 = platform.add_cluster(site_a, "c0", opteron(246), 1);
+  const ClusterId c1 = platform.add_cluster(site_b, "c1", opteron(246), 1);
+  platform.set_wan_link(site_a, site_b, 3e-3, 2e9);
+  const net::NodeId n0 = platform.cluster(c0).nodes[0];
+  const net::NodeId n1 = platform.cluster(c1).nodes[0];
+  EXPECT_DOUBLE_EQ(platform.latency(n0, n1), 3e-3);
+  EXPECT_DOUBLE_EQ(platform.latency(n1, n0), 3e-3);  // symmetric
+  EXPECT_DOUBLE_EQ(platform.bandwidth(n0, n1), 2e9);
+}
+
+TEST(Platform, TransferTime) {
+  Platform platform(10e-3, 1e6);
+  const SiteId site_a = platform.add_site("a");
+  const SiteId site_b = platform.add_site("b");
+  const net::NodeId n0 =
+      platform.cluster(platform.add_cluster(site_a, "c0", opteron(246), 1))
+          .nodes[0];
+  const net::NodeId n1 =
+      platform.cluster(platform.add_cluster(site_b, "c1", opteron(246), 1))
+          .nodes[0];
+  EXPECT_NEAR(platform.transfer_time(n0, n1, 1000000), 10e-3 + 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(platform.transfer_time(n0, n0, 1 << 30), 0.0);
+}
+
+TEST(Machine, OpteronCatalogue) {
+  EXPECT_DOUBLE_EQ(opteron(246).relative_power, 1.00);
+  EXPECT_DOUBLE_EQ(opteron(248).relative_power, 1.10);
+  EXPECT_DOUBLE_EQ(opteron(250).relative_power, 1.20);
+  EXPECT_DOUBLE_EQ(opteron(252).relative_power, 1.30);
+  EXPECT_DOUBLE_EQ(opteron(275).relative_power, 1.43);
+  EXPECT_EQ(opteron(9999).name, "opteron-246");  // fallback
+}
+
+// ---------- the Section 5.1 deployment ----------
+
+TEST(Grid5000, DeploymentShape) {
+  const G5kDeployment d = make_grid5000();
+  EXPECT_EQ(d.platform.site_count(), 5u);     // Lyon Lille Nancy Toulouse Sophia
+  EXPECT_EQ(d.platform.cluster_count(), 6u);  // Lyon has two
+  EXPECT_EQ(d.las.size(), 6u);                // one LA per cluster
+  EXPECT_EQ(d.seds.size(), 11u);              // 2 per cluster, capricorne 1
+  for (const auto& sed : d.seds) EXPECT_EQ(sed.machines, 16);
+  EXPECT_EQ(d.client_node, d.ma_node);        // client co-located with MA
+}
+
+TEST(Grid5000, OneClusterHasOneSed) {
+  const G5kDeployment d = make_grid5000();
+  int with_one = 0;
+  for (const auto& la : d.las) {
+    if (la.sed_indexes.size() == 1) ++with_one;
+    else EXPECT_EQ(la.sed_indexes.size(), 2u);
+  }
+  EXPECT_EQ(with_one, 1);
+}
+
+TEST(Grid5000, PowerSpreadMatchesFigure4) {
+  const G5kDeployment d = make_grid5000();
+  double fastest = 0.0;
+  double slowest = 1e9;
+  for (const auto& sed : d.seds) {
+    const double p = d.platform.cluster(sed.cluster).model.relative_power;
+    fastest = std::max(fastest, p);
+    slowest = std::min(slowest, p);
+  }
+  // Toulouse ~15h vs Nancy ~10h30 -> ratio ~1.43.
+  EXPECT_NEAR(fastest / slowest, 1.43, 0.01);
+}
+
+TEST(Grid5000, MachinesPerSedConfigurable) {
+  const G5kDeployment d = make_grid5000(4);
+  for (const auto& sed : d.seds) EXPECT_EQ(sed.machines, 4);
+}
+
+// ---------- cost model ----------
+
+TEST(CostModel, Part1Anchor) {
+  RamsesCostModel model;
+  // 1h15m11s on the Lyon sagittaire SED (power 1.30, 16 machines).
+  const double d = model.duration(model.zoom1_work(ZoomJobSpec{}), 1.30, 16);
+  EXPECT_NEAR(d, 4511.0, 4511.0 * 0.002);
+}
+
+TEST(CostModel, Part2MeanAnchor) {
+  RamsesCostModel model;
+  // Mean over the 11 SEDs of the Section 5.1 deployment = 1h24m01s.
+  const G5kDeployment g5k = make_grid5000();
+  ZoomJobSpec spec;
+  spec.zoom_levels = 2;
+  RunningStats stats;
+  for (const auto& sed : g5k.seds) {
+    const double p = g5k.platform.cluster(sed.cluster).model.relative_power;
+    stats.add(model.duration(model.zoom2_work(spec), p, 16));
+  }
+  EXPECT_NEAR(stats.mean(), 5041.0, 5041.0 * 0.005);
+}
+
+TEST(CostModel, ToulouseNancyAnchors) {
+  RamsesCostModel model;
+  ZoomJobSpec spec;
+  spec.zoom_levels = 2;
+  const double toulouse = 9.0 * model.duration(model.zoom2_work(spec), 1.00, 16);
+  const double nancy = 9.0 * model.duration(model.zoom2_work(spec), 1.43, 16);
+  EXPECT_NEAR(toulouse / 3600.0, 15.0, 0.1);   // ~15h
+  EXPECT_NEAR(nancy / 3600.0, 10.5, 0.05);     // ~10h30
+}
+
+TEST(CostModel, ResolutionScalingMonotonic) {
+  RamsesCostModel model;
+  ZoomJobSpec lo;
+  lo.resolution = 64;
+  ZoomJobSpec hi;
+  hi.resolution = 256;
+  EXPECT_LT(model.zoom1_work(lo), model.zoom1_work(ZoomJobSpec{}));
+  EXPECT_GT(model.zoom1_work(hi), 7.9 * model.zoom1_work(ZoomJobSpec{}));
+}
+
+TEST(CostModel, ZoomLevelsAddWork) {
+  RamsesCostModel model;
+  ZoomJobSpec l0;
+  ZoomJobSpec l3;
+  l3.zoom_levels = 3;
+  EXPECT_GT(model.zoom2_work(l3), model.zoom2_work(l0));
+}
+
+TEST(CostModel, AmdahlNormalizedAtReference) {
+  RamsesCostModel model;
+  EXPECT_DOUBLE_EQ(model.duration(1000.0, 1.0, 16), 1000.0);
+  // Fewer machines -> slower; more -> faster but sublinear.
+  EXPECT_GT(model.duration(1000.0, 1.0, 8), 1000.0);
+  EXPECT_LT(model.duration(1000.0, 1.0, 32), 1000.0);
+  EXPECT_GT(model.duration(1000.0, 1.0, 32), 500.0);
+}
+
+TEST(CostModel, JitterPreservesMean) {
+  RamsesCostModel model;
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(model.duration_with_jitter(5000.0, 1.0, 16, rng));
+  }
+  EXPECT_NEAR(stats.mean(), 5000.0, 10.0);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.015, 0.002);
+}
+
+TEST(CostModel, ZeroJitterIsDeterministic) {
+  RamsesCostModel::Tuning tuning;
+  tuning.jitter_cv = 0.0;
+  RamsesCostModel model(tuning);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(model.duration_with_jitter(5000.0, 1.0, 16, rng), 5000.0);
+}
+
+}  // namespace
+}  // namespace gc::platform

@@ -1,0 +1,239 @@
+// Tests for estimation vectors and scheduling policies.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/estimation.hpp"
+#include "sched/policy.hpp"
+
+namespace gc::sched {
+namespace {
+
+Candidate make_candidate(std::uint64_t uid, double power, double queue,
+                         double assigned, double comp = -1.0) {
+  Candidate c;
+  c.sed_uid = uid;
+  c.sed_endpoint = static_cast<net::Endpoint>(uid + 100);
+  c.sed_name = "SeD-" + std::to_string(uid);
+  c.est.host_power = power;
+  c.est.queue_length = queue;
+  c.est.agent_assigned = assigned;
+  c.est.service_comp_s = comp;
+  return c;
+}
+
+TEST(Estimation, SerializeRoundtrip) {
+  Estimation est;
+  est.timestamp = 12.5;
+  est.host_power = 1.43;
+  est.machines = 16;
+  est.queue_length = 3;
+  est.queued_work_s = 15000.0;
+  est.free_cpu = 0.15;
+  est.free_mem_mb = 1024.0;
+  est.service_comp_s = 4190.0;
+  est.jobs_completed = 9;
+  est.agent_assigned = 2;
+
+  net::Writer writer;
+  est.serialize(writer);
+  net::Reader reader(writer.data());
+  const Estimation back = Estimation::deserialize(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_DOUBLE_EQ(back.timestamp, est.timestamp);
+  EXPECT_DOUBLE_EQ(back.host_power, est.host_power);
+  EXPECT_EQ(back.machines, est.machines);
+  EXPECT_DOUBLE_EQ(back.queued_work_s, est.queued_work_s);
+  EXPECT_DOUBLE_EQ(back.service_comp_s, est.service_comp_s);
+  EXPECT_EQ(back.jobs_completed, est.jobs_completed);
+  EXPECT_DOUBLE_EQ(back.agent_assigned, est.agent_assigned);
+}
+
+TEST(Estimation, CandidateListRoundtrip) {
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < 5; ++i) {
+    candidates.push_back(make_candidate(static_cast<std::uint64_t>(i),
+                                        1.0 + i, i, 0.0));
+  }
+  net::Writer writer;
+  serialize_candidates(writer, candidates);
+  net::Reader reader(writer.data());
+  const auto back = deserialize_candidates(reader);
+  ASSERT_EQ(back.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(back[static_cast<size_t>(i)].sed_uid,
+              static_cast<std::uint64_t>(i));
+    EXPECT_EQ(back[static_cast<size_t>(i)].sed_name,
+              "SeD-" + std::to_string(i));
+  }
+}
+
+TEST(Policy, RegistryKnowsAllNames) {
+  for (const auto& name : policy_names()) {
+    EXPECT_NE(make_policy(name), nullptr) << name;
+  }
+  EXPECT_EQ(make_policy("nonsense"), nullptr);
+}
+
+TEST(Policy, DefaultPrefersLeastOutstanding) {
+  auto policy = make_default_policy();
+  Rng rng(1);
+  std::vector<Candidate> candidates = {
+      make_candidate(1, 1.0, 0.0, 5.0),
+      make_candidate(2, 1.0, 0.0, 0.0),
+      make_candidate(3, 1.0, 0.0, 2.0),
+  };
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
+  EXPECT_EQ(candidates[1].sed_uid, 3u);
+  EXPECT_EQ(candidates[2].sed_uid, 1u);
+}
+
+TEST(Policy, DefaultUsesMaxOfQueueAndAssigned) {
+  auto policy = make_default_policy();
+  Rng rng(1);
+  // uid 1: agent thinks 0 assigned but SED reports queue 4 (stale agent).
+  std::vector<Candidate> candidates = {
+      make_candidate(1, 1.0, 4.0, 0.0),
+      make_candidate(2, 1.0, 0.0, 1.0),
+  };
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
+}
+
+TEST(Policy, DefaultIgnoresPower) {
+  // The paper's point: the deployed default does NOT prefer fast machines.
+  auto policy = make_default_policy();
+  Rng rng(1);
+  int fast_first = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Candidate> candidates = {
+        make_candidate(1, 1.43, 0.0, 0.0),  // fast
+        make_candidate(2, 1.00, 0.0, 0.0),  // slow, same outstanding
+    };
+    policy->rank(candidates, RequestContext{}, rng);
+    if (candidates[0].sed_uid == 1) ++fast_first;
+  }
+  // Ties break randomly: roughly half each, never all-fast.
+  EXPECT_GT(fast_first, 60);
+  EXPECT_LT(fast_first, 140);
+}
+
+TEST(Policy, DefaultSpreadsRoundOfAssignments) {
+  // Simulate the MA loop: assign 100 requests, updating outstanding counts.
+  auto policy = make_default_policy();
+  Rng rng(3);
+  std::vector<double> outstanding(11, 0.0);
+  std::vector<int> assigned(11, 0);
+  for (int r = 0; r < 100; ++r) {
+    std::vector<Candidate> candidates;
+    for (std::uint64_t uid = 0; uid < 11; ++uid) {
+      candidates.push_back(make_candidate(
+          uid, 1.0 + 0.05 * static_cast<double>(uid), 0.0,
+          outstanding[uid]));
+    }
+    policy->rank(candidates, RequestContext{}, rng);
+    const std::uint64_t chosen = candidates[0].sed_uid;
+    outstanding[chosen] += 1.0;
+    assigned[chosen] += 1;
+  }
+  // 100 over 11: every SED got 9 requests, one got 10 (Figure 4 left).
+  int nines = 0;
+  int tens = 0;
+  for (const int count : assigned) {
+    if (count == 9) ++nines;
+    if (count == 10) ++tens;
+  }
+  EXPECT_EQ(nines, 10);
+  EXPECT_EQ(tens, 1);
+}
+
+TEST(Policy, MctPrefersFasterWhenIdle) {
+  auto policy = make_mct_policy();
+  Rng rng(1);
+  std::vector<Candidate> candidates = {
+      make_candidate(1, 1.00, 0.0, 0.0, 5990.0),
+      make_candidate(2, 1.43, 0.0, 0.0, 4189.0),
+  };
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
+}
+
+TEST(Policy, MctBalancesBacklogAgainstSpeed) {
+  auto policy = make_mct_policy();
+  Rng rng(1);
+  // Fast SED has 2 outstanding jobs of 4189s (completion = 3*4189 = 12567);
+  // slow idle SED completes in 5990 -> slow wins.
+  Candidate fast = make_candidate(1, 1.43, 2.0, 2.0, 4189.0);
+  fast.est.queued_work_s = 2.0 * 4189.0;
+  Candidate slow = make_candidate(2, 1.00, 0.0, 0.0, 5990.0);
+  std::vector<Candidate> candidates = {fast, slow};
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
+}
+
+TEST(Policy, MctFallsBackWithoutPluginEstimate) {
+  auto policy = make_mct_policy();
+  Rng rng(1);
+  std::vector<Candidate> candidates = {
+      make_candidate(1, 1.00, 0.0, 0.0, -1.0),
+      make_candidate(2, 2.00, 0.0, 0.0, -1.0),
+  };
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);  // power-only fallback
+}
+
+TEST(Policy, FastestSortsByPower) {
+  auto policy = make_fastest_policy();
+  Rng rng(1);
+  std::vector<Candidate> candidates = {
+      make_candidate(1, 1.0, 0.0, 0.0),
+      make_candidate(2, 1.43, 9.0, 9.0),  // busy but fast: still first
+      make_candidate(3, 1.2, 0.0, 0.0),
+  };
+  policy->rank(candidates, RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
+  EXPECT_EQ(candidates[1].sed_uid, 3u);
+  EXPECT_EQ(candidates[2].sed_uid, 1u);
+}
+
+TEST(Policy, RandomIsUniformish) {
+  auto policy = make_random_policy();
+  Rng rng(9);
+  std::vector<int> first_count(4, 0);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<Candidate> candidates;
+    for (std::uint64_t uid = 0; uid < 4; ++uid) {
+      candidates.push_back(make_candidate(uid, 1.0, 0.0, 0.0));
+    }
+    policy->rank(candidates, RequestContext{}, rng);
+    first_count[candidates[0].sed_uid] += 1;
+  }
+  for (const int count : first_count) {
+    EXPECT_GT(count, 60);
+    EXPECT_LT(count, 140);
+  }
+}
+
+TEST(Policy, EmptyCandidateListIsFine) {
+  Rng rng(1);
+  for (const auto& name : policy_names()) {
+    auto policy = make_policy(name);
+    std::vector<Candidate> empty;
+    policy->rank(empty, RequestContext{}, rng);
+    EXPECT_TRUE(empty.empty());
+  }
+}
+
+TEST(Policy, SingleCandidateUntouched) {
+  Rng rng(1);
+  for (const auto& name : policy_names()) {
+    auto policy = make_policy(name);
+    std::vector<Candidate> one = {make_candidate(7, 1.0, 0.0, 0.0)};
+    policy->rank(one, RequestContext{}, rng);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].sed_uid, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace gc::sched

@@ -1,0 +1,278 @@
+// Tests for the zoom services (profiles, decoding, sim-mode solves) and
+// their registration.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "des/engine.hpp"
+#include "diet/client.hpp"
+#include "diet/deployment.hpp"
+#include "halo/halomaker.hpp"
+#include "io/tar.hpp"
+#include "naming/registry.hpp"
+#include "net/simenv.hpp"
+#include "workflow/campaign.hpp"
+#include "workflow/services.hpp"
+
+namespace gc::workflow {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("gc_wf_") + tag + "_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Services, Zoom2ProfileMatchesPaperShape) {
+  // Section 4.2.1: diet_profile_desc_alloc("ramsesZoom2", 6, 6, 8) with
+  // seven IN arguments, one OUT file and one OUT error code.
+  const diet::ProfileDesc desc = zoom2_profile_desc();
+  EXPECT_EQ(desc.path(), "ramsesZoom2");
+  EXPECT_EQ(desc.last_in(), 6);
+  EXPECT_EQ(desc.last_inout(), 6);
+  EXPECT_EQ(desc.last_out(), 8);
+  EXPECT_EQ(desc.arg(0).type, diet::DataType::kFile);
+  for (int i = 1; i <= 6; ++i) {
+    EXPECT_EQ(desc.arg(i).type, diet::DataType::kScalar);
+    EXPECT_EQ(desc.arg(i).base, diet::BaseType::kInt);
+  }
+  EXPECT_EQ(desc.arg(7).type, diet::DataType::kFile);
+  EXPECT_EQ(desc.arg(8).type, diet::DataType::kScalar);
+}
+
+TEST(Services, ClientProfilesMatchServiceDescs) {
+  const diet::Profile z1 = make_zoom1_profile("/tmp/x.nml", 1024, 128, 100);
+  EXPECT_TRUE(zoom1_profile_desc().matches(z1.desc()));
+  EXPECT_TRUE(z1.inputs_complete());
+
+  const diet::Profile z2 =
+      make_zoom2_profile("/tmp/x.nml", 1024, 128, 100, 64, 32, 96, 2);
+  EXPECT_TRUE(zoom2_profile_desc().matches(z2.desc()));
+  EXPECT_TRUE(z2.inputs_complete());
+  EXPECT_EQ(z2.arg(3).get_scalar<std::int32_t>().value(), 64);
+  EXPECT_EQ(z2.arg(6).get_scalar<std::int32_t>().value(), 2);
+  EXPECT_EQ(z2.in_file_bytes(), 1024);
+}
+
+TEST(Services, RegisterAddsBothServices) {
+  diet::ServiceTable table;
+  ServiceOptions options;
+  ASSERT_TRUE(register_services(table, options).is_ok());
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_NE(table.find_by_path("ramsesZoom1"), nullptr);
+  EXPECT_NE(table.find_by_path("ramsesZoom2"), nullptr);
+  // Estimators present (the plug-in scheduler hook).
+  EXPECT_TRUE(
+      static_cast<bool>(table.find_by_path("ramsesZoom2")->estimator));
+  // Double registration fails.
+  EXPECT_FALSE(register_services(table, options).is_ok());
+}
+
+TEST(Services, EstimatorFillsCompTime) {
+  diet::ServiceTable table;
+  ServiceOptions options;
+  ASSERT_TRUE(register_services(table, options).is_ok());
+  sched::Estimation est;
+  table.find_by_path("ramsesZoom2")
+      ->estimator(zoom2_profile_desc(), 1.43, 16, est);
+  // Nancy-class SED: ~4190 s per zoom2 (Section 5.2 shape).
+  EXPECT_NEAR(est.service_comp_s, 4190.0, 50.0);
+  sched::Estimation est_slow;
+  table.find_by_path("ramsesZoom2")
+      ->estimator(zoom2_profile_desc(), 1.00, 16, est_slow);
+  EXPECT_GT(est_slow.service_comp_s, est.service_comp_s);
+}
+
+/// One-SED DES harness that runs a single service call to completion.
+struct MiniGrid {
+  MiniGrid(const ServiceOptions& options)
+      : topology(1e-3, 1.25e8), env(engine, topology) {
+    GC_CHECK(register_services(services, options).is_ok());
+    diet::DeploymentSpec spec;
+    spec.ma_node = 0;
+    diet::DeploymentSpec::LaSpec la;
+    la.name = "LA";
+    la.node = 1;
+    diet::DeploymentSpec::SedSpec sed;
+    sed.name = "SeD-test";
+    sed.node = 2;
+    sed.host_power = 1.3;
+    sed.machines = 16;
+    la.sed_indexes.push_back(0);
+    spec.seds.push_back(sed);
+    spec.las.push_back(la);
+    deployment =
+        std::make_unique<diet::Deployment>(env, registry, services, spec);
+    env.attach(client, 0);
+    client.connect(registry.resolve("MA1").value());
+    engine.run_until(engine.now() + 1.0);
+  }
+
+  gc::Status call(diet::Profile profile, diet::Profile* result) {
+    gc::Status status = make_error(ErrorCode::kInternal, "did not run");
+    client.call_async(std::move(profile),
+                      [&](const gc::Status& s, diet::Profile& p) {
+                        status = s;
+                        *result = p;
+                      });
+    engine.run();
+    return status;
+  }
+
+  des::Engine engine;
+  net::UniformTopology topology;
+  net::SimEnv env;
+  naming::Registry registry;
+  diet::ServiceTable services;
+  std::unique_ptr<diet::Deployment> deployment;
+  diet::Client client{"client"};
+};
+
+TEST(Services, SimZoom1ProducesReadableCatalog) {
+  ServiceOptions options;
+  options.work_dir = temp_dir("z1");
+  MiniGrid grid(options);
+
+  diet::Profile result;
+  const gc::Status status =
+      grid.call(make_zoom1_profile("/none.nml", 4096, 128, 100), &result);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(result.arg(4).get_scalar<std::int32_t>().value(), 0);
+
+  auto file = result.arg(3).get_file();
+  ASSERT_TRUE(file.is_ok());
+  // Modeled transfer size is the configured catalog size...
+  EXPECT_EQ(file.value().size_bytes, options.catalog_bytes);
+  // ...but the file on disk is a real, readable catalog with >= 100 halos
+  // (the campaign picks its zoom targets from it).
+  auto catalog = halo::read_catalog(file.value().path);
+  ASSERT_TRUE(catalog.is_ok());
+  EXPECT_GE(catalog.value().halos.size(), 100u);
+  // Sorted by mass.
+  for (std::size_t i = 1; i < catalog.value().halos.size(); ++i) {
+    EXPECT_LE(catalog.value().halos[i].mass,
+              catalog.value().halos[i - 1].mass);
+  }
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Services, SimZoom1TakesModeledTime) {
+  ServiceOptions options;
+  options.work_dir = temp_dir("z1t");
+  MiniGrid grid(options);
+  diet::Profile result;
+  ASSERT_TRUE(
+      grid.call(make_zoom1_profile("/none.nml", 4096, 128, 100), &result)
+          .is_ok());
+  // Power 1.3 SED: ~4511 s of virtual time (the paper's 1h15m anchor).
+  const auto& record = grid.client.records().at(0);
+  EXPECT_NEAR(record.completed - record.started, 4511.0, 4511.0 * 0.08);
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Services, SimZoom2ProducesTarball) {
+  ServiceOptions options;
+  options.work_dir = temp_dir("z2");
+  MiniGrid grid(options);
+  diet::Profile result;
+  const gc::Status status = grid.call(
+      make_zoom2_profile("/none.nml", 4096, 128, 100, 10, 20, 30, 2),
+      &result);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(result.arg(8).get_scalar<std::int32_t>().value(), 0);
+
+  auto file = result.arg(7).get_file();
+  ASSERT_TRUE(file.is_ok());
+  EXPECT_EQ(file.value().size_bytes, options.tarball_bytes);
+  auto entries = io::TarReader::load(file.value().path);
+  ASSERT_TRUE(entries.is_ok());
+  ASSERT_GE(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "README.txt");
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Services, BadArgumentsReturnErrorCode) {
+  ServiceOptions options;
+  options.work_dir = temp_dir("bad");
+  MiniGrid grid(options);
+  // resolution 0 is invalid -> solve returns 1, call surfaces an error.
+  diet::Profile result;
+  const gc::Status status =
+      grid.call(make_zoom1_profile("/none.nml", 4096, 0, 100), &result);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(result.arg(4).get_scalar<std::int32_t>().value(), 1);
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Services, RealModeZoom1RunsActualPipeline) {
+  ServiceOptions options;
+  options.mode = ServiceMode::kReal;
+  options.work_dir = temp_dir("real1");
+  options.real_max_resolution = 8;  // tiny but real
+  options.real_steps = 6;
+  MiniGrid grid(options);
+
+  diet::Profile result;
+  const gc::Status status =
+      grid.call(make_zoom1_profile("/none.nml", 4096, 128, 100), &result);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  auto file = result.arg(3).get_file();
+  ASSERT_TRUE(file.is_ok());
+  auto catalog = halo::read_catalog(file.value().path);
+  ASSERT_TRUE(catalog.is_ok());
+  // A real 8^3 run at z=0 contains at least one FoF group.
+  EXPECT_GE(catalog.value().total_particles, 512u);
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Services, RealModeZoom2ProducesGalaxyTar) {
+  ServiceOptions options;
+  options.mode = ServiceMode::kReal;
+  options.work_dir = temp_dir("real2");
+  options.real_max_resolution = 8;
+  options.real_steps = 6;
+  MiniGrid grid(options);
+
+  diet::Profile result;
+  const gc::Status status = grid.call(
+      make_zoom2_profile("/none.nml", 4096, 128, 100, 64, 64, 64, 1),
+      &result);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  auto file = result.arg(7).get_file();
+  ASSERT_TRUE(file.is_ok());
+  auto entries = io::TarReader::load(file.value().path);
+  ASSERT_TRUE(entries.is_ok());
+  // README + per-snapshot halo catalogs + galaxies.txt.
+  EXPECT_GE(entries.value().size(), 3u);
+  bool has_galaxies = false;
+  for (const auto& entry : entries.value()) {
+    if (entry.name == "galaxies.txt") has_galaxies = true;
+  }
+  EXPECT_TRUE(has_galaxies);
+  std::filesystem::remove_all(options.work_dir);
+}
+
+TEST(Campaign, SpecFromG5kMirrorsPlacement) {
+  const auto g5k = platform::make_grid5000();
+  CampaignConfig config;
+  config.policy = "mct";
+  const diet::DeploymentSpec spec = deployment_spec_from_g5k(g5k, config);
+  EXPECT_EQ(spec.policy, "mct");
+  EXPECT_EQ(spec.las.size(), 6u);
+  EXPECT_EQ(spec.seds.size(), 11u);
+  EXPECT_EQ(spec.ma_node, g5k.ma_node);
+  for (std::size_t i = 0; i < spec.seds.size(); ++i) {
+    EXPECT_EQ(spec.seds[i].node, g5k.seds[i].frontal);
+    EXPECT_EQ(spec.seds[i].machines, 16);
+    EXPECT_GT(spec.seds[i].host_power, 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace gc::workflow
