@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_plugin_scheduler.dir/bench_a1_plugin_scheduler.cpp.o"
+  "CMakeFiles/bench_a1_plugin_scheduler.dir/bench_a1_plugin_scheduler.cpp.o.d"
+  "bench_a1_plugin_scheduler"
+  "bench_a1_plugin_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_plugin_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

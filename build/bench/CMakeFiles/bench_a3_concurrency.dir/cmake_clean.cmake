@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_concurrency.dir/bench_a3_concurrency.cpp.o"
+  "CMakeFiles/bench_a3_concurrency.dir/bench_a3_concurrency.cpp.o.d"
+  "bench_a3_concurrency"
+  "bench_a3_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

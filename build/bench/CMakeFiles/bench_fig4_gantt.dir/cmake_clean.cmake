@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gantt.dir/bench_fig4_gantt.cpp.o"
+  "CMakeFiles/bench_fig4_gantt.dir/bench_fig4_gantt.cpp.o.d"
+  "bench_fig4_gantt"
+  "bench_fig4_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

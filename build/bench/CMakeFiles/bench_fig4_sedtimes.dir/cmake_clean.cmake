@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sedtimes.dir/bench_fig4_sedtimes.cpp.o"
+  "CMakeFiles/bench_fig4_sedtimes.dir/bench_fig4_sedtimes.cpp.o.d"
+  "bench_fig4_sedtimes"
+  "bench_fig4_sedtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sedtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_overhead.cpp" "bench/CMakeFiles/bench_fig5_overhead.dir/bench_fig5_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_overhead.dir/bench_fig5_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_diet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_ramses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_grafic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_galaxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_makespan.dir/bench_t1_makespan.cpp.o"
+  "CMakeFiles/bench_t1_makespan.dir/bench_t1_makespan.cpp.o.d"
+  "bench_t1_makespan"
+  "bench_t1_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

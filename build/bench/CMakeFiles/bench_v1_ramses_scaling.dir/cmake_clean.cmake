@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v1_ramses_scaling.dir/bench_v1_ramses_scaling.cpp.o"
+  "CMakeFiles/bench_v1_ramses_scaling.dir/bench_v1_ramses_scaling.cpp.o.d"
+  "bench_v1_ramses_scaling"
+  "bench_v1_ramses_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v1_ramses_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

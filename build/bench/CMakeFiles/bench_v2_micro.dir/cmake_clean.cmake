@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v2_micro.dir/bench_v2_micro.cpp.o"
+  "CMakeFiles/bench_v2_micro.dir/bench_v2_micro.cpp.o.d"
+  "bench_v2_micro"
+  "bench_v2_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v2_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_pipeline.dir/galaxy_pipeline.cpp.o"
+  "CMakeFiles/galaxy_pipeline.dir/galaxy_pipeline.cpp.o.d"
+  "galaxy_pipeline"
+  "galaxy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_scheduler.dir/plugin_scheduler.cpp.o"
+  "CMakeFiles/plugin_scheduler.dir/plugin_scheduler.cpp.o.d"
+  "plugin_scheduler"
+  "plugin_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_simulation.dir/pm_simulation.cpp.o"
+  "CMakeFiles/pm_simulation.dir/pm_simulation.cpp.o.d"
+  "pm_simulation"
+  "pm_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoom_campaign.dir/zoom_campaign.cpp.o"
+  "CMakeFiles/zoom_campaign.dir/zoom_campaign.cpp.o.d"
+  "zoom_campaign"
+  "zoom_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoom_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_common.dir/common/cli.cpp.o"
+  "CMakeFiles/gc_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/gc_common.dir/common/log.cpp.o"
+  "CMakeFiles/gc_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/gc_common.dir/common/stats.cpp.o"
+  "CMakeFiles/gc_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/gc_common.dir/common/status.cpp.o"
+  "CMakeFiles/gc_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/gc_common.dir/common/strings.cpp.o"
+  "CMakeFiles/gc_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/gc_common.dir/common/units.cpp.o"
+  "CMakeFiles/gc_common.dir/common/units.cpp.o.d"
+  "libgc_common.a"
+  "libgc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_cosmo.dir/cosmo/cosmology.cpp.o"
+  "CMakeFiles/gc_cosmo.dir/cosmo/cosmology.cpp.o.d"
+  "CMakeFiles/gc_cosmo.dir/cosmo/massfunction.cpp.o"
+  "CMakeFiles/gc_cosmo.dir/cosmo/massfunction.cpp.o.d"
+  "CMakeFiles/gc_cosmo.dir/cosmo/power.cpp.o"
+  "CMakeFiles/gc_cosmo.dir/cosmo/power.cpp.o.d"
+  "libgc_cosmo.a"
+  "libgc_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/engine.cpp" "src/CMakeFiles/gc_des.dir/des/engine.cpp.o" "gcc" "src/CMakeFiles/gc_des.dir/des/engine.cpp.o.d"
+  "/root/repo/src/des/link.cpp" "src/CMakeFiles/gc_des.dir/des/link.cpp.o" "gcc" "src/CMakeFiles/gc_des.dir/des/link.cpp.o.d"
+  "/root/repo/src/des/resource.cpp" "src/CMakeFiles/gc_des.dir/des/resource.cpp.o" "gcc" "src/CMakeFiles/gc_des.dir/des/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_des.dir/des/engine.cpp.o"
+  "CMakeFiles/gc_des.dir/des/engine.cpp.o.d"
+  "CMakeFiles/gc_des.dir/des/link.cpp.o"
+  "CMakeFiles/gc_des.dir/des/link.cpp.o.d"
+  "CMakeFiles/gc_des.dir/des/resource.cpp.o"
+  "CMakeFiles/gc_des.dir/des/resource.cpp.o.d"
+  "libgc_des.a"
+  "libgc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diet/agent.cpp" "src/CMakeFiles/gc_diet.dir/diet/agent.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/agent.cpp.o.d"
+  "/root/repo/src/diet/capi.cpp" "src/CMakeFiles/gc_diet.dir/diet/capi.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/capi.cpp.o.d"
+  "/root/repo/src/diet/client.cpp" "src/CMakeFiles/gc_diet.dir/diet/client.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/client.cpp.o.d"
+  "/root/repo/src/diet/config.cpp" "src/CMakeFiles/gc_diet.dir/diet/config.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/config.cpp.o.d"
+  "/root/repo/src/diet/data.cpp" "src/CMakeFiles/gc_diet.dir/diet/data.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/data.cpp.o.d"
+  "/root/repo/src/diet/datamgr.cpp" "src/CMakeFiles/gc_diet.dir/diet/datamgr.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/datamgr.cpp.o.d"
+  "/root/repo/src/diet/deployment.cpp" "src/CMakeFiles/gc_diet.dir/diet/deployment.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/deployment.cpp.o.d"
+  "/root/repo/src/diet/profile.cpp" "src/CMakeFiles/gc_diet.dir/diet/profile.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/profile.cpp.o.d"
+  "/root/repo/src/diet/protocol.cpp" "src/CMakeFiles/gc_diet.dir/diet/protocol.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/protocol.cpp.o.d"
+  "/root/repo/src/diet/sed.cpp" "src/CMakeFiles/gc_diet.dir/diet/sed.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/sed.cpp.o.d"
+  "/root/repo/src/diet/service.cpp" "src/CMakeFiles/gc_diet.dir/diet/service.cpp.o" "gcc" "src/CMakeFiles/gc_diet.dir/diet/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

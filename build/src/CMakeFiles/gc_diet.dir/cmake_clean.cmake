@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_diet.dir/diet/agent.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/agent.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/capi.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/capi.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/client.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/client.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/config.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/config.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/data.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/data.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/datamgr.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/datamgr.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/deployment.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/deployment.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/profile.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/profile.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/protocol.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/protocol.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/sed.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/sed.cpp.o.d"
+  "CMakeFiles/gc_diet.dir/diet/service.cpp.o"
+  "CMakeFiles/gc_diet.dir/diet/service.cpp.o.d"
+  "libgc_diet.a"
+  "libgc_diet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_diet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

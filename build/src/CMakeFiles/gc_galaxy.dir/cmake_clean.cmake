@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_galaxy.dir/galaxy/galaxymaker.cpp.o"
+  "CMakeFiles/gc_galaxy.dir/galaxy/galaxymaker.cpp.o.d"
+  "libgc_galaxy.a"
+  "libgc_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

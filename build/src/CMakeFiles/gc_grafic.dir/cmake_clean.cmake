@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_grafic.dir/grafic/files.cpp.o"
+  "CMakeFiles/gc_grafic.dir/grafic/files.cpp.o.d"
+  "CMakeFiles/gc_grafic.dir/grafic/grf.cpp.o"
+  "CMakeFiles/gc_grafic.dir/grafic/grf.cpp.o.d"
+  "CMakeFiles/gc_grafic.dir/grafic/ic.cpp.o"
+  "CMakeFiles/gc_grafic.dir/grafic/ic.cpp.o.d"
+  "libgc_grafic.a"
+  "libgc_grafic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_grafic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

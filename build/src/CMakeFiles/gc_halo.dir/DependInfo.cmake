@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/halo/halomaker.cpp" "src/CMakeFiles/gc_halo.dir/halo/halomaker.cpp.o" "gcc" "src/CMakeFiles/gc_halo.dir/halo/halomaker.cpp.o.d"
+  "/root/repo/src/halo/overdensity.cpp" "src/CMakeFiles/gc_halo.dir/halo/overdensity.cpp.o" "gcc" "src/CMakeFiles/gc_halo.dir/halo/overdensity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_halo.dir/halo/halomaker.cpp.o"
+  "CMakeFiles/gc_halo.dir/halo/halomaker.cpp.o.d"
+  "CMakeFiles/gc_halo.dir/halo/overdensity.cpp.o"
+  "CMakeFiles/gc_halo.dir/halo/overdensity.cpp.o.d"
+  "libgc_halo.a"
+  "libgc_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

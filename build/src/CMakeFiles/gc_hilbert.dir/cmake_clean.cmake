@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_hilbert.dir/hilbert/hilbert.cpp.o"
+  "CMakeFiles/gc_hilbert.dir/hilbert/hilbert.cpp.o.d"
+  "libgc_hilbert.a"
+  "libgc_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_io.dir/io/fortran.cpp.o"
+  "CMakeFiles/gc_io.dir/io/fortran.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/namelist.cpp.o"
+  "CMakeFiles/gc_io.dir/io/namelist.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/tar.cpp.o"
+  "CMakeFiles/gc_io.dir/io/tar.cpp.o.d"
+  "libgc_io.a"
+  "libgc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

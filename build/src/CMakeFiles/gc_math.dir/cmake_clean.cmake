@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_math.dir/math/fft.cpp.o"
+  "CMakeFiles/gc_math.dir/math/fft.cpp.o.d"
+  "CMakeFiles/gc_math.dir/math/integrate.cpp.o"
+  "CMakeFiles/gc_math.dir/math/integrate.cpp.o.d"
+  "libgc_math.a"
+  "libgc_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

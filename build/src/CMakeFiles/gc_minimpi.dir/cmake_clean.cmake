@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_minimpi.dir/minimpi/comm.cpp.o"
+  "CMakeFiles/gc_minimpi.dir/minimpi/comm.cpp.o.d"
+  "libgc_minimpi.a"
+  "libgc_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_naming.dir/naming/registry.cpp.o"
+  "CMakeFiles/gc_naming.dir/naming/registry.cpp.o.d"
+  "libgc_naming.a"
+  "libgc_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

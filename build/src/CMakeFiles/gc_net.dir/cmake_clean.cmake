@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_net.dir/net/realenv.cpp.o"
+  "CMakeFiles/gc_net.dir/net/realenv.cpp.o.d"
+  "CMakeFiles/gc_net.dir/net/simenv.cpp.o"
+  "CMakeFiles/gc_net.dir/net/simenv.cpp.o.d"
+  "libgc_net.a"
+  "libgc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

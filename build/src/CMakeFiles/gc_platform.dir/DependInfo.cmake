@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_model.cpp" "src/CMakeFiles/gc_platform.dir/platform/cost_model.cpp.o" "gcc" "src/CMakeFiles/gc_platform.dir/platform/cost_model.cpp.o.d"
+  "/root/repo/src/platform/grid5000.cpp" "src/CMakeFiles/gc_platform.dir/platform/grid5000.cpp.o" "gcc" "src/CMakeFiles/gc_platform.dir/platform/grid5000.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/CMakeFiles/gc_platform.dir/platform/machine.cpp.o" "gcc" "src/CMakeFiles/gc_platform.dir/platform/machine.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/CMakeFiles/gc_platform.dir/platform/platform.cpp.o" "gcc" "src/CMakeFiles/gc_platform.dir/platform/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

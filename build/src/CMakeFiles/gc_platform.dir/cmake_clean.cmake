@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_platform.dir/platform/cost_model.cpp.o"
+  "CMakeFiles/gc_platform.dir/platform/cost_model.cpp.o.d"
+  "CMakeFiles/gc_platform.dir/platform/grid5000.cpp.o"
+  "CMakeFiles/gc_platform.dir/platform/grid5000.cpp.o.d"
+  "CMakeFiles/gc_platform.dir/platform/machine.cpp.o"
+  "CMakeFiles/gc_platform.dir/platform/machine.cpp.o.d"
+  "CMakeFiles/gc_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/gc_platform.dir/platform/platform.cpp.o.d"
+  "libgc_platform.a"
+  "libgc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ramses/amr.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/amr.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/amr.cpp.o.d"
+  "/root/repo/src/ramses/domain.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/domain.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/domain.cpp.o.d"
+  "/root/repo/src/ramses/loader.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/loader.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/loader.cpp.o.d"
+  "/root/repo/src/ramses/particles.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/particles.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/particles.cpp.o.d"
+  "/root/repo/src/ramses/pm.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/pm.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/pm.cpp.o.d"
+  "/root/repo/src/ramses/simulation.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/simulation.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/simulation.cpp.o.d"
+  "/root/repo/src/ramses/snapshot.cpp" "src/CMakeFiles/gc_ramses.dir/ramses/snapshot.cpp.o" "gcc" "src/CMakeFiles/gc_ramses.dir/ramses/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_grafic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

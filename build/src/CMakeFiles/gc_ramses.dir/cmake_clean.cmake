@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_ramses.dir/ramses/amr.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/amr.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/domain.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/domain.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/loader.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/loader.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/particles.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/particles.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/pm.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/pm.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/simulation.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/simulation.cpp.o.d"
+  "CMakeFiles/gc_ramses.dir/ramses/snapshot.cpp.o"
+  "CMakeFiles/gc_ramses.dir/ramses/snapshot.cpp.o.d"
+  "libgc_ramses.a"
+  "libgc_ramses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_ramses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

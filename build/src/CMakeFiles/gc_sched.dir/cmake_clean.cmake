@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_sched.dir/sched/estimation.cpp.o"
+  "CMakeFiles/gc_sched.dir/sched/estimation.cpp.o.d"
+  "CMakeFiles/gc_sched.dir/sched/policy.cpp.o"
+  "CMakeFiles/gc_sched.dir/sched/policy.cpp.o.d"
+  "libgc_sched.a"
+  "libgc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

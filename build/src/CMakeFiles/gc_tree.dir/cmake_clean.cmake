@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tree.dir/tree/treemaker.cpp.o"
+  "CMakeFiles/gc_tree.dir/tree/treemaker.cpp.o.d"
+  "libgc_tree.a"
+  "libgc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_workflow.dir/workflow/campaign.cpp.o"
+  "CMakeFiles/gc_workflow.dir/workflow/campaign.cpp.o.d"
+  "CMakeFiles/gc_workflow.dir/workflow/services.cpp.o"
+  "CMakeFiles/gc_workflow.dir/workflow/services.cpp.o.d"
+  "libgc_workflow.a"
+  "libgc_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

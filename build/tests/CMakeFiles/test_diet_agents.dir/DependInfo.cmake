@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_diet_agents.cpp" "tests/CMakeFiles/test_diet_agents.dir/test_diet_agents.cpp.o" "gcc" "tests/CMakeFiles/test_diet_agents.dir/test_diet_agents.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gc_diet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

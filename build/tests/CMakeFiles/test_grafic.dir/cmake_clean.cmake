@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grafic.dir/test_grafic.cpp.o"
+  "CMakeFiles/test_grafic.dir/test_grafic.cpp.o.d"
+  "test_grafic"
+  "test_grafic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grafic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naming.dir/test_naming.cpp.o"
+  "CMakeFiles/test_naming.dir/test_naming.cpp.o.d"
+  "test_naming"
+  "test_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

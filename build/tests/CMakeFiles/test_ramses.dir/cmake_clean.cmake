@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramses.dir/test_ramses.cpp.o"
+  "CMakeFiles/test_ramses.dir/test_ramses.cpp.o.d"
+  "test_ramses"
+  "test_ramses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
