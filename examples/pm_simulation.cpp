@@ -6,10 +6,12 @@
 //   ./pm_simulation --n 32 --steps 32        # bigger run
 //   ./pm_simulation --ranks 4                # MiniMPI parallel
 //   ./pm_simulation --zoom 2                 # nested zoom ICs
+//   ./pm_simulation --threads 4              # pool threads (= GC_THREADS)
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "parallel/pool.hpp"
 #include "cosmo/massfunction.hpp"
 #include "halo/halomaker.hpp"
 #include "halo/overdensity.hpp"
@@ -40,11 +42,16 @@ int main(int argc, char** argv) {
                         params.box_mpc / 2};
   params.aout = {0.5};
   const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  // 0 keeps the default (GC_THREADS env var, else hardware concurrency).
+  gc::parallel::set_thread_count(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
 
   std::printf("PM/N-body: %d^3 particles, %d^3 mesh, box %.0f Mpc/h, "
-              "a %.2f -> 1.0 in %d steps, %d rank(s), %d zoom level(s)\n",
+              "a %.2f -> 1.0 in %d steps, %d rank(s), %d zoom level(s), "
+              "%zu pool thread(s)\n",
               params.npart_dim, params.pm_grid, params.box_mpc,
-              params.a_start, params.steps, ranks, params.zoom_levels);
+              params.a_start, params.steps, ranks, params.zoom_levels,
+              gc::parallel::thread_count());
 
   const gc::ramses::RunResult result =
       ranks > 1 ? gc::ramses::run_simulation_parallel(params, ranks)

@@ -4,43 +4,62 @@
 
 #include "common/log.hpp"
 #include "math/fft.hpp"
+#include "parallel/pool.hpp"
 
 namespace gc::grafic {
+
+namespace {
+
+/// Frequencies kf * freq_index(i, n) for every grid index, hoisted out of
+/// the k-space loops (kx/ky are invariant in the j/l loops).
+std::vector<double> frequency_table(std::size_t n, double kf) {
+  std::vector<double> k1d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k1d[i] = kf * static_cast<double>(math::freq_index(i, n));
+  }
+  return k1d;
+}
+
+}  // namespace
 
 std::array<std::vector<float>, 3> second_order_displacement(
     const std::vector<float>& delta, int n, double box_mpc) {
   const auto nu = static_cast<std::size_t>(n);
   const double kf = 2.0 * M_PI / box_mpc;
   const std::size_t n3 = nu * nu * nu;
+  const std::vector<double> k1d = frequency_table(nu, kf);
 
   // Forward transform of delta (= -laplace(phi) up to the growth factor;
   // we work with phi normalized so that delta = -lap phi, i.e. phi_k =
   // delta_k / k^2).
   std::vector<math::Complex> dk(n3);
-  for (std::size_t i = 0; i < n3; ++i) dk[i] = {delta[i], 0.0};
+  parallel::parallel_for(0, n3, 8192,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             dk[i] = {delta[i], 0.0};
+                           }
+                         });
   math::fft3(dk, nu, false);
 
-  auto kvec = [&](std::size_t i, std::size_t j, std::size_t l) {
-    return std::array<double, 3>{
-        kf * static_cast<double>(math::freq_index(i, nu)),
-        kf * static_cast<double>(math::freq_index(j, nu)),
-        kf * static_cast<double>(math::freq_index(l, nu))};
-  };
-
-  // phi,ab in real space for the six independent index pairs.
+  // phi,ab in real space for one index pair (a, b).
   auto second_derivative = [&](int a, int b) {
     std::vector<math::Complex> field(n3);
     for (std::size_t i = 0; i < nu; ++i) {
+      const double ki = k1d[i];
       for (std::size_t j = 0; j < nu; ++j) {
+        const double kj = k1d[j];
+        const double kij2 = ki * ki + kj * kj;
+        const math::Complex* drow = dk.data() + (i * nu + j) * nu;
+        math::Complex* frow = field.data() + (i * nu + j) * nu;
         for (std::size_t l = 0; l < nu; ++l) {
-          const auto k = kvec(i, j, l);
-          const double k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
-          const std::size_t idx = (i * nu + j) * nu + l;
+          const double kl = k1d[l];
+          const double k2 = kij2 + kl * kl;
+          const double kk[3] = {ki, kj, kl};
           // phi_k = delta_k / k^2; phi,ab <-> -k_a k_b phi_k.
-          field[idx] = k2 > 0.0
-                           ? dk[idx] * (-k[static_cast<size_t>(a)] *
-                                        k[static_cast<size_t>(b)] / k2)
-                           : math::Complex(0.0, 0.0);
+          frow[l] = k2 > 0.0
+                        ? drow[l] * (-kk[static_cast<size_t>(a)] *
+                                     kk[static_cast<size_t>(b)] / k2)
+                        : math::Complex(0.0, 0.0);
         }
       }
     }
@@ -50,21 +69,35 @@ std::array<std::vector<float>, 3> second_order_displacement(
     return out;
   };
 
-  const auto pxx = second_derivative(0, 0);
-  const auto pyy = second_derivative(1, 1);
-  const auto pzz = second_derivative(2, 2);
-  const auto pxy = second_derivative(0, 1);
-  const auto pxz = second_derivative(0, 2);
-  const auto pyz = second_derivative(1, 2);
+  // The six independent phi,ab fields: one pool task each (the nested FFTs
+  // run inline on their worker, so each field's arithmetic is identical at
+  // any thread count).
+  static constexpr int kPairs[6][2] = {{0, 0}, {1, 1}, {2, 2},
+                                       {0, 1}, {0, 2}, {1, 2}};
+  std::array<std::vector<double>, 6> fields;
+  parallel::parallel_for(0, 6, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t f = begin; f < end; ++f) {
+      fields[f] = second_derivative(kPairs[f][0], kPairs[f][1]);
+    }
+  });
+  const auto& pxx = fields[0];
+  const auto& pyy = fields[1];
+  const auto& pzz = fields[2];
+  const auto& pxy = fields[3];
+  const auto& pxz = fields[4];
+  const auto& pyz = fields[5];
 
   // S2 = phi,xx phi,yy + phi,xx phi,zz + phi,yy phi,zz
   //      - phi,xy^2 - phi,xz^2 - phi,yz^2.
   std::vector<math::Complex> s2(n3);
-  for (std::size_t i = 0; i < n3; ++i) {
-    s2[i] = {pxx[i] * pyy[i] + pxx[i] * pzz[i] + pyy[i] * pzz[i] -
-                 pxy[i] * pxy[i] - pxz[i] * pxz[i] - pyz[i] * pyz[i],
-             0.0};
-  }
+  parallel::parallel_for(
+      0, n3, 8192, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          s2[i] = {pxx[i] * pyy[i] + pxx[i] * pzz[i] + pyy[i] * pzz[i] -
+                       pxy[i] * pxy[i] - pxz[i] * pxz[i] - pyz[i] * pyz[i],
+                   0.0};
+        }
+      });
   math::fft3(s2, nu, false);
 
   // psi2 = grad(laplace^-1 S2): psi2_k = -i k / k^2 * S2_k... with the
@@ -74,26 +107,38 @@ std::array<std::vector<float>, 3> second_order_displacement(
   std::array<std::vector<float>, 3> psi2;
   std::vector<math::Complex> component(n3);
   for (int axis = 0; axis < 3; ++axis) {
-    for (std::size_t i = 0; i < nu; ++i) {
-      for (std::size_t j = 0; j < nu; ++j) {
-        for (std::size_t l = 0; l < nu; ++l) {
-          const auto k = kvec(i, j, l);
-          const double k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
-          const std::size_t idx = (i * nu + j) * nu + l;
-          component[idx] =
-              k2 > 0.0 ? math::Complex(0.0, -k[static_cast<size_t>(axis)] /
-                                                k2) *
-                             s2[idx]
-                       : math::Complex(0.0, 0.0);
-        }
-      }
-    }
+    parallel::parallel_for(
+        0, nu, 1, [&](std::size_t i_begin, std::size_t i_end) {
+          for (std::size_t i = i_begin; i < i_end; ++i) {
+            const double ki = k1d[i];
+            for (std::size_t j = 0; j < nu; ++j) {
+              const double kj = k1d[j];
+              const double kij2 = ki * ki + kj * kj;
+              const math::Complex* srow = s2.data() + (i * nu + j) * nu;
+              math::Complex* crow = component.data() + (i * nu + j) * nu;
+              for (std::size_t l = 0; l < nu; ++l) {
+                const double kl = k1d[l];
+                const double k2 = kij2 + kl * kl;
+                const double kk[3] = {ki, kj, kl};
+                crow[l] = k2 > 0.0
+                              ? math::Complex(
+                                    0.0,
+                                    -kk[static_cast<size_t>(axis)] / k2) *
+                                    srow[l]
+                              : math::Complex(0.0, 0.0);
+              }
+            }
+          }
+        });
     math::fft3(component, nu, true);
     auto& out = psi2[static_cast<size_t>(axis)];
     out.resize(n3);
-    for (std::size_t i = 0; i < n3; ++i) {
-      out[i] = static_cast<float>(component[i].real());
-    }
+    parallel::parallel_for(0, n3, 8192,
+                           [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               out[i] = static_cast<float>(component[i].real());
+                             }
+                           });
   }
   return psi2;
 }
@@ -177,7 +222,9 @@ IcLevel Generator::build_level(int level_index, int n, double box_mpc,
     const auto nu = static_cast<std::size_t>(n);
     const double cell = box_mpc / n;
     const double parent_cell = parent->box_mpc / parent->n;
-    for (std::size_t i = 0; i < nu; ++i) {
+    parallel::parallel_for(0, nu, 1, [&](std::size_t i_begin,
+                                         std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
       for (std::size_t j = 0; j < nu; ++j) {
         for (std::size_t k = 0; k < nu; ++k) {
           // Position of this child cell centre in parent grid coordinates
@@ -195,14 +242,18 @@ IcLevel Generator::build_level(int level_index, int n, double box_mpc,
         }
       }
     }
+    });
   }
 
   // Zel'dovich displacement: psi(k) = i k / k^2 * delta(k).
   const auto nu = static_cast<std::size_t>(n);
   std::vector<math::Complex> dk(nu * nu * nu);
-  for (std::size_t idx = 0; idx < dk.size(); ++idx) {
-    dk[idx] = math::Complex(delta.raw()[idx], 0.0);
-  }
+  parallel::parallel_for(0, dk.size(), 8192,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t idx = begin; idx < end; ++idx) {
+                             dk[idx] = math::Complex(delta.raw()[idx], 0.0);
+                           }
+                         });
   math::fft3(dk, nu, false);
 
   IcLevel out;
@@ -217,26 +268,32 @@ IcLevel Generator::build_level(int level_index, int n, double box_mpc,
   }
 
   const double kf = 2.0 * M_PI / box_mpc;
+  const std::vector<double> k1d = frequency_table(nu, kf);
   std::vector<math::Complex> psi(nu * nu * nu);
   for (int axis = 0; axis < 3; ++axis) {
-    for (std::size_t i = 0; i < nu; ++i) {
-      for (std::size_t j = 0; j < nu; ++j) {
-        for (std::size_t l = 0; l < nu; ++l) {
-          const double kv[3] = {
-              kf * static_cast<double>(math::freq_index(i, nu)),
-              kf * static_cast<double>(math::freq_index(j, nu)),
-              kf * static_cast<double>(math::freq_index(l, nu))};
-          const double k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
-          const std::size_t idx = (i * nu + j) * nu + l;
-          if (k2 <= 0.0) {
-            psi[idx] = 0.0;
-          } else {
-            // i * k / k^2 * delta_k
-            psi[idx] = math::Complex(0.0, kv[axis] / k2) * dk[idx];
+    parallel::parallel_for(
+        0, nu, 1, [&](std::size_t i_begin, std::size_t i_end) {
+          for (std::size_t i = i_begin; i < i_end; ++i) {
+            const double ki = k1d[i];
+            for (std::size_t j = 0; j < nu; ++j) {
+              const double kj = k1d[j];
+              const double kij2 = ki * ki + kj * kj;
+              const math::Complex* drow = dk.data() + (i * nu + j) * nu;
+              math::Complex* prow = psi.data() + (i * nu + j) * nu;
+              for (std::size_t l = 0; l < nu; ++l) {
+                const double kl = k1d[l];
+                const double k2 = kij2 + kl * kl;
+                const double kv[3] = {ki, kj, kl};
+                if (k2 <= 0.0) {
+                  prow[l] = 0.0;
+                } else {
+                  // i * k / k^2 * delta_k
+                  prow[l] = math::Complex(0.0, kv[axis] / k2) * drow[l];
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
     math::fft3(psi, nu, true);
 
     auto& d = out.disp[static_cast<std::size_t>(axis)];

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "io/fortran.hpp"
+#include "parallel/pool.hpp"
 
 namespace gc::halo {
 
@@ -31,6 +32,16 @@ class DisjointSets {
     a = find(a);
     b = find(b);
     if (a != b) parent_[a] = b;
+  }
+
+  /// Folds another partition over the same elements into this one: the
+  /// result's components are the transitive closure of both edge sets,
+  /// independent of merge order.
+  void merge(DisjointSets& other) {
+    for (std::size_t v = 0; v < parent_.size(); ++v) {
+      const std::size_t root = other.find(v);
+      if (root != v) unite(v, root);
+    }
   }
 
  private:
@@ -76,48 +87,69 @@ HaloCatalog find_halos(const ParticleView& particles, double aexp,
         .push_back(static_cast<std::uint32_t>(p));
   }
 
-  DisjointSets sets(n);
+  // Pair sweep over fixed ranges of the flat cell index, each range
+  // building its own union-find; the per-range partitions are folded
+  // together afterwards in ascending range order. Connected components are
+  // the transitive closure of the pair relation, so the result is
+  // independent of how cells are chunked or interleaved across threads.
   const long nc = static_cast<long>(ncell);
-  for (long ci = 0; ci < nc; ++ci) {
-    for (long cj = 0; cj < nc; ++cj) {
-      for (long ck = 0; ck < nc; ++ck) {
-        const auto& home =
-            cells[(static_cast<std::size_t>(ci) * ncell +
-                   static_cast<std::size_t>(cj)) *
-                      ncell +
-                  static_cast<std::size_t>(ck)];
-        if (home.empty()) continue;
-        // Half of the 27 neighbors (plus self) to visit each pair once.
-        static const int kOffsets[14][3] = {
-            {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
-            {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
-            {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1}};
-        for (const auto& off : kOffsets) {
-          const std::size_t ni = static_cast<std::size_t>(
-              ((ci + off[0]) % nc + nc) % nc);
-          const std::size_t nj = static_cast<std::size_t>(
-              ((cj + off[1]) % nc + nc) % nc);
-          const std::size_t nk = static_cast<std::size_t>(
-              ((ck + off[2]) % nc + nc) % nc);
-          const auto& other = cells[(ni * ncell + nj) * ncell + nk];
-          const bool same = off[0] == 0 && off[1] == 0 && off[2] == 0;
-          for (std::size_t ai = 0; ai < home.size(); ++ai) {
-            const std::uint32_t a = home[ai];
-            const std::size_t b_begin = same ? ai + 1 : 0;
-            for (std::size_t bi = b_begin; bi < other.size(); ++bi) {
-              const std::uint32_t b = other[bi];
-              const double dx =
-                  periodic_delta((*particles.x)[a], (*particles.x)[b]);
-              const double dy =
-                  periodic_delta((*particles.y)[a], (*particles.y)[b]);
-              const double dz =
-                  periodic_delta((*particles.z)[a], (*particles.z)[b]);
-              if (dx * dx + dy * dy + dz * dz <= ll2) sets.unite(a, b);
-            }
+  const std::size_t ncells3 = ncell * ncell * ncell;
+  auto sweep_cells = [&](DisjointSets& sets, std::size_t cell_begin,
+                         std::size_t cell_end) {
+    for (std::size_t cell = cell_begin; cell < cell_end; ++cell) {
+      const auto& home = cells[cell];
+      if (home.empty()) continue;
+      const long ci = static_cast<long>(cell / (ncell * ncell));
+      const long cj = static_cast<long>((cell / ncell) % ncell);
+      const long ck = static_cast<long>(cell % ncell);
+      // Half of the 27 neighbors (plus self) to visit each pair once.
+      static const int kOffsets[14][3] = {
+          {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+          {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+          {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1}};
+      for (const auto& off : kOffsets) {
+        const std::size_t ni = static_cast<std::size_t>(
+            ((ci + off[0]) % nc + nc) % nc);
+        const std::size_t nj = static_cast<std::size_t>(
+            ((cj + off[1]) % nc + nc) % nc);
+        const std::size_t nk = static_cast<std::size_t>(
+            ((ck + off[2]) % nc + nc) % nc);
+        const auto& other = cells[(ni * ncell + nj) * ncell + nk];
+        const bool same = off[0] == 0 && off[1] == 0 && off[2] == 0;
+        for (std::size_t ai = 0; ai < home.size(); ++ai) {
+          const std::uint32_t a = home[ai];
+          const std::size_t b_begin = same ? ai + 1 : 0;
+          for (std::size_t bi = b_begin; bi < other.size(); ++bi) {
+            const std::uint32_t b = other[bi];
+            const double dx =
+                periodic_delta((*particles.x)[a], (*particles.x)[b]);
+            const double dy =
+                periodic_delta((*particles.y)[a], (*particles.y)[b]);
+            const double dz =
+                periodic_delta((*particles.z)[a], (*particles.z)[b]);
+            if (dx * dx + dy * dy + dz * dz <= ll2) sets.unite(a, b);
           }
         }
       }
     }
+  };
+
+  DisjointSets sets(n);
+  const std::size_t cell_grain =
+      std::max<std::size_t>(1, (ncells3 + 7) / 8);  // <= 8 local partitions
+  if (parallel::chunk_count(0, ncells3, cell_grain) <= 1 ||
+      parallel::thread_count() == 1) {
+    sweep_cells(sets, 0, ncells3);
+  } else {
+    std::vector<DisjointSets> partials;
+    const std::size_t nchunks = parallel::chunk_count(0, ncells3, cell_grain);
+    partials.assign(nchunks, DisjointSets(n));
+    parallel::for_each_chunk(
+        0, ncells3, cell_grain,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          sweep_cells(partials[c], begin, end);
+        });
+    for (auto& partial : partials) sets.merge(partial);
   }
 
   // Collect groups.

@@ -1,31 +1,68 @@
 #include "math/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/log.hpp"
+#include "parallel/pool.hpp"
 
 namespace gc::math {
 
 namespace {
 
+/// Twiddle table for size n: tw[j] = exp(-2*pi*i*j/n), j < n/2. Computed
+/// once per FFT size (direct cos/sin per entry, no incremental recurrence
+/// accumulating rounding error) and shared by every transform of that size,
+/// including concurrent per-pencil transforms on the pool.
+class TwiddleCache {
+ public:
+  static const std::vector<Complex>& get(std::size_t n) {
+    static TwiddleCache cache;
+    {
+      std::shared_lock<std::shared_mutex> lock(cache.mutex_);
+      if (auto it = cache.tables_.find(n); it != cache.tables_.end()) {
+        return *it->second;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(cache.mutex_);
+    auto& slot = cache.tables_[n];
+    if (!slot) {
+      auto table = std::make_unique<std::vector<Complex>>(
+          std::max<std::size_t>(n / 2, 1));
+      for (std::size_t j = 0; j < table->size(); ++j) {
+        const double angle =
+            -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n);
+        (*table)[j] = Complex(std::cos(angle), std::sin(angle));
+      }
+      slot = std::move(table);
+    }
+    return *slot;
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  std::map<std::size_t, std::unique_ptr<std::vector<Complex>>> tables_;
+};
+
 /// Core butterfly passes on a strided sequence; caller has already done
-/// the bit-reversal permutation.
+/// the bit-reversal permutation. `tw` is the size-n twiddle table.
 void butterflies(Complex* data, std::size_t n, std::size_t stride,
-                 bool inverse) {
+                 bool inverse, const std::vector<Complex>& tw) {
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
-                         static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
+    const std::size_t step = n / len;  // table stride for this pass
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex wf = tw[j * step];
+        const Complex w = inverse ? std::conj(wf) : wf;
         Complex& a = data[(i + j) * stride];
         Complex& b = data[(i + j + len / 2) * stride];
         const Complex u = a;
         const Complex v = b * w;
         a = u + v;
         b = u - v;
-        w *= wlen;
       }
     }
   }
@@ -40,13 +77,20 @@ void bit_reverse(Complex* data, std::size_t n, std::size_t stride) {
   }
 }
 
+/// Scheduling grain for the pencil loops: enough lines per chunk that the
+/// dispatch cost is negligible next to the O(n log n) line transforms.
+std::size_t pencil_grain(std::size_t line_length) {
+  return std::max<std::size_t>(1, 2048 / std::max<std::size_t>(line_length, 1));
+}
+
 }  // namespace
 
 void fft_strided(Complex* data, std::size_t n, std::size_t stride,
                  bool inverse) {
   GC_CHECK_MSG(is_pow2(n), "FFT size must be a power of two");
+  const std::vector<Complex>& tw = TwiddleCache::get(n);
   bit_reverse(data, n, stride);
-  butterflies(data, n, stride, inverse);
+  butterflies(data, n, stride, inverse, tw);
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(n);
     for (std::size_t i = 0; i < n; ++i) data[i * stride] *= scale;
@@ -62,24 +106,38 @@ void fft3(std::vector<Complex>& data, std::size_t n0, std::size_t n1,
   GC_CHECK(data.size() == n0 * n1 * n2);
   GC_CHECK_MSG(is_pow2(n0) && is_pow2(n1) && is_pow2(n2),
                "FFT dims must be powers of two");
-  // Transform along axis 2 (contiguous rows).
-  for (std::size_t i0 = 0; i0 < n0; ++i0) {
-    for (std::size_t i1 = 0; i1 < n1; ++i1) {
-      fft_strided(&data[(i0 * n1 + i1) * n2], n2, 1, inverse);
-    }
-  }
-  // Axis 1 (stride n2).
-  for (std::size_t i0 = 0; i0 < n0; ++i0) {
-    for (std::size_t i2 = 0; i2 < n2; ++i2) {
-      fft_strided(&data[i0 * n1 * n2 + i2], n1, n2, inverse);
-    }
-  }
-  // Axis 0 (stride n1*n2).
-  for (std::size_t i1 = 0; i1 < n1; ++i1) {
-    for (std::size_t i2 = 0; i2 < n2; ++i2) {
-      fft_strided(&data[i1 * n2 + i2], n0, n1 * n2, inverse);
-    }
-  }
+  // Each pencil (1D line) is independent, so every axis is an
+  // embarrassingly parallel sweep: per-line arithmetic is identical at any
+  // thread count. Warm the twiddle caches before fanning out so workers
+  // only take the shared (read) lock.
+  TwiddleCache::get(n0);
+  TwiddleCache::get(n1);
+  TwiddleCache::get(n2);
+  Complex* d = data.data();
+
+  // Transform along axis 2 (contiguous rows); one line per (i0, i1).
+  parallel::parallel_for(0, n0 * n1, pencil_grain(n2),
+               [=](std::size_t begin, std::size_t end) {
+                 for (std::size_t line = begin; line < end; ++line) {
+                   fft_strided(d + line * n2, n2, 1, inverse);
+                 }
+               });
+  // Axis 1 (stride n2); one line per (i0, i2).
+  parallel::parallel_for(0, n0 * n2, pencil_grain(n1),
+               [=](std::size_t begin, std::size_t end) {
+                 for (std::size_t line = begin; line < end; ++line) {
+                   const std::size_t i0 = line / n2;
+                   const std::size_t i2 = line % n2;
+                   fft_strided(d + i0 * n1 * n2 + i2, n1, n2, inverse);
+                 }
+               });
+  // Axis 0 (stride n1*n2); one line per (i1, i2).
+  parallel::parallel_for(0, n1 * n2, pencil_grain(n0),
+               [=](std::size_t begin, std::size_t end) {
+                 for (std::size_t line = begin; line < end; ++line) {
+                   fft_strided(d + line, n0, n1 * n2, inverse);
+                 }
+               });
 }
 
 }  // namespace gc::math

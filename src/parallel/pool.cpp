@@ -1,0 +1,225 @@
+#include "parallel/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gc::parallel {
+
+namespace {
+
+thread_local bool tls_in_region = false;
+
+constexpr std::size_t kMaxThreads = 256;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("GC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+/// One parallel region: a batch of chunk indices claimed via an atomic
+/// counter. Lives in a shared_ptr so late-waking workers can probe an
+/// already-finished region safely.
+struct Region {
+  std::function<void(std::size_t)> fn;  ///< fn(chunk_index)
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex m;
+  std::condition_variable cv_done;
+  std::size_t done = 0;             ///< executed chunks, guarded by m
+  std::exception_ptr error;         ///< first failure, guarded by m
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return threads_;
+  }
+
+  void resize(std::size_t n) {
+    std::lock_guard<std::mutex> config(config_mutex_);
+    // Serialize against in-flight regions so workers die between batches.
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    if (n == 0) n = default_thread_count();
+    // Cap absurd requests (negative CLI values cast to size_t, runaway
+    // GC_THREADS) — beyond this, more workers only add contention.
+    if (n > kMaxThreads) n = kMaxThreads;
+    if (n == threads_) return;
+    stop_workers();
+    threads_ = n;
+    spawn_workers();
+  }
+
+  void run(std::size_t nchunks, const std::function<void(std::size_t)>& fn) {
+    if (nchunks == 0) return;
+    if (tls_in_region || nchunks == 1 || threads() == 1) {
+      run_inline(nchunks, fn);
+      return;
+    }
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    if (workers_.empty()) {  // resized to 1 while we waited
+      run_inline(nchunks, fn);
+      return;
+    }
+    auto region = std::make_shared<Region>();
+    region->fn = fn;
+    region->nchunks = nchunks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region_ = region;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    execute(*region);  // the caller is a worker too
+    {
+      std::unique_lock<std::mutex> lock(region->m);
+      region->cv_done.wait(lock,
+                           [&] { return region->done == region->nchunks; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region_.reset();
+    }
+    if (region->error) std::rethrow_exception(region->error);
+  }
+
+ private:
+  Pool() {
+    threads_ = default_thread_count();
+    spawn_workers();
+  }
+
+  ~Pool() { stop_workers(); }
+
+  void spawn_workers() {
+    stop_ = false;
+    for (std::size_t i = 1; i < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        region = region_;
+      }
+      if (region) execute(*region);
+    }
+  }
+
+  /// Claims and executes chunks until the region is drained. Marks the
+  /// thread as in-region so nested parallel calls run inline.
+  static void execute(Region& region) {
+    const bool was_in_region = tls_in_region;
+    tls_in_region = true;
+    for (;;) {
+      const std::size_t i = region.next.fetch_add(1);
+      if (i >= region.nchunks) break;
+      std::exception_ptr error;
+      try {
+        region.fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(region.m);
+      if (error && !region.error) region.error = error;
+      if (++region.done == region.nchunks) region.cv_done.notify_all();
+    }
+    tls_in_region = was_in_region;
+  }
+
+  static void run_inline(std::size_t nchunks,
+                         const std::function<void(std::size_t)>& fn) {
+    const bool was_in_region = tls_in_region;
+    tls_in_region = true;
+    try {
+      for (std::size_t i = 0; i < nchunks; ++i) fn(i);
+    } catch (...) {
+      tls_in_region = was_in_region;
+      throw;
+    }
+    tls_in_region = was_in_region;
+  }
+
+  std::mutex config_mutex_;   ///< guards threads_ against concurrent resize
+  std::mutex submit_mutex_;   ///< one region at a time
+  std::mutex mutex_;          ///< guards region_/epoch_/stop_ for workers
+  std::condition_variable cv_work_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Region> region_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::size_t threads_ = 1;
+};
+
+}  // namespace
+
+std::size_t thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(std::size_t n) { Pool::instance().resize(n); }
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t nchunks = chunk_count(begin, end, g);
+  if (tls_in_region || nchunks == 1 || thread_count() == 1) {
+    fn(begin, end);  // exact serial path: one contiguous sweep
+    return;
+  }
+  Pool::instance().run(nchunks, [&](std::size_t c) {
+    const std::size_t b = begin + c * g;
+    const std::size_t e = b + g < end ? b + g : end;
+    fn(b, e);
+  });
+}
+
+std::size_t for_each_chunk(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t nchunks = chunk_count(begin, end, g);
+  if (nchunks == 0) return 0;
+  Pool::instance().run(nchunks, [&](std::size_t c) {
+    const std::size_t b = begin + c * g;
+    const std::size_t e = b + g < end ? b + g : end;
+    fn(c, b, e);
+  });
+  return nchunks;
+}
+
+}  // namespace gc::parallel

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "parallel/pool.hpp"
+
 namespace gc::ramses {
 
 namespace {
@@ -13,11 +15,14 @@ double wrap01(double v) {
 }  // namespace
 
 void ParticleSet::wrap_positions() {
-  for (std::size_t i = 0; i < size(); ++i) {
-    x[i] = wrap01(x[i]);
-    y[i] = wrap01(y[i]);
-    z[i] = wrap01(z[i]);
-  }
+  parallel::parallel_for(0, size(), 8192,
+                         [this](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             x[i] = wrap01(x[i]);
+                             y[i] = wrap01(y[i]);
+                             z[i] = wrap01(z[i]);
+                           }
+                         });
 }
 
 bool ParticleSet::valid() const {

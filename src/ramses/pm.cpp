@@ -4,41 +4,97 @@
 
 #include "common/log.hpp"
 #include "math/fft.hpp"
+#include "parallel/pool.hpp"
 
 namespace gc::ramses {
 
+namespace {
+
+/// Particles per CIC deposit chunk. The chunk decomposition depends only on
+/// the particle count — never on the thread count — so the chunk-ordered
+/// reduction below gives byte-identical grids for any GC_THREADS.
+constexpr std::size_t kDepositGrain = 16384;
+
+/// Grain for the embarrassingly parallel per-particle sweeps (disjoint
+/// writes, so chunking cannot affect the result).
+constexpr std::size_t kParticleGrain = 8192;
+
+}  // namespace
+
 math::Grid3<double> cic_deposit(const ParticleSet& particles, int n) {
   GC_CHECK(n > 0);
-  math::Grid3<double> delta(static_cast<std::size_t>(n), 0.0);
+  const auto nu = static_cast<std::size_t>(n);
+  math::Grid3<double> delta(nu, 0.0);
   const double nd = static_cast<double>(n);
   const double cell_mass_unit = nd * nd * nd;  // delta normalization
 
-  for (std::size_t p = 0; p < particles.size(); ++p) {
-    // Cell-centred CIC: the particle shares mass with the 8 nearest cell
-    // centres.
-    const double gx = particles.x[p] * nd - 0.5;
-    const double gy = particles.y[p] * nd - 0.5;
-    const double gz = particles.z[p] * nd - 0.5;
-    const long i0 = static_cast<long>(std::floor(gx));
-    const long j0 = static_cast<long>(std::floor(gy));
-    const long k0 = static_cast<long>(std::floor(gz));
-    const double fx = gx - static_cast<double>(i0);
-    const double fy = gy - static_cast<double>(j0);
-    const double fz = gz - static_cast<double>(k0);
-    const double m = particles.mass[p] * cell_mass_unit;
-    for (int di = 0; di <= 1; ++di) {
-      const double wx = di ? fx : 1.0 - fx;
-      for (int dj = 0; dj <= 1; ++dj) {
-        const double wy = dj ? fy : 1.0 - fy;
-        for (int dk = 0; dk <= 1; ++dk) {
-          const double wz = dk ? fz : 1.0 - fz;
-          delta.atp(i0 + di, j0 + dj, k0 + dk) += m * wx * wy * wz;
+  const std::size_t npart = particles.size();
+  const std::size_t nchunks =
+      parallel::chunk_count(0, npart, kDepositGrain);
+
+  // Scatter each fixed particle chunk into its own private grid, then
+  // reduce the grids cell-by-cell in ascending chunk order. Within a chunk
+  // particles deposit in index order, so the full floating-point reduction
+  // tree is a function of the particle count alone.
+  auto deposit_range = [&](math::Grid3<double>& grid, std::size_t begin,
+                           std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      // Cell-centred CIC: the particle shares mass with the 8 nearest cell
+      // centres.
+      const double gx = particles.x[p] * nd - 0.5;
+      const double gy = particles.y[p] * nd - 0.5;
+      const double gz = particles.z[p] * nd - 0.5;
+      const long i0 = static_cast<long>(std::floor(gx));
+      const long j0 = static_cast<long>(std::floor(gy));
+      const long k0 = static_cast<long>(std::floor(gz));
+      const double fx = gx - static_cast<double>(i0);
+      const double fy = gy - static_cast<double>(j0);
+      const double fz = gz - static_cast<double>(k0);
+      const double m = particles.mass[p] * cell_mass_unit;
+      for (int di = 0; di <= 1; ++di) {
+        const double wx = di ? fx : 1.0 - fx;
+        for (int dj = 0; dj <= 1; ++dj) {
+          const double wy = dj ? fy : 1.0 - fy;
+          for (int dk = 0; dk <= 1; ++dk) {
+            const double wz = dk ? fz : 1.0 - fz;
+            grid.atp(i0 + di, j0 + dj, k0 + dk) += m * wx * wy * wz;
+          }
         }
       }
     }
+  };
+
+  if (nchunks <= 1) {
+    deposit_range(delta, 0, npart);
+  } else {
+    std::vector<math::Grid3<double>> partials(nchunks,
+                                              math::Grid3<double>(nu, 0.0));
+    parallel::for_each_chunk(
+        0, npart, kDepositGrain,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          deposit_range(partials[c], begin, end);
+        });
+    // Cell-parallel, chunk-ordered reduction: every cell sums its chunk
+    // contributions in the same (ascending) order at any thread count.
+    double* out = delta.raw().data();
+    parallel::parallel_for(
+        0, delta.size(), kParticleGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t c = 0; c < nchunks; ++c) {
+            const double* part = partials[c].raw().data();
+            for (std::size_t i = begin; i < end; ++i) out[i] += part[i];
+          }
+        });
   }
+
   // rho/rho_mean - 1 (total mass 1 spread over n^3 cells gives mean 1).
-  for (auto& v : delta.raw()) v -= 1.0;
+  double* out = delta.raw().data();
+  parallel::parallel_for(0, delta.size(), kParticleGrain,
+                         [out](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             out[i] -= 1.0;
+                           }
+                         });
   return delta;
 }
 
@@ -46,32 +102,49 @@ math::Grid3<double> solve_poisson(const math::Grid3<double>& delta,
                                   double rhs_factor) {
   const std::size_t n = delta.n();
   std::vector<math::Complex> field(n * n * n);
-  for (std::size_t i = 0; i < field.size(); ++i) {
-    field[i] = math::Complex(delta.raw()[i], 0.0);
-  }
+  const double* din = delta.raw().data();
+  math::Complex* f = field.data();
+  parallel::parallel_for(0, field.size(), kParticleGrain,
+                         [=](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             f[i] = math::Complex(din[i], 0.0);
+                           }
+                         });
   math::fft3(field, n, false);
 
   // Discrete spectral Green function: phi_k = -rhs / k_eff^2 with the
-  // exact continuum k; k=0 mode (mean) is gauge and set to zero.
+  // exact continuum k; k=0 mode (mean) is gauge and set to zero. The
+  // k-components are hoisted out of the inner loops (kx/ky are invariant
+  // in the j/l loops) and each i-plane is independent.
   const double two_pi = 2.0 * M_PI;
+  std::vector<double> k1d(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t l = 0; l < n; ++l) {
-        const double kx = two_pi * static_cast<double>(math::freq_index(i, n));
-        const double ky = two_pi * static_cast<double>(math::freq_index(j, n));
-        const double kz = two_pi * static_cast<double>(math::freq_index(l, n));
-        const double k2 = kx * kx + ky * ky + kz * kz;
-        const std::size_t idx = (i * n + j) * n + l;
-        field[idx] *= k2 > 0.0 ? -rhs_factor / k2 : 0.0;
-      }
-    }
+    k1d[i] = two_pi * static_cast<double>(math::freq_index(i, n));
   }
+  parallel::parallel_for(
+      0, n, 1, [&, f](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          const double kx2 = k1d[i] * k1d[i];
+          for (std::size_t j = 0; j < n; ++j) {
+            const double kxy2 = kx2 + k1d[j] * k1d[j];
+            math::Complex* row = f + (i * n + j) * n;
+            for (std::size_t l = 0; l < n; ++l) {
+              const double k2 = kxy2 + k1d[l] * k1d[l];
+              row[l] *= k2 > 0.0 ? -rhs_factor / k2 : 0.0;
+            }
+          }
+        }
+      });
   math::fft3(field, n, true);
 
   math::Grid3<double> phi(n);
-  for (std::size_t i = 0; i < field.size(); ++i) {
-    phi.raw()[i] = field[i].real();
-  }
+  double* pout = phi.raw().data();
+  parallel::parallel_for(0, field.size(), kParticleGrain,
+                         [=](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             pout[i] = f[i].real();
+                           }
+                         });
   return phi;
 }
 
@@ -84,34 +157,42 @@ std::array<std::vector<double>, 3> interpolate_forces(
   std::array<std::vector<double>, 3> acc;
   for (auto& a : acc) a.assign(particles.size(), 0.0);
 
-  for (std::size_t p = 0; p < particles.size(); ++p) {
-    const double gx = particles.x[p] * nd - 0.5;
-    const double gy = particles.y[p] * nd - 0.5;
-    const double gz = particles.z[p] * nd - 0.5;
-    const long i0 = static_cast<long>(std::floor(gx));
-    const long j0 = static_cast<long>(std::floor(gy));
-    const long k0 = static_cast<long>(std::floor(gz));
-    const double fx = gx - static_cast<double>(i0);
-    const double fy = gy - static_cast<double>(j0);
-    const double fz = gz - static_cast<double>(k0);
-    for (int di = 0; di <= 1; ++di) {
-      const double wx = di ? fx : 1.0 - fx;
-      for (int dj = 0; dj <= 1; ++dj) {
-        const double wy = dj ? fy : 1.0 - fy;
-        for (int dk = 0; dk <= 1; ++dk) {
-          const double wz = dk ? fz : 1.0 - fz;
-          const double w = wx * wy * wz;
-          const long i = i0 + di;
-          const long j = j0 + dj;
-          const long k = k0 + dk;
-          // -grad(phi), central differences on the periodic mesh.
-          acc[0][p] -= w * (phi.atp(i + 1, j, k) - phi.atp(i - 1, j, k)) * inv_2h;
-          acc[1][p] -= w * (phi.atp(i, j + 1, k) - phi.atp(i, j - 1, k)) * inv_2h;
-          acc[2][p] -= w * (phi.atp(i, j, k + 1) - phi.atp(i, j, k - 1)) * inv_2h;
+  // Pure gather: reads phi, writes acc[axis][p] — disjoint per particle.
+  parallel::parallel_for(
+      0, particles.size(), kParticleGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          const double gx = particles.x[p] * nd - 0.5;
+          const double gy = particles.y[p] * nd - 0.5;
+          const double gz = particles.z[p] * nd - 0.5;
+          const long i0 = static_cast<long>(std::floor(gx));
+          const long j0 = static_cast<long>(std::floor(gy));
+          const long k0 = static_cast<long>(std::floor(gz));
+          const double fx = gx - static_cast<double>(i0);
+          const double fy = gy - static_cast<double>(j0);
+          const double fz = gz - static_cast<double>(k0);
+          for (int di = 0; di <= 1; ++di) {
+            const double wx = di ? fx : 1.0 - fx;
+            for (int dj = 0; dj <= 1; ++dj) {
+              const double wy = dj ? fy : 1.0 - fy;
+              for (int dk = 0; dk <= 1; ++dk) {
+                const double wz = dk ? fz : 1.0 - fz;
+                const double w = wx * wy * wz;
+                const long i = i0 + di;
+                const long j = j0 + dj;
+                const long k = k0 + dk;
+                // -grad(phi), central differences on the periodic mesh.
+                acc[0][p] -=
+                    w * (phi.atp(i + 1, j, k) - phi.atp(i - 1, j, k)) * inv_2h;
+                acc[1][p] -=
+                    w * (phi.atp(i, j + 1, k) - phi.atp(i, j - 1, k)) * inv_2h;
+                acc[2][p] -=
+                    w * (phi.atp(i, j, k + 1) - phi.atp(i, j, k - 1)) * inv_2h;
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return acc;
 }
 
@@ -128,20 +209,26 @@ void PmSolver::kick(ParticleSet& particles,
                     double da) const {
   // p = a^2 dx/dt obeys dp/dt = -grad(phi), so dp/da = -grad(phi)/(a E).
   const double factor = da / (a * cosmology_.efunc(a));
-  for (std::size_t p = 0; p < particles.size(); ++p) {
-    particles.px[p] += acc[0][p] * factor;
-    particles.py[p] += acc[1][p] * factor;
-    particles.pz[p] += acc[2][p] * factor;
-  }
+  parallel::parallel_for(0, particles.size(), kParticleGrain,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t p = begin; p < end; ++p) {
+                             particles.px[p] += acc[0][p] * factor;
+                             particles.py[p] += acc[1][p] * factor;
+                             particles.pz[p] += acc[2][p] * factor;
+                           }
+                         });
 }
 
 void PmSolver::drift(ParticleSet& particles, double a, double da) const {
   const double factor = da / (a * a * a * cosmology_.efunc(a));
-  for (std::size_t p = 0; p < particles.size(); ++p) {
-    particles.x[p] += particles.px[p] * factor;
-    particles.y[p] += particles.py[p] * factor;
-    particles.z[p] += particles.pz[p] * factor;
-  }
+  parallel::parallel_for(0, particles.size(), kParticleGrain,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t p = begin; p < end; ++p) {
+                             particles.x[p] += particles.px[p] * factor;
+                             particles.y[p] += particles.py[p] * factor;
+                             particles.z[p] += particles.pz[p] * factor;
+                           }
+                         });
   particles.wrap_positions();
 }
 
