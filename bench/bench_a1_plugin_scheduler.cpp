@@ -13,12 +13,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kWarn);
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   std::printf("A1: scheduling-policy ablation (100 zoom2 on 11 SEDs)\n");
   std::printf("%-10s %16s %16s %16s %10s\n", "policy", "makespan",

@@ -8,7 +8,9 @@
 // cluster tree.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
+#include "obs/session.hpp"
 #include "common/stats.hpp"
 #include "des/engine.hpp"
 #include "diet/client.hpp"
@@ -105,8 +107,10 @@ Sample measure(bool flat, int seds_per_cluster, int requests) {
 
 }  // namespace
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kWarn);
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   std::printf("A2: hierarchy ablation — finding time vs deployment shape\n");
   std::printf("%-28s %8s %14s %14s\n", "deployment", "#SEDs", "find mean",

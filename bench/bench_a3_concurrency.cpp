@@ -10,12 +10,16 @@
 // pays the serial fraction.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kWarn);
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   std::printf("A3: SED concurrency ablation (100 zoom2, 16 machines per "
               "SED, split across c slots)\n");

@@ -17,8 +17,10 @@
 // and the campaign completes with zero failed calls.
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
 namespace {
@@ -36,8 +38,10 @@ void report(const char* label, const gc::workflow::CampaignResult& result,
 
 }  // namespace
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kOff);  // timeouts/evictions are expected
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kOff);  // timeouts/evictions are expected
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   std::printf("A4: SED failure during the campaign (victim: "
               "SeD-violette-0, Toulouse)\n\n");

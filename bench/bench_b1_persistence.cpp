@@ -12,8 +12,10 @@
 // volatile input (naive shipping), big persistent input (DTM).
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
 namespace {
@@ -26,8 +28,10 @@ struct Row {
 
 }  // namespace
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kWarn);
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   const Row rows[] = {
       {"namelist, volatile", 4096, gc::diet::Persistence::kVolatile},

@@ -10,12 +10,16 @@
 // and prints the same rows (plus the derived speedup).
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
-int main() {
-  gc::set_log_level(gc::LogLevel::kWarn);
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   gc::workflow::CampaignConfig config;
   const gc::workflow::CampaignResult result =

@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "obs/session.hpp"
 #include "parallel/pool.hpp"
 #include "parallel_json.hpp"
 #include "ramses/domain.hpp"
@@ -43,8 +44,9 @@ bool snapshots_identical(const gc::ramses::RunResult& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
   const std::string json_path = args.get("json", "");
 
   gc::ramses::RunParams params;

@@ -10,10 +10,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/rng.hpp"
+#include "obs/session.hpp"
 #include "cosmo/cosmology.hpp"
 #include "diet/profile.hpp"
 #include "grafic/ic.hpp"
@@ -361,6 +363,12 @@ int run_parallel_sweep(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // google-benchmark owns the flag parsing here, so observability is wired
+  // through the env vars only (GC_TRACE / GC_METRICS).
+  const char* trace_env = std::getenv("GC_TRACE");
+  const char* metrics_env = std::getenv("GC_METRICS");
+  const gc::obs::Session obs(trace_env ? trace_env : "",
+                             metrics_env ? metrics_env : "");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--parallel_sweep", 0) == 0) {

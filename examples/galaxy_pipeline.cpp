@@ -43,7 +43,7 @@ gc::halo::HaloCatalog find_halos_in(const gc::ramses::Snapshot& snap) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
 
   gc::ramses::RunParams params;

@@ -68,7 +68,7 @@ double run_with(const char* label, gc::workflow::CampaignConfig config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
   const int subsims = static_cast<int>(args.get_int("subsims", 100));
 

@@ -7,10 +7,12 @@
 //   ./pm_simulation --ranks 4                # MiniMPI parallel
 //   ./pm_simulation --zoom 2                 # nested zoom ICs
 //   ./pm_simulation --threads 4              # pool threads (= GC_THREADS)
+//   ./pm_simulation --trace out.json --metrics m.txt   # observability
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "obs/session.hpp"
 #include "parallel/pool.hpp"
 #include "cosmo/massfunction.hpp"
 #include "halo/halomaker.hpp"
@@ -21,8 +23,9 @@
 #include "ramses/simulation.hpp"
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   gc::ramses::RunParams params;
   params.npart_dim = static_cast<int>(args.get_int("n", 16));

@@ -92,7 +92,7 @@ int solve_ramsesZoom1(diet_profile_t* pb) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
   const int resolution = static_cast<int>(args.get_int("resolution", 16));
   const int box = static_cast<int>(args.get_int("box", 100));

@@ -9,17 +9,20 @@
 //   ./zoom_campaign --subsims 30 --policy mct --seed 3
 //   ./zoom_campaign --machines 32        # what 32-machine SEDs would do
 //   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
+//   ./zoom_campaign --trace out.json     # Perfetto trace of the campaign
 #include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
+#include "obs/session.hpp"
 #include "workflow/campaign.hpp"
 
 int main(int argc, char** argv) {
-  gc::set_log_level(gc::LogLevel::kWarn);
+  gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
+  const gc::obs::Session obs = gc::obs::Session::from_cli(args);
 
   gc::workflow::CampaignConfig config;
   config.sub_simulations = static_cast<int>(args.get_int("subsims", 100));

@@ -1,8 +1,10 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace gc {
@@ -10,6 +12,10 @@ namespace gc {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_mutex;
+
+// Current-time source for line prefixes, guarded by g_mutex.
+double (*g_clock_fn)(const void*) = nullptr;
+const void* g_clock_ctx = nullptr;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -21,16 +27,79 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+/// Parses GC_LOG_LEVEL; returns true and writes `out` on success.
+bool level_from_env(LogLevel* out) {
+  const char* env = std::getenv("GC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return false;
+  if (std::strcmp(env, "debug") == 0) *out = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) *out = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) *out = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) *out = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+/// Applies GC_LOG_LEVEL once, before the first threshold query.
+void init_level_from_env() {
+  static const bool applied = [] {
+    LogLevel level;
+    if (level_from_env(&level)) g_level.store(static_cast<int>(level));
+    return true;
+  }();
+  (void)applied;
+}
+
+double wall_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
+// Touch the wall origin at static-init time so "time since process start"
+// does not begin at the first log line.
+const double g_origin_touch = wall_since_start();
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  init_level_from_env();
+  return static_cast<LogLevel>(g_level.load());
+}
+
+void set_default_log_level(LogLevel level) {
+  LogLevel from_env;
+  if (level_from_env(&from_env)) {
+    g_level.store(static_cast<int>(from_env));
+  } else {
+    g_level.store(static_cast<int>(level));
+  }
+}
+
+void set_log_clock(double (*fn)(const void*), const void* ctx) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+void clear_log_clock(const void* ctx) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_clock_ctx == ctx) {
+    g_clock_fn = nullptr;
+    g_clock_ctx = nullptr;
+  }
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& text) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), text.c_str());
+  const double now =
+      g_clock_fn != nullptr ? g_clock_fn(g_clock_ctx) : wall_since_start();
+  std::fprintf(stderr, "[%s %12.6f] %s\n", level_tag(level), now,
+               text.c_str());
 }
 }  // namespace detail
 

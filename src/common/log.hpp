@@ -15,6 +15,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Like set_log_level, but yields to a `GC_LOG_LEVEL` env var
+/// (debug|info|warn|error|off) when one is set. Binaries use this for
+/// their "quiet by default" setting so the env var can still override it.
+void set_default_log_level(LogLevel level);
+
+/// Registers a time source for log-line prefixes: `fn(ctx)` returns the
+/// current time in seconds. A discrete-event engine registers its virtual
+/// clock here while it runs; with no clock registered, lines carry wall
+/// time since process start. `clear_log_clock(ctx)` only unregisters when
+/// `ctx` still owns the clock (a newer registration wins).
+void set_log_clock(double (*fn)(const void*), const void* ctx);
+void clear_log_clock(const void* ctx);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& text);
 

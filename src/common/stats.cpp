@@ -5,6 +5,10 @@ namespace gc {
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  // NaN fails both clamping comparisons below and would poison the rank
+  // (NaN cast to size_t is undefined); treat it as "no valid percentile".
+  if (std::isnan(p)) return 0.0;
   if (p <= 0.0) return values.front();
   if (p >= 100.0) return values.back();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);

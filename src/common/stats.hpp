@@ -24,7 +24,10 @@ class RunningStats {
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    // Zero for empty and single-sample streams; Welford's m2 can round to
+    // a tiny negative, which would make stddev() NaN.
+    if (n_ <= 1 || m2_ <= 0.0) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
   [[nodiscard]] double min() const { return min_; }

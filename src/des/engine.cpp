@@ -2,17 +2,44 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gc::des {
+
+namespace {
+double engine_clock(const void* ctx) {
+  return static_cast<const Engine*>(ctx)->now();
+}
+}  // namespace
+
+Engine::Engine() { set_log_clock(&engine_clock, this); }
+
+Engine::~Engine() { clear_log_clock(this); }
 
 EventId Engine::schedule_at(SimTime t, EventFn fn) {
   GC_CHECK_MSG(t >= now_, "event scheduled in the past");
+  if (obs::metrics_on()) {
+    // Cached across calls; Metrics::reset() zeroes but never invalidates.
+    static obs::Counter& scheduled =
+        obs::Metrics::instance().counter("des_events_scheduled_total");
+    scheduled.inc();
+  }
   const EventId id = next_id_++;
   queue_.push(Event{t, id});
   handlers_.emplace(id, std::move(fn));
   return id;
 }
 
-bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  const bool live = handlers_.erase(id) > 0;
+  if (live && obs::metrics_on()) {
+    static obs::Counter& cancelled =
+        obs::Metrics::instance().counter("des_events_cancelled_total");
+    cancelled.inc();
+  }
+  return live;
+}
 
 bool Engine::step() {
   while (!queue_.empty()) {
@@ -24,6 +51,11 @@ bool Engine::step() {
     handlers_.erase(it);
     now_ = ev.time;
     ++executed_;
+    if (obs::metrics_on()) {
+      static obs::Counter& executed =
+          obs::Metrics::instance().counter("des_events_executed_total");
+      executed.inc();
+    }
     fn();
     return true;
   }
@@ -31,11 +63,22 @@ bool Engine::step() {
 }
 
 void Engine::run() {
+  const SimTime start = now_;
+  const std::uint64_t executed_before = executed_;
   while (step()) {
+  }
+  if (obs::tracing() && executed_ > executed_before) {
+    obs::SpanId span =
+        obs::Tracer::instance().begin_span(start, "des.run", "des");
+    obs::Tracer::instance().span_arg(
+        span, "events", std::to_string(executed_ - executed_before));
+    obs::Tracer::instance().end_span(span, now_);
   }
 }
 
 void Engine::run_until(SimTime t_end) {
+  const SimTime start = now_;
+  const std::uint64_t executed_before = executed_;
   while (!queue_.empty()) {
     // Skip tombstones so we do not advance the clock for cancelled events.
     const Event ev = queue_.top();
@@ -47,6 +90,13 @@ void Engine::run_until(SimTime t_end) {
     step();
   }
   if (now_ < t_end) now_ = t_end;
+  if (obs::tracing() && executed_ > executed_before) {
+    obs::SpanId span =
+        obs::Tracer::instance().begin_span(start, "des.run_until", "des");
+    obs::Tracer::instance().span_arg(
+        span, "events", std::to_string(executed_ - executed_before));
+    obs::Tracer::instance().end_span(span, now_);
+  }
 }
 
 }  // namespace gc::des

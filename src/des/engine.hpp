@@ -26,7 +26,10 @@ using EventId = std::uint64_t;
 
 class Engine {
  public:
-  Engine() = default;
+  /// While it lives, the engine's virtual clock is the logger's time
+  /// source, so log lines during a simulation carry sim time.
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 

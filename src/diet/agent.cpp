@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace gc::diet {
 
@@ -140,6 +141,7 @@ void Agent::handle_submit(const net::Envelope& envelope) {
   pending.client_request_id = msg.client_request_id;
   pending.service = msg.desc.path();
   pending.in_bytes = msg.in_bytes;
+  pending.trace_id = envelope.trace_id;
 
   RequestCollectMsg collect;
   collect.request_key = next_key_++;
@@ -156,6 +158,7 @@ void Agent::handle_collect(const net::Envelope& envelope) {
   pending.reply_to = envelope.from;
   pending.service = msg.desc.path();
   pending.in_bytes = msg.in_bytes;
+  pending.trace_id = envelope.trace_id;
   start_collect(msg.request_key, std::move(pending), msg);
 }
 
@@ -169,6 +172,17 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
   }
   pending.expected = targets.size();
   pending.asked = targets;
+  if (obs::tracing()) {
+    pending.span = obs::Tracer::instance().begin_span(
+        env()->now(), "collect:" + pending.service, "agent:" + name_,
+        pending.trace_id);
+  }
+  if (obs::metrics_on()) {
+    obs::Metrics::instance()
+        .counter("diet_agent_requests_total", {{"agent", name_}})
+        .inc();
+  }
+  const obs::TraceId trace_id = pending.trace_id;
   auto [it, inserted] = pending_.emplace(key, std::move(pending));
   if (!inserted) {
     GC_WARN << "agent " << name_ << ": duplicate request key " << key;
@@ -194,10 +208,15 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
   process_for(
       noisy(tuning_.processing_delay) +
           tuning_.per_message_cost * static_cast<double>(1 + targets.size()),
-      [this, key, forwarded, targets, budget]() {
+      [this, key, forwarded, targets, budget, trace_id]() {
+        if (obs::metrics_on()) {
+          obs::Metrics::instance()
+              .counter("diet_agent_forwards_total", {{"agent", name_}})
+              .inc(targets.size());
+        }
         for (const net::Endpoint target : targets) {
           env()->send(net::Envelope{endpoint(), target, kRequestCollect,
-                                    forwarded.encode(), 0});
+                                    forwarded.encode(), 0, trace_id});
         }
         // Schedule with whatever arrived if a child never answers.
         const net::TimerId timer = env()->post_after(budget, [this, key]() {
@@ -273,8 +292,14 @@ void Agent::finalize(std::uint64_t key) {
       assigned_total_[reply.chosen.sed_uid] += 1;
     }
     ++requests_handled_;
+    if (pending.span != 0) {
+      obs::Tracer::instance().span_arg(
+          pending.span, "chosen",
+          reply.found ? reply.chosen.sed_name : "(none)");
+      obs::Tracer::instance().end_span(pending.span, env()->now());
+    }
     env()->send(net::Envelope{endpoint(), pending.reply_to, kRequestReply,
-                              reply.encode(), 0});
+                              reply.encode(), 0, pending.trace_id});
     return;
   }
 
@@ -286,8 +311,9 @@ void Agent::finalize(std::uint64_t key) {
   CandidatesMsg up;
   up.request_key = key;
   up.candidates = std::move(pending.candidates);
-  env()->send(
-      net::Envelope{endpoint(), pending.reply_to, kCandidates, up.encode(), 0});
+  obs::Tracer::instance().end_span(pending.span, env()->now());
+  env()->send(net::Envelope{endpoint(), pending.reply_to, kCandidates,
+                            up.encode(), 0, pending.trace_id});
 }
 
 void Agent::note_timeouts(const Pending& pending) {
@@ -334,8 +360,8 @@ void Agent::handle_job_done(const net::Envelope& envelope) {
     return;
   }
   if (parent_ != net::kNullEndpoint) {
-    env()->send(net::Envelope{endpoint(), parent_, kJobDone,
-                              envelope.payload, 0});
+    env()->send(net::Envelope{endpoint(), parent_, kJobDone, envelope.payload,
+                              0, envelope.trace_id});
   }
 }
 

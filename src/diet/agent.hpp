@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "diet/protocol.hpp"
 #include "net/env.hpp"
+#include "obs/trace.hpp"
 #include "sched/policy.hpp"
 
 namespace gc::diet {
@@ -99,6 +100,8 @@ class Agent final : public net::Actor {
     std::set<net::Endpoint> answered;
     bool finalizing = false;
     net::TimerId timeout_timer = 0;
+    obs::TraceId trace_id = 0;  ///< carried from the incoming envelope
+    obs::SpanId span = 0;       ///< collect -> finalize on this agent
   };
 
   void handle_sed_register(const net::Envelope& envelope);

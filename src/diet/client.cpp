@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace gc::diet {
 
@@ -69,9 +70,28 @@ void Client::submit(std::uint64_t id, Profile profile, DoneFn done,
                               "call deadline exceeded"));
     });
   }
-  pending_.emplace(id, PendingCall{std::move(profile), std::move(done),
-                                   records_.size() - 1, deadline_timer});
-  env()->send(net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0});
+  PendingCall call{std::move(profile), std::move(done), records_.size() - 1,
+                   deadline_timer};
+  if (obs::tracing()) {
+    // The client request id doubles as the trace id: unique per call and
+    // deterministic under the DES. Every hop of the request chain below
+    // (submit -> collect -> reply -> data -> solve -> result) stamps it on
+    // its envelopes.
+    auto& tracer = obs::Tracer::instance();
+    const std::string track = "client:" + name_;
+    call.call_span =
+        tracer.begin_span(env()->now(), "call:" + record.service, track, id);
+    call.find_span = tracer.begin_span(env()->now(), "finding", track, id,
+                                       call.call_span);
+  }
+  if (obs::metrics_on()) {
+    obs::Metrics::instance()
+        .counter("diet_client_calls_total", {{"client", name_}})
+        .inc();
+  }
+  pending_.emplace(id, std::move(call));
+  env()->send(
+      net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0, id});
 }
 
 void Client::on_message(const net::Envelope& envelope) {
@@ -97,6 +117,13 @@ void Client::handle_reply(const net::Envelope& envelope) {
   if (it == pending_.end()) return;
   CallRecord& record = records_[it->second.record_index];
   record.found = env()->now();
+  obs::Tracer::instance().end_span(it->second.find_span, env()->now());
+  it->second.find_span = 0;
+  if (obs::metrics_on()) {
+    obs::Metrics::instance()
+        .histogram("diet_finding_time_seconds", obs::latency_buckets_s())
+        .observe(record.finding_time());
+  }
 
   if (!msg.found) {
     complete(msg.client_request_id,
@@ -160,7 +187,7 @@ void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
   wire.serialize_inputs(w);
   data.inputs = w.take();
   env()->send(net::Envelope{endpoint(), sed, kCallData, data.encode(),
-                            wire.in_file_bytes()});
+                            wire.in_file_bytes(), id});
 }
 
 void Client::handle_started(const net::Envelope& envelope) {
@@ -215,6 +242,21 @@ void Client::complete(std::uint64_t id, const gc::Status& status) {
   pending_.erase(it);
   call_sed_.erase(id);
   if (call.deadline_timer != 0) env()->cancel_timer(call.deadline_timer);
+  auto& tracer = obs::Tracer::instance();
+  tracer.end_span(call.find_span, env()->now());  // no-reply failure paths
+  if (call.call_span != 0) {
+    tracer.span_arg(call.call_span, "status",
+                    status.is_ok() ? "ok" : status.to_string());
+    tracer.end_span(call.call_span, env()->now());
+  }
+  if (obs::metrics_on()) {
+    const CallRecord& record = records_[call.record_index];
+    if (record.completed >= 0.0 && record.submitted >= 0.0) {
+      obs::Metrics::instance()
+          .histogram("diet_call_total_seconds", obs::duration_buckets_s())
+          .observe(record.total_time());
+    }
+  }
   if (call.done) call.done(status, call.profile);
 }
 

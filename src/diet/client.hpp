@@ -22,6 +22,7 @@
 #include "common/status.hpp"
 #include "diet/protocol.hpp"
 #include "net/env.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::diet {
 
@@ -94,6 +95,8 @@ class Client final : public net::Actor {
     net::TimerId deadline_timer = 0;
     std::uint64_t sed_uid = 0;
     bool resent_full = false;  ///< one retry after a missing-data miss
+    obs::SpanId call_span = 0;  ///< whole call, submit -> complete
+    obs::SpanId find_span = 0;  ///< scheduling round-trip, submit -> reply
   };
 
   void submit(std::uint64_t id, Profile profile, DoneFn done,

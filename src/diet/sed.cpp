@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace gc::diet {
 
@@ -32,8 +33,7 @@ class SedContext final : public ServiceContext {
   void finish(int solve_status) override {
     GC_CHECK_MSG(!finished_, "ServiceContext::finish called twice");
     finished_ = true;
-    sed_.complete_job(job_.call_id, job_.client, job_.profile, job_.arrived,
-                      started_, job_.comp_estimate_s, solve_status);
+    sed_.complete_job(job_, started_, solve_status);
   }
 
   [[nodiscard]] bool finished() const { return finished_; }
@@ -153,9 +153,12 @@ void Sed::handle_collect(const net::Envelope& envelope) {
     reply.candidates.push_back(std::move(self));
   }
   const net::Endpoint to = envelope.from;
-  env()->post_after(noisy(tuning_.estimation_delay), [this, to, reply]() {
+  const obs::TraceId trace_id = envelope.trace_id;
+  env()->post_after(noisy(tuning_.estimation_delay),
+                    [this, to, reply, trace_id]() {
     if (failed_) return;
-    env()->send(net::Envelope{endpoint(), to, kCandidates, reply.encode(), 0});
+    env()->send(net::Envelope{endpoint(), to, kCandidates, reply.encode(), 0,
+                              trace_id});
   });
 }
 
@@ -169,6 +172,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
                                             msg.last_inout, msg.last_out, r);
   job.arrived = env()->now();
   job.comp_estimate_s = 0.0;
+  job.trace_id = envelope.trace_id;
 
   const ServiceEntry* entry = services_.find_by_path(msg.path);
   if (entry == nullptr) {
@@ -177,7 +181,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
     result.call_id = msg.call_id;
     result.solve_status = -1;
     env()->send(net::Envelope{endpoint(), job.client, kCallResult,
-                              result.encode(), 0});
+                              result.encode(), 0, job.trace_id});
     return;
   }
 
@@ -196,7 +200,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
         result.call_id = msg.call_id;
         result.solve_status = kMissingDataStatus;
         env()->send(net::Envelope{endpoint(), job.client, kCallResult,
-                                  result.encode(), 0});
+                                  result.encode(), 0, job.trace_id});
         return;
       }
       arg.materialize_from(*stored);
@@ -212,8 +216,17 @@ void Sed::handle_call(const net::Envelope& envelope) {
     entry->estimator(entry->desc, host_power_, machines_, est);
     if (est.service_comp_s > 0.0) job.comp_estimate_s = est.service_comp_s;
   }
+  if (obs::tracing()) {
+    job.queue_span = obs::Tracer::instance().begin_span(
+        env()->now(), "queue:" + msg.path, "sed:" + name_, job.trace_id);
+  }
   queued_work_s_ += job.comp_estimate_s;
   queue_.push_back(std::move(job));
+  if (obs::metrics_on()) {
+    obs::Metrics::instance()
+        .gauge("diet_sed_queue_depth", {{"sed", name_}})
+        .set(static_cast<double>(queue_length()));
+  }
   start_next();
 }
 
@@ -231,10 +244,16 @@ void Sed::start_next() {
     CallStartedMsg started;
     started.call_id = job.call_id;
     env()->send(net::Envelope{endpoint(), job.client, kCallStarted,
-                              started.encode(), 0});
+                              started.encode(), 0, job.trace_id});
     const std::string path = job.profile.path();
     const ServiceEntry* entry = services_.find_by_path(path);
     GC_CHECK(entry != nullptr);  // checked on enqueue
+    obs::Tracer::instance().end_span(job.queue_span, env()->now());
+    job.queue_span = 0;
+    if (obs::tracing()) {
+      job.exec_span = obs::Tracer::instance().begin_span(
+          env()->now(), "exec:" + path, "sed:" + name_, job.trace_id);
+    }
     auto ctx =
         std::make_unique<SedContext>(*this, std::move(job), env()->now());
     ctx->work_dir_ = tuning_.work_dir;
@@ -245,10 +264,9 @@ void Sed::start_next() {
   });
 }
 
-void Sed::complete_job(std::uint64_t call_id, net::Endpoint client,
-                       Profile& profile, SimTime arrived, SimTime started,
-                       double comp_estimate_s, int solve_status) {
+void Sed::complete_job(PendingJob& job, SimTime started, int solve_status) {
   if (failed_) return;  // a dead SED sends nothing
+  Profile& profile = job.profile;
   const SimTime finished = env()->now();
 
   // Persist non-volatile arguments for future reference calls.
@@ -263,26 +281,38 @@ void Sed::complete_job(std::uint64_t call_id, net::Endpoint client,
   }
 
   CallResultMsg result;
-  result.call_id = call_id;
+  result.call_id = job.call_id;
   result.solve_status = solve_status;
   net::Writer w;
   profile.serialize_outputs(w);
   result.outputs = w.take();
-  env()->send(net::Envelope{endpoint(), client, kCallResult, result.encode(),
-                            profile.out_file_bytes()});
+  env()->send(net::Envelope{endpoint(), job.client, kCallResult,
+                            result.encode(), profile.out_file_bytes(),
+                            job.trace_id});
 
   ++completed_;
   busy_seconds_ += finished - started;
-  queued_work_s_ = std::max(0.0, queued_work_s_ - comp_estimate_s);
-  job_log_.push_back(JobRecord{call_id, profile.path(), arrived, started,
-                               finished, solve_status});
+  queued_work_s_ = std::max(0.0, queued_work_s_ - job.comp_estimate_s);
+  job_log_.push_back(JobRecord{job.call_id, profile.path(), job.arrived,
+                               started, finished, solve_status});
+  obs::Tracer::instance().end_span(job.exec_span, finished);
+  job.exec_span = 0;
+  if (obs::metrics_on()) {
+    auto& m = obs::Metrics::instance();
+    const obs::Labels labels = {{"sed", name_}};
+    m.counter("diet_sed_jobs_total", labels).inc();
+    m.gauge("diet_sed_busy_seconds_total", labels).add(finished - started);
+    m.gauge("diet_sed_queue_depth", labels)
+        .set(static_cast<double>(queue_length() - 1));  // this job leaves
+  }
 
   if (parent_ != net::kNullEndpoint) {
     JobDoneMsg done;
     done.sed_uid = uid_;
-    done.call_id = call_id;
+    done.call_id = job.call_id;
     done.busy_seconds = finished - started;
-    env()->send(net::Envelope{endpoint(), parent_, kJobDone, done.encode(), 0});
+    env()->send(net::Envelope{endpoint(), parent_, kJobDone, done.encode(), 0,
+                              job.trace_id});
   }
 
   --running_;

@@ -22,6 +22,7 @@
 #include "diet/protocol.hpp"
 #include "diet/service.hpp"
 #include "net/env.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::diet {
 
@@ -95,17 +96,18 @@ class Sed final : public net::Actor {
   }
 
   struct PendingJob {
-    std::uint64_t call_id;
-    net::Endpoint client;
+    std::uint64_t call_id = 0;
+    net::Endpoint client = net::kNullEndpoint;
     Profile profile;
-    SimTime arrived;
-    double comp_estimate_s;  ///< plugin estimate at enqueue time (or 0)
+    SimTime arrived = 0.0;
+    double comp_estimate_s = 0.0;  ///< plugin estimate at enqueue time (or 0)
+    obs::TraceId trace_id = 0;     ///< from the kCallData envelope
+    obs::SpanId queue_span = 0;    ///< arrival -> solve start
+    obs::SpanId exec_span = 0;     ///< solve start -> result shipped
   };
 
   /// Internal: invoked by the running job's ServiceContext on finish().
-  void complete_job(std::uint64_t call_id, net::Endpoint client,
-                    Profile& profile, SimTime arrived, SimTime started,
-                    double comp_estimate_s, int solve_status);
+  void complete_job(PendingJob& job, SimTime started, int solve_status);
 
  private:
   void handle_collect(const net::Envelope& envelope);

@@ -24,6 +24,11 @@ struct Envelope {
   /// physically carries (e.g. a multi-GiB simulation result file in the
   /// DES). Charged to the link cost model, never materialized.
   std::int64_t modeled_extra_bytes = 0;
+  /// Observability: id linking every hop of one DIET request into a single
+  /// trace (client assigns, agents/SEDs copy to every message they emit on
+  /// the request's behalf). 0 = untraced. Modeled as riding in the fixed
+  /// 32-byte header, so it does not change wire_size().
+  std::uint64_t trace_id = 0;
 
   /// Size charged to the network model: fixed header + payload + bulk data.
   [[nodiscard]] std::int64_t wire_size() const {

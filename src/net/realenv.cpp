@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::net {
 
@@ -63,6 +65,9 @@ TimerId RealEnv::enqueue(SimTime deadline, std::function<void()> fn) {
 
 TimerId RealEnv::post_after(SimTime delay, std::function<void()> fn) {
   GC_CHECK_MSG(delay >= 0.0, "negative delay");
+  if (obs::metrics_on()) {
+    obs::Metrics::instance().counter("net_timers_total").inc();
+  }
   return enqueue(now() + delay, std::move(fn));
 }
 
@@ -104,15 +109,38 @@ void RealEnv::send(Envelope envelope) {
   }
   const double delay =
       delay_scale_ * topology().transfer_time(src, dst, envelope.wire_size());
+  if (obs::metrics_on()) {
+    auto& m = obs::Metrics::instance();
+    const obs::Labels labels = {
+        {"link", "n" + std::to_string(src) + "->n" + std::to_string(dst)}};
+    m.counter("net_messages_total", labels).inc();
+    m.counter("net_bytes_total", labels)
+        .inc(static_cast<std::uint64_t>(envelope.wire_size()));
+  }
+  if (obs::tracing()) {
+    obs::Tracer::instance().complete_span(
+        now(), delay, "msg:" + std::to_string(envelope.type),
+        "net:n" + std::to_string(src), envelope.trace_id);
+  }
   const Endpoint to = envelope.to;
-  enqueue(now() + delay, [this, to, env = std::move(envelope)]() mutable {
+  const NodeId dst_node = dst;
+  enqueue(now() + delay,
+          [this, to, dst_node, env = std::move(envelope)]() mutable {
     Actor* actor = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = actors_.find(to);
       if (it != actors_.end()) actor = it->second.actor;
     }
-    if (actor != nullptr) actor->on_message(env);
+    if (actor != nullptr) {
+      if (obs::tracing()) {
+        obs::Tracer::instance().instant(now(),
+                                        "deliver:" + std::to_string(env.type),
+                                        "net:n" + std::to_string(dst_node),
+                                        env.trace_id);
+      }
+      actor->on_message(env);
+    }
   });
 }
 

@@ -3,8 +3,19 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::net {
+
+namespace {
+
+/// Metric label for one directed node pair, e.g. "n2->n17".
+obs::Labels link_labels(NodeId src, NodeId dst) {
+  return {{"link", "n" + std::to_string(src) + "->n" + std::to_string(dst)}};
+}
+
+}  // namespace
 
 Endpoint SimEnv::do_attach(Actor& actor, NodeId node) {
   const Endpoint ep = next_endpoint_++;
@@ -28,6 +39,14 @@ void SimEnv::send(Envelope envelope) {
   ++messages_sent_;
   bytes_sent_ += envelope.wire_size();
 
+  if (obs::metrics_on()) {
+    auto& m = obs::Metrics::instance();
+    const obs::Labels labels = link_labels(src, dst);
+    m.counter("net_messages_total", labels).inc();
+    m.counter("net_bytes_total", labels)
+        .inc(static_cast<std::uint64_t>(envelope.wire_size()));
+  }
+
   // FIFO per connection: never deliver before an earlier message on the
   // same (src, dst) endpoint pair.
   const std::uint64_t stream_key =
@@ -39,10 +58,24 @@ void SimEnv::send(Envelope envelope) {
   }
   stream_clock_[stream_key] = deliver_at;
 
+  if (obs::tracing()) {
+    // The in-flight hop as a span on the source node's network track: the
+    // whole transfer, send to delivery, linked to the request's trace.
+    obs::Tracer::instance().complete_span(
+        engine_.now(), deliver_at - engine_.now(),
+        "msg:" + std::to_string(envelope.type),
+        "net:n" + std::to_string(src), envelope.trace_id);
+  }
+
   const Endpoint to = envelope.to;
   engine_.schedule_at(deliver_at, [this, to, env = std::move(envelope)]() {
     auto it = actors_.find(to);
     if (it == actors_.end()) return;  // actor detached in flight
+    if (obs::tracing()) {
+      obs::Tracer::instance().instant(
+          engine_.now(), "deliver:" + std::to_string(env.type),
+          "net:n" + std::to_string(it->second.node), env.trace_id);
+    }
     it->second.actor->on_message(env);
   });
 }

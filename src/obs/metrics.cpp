@@ -1,0 +1,299 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gc::obs {
+
+namespace {
+
+/// Deterministic shortest-round-trip-ish double formatting; avoids
+/// locale-dependent std::ostream state.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// "name{a=\"x\",b=\"y\"}" with labels sorted by key; bare "name" when empty.
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+/// Splits a series key back into (name, "{labels}" or ""), for exporters
+/// that need to splice in extra labels (histogram `le`).
+void split_key(const std::string& key, std::string* name, std::string* labels) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    labels->clear();
+  } else {
+    *name = key.substr(0, brace);
+    *labels = key.substr(brace);
+  }
+}
+
+Status write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // lower_bound for Prometheus `le` semantics: v equal to a bucket's upper
+  // edge counts in that bucket, not the next one.
+  const std::size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[i];
+  sum_ += v;
+  ++count_;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GC_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  GC_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& latency_buckets_s() {
+  // 100 us .. ~1.8 h in x4 steps: covers finding times (~50 ms) through
+  // hours-scale queueing latency with the same layout everywhere.
+  static const std::vector<double> kBuckets =
+      Histogram::exponential_bounds(1e-4, 4.0, 13);
+  return kBuckets;
+}
+
+const std::vector<double>& duration_buckets_s() {
+  // 1 s .. ~73 h in x2 steps: campaign makespans and per-step times.
+  static const std::vector<double> kBuckets =
+      Histogram::exponential_bounds(1.0, 2.0, 19);
+  return kBuckets;
+}
+
+Metrics& Metrics::instance() {
+  static Metrics* metrics = new Metrics();  // leaked: outlive all callers
+  return *metrics;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
+}
+
+Counter& Metrics::counter(const std::string& name, const Labels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name,
+                              const std::vector<double>& bounds,
+                              const Labels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds);
+  } else {
+    GC_CHECK_MSG(slot->bounds() == bounds,
+                 "histogram re-registered with different bounds: " + key);
+  }
+  return *slot;
+}
+
+std::string Metrics::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::string last_type_for;
+  auto type_line = [&](const std::string& key, const char* type) {
+    std::string name, labels;
+    split_key(key, &name, &labels);
+    if (name != last_type_for) {
+      out << "# TYPE " << name << ' ' << type << '\n';
+      last_type_for = name;
+    }
+    return labels;
+  };
+  for (const auto& [key, c] : counters_) {
+    type_line(key, "counter");
+    out << key << ' ' << c->value() << '\n';
+  }
+  last_type_for.clear();
+  for (const auto& [key, g] : gauges_) {
+    type_line(key, "gauge");
+    out << key << ' ' << fmt_double(g->value()) << '\n';
+  }
+  last_type_for.clear();
+  for (const auto& [key, h] : histograms_) {
+    std::string labels = type_line(key, "histogram");
+    std::string name, ignored;
+    split_key(key, &name, &ignored);
+    // Prometheus buckets are cumulative and always end at le="+Inf".
+    auto bucket_labels = [&](const std::string& le) {
+      if (labels.empty()) return "{le=\"" + le + "\"}";
+      return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+    };
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cum += h->bucket_count(i);
+      out << name << "_bucket" << bucket_labels(fmt_double(h->bounds()[i]))
+          << ' ' << cum << '\n';
+    }
+    cum += h->bucket_count(h->bounds().size());
+    out << name << "_bucket" << bucket_labels("+Inf") << ' ' << cum << '\n';
+    out << name << "_sum" << labels << ' ' << fmt_double(h->sum()) << '\n';
+    out << name << "_count" << labels << ' ' << h->count() << '\n';
+  }
+  return out.str();
+}
+
+std::string Metrics::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(key)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(key)
+        << "\": " << fmt_double(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape_json(key) << "\": {"
+        << "\"count\": " << h->count() << ", \"sum\": " << fmt_double(h->sum())
+        << ", \"buckets\": [";
+    // Raw per-bucket counts here (not cumulative); the "le" value is the
+    // bucket's upper edge, "+Inf" spelled as a JSON string for the overflow.
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < h->bounds().size()) {
+        out << fmt_double(h->bounds()[i]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ", \"count\": " << h->bucket_count(i) << '}';
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status Metrics::write_prometheus(const std::string& path) const {
+  return write_file(path, to_prometheus());
+}
+
+Status Metrics::write_json(const std::string& path) const {
+  return write_file(path, to_json());
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,144 @@
+// Metrics registry: counters, gauges, histograms with fixed bucket layouts.
+//
+// One process-global registry (like the tracer in obs/trace.hpp) shared by
+// both execution backends. Instruments are cheap atomics once created;
+// recording sites additionally gate on `metrics_on()` — a single relaxed
+// atomic load — so a build with metrics compiled in pays near-zero cost
+// while no exporter is attached.
+//
+// Instrument identity is (name, sorted labels); the registry hands back the
+// same instrument for the same identity, so per-agent / per-SED / per-link
+// series coexist under one metric name, Prometheus style:
+//
+//   diet_sed_queue_depth{sed="SeD-capricorne-1"}  3
+//
+// `reset()` zeroes values but never destroys instruments — call sites may
+// cache `Counter*` / `Histogram*` across resets (the parallel pool does).
+//
+// Exporters: Prometheus-style text (cumulative histogram buckets, `le`
+// labels) and a flat JSON dump (raw per-bucket counts). Both iterate the
+// registry in key order, so output is deterministic for a deterministic
+// run (the DES campaigns).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-layout histogram: `bounds` are ascending bucket upper edges; an
+/// implicit +Inf bucket catches the rest. The layout is immutable after
+/// construction so concurrent observers only take the mutex to bump counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Raw (non-cumulative) count of bucket i; i == bounds().size() is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  void reset();
+
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1, guarded
+  double sum_ = 0.0;                   ///< guarded
+  std::uint64_t count_ = 0;            ///< guarded
+};
+
+/// Shared fixed layouts (seconds): middleware-scale latencies (100 us .. ~1h)
+/// and campaign-scale durations (1 s .. ~100 h).
+const std::vector<double>& latency_buckets_s();
+const std::vector<double>& duration_buckets_s();
+
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every instrument's value; instruments themselves (and pointers
+  /// to them) stay valid.
+  void reset();
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` must match the instrument's layout when it already exists.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds,
+                       const Labels& labels = {});
+
+  [[nodiscard]] std::string to_prometheus() const;
+  [[nodiscard]] std::string to_json() const;
+  Status write_prometheus(const std::string& path) const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  Metrics() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  // Keyed by "name{label=\"value\",...}" (labels sorted); std::map keeps
+  // exporter output deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One-atomic fast path for recording sites.
+inline bool metrics_on() { return Metrics::instance().enabled(); }
+
+}  // namespace gc::obs

@@ -1,0 +1,81 @@
+#include "obs/session.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gc::obs {
+
+Session::Session(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  if (!metrics_path_.empty()) {
+    Metrics::instance().reset();
+    Metrics::instance().set_enabled(true);
+  }
+}
+
+Session::~Session() { finish(); }
+
+Session::Session(Session&& other) noexcept
+    : trace_path_(std::exchange(other.trace_path_, {})),
+      metrics_path_(std::exchange(other.metrics_path_, {})) {}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    finish();
+    trace_path_ = std::exchange(other.trace_path_, {});
+    metrics_path_ = std::exchange(other.metrics_path_, {});
+  }
+  return *this;
+}
+
+Session Session::from_cli(const CliArgs& args) {
+  std::string trace = args.get("trace", "");
+  std::string metrics = args.get("metrics", "");
+  if (trace.empty()) {
+    if (const char* env = std::getenv("GC_TRACE")) trace = env;
+  }
+  if (metrics.empty()) {
+    if (const char* env = std::getenv("GC_METRICS")) metrics = env;
+  }
+  return Session(std::move(trace), std::move(metrics));
+}
+
+void Session::finish() {
+  if (!trace_path_.empty()) {
+    const Status st = Tracer::instance().write_chrome_trace(trace_path_);
+    if (!st.is_ok()) {
+      GC_ERROR << "trace export failed: " << st.to_string();
+    } else {
+      GC_INFO << "trace written to " << trace_path_ << " ("
+              << Tracer::instance().event_count() << " events)";
+    }
+    Tracer::instance().set_enabled(false);
+    trace_path_.clear();
+  }
+  if (!metrics_path_.empty()) {
+    const bool json = metrics_path_.size() >= 5 &&
+                      metrics_path_.compare(metrics_path_.size() - 5, 5,
+                                            ".json") == 0;
+    const Status st = json ? Metrics::instance().write_json(metrics_path_)
+                           : Metrics::instance().write_prometheus(metrics_path_);
+    if (!st.is_ok()) {
+      GC_ERROR << "metrics export failed: " << st.to_string();
+    } else {
+      GC_INFO << "metrics written to " << metrics_path_;
+    }
+    Metrics::instance().set_enabled(false);
+    metrics_path_.clear();
+  }
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,51 @@
+// RAII observability session: enables the tracer and/or metrics registry
+// on construction, writes the exports and disables them on destruction.
+//
+// Binaries create one at the top of main():
+//
+//   gc::obs::Session obs = gc::obs::Session::from_cli(args);
+//
+// which resolves `--trace <path>` / `--metrics <path>` flags with
+// `GC_TRACE` / `GC_METRICS` env-var fallbacks. A default-constructed (or
+// empty-path) session enables nothing and writes nothing, so the flags are
+// free to plumb unconditionally.
+//
+// Metrics output format follows the extension: `.json` gets the flat JSON
+// dump, anything else the Prometheus text exposition.
+#pragma once
+
+#include <string>
+
+namespace gc {
+class CliArgs;
+}
+
+namespace gc::obs {
+
+class Session {
+ public:
+  Session() = default;
+  Session(std::string trace_path, std::string metrics_path);
+  ~Session();
+
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Reads --trace/--metrics (GC_TRACE/GC_METRICS as fallback).
+  static Session from_cli(const CliArgs& args);
+
+  [[nodiscard]] bool trace_active() const { return !trace_path_.empty(); }
+  [[nodiscard]] bool metrics_active() const { return !metrics_path_.empty(); }
+
+  /// Writes exports now and disables the subsystems; the destructor then
+  /// does nothing. Useful to flush before process-exit shortcuts.
+  void finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace gc::obs

@@ -1,0 +1,232 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace gc::obs {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds for the trace-event "ts"/"dur" fields; fixed-point output
+/// keeps the JSON deterministic across platforms.
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: outlive all callers
+  return *tracer;
+}
+
+SpanId Tracer::begin_span(double ts, const std::string& name,
+                          const std::string& track, TraceId trace_id,
+                          SpanId parent) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kSpan;
+  ev.name = name;
+  ev.track = track;
+  ev.ts = ts;
+  ev.trace_id = trace_id;
+  ev.span_id = next_span_++;
+  ev.parent_span = parent;
+  ev.seq = next_seq_++;
+  ev.open = true;
+  events_.push_back(std::move(ev));
+  return events_.back().span_id;
+}
+
+void Tracer::span_arg(SpanId span, const std::string& key,
+                      const std::string& value) {
+  if (span == 0 || !enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Open spans are recent: scan from the back.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->span_id == span) {
+      it->args.emplace_back(key, value);
+      return;
+    }
+  }
+}
+
+void Tracer::end_span(SpanId span, double ts) {
+  if (span == 0 || !enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->span_id == span && it->open) {
+      it->dur = ts - it->ts;
+      if (it->dur < 0.0) it->dur = 0.0;
+      it->open = false;
+      return;
+    }
+  }
+}
+
+void Tracer::complete_span(double ts, double dur, const std::string& name,
+                           const std::string& track, TraceId trace_id,
+                           SpanId parent) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kSpan;
+  ev.name = name;
+  ev.track = track;
+  ev.ts = ts;
+  ev.dur = dur < 0.0 ? 0.0 : dur;
+  ev.trace_id = trace_id;
+  ev.span_id = next_span_++;
+  ev.parent_span = parent;
+  ev.seq = next_seq_++;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(double ts, const std::string& name,
+                     const std::string& track, TraceId trace_id,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.name = name;
+  ev.track = track;
+  ev.ts = ts;
+  ev.trace_id = trace_id;
+  ev.seq = next_seq_++;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> evs = events();
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.seq < b.seq;
+                   });
+  // Tracks become "threads" of one "process"; tids in first-use order of
+  // the sorted stream so numbering is deterministic under SimEnv.
+  std::map<std::string, int> tids;
+  for (const auto& ev : evs) {
+    tids.emplace(ev.track, 0);
+  }
+  {
+    // Re-walk in sorted order to assign first-use ids.
+    int next_tid = 1;
+    std::map<std::string, int> assigned;
+    for (const auto& ev : evs) {
+      if (assigned.emplace(ev.track, next_tid).second) ++next_tid;
+    }
+    tids = std::move(assigned);
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (const auto& [track, tid] : tids) {
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+        << escape_json(track) << "\"}}";
+  }
+  for (const auto& ev : evs) {
+    sep();
+    const int tid = tids[ev.track];
+    if (ev.phase == TraceEvent::Phase::kSpan) {
+      out << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << tid << ", \"name\": \""
+          << escape_json(ev.name) << "\", \"ts\": " << fmt_us(ev.ts)
+          << ", \"dur\": " << fmt_us(ev.open ? 0.0 : ev.dur);
+    } else {
+      out << "{\"ph\": \"i\", \"pid\": 1, \"tid\": " << tid << ", \"name\": \""
+          << escape_json(ev.name) << "\", \"ts\": " << fmt_us(ev.ts)
+          << ", \"s\": \"t\"";
+    }
+    out << ", \"args\": {";
+    bool first_arg = true;
+    auto arg = [&](const std::string& k, const std::string& v) {
+      if (!first_arg) out << ", ";
+      first_arg = false;
+      out << '"' << escape_json(k) << "\": \"" << escape_json(v) << '"';
+    };
+    if (ev.trace_id != 0) arg("trace_id", std::to_string(ev.trace_id));
+    if (ev.span_id != 0) arg("span_id", std::to_string(ev.span_id));
+    if (ev.parent_span != 0) arg("parent_span", std::to_string(ev.parent_span));
+    for (const auto& [k, v] : ev.args) arg(k, v);
+    out << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Status Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  out << chrome_trace_json();
+  out.flush();
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_span_ = 1;
+  next_seq_ = 0;
+}
+
+double wall_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
+}  // namespace gc::obs

@@ -8,11 +8,29 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gc::parallel {
 
 namespace {
 
 thread_local bool tls_in_region = false;
+
+/// Wall-time of one chunk execution; a no-op (no clock read) while metrics
+/// are off. The histogram reference is cached — Metrics::reset() zeroes
+/// values but never invalidates instruments.
+void timed_chunk(const std::function<void(std::size_t)>& fn, std::size_t i) {
+  if (!obs::metrics_on()) {
+    fn(i);
+    return;
+  }
+  static obs::Histogram& chunk_seconds = obs::Metrics::instance().histogram(
+      "parallel_chunk_seconds", obs::latency_buckets_s());
+  const double t0 = obs::wall_seconds();
+  fn(i);
+  chunk_seconds.observe(obs::wall_seconds() - t0);
+}
 
 constexpr std::size_t kMaxThreads = 256;
 
@@ -149,7 +167,7 @@ class Pool {
       if (i >= region.nchunks) break;
       std::exception_ptr error;
       try {
-        region.fn(i);
+        timed_chunk(region.fn, i);
       } catch (...) {
         error = std::current_exception();
       }
@@ -165,7 +183,7 @@ class Pool {
     const bool was_in_region = tls_in_region;
     tls_in_region = true;
     try {
-      for (std::size_t i = 0; i < nchunks; ++i) fn(i);
+      for (std::size_t i = 0; i < nchunks; ++i) timed_chunk(fn, i);
     } catch (...) {
       tls_in_region = was_in_region;
       throw;

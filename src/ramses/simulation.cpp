@@ -6,6 +6,8 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "minimpi/comm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ramses/domain.hpp"
 #include "ramses/loader.hpp"
 #include "ramses/pm.hpp"
@@ -199,6 +201,11 @@ RunResult run_simulation(const RunParams& params,
   for (int i = 0; i < params.steps; ++i) {
     const double a1 = a[static_cast<std::size_t>(i) + 1];
     double current = a[static_cast<std::size_t>(i)];
+    // The step loop runs outside any Env, so step spans use wall time.
+    const double step_wall0 = obs::tracing() || obs::metrics_on()
+                                  ? obs::wall_seconds()
+                                  : 0.0;
+    const int substeps_before = result.steps_taken;
     while (current < a1 - 1e-14) {
       double da = a1 - current;
       if (params.adaptive) {
@@ -209,6 +216,19 @@ RunResult run_simulation(const RunParams& params,
       solver.step(particles, current, da);
       current += da;
       ++result.steps_taken;
+    }
+    if (obs::tracing()) {
+      const obs::SpanId span = obs::Tracer::instance().begin_span(
+          step_wall0, "step:" + std::to_string(i), "ramses");
+      obs::Tracer::instance().span_arg(
+          span, "substeps",
+          std::to_string(result.steps_taken - substeps_before));
+      obs::Tracer::instance().end_span(span, obs::wall_seconds());
+    }
+    if (obs::metrics_on()) {
+      obs::Metrics::instance()
+          .histogram("ramses_step_seconds", obs::latency_buckets_s())
+          .observe(obs::wall_seconds() - step_wall0);
     }
     if (on_step) on_step(i, a1, particles);
     while (next_out < aout.size() && a1 >= aout[next_out] - 1e-12) {

@@ -10,6 +10,8 @@
 #include "halo/halomaker.hpp"
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ramses/simulation.hpp"
 
 namespace gc::workflow {
@@ -218,6 +220,28 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           static_cast<double>(config.sub_simulations + 1);
   result.network_bytes = env.bytes_sent();
   result.network_messages = env.messages_sent();
+
+  // Campaign phases as spans (timestamps reconstructed from the records,
+  // all in the engine's virtual time) + summary histograms.
+  if (obs::tracing()) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.complete_span(first_submit, last_completed - first_submit,
+                         "campaign", "campaign");
+    tracer.complete_span(result.zoom1.submitted, result.zoom1.total_time(),
+                         "part1:ramsesZoom1", "campaign");
+    if (!result.zoom2.empty()) {
+      const double part2_start = result.zoom2.front().submitted;
+      tracer.complete_span(part2_start, last_completed - part2_start,
+                           "part2:ramsesZoom2", "campaign");
+    }
+  }
+  if (obs::metrics_on()) {
+    auto& m = obs::Metrics::instance();
+    m.histogram("campaign_makespan_seconds", obs::duration_buckets_s())
+        .observe(result.makespan);
+    m.gauge("campaign_finding_time_mean_seconds").set(result.finding_mean);
+    m.gauge("campaign_overhead_seconds").set(result.overhead_total);
+  }
   return result;
 }
 

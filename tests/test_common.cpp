@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
@@ -267,6 +269,81 @@ TEST(Stats, Percentile) {
 TEST(Stats, PercentileEmptyAndSingle) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
   EXPECT_DOUBLE_EQ(percentile({3.0}, 50), 3.0);
+  // A single sample answers every percentile, including the clamped ones.
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 100), 3.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, -5.0), 1.0);    // below 0 -> min
+  EXPECT_DOUBLE_EQ(percentile(values, 105.0), 4.0);   // above 100 -> max
+}
+
+TEST(Stats, PercentileNanPIsZero) {
+  // NaN fails both clamp comparisons and a NaN->size_t cast is UB: the
+  // implementation must catch it explicitly.
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(values, std::nan("")), 0.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  // percentile() sorts its copy; callers may pass raw latency logs.
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50), 5.0);
+}
+
+TEST(Stats, RunningSingleSample) {
+  RunningStats stats;
+  stats.add(7.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+  // One sample has no spread: variance/stddev are 0, not NaN.
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Stats, RunningConstantStreamHasZeroStddev) {
+  // Welford's m2 can round to a tiny negative on constant input; stddev
+  // must come out 0.0, never NaN.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(0.1 + 1e-13);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_FALSE(std::isnan(stats.stddev()));
+}
+
+// ---------- log ----------
+
+TEST(Log, DefaultLevelYieldsToEnvVar) {
+  const LogLevel saved = log_level();
+  // set_default_log_level is the binary's baseline; GC_LOG_LEVEL wins.
+  ::setenv("GC_LOG_LEVEL", "error", 1);
+  set_default_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Unknown values are ignored: the requested default applies.
+  ::setenv("GC_LOG_LEVEL", "verbose", 1);
+  set_default_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::unsetenv("GC_LOG_LEVEL");
+  set_default_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  // set_log_level is the explicit override: no env consultation.
+  ::setenv("GC_LOG_LEVEL", "off", 1);
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  ::unsetenv("GC_LOG_LEVEL");
+  set_log_level(saved);
+}
+
+TEST(Stats, RunningNegativeValues) {
+  RunningStats stats;
+  for (const double v : {-3.0, -1.0, 1.0, 3.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(20.0 / 3.0), 1e-12);
 }
 
 }  // namespace

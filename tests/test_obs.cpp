@@ -1,0 +1,557 @@
+// Observability tests: span bookkeeping, histogram bucket math, exporter
+// validity/determinism, and trace-id propagation through a three-level
+// DIET hierarchy under the DES.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "des/engine.hpp"
+#include "diet/client.hpp"
+#include "diet/deployment.hpp"
+#include "naming/registry.hpp"
+#include "net/simenv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gc::obs {
+namespace {
+
+// The tracer and metrics registry are process-global; every test scopes
+// its enablement and wipes recorded state on both ends.
+struct ObsGuard {
+  ObsGuard() {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+    Metrics::instance().reset();
+    Metrics::instance().set_enabled(true);
+  }
+  ~ObsGuard() {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+    Metrics::instance().set_enabled(false);
+    Metrics::instance().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// A minimal JSON syntax checker, enough to validate the exporters' output
+// without a JSON dependency: values, objects, arrays, strings with escapes,
+// numbers.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Tracer basics.
+
+TEST(Trace, SpanNestingAndOrdering) {
+  ObsGuard guard;
+  auto& tracer = Tracer::instance();
+  const SpanId parent = tracer.begin_span(1.0, "call:double", "client:c", 7);
+  const SpanId child = tracer.begin_span(1.5, "finding", "client:c", 7, parent);
+  EXPECT_NE(parent, 0u);
+  EXPECT_NE(child, 0u);
+  EXPECT_NE(parent, child);
+  tracer.span_arg(parent, "status", "ok");
+  tracer.end_span(child, 2.0);
+  tracer.end_span(parent, 4.0);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].span_id, parent);
+  EXPECT_EQ(events[0].parent_span, 0u);
+  EXPECT_FALSE(events[0].open);
+  EXPECT_DOUBLE_EQ(events[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 3.0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "status");
+
+  EXPECT_EQ(events[1].span_id, child);
+  EXPECT_EQ(events[1].parent_span, parent);
+  EXPECT_DOUBLE_EQ(events[1].dur, 0.5);
+  EXPECT_EQ(events[1].trace_id, 7u);
+  // Record order is monotonic: the tie-breaker for equal timestamps.
+  EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST(Trace, DisabledRecordsNothingAndSpanZeroIsSafe) {
+  ObsGuard guard;
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(false);
+  const SpanId span = tracer.begin_span(1.0, "x", "t");
+  EXPECT_EQ(span, 0u);
+  tracer.span_arg(span, "k", "v");
+  tracer.end_span(span, 2.0);  // must be a no-op, not a crash
+  tracer.complete_span(1.0, 1.0, "y", "t");
+  tracer.instant(1.0, "z", "t");
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Trace, EndSpanClampsNegativeDuration) {
+  ObsGuard guard;
+  auto& tracer = Tracer::instance();
+  const SpanId span = tracer.begin_span(5.0, "x", "t");
+  tracer.end_span(span, 4.0);  // clock went backwards: clamp, don't go negative
+  EXPECT_DOUBLE_EQ(tracer.events().at(0).dur, 0.0);
+}
+
+TEST(Trace, ChromeJsonIsValidAndDeterministic) {
+  ObsGuard guard;
+  auto& tracer = Tracer::instance();
+  const SpanId a = tracer.begin_span(0.010, "call:\"quoted\"", "client:c", 3);
+  tracer.instant(0.011, "deliver:10", "net:n0", 3);
+  tracer.complete_span(0.012, 0.005, "msg:10", "net:n0", 3, a);
+  tracer.end_span(a, 0.020);
+
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json, tracer.chrome_trace_json());  // pure function of state
+
+  // Metadata names both tracks; events carry microsecond timestamps.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("client:c"), std::string::npos);
+  EXPECT_NE(json.find("net:n0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 10000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 10000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": \"3\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math.
+
+TEST(MetricsTest, HistogramBucketsUseLeSemantics) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1    -> bucket 0
+  h.observe(1.0);   // == edge -> bucket 0 (le is inclusive)
+  h.observe(1.5);   // <= 2    -> bucket 1
+  h.observe(4.0);   // == edge -> bucket 2
+  h.observe(100.0); // overflow -> +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsTest, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  // The shared layouts are ascending (Histogram's construction contract).
+  EXPECT_TRUE(std::is_sorted(latency_buckets_s().begin(),
+                             latency_buckets_s().end()));
+  EXPECT_TRUE(std::is_sorted(duration_buckets_s().begin(),
+                             duration_buckets_s().end()));
+}
+
+TEST(MetricsTest, SeriesIdentityIgnoresLabelOrder) {
+  ObsGuard guard;
+  auto& m = Metrics::instance();
+  Counter& a = m.counter("t_requests", {{"agent", "MA"}, {"zone", "x"}});
+  Counter& b = m.counter("t_requests", {{"zone", "x"}, {"agent", "MA"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  // reset() zeroes values but keeps instruments alive: cached references
+  // (the DES engine and the pool hold some) must stay valid.
+  m.reset();
+  EXPECT_EQ(a.value(), 0u);
+  a.inc();
+  EXPECT_EQ(m.counter("t_requests", {{"agent", "MA"}, {"zone", "x"}}).value(),
+            1u);
+}
+
+TEST(MetricsTest, PrometheusExportShape) {
+  ObsGuard guard;
+  auto& m = Metrics::instance();
+  m.counter("t_total", {{"sed", "s1"}}).inc(2);
+  m.gauge("t_depth").set(1.5);
+  Histogram& h = m.histogram("t_seconds", {0.1, 1.0}, {{"sed", "s1"}});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(10.0);
+
+  const std::string text = m.to_prometheus();
+  EXPECT_EQ(text, m.to_prometheus());  // deterministic
+  EXPECT_NE(text.find("# TYPE t_total counter"), std::string::npos);
+  EXPECT_NE(text.find("t_total{sed=\"s1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("t_depth 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_seconds histogram"), std::string::npos);
+  // Cumulative buckets, le spliced into the existing label set, +Inf last.
+  EXPECT_NE(text.find("t_seconds_bucket{sed=\"s1\",le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_seconds_bucket{sed=\"s1\",le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_seconds_bucket{sed=\"s1\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_seconds_sum{sed=\"s1\"} 10.55"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_count{sed=\"s1\"} 3"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExportIsValidJson) {
+  ObsGuard guard;
+  auto& m = Metrics::instance();
+  m.counter("t_with\"quote").inc();
+  m.gauge("t_gauge", {{"k", "v"}}).set(-2.25);
+  m.histogram("t_hist", {1.0}).observe(0.5);
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json, m.to_json());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: one DIET call through a 1 MA / 2 LA / 4 SED hierarchy under
+// SimEnv must come out as a single causally-linked trace.
+
+diet::ProfileDesc double_desc() {
+  diet::ProfileDesc desc("double", 0, 0, 1);
+  desc.arg(0).type = diet::DataType::kScalar;
+  desc.arg(0).base = diet::BaseType::kInt;
+  desc.arg(1).type = diet::DataType::kScalar;
+  desc.arg(1).base = diet::BaseType::kInt;
+  return desc;
+}
+
+diet::Profile double_profile(std::int32_t value) {
+  diet::Profile profile("double", 0, 0, 1);
+  profile.arg(0).set_scalar<std::int32_t>(value, diet::BaseType::kInt,
+                                          diet::Persistence::kVolatile);
+  profile.arg(1).desc.type = diet::DataType::kScalar;
+  profile.arg(1).desc.base = diet::BaseType::kInt;
+  return profile;
+}
+
+/// 1 MA ("MA1"), 2 LAs, 2 SEDs per LA — the shape of test_diet_agents.cpp.
+struct SimFixture {
+  SimFixture() : topology(5e-3, 1.25e8), env(engine, topology) {
+    diet::SolveFn solve = [](diet::ServiceContext& ctx) {
+      ctx.compute(
+          10.0,
+          [&ctx]() {
+            const auto in =
+                ctx.profile().arg(0).get_scalar<std::int32_t>();
+            if (!in.is_ok()) return 1;
+            ctx.profile().arg(1).set_scalar<std::int32_t>(
+                in.value() * 2, diet::BaseType::kInt,
+                diet::Persistence::kVolatile);
+            return 0;
+          },
+          [&ctx](int rc) { ctx.finish(rc); });
+    };
+    EXPECT_TRUE(services.add(double_desc(), std::move(solve)).is_ok());
+    diet::DeploymentSpec spec;
+    spec.ma_node = 0;
+    for (int la = 0; la < 2; ++la) {
+      diet::DeploymentSpec::LaSpec l;
+      l.name = "LA" + std::to_string(la);
+      l.node = static_cast<net::NodeId>(1 + la);
+      for (int s = 0; s < 2; ++s) {
+        diet::DeploymentSpec::SedSpec sed;
+        sed.name = "SeD" + std::to_string(la) + std::to_string(s);
+        sed.node = static_cast<net::NodeId>(3 + la * 2 + s);
+        l.sed_indexes.push_back(static_cast<int>(spec.seds.size()));
+        spec.seds.push_back(sed);
+      }
+      spec.las.push_back(l);
+    }
+    deployment =
+        std::make_unique<diet::Deployment>(env, registry, services, spec);
+    env.attach(client, 0);
+    client.connect(registry.resolve("MA1").value());
+    engine.run_until(engine.now() + 1.0);
+  }
+
+  des::Engine engine;
+  net::UniformTopology topology;
+  net::SimEnv env;
+  naming::Registry registry;
+  diet::ServiceTable services;
+  std::unique_ptr<diet::Deployment> deployment;
+  diet::Client client{"client"};
+};
+
+/// Runs one call through a fresh fixture and returns the tracer's export.
+std::string traced_call_json() {
+  Tracer::instance().clear();
+  SimFixture fix;
+  bool done = false;
+  fix.client.call_async(double_profile(21),
+                        [&](const gc::Status& s, diet::Profile&) {
+                          EXPECT_TRUE(s.is_ok()) << s.to_string();
+                          done = true;
+                        });
+  fix.engine.run();
+  EXPECT_TRUE(done);
+  return Tracer::instance().chrome_trace_json();
+}
+
+TEST(Hierarchy, TraceIdLinksClientToSedAcrossThreeLevels) {
+  ObsGuard guard;
+  SimFixture fix;
+  // Registration traffic is traced too but carries no trace id; wipe it so
+  // the assertions below see exactly one request's events.
+  Tracer::instance().clear();
+
+  bool done = false;
+  fix.client.call_async(double_profile(21),
+                        [&](const gc::Status& s, diet::Profile&) {
+                          EXPECT_TRUE(s.is_ok()) << s.to_string();
+                          done = true;
+                        });
+  fix.engine.run();
+  ASSERT_TRUE(done);
+
+  const auto events = Tracer::instance().events();
+  ASSERT_FALSE(events.empty());
+
+  // The client's call span defines the trace id (= the request id).
+  TraceId trace = 0;
+  SpanId call_span = 0;
+  for (const auto& ev : events) {
+    if (ev.track == "client:client" && ev.name == "call:double") {
+      trace = ev.trace_id;
+      call_span = ev.span_id;
+    }
+  }
+  ASSERT_NE(trace, 0u);
+  ASSERT_NE(call_span, 0u);
+
+  // The "finding" phase is a child of the call span, on the same trace.
+  bool finding_linked = false;
+  for (const auto& ev : events) {
+    if (ev.name == "finding" && ev.parent_span == call_span &&
+        ev.trace_id == trace && !ev.open) {
+      finding_linked = true;
+    }
+  }
+  EXPECT_TRUE(finding_linked);
+
+  // Every level of the hierarchy contributed a span with the same trace id:
+  // MA collect, at least one LA collect, and the executing SED's
+  // queue + exec pair. That is the complete client->MA->LA->SED chain.
+  std::set<std::string> tracks_on_trace;
+  bool sed_exec = false;
+  bool sed_queue = false;
+  bool la_collect = false;
+  bool ma_collect = false;
+  for (const auto& ev : events) {
+    if (ev.trace_id != trace) continue;
+    tracks_on_trace.insert(ev.track);
+    if (ev.track == "agent:MA1" && ev.name == "collect:double") {
+      ma_collect = true;
+    }
+    if (ev.track.rfind("agent:LA", 0) == 0 && ev.name == "collect:double") {
+      la_collect = true;
+    }
+    if (ev.track.rfind("sed:", 0) == 0) {
+      if (ev.name.rfind("queue:", 0) == 0) sed_queue = true;
+      if (ev.name.rfind("exec:", 0) == 0) sed_exec = true;
+    }
+  }
+  EXPECT_TRUE(ma_collect);
+  EXPECT_TRUE(la_collect);
+  EXPECT_TRUE(sed_queue);
+  EXPECT_TRUE(sed_exec);
+  // Client + MA + >=1 LA + >=1 SED + network tracks all participated.
+  EXPECT_GE(tracks_on_trace.size(), 5u) << "tracks: "
+      << [&] {
+           std::string s;
+           for (const auto& t : tracks_on_trace) s += t + " ";
+           return s;
+         }();
+
+  // All spans closed: no half-open request state at quiescence.
+  for (const auto& ev : events) {
+    if (ev.trace_id == trace) {
+      EXPECT_FALSE(ev.open) << ev.name;
+    }
+  }
+}
+
+TEST(Hierarchy, ChromeExportIsDeterministicUnderSimEnv) {
+  ObsGuard guard;
+  const std::string first = traced_call_json();
+  const std::string second = traced_call_json();
+  EXPECT_TRUE(JsonChecker(first).valid());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Hierarchy, MetricsCountRequestsPerLevel) {
+  ObsGuard guard;
+  SimFixture fix;
+  Metrics::instance().reset();  // drop registration-phase counts
+
+  constexpr int kCalls = 8;
+  int done = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    fix.client.call_async(double_profile(i),
+                          [&](const gc::Status& s, diet::Profile&) {
+                            EXPECT_TRUE(s.is_ok());
+                            ++done;
+                          });
+  }
+  fix.engine.run();
+  ASSERT_EQ(done, kCalls);
+
+  auto& m = Metrics::instance();
+  EXPECT_EQ(m.counter("diet_client_calls_total", {{"client", "client"}})
+                .value(),
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(m.counter("diet_agent_requests_total", {{"agent", "MA1"}}).value(),
+            static_cast<std::uint64_t>(kCalls));
+  // The MA fans every request out to both LAs.
+  EXPECT_EQ(m.counter("diet_agent_forwards_total", {{"agent", "MA1"}}).value(),
+            static_cast<std::uint64_t>(2 * kCalls));
+
+  std::uint64_t sed_jobs = 0;
+  double busy = 0.0;
+  for (const char* sed : {"SeD00", "SeD01", "SeD10", "SeD11"}) {
+    sed_jobs += m.counter("diet_sed_jobs_total", {{"sed", sed}}).value();
+    busy += m.gauge("diet_sed_busy_seconds_total", {{"sed", sed}}).value();
+    // Quiescent: every queue drained.
+    EXPECT_DOUBLE_EQ(m.gauge("diet_sed_queue_depth", {{"sed", sed}}).value(),
+                     0.0);
+  }
+  EXPECT_EQ(sed_jobs, static_cast<std::uint64_t>(kCalls));
+  // 8 jobs x 10 modeled seconds each.
+  EXPECT_GT(busy, 79.9);
+
+  EXPECT_EQ(m.histogram("diet_finding_time_seconds", latency_buckets_s())
+                .count(),
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(m.histogram("diet_call_total_seconds", duration_buckets_s())
+                .count(),
+            static_cast<std::uint64_t>(kCalls));
+}
+
+}  // namespace
+}  // namespace gc::obs
