@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full local gate: configure + build (warnings as errors), unit tests,
+# gclint over src/, clang-tidy (when installed), and the three sanitizer
+# smoke suites. Everything a PR must survive, runnable on a laptop:
+#
+#   ci/check.sh            # default build + tests + lint + tidy
+#   ci/check.sh --full     # also tsan/asan/ubsan smoke builds (slow)
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build (default preset, -Werror)"
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+step "unit tests"
+ctest --preset default --output-on-failure -j "$(nproc)"
+
+step "gclint over src/"
+./build/tools/gclint/gclint src
+
+step "clang-tidy (src/common + src/des)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Focused pass over the foundational modules; the GC_CLANG_TIDY=ON
+  # configure option runs it build-wide instead.
+  clang-tidy -p build --quiet \
+    src/common/*.cpp src/des/*.cpp
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+if [[ "$FULL" == "1" ]]; then
+  for san in tsan asan ubsan; do
+    step "${san} smoke"
+    cmake --preset "${san}"
+    cmake --build --preset "${san}" -j "$(nproc)"
+    ctest --preset "${san}-smoke"
+  done
+else
+  echo
+  echo "Skipped sanitizer smoke suites (run with --full)."
+fi
+
+echo
+echo "All checks passed."

@@ -1,0 +1,113 @@
+#include "check/lockorder.hpp"
+
+#include <algorithm>
+
+namespace gc::check {
+
+namespace {
+
+/// Names this thread currently holds, oldest first. Owned per thread;
+/// leaked at thread exit via the usual thread_local teardown.
+std::vector<std::string>& held_stack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += " -> ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+LockOrderRecorder& LockOrderRecorder::instance() {
+  static LockOrderRecorder* recorder = new LockOrderRecorder();
+  return *recorder;
+}
+
+void LockOrderRecorder::acquired(const char* name, const char* file,
+                                 int line) {
+  std::vector<std::string>& held = held_stack();
+  std::string violation;
+  if (std::find(held.begin(), held.end(), name) != held.end()) {
+    violation = std::string("lock-order: re-acquiring \"") + name +
+                "\" already held by this thread (held: " + join(held) + ")";
+  } else if (!held.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& h : held) {
+      if (h == name) continue;
+      // Adding h -> name closes a cycle iff name already reaches h.
+      if (reaches(name, h)) {
+        // Reconstruct the first recorded edge of the reverse path for the
+        // report: some thread held `name` (stack shown) while taking a
+        // lock that leads back to `h`.
+        std::string reverse_example;
+        auto from_it = edges_.find(name);
+        if (from_it != edges_.end() && !from_it->second.empty()) {
+          reverse_example = from_it->second.begin()->second;
+        }
+        violation = std::string("lock-order cycle: this thread holds [") +
+                    join(held) + "] and is acquiring \"" + name +
+                    "\", but \"" + name + "\" was previously held before \"" +
+                    h + "\" (first recorded as: " + reverse_example + ")";
+        break;
+      }
+      auto& slot = edges_[h][name];
+      if (slot.empty()) slot = join(held) + " -> " + name;
+    }
+  }
+  held.emplace_back(name);
+  if (!violation.empty()) fail(file, line, violation);
+}
+
+void LockOrderRecorder::released(const char* name) {
+  std::vector<std::string>& held = held_stack();
+  // Release the most recent acquisition of this name (locks are scoped,
+  // so this is the matching one).
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (*it == name) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockOrderRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+}
+
+std::size_t LockOrderRecorder::edge_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [from, tos] : edges_) count += tos.size();
+  return count;
+}
+
+bool LockOrderRecorder::reaches(const std::string& from,
+                                const std::string& to) const {
+  if (from == to) return true;
+  std::vector<const std::string*> frontier{&from};
+  std::vector<std::string> visited;
+  while (!frontier.empty()) {
+    const std::string* node = frontier.back();
+    frontier.pop_back();
+    if (std::find(visited.begin(), visited.end(), *node) != visited.end()) {
+      continue;
+    }
+    visited.push_back(*node);
+    auto it = edges_.find(*node);
+    if (it == edges_.end()) continue;
+    for (const auto& [next, example] : it->second) {
+      if (next == to) return true;
+      frontier.push_back(&next);
+    }
+  }
+  return false;
+}
+
+}  // namespace gc::check

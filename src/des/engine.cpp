@@ -17,8 +17,22 @@ Engine::Engine() { set_log_clock(&engine_clock, this); }
 
 Engine::~Engine() { clear_log_clock(this); }
 
+std::uint64_t Engine::tie_of(EventId id) const {
+  if (tie_seed_ == 0) return id;
+  // splitmix64 finalizer: a bijection over u64, so distinct ids keep
+  // distinct tie keys and the scramble is a pure permutation of the
+  // insertion order among equal timestamps.
+  std::uint64_t z = id + tie_seed_ * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 EventId Engine::schedule_at(SimTime t, EventFn fn) {
-  GC_CHECK_MSG(t >= now_, "event scheduled in the past");
+  // Routed through the invariant layer when it is compiled in (so tests
+  // can seed the violation); still a hard check in GC_CHECK=OFF builds.
+  GC_INVARIANT(t >= now_, "event scheduled in the past");
+  GC_CHECK_MSG(t >= now_ || check::kEnabled, "event scheduled in the past");
   if (obs::metrics_on()) {
     // Cached across calls; Metrics::reset() zeroes but never invalidates.
     static obs::Counter& scheduled =
@@ -26,7 +40,7 @@ EventId Engine::schedule_at(SimTime t, EventFn fn) {
     scheduled.inc();
   }
   const EventId id = next_id_++;
-  queue_.push(Event{t, id});
+  queue_.push(Event{t, tie_of(id), id});
   handlers_.emplace(id, std::move(fn));
   return id;
 }
@@ -49,6 +63,7 @@ bool Engine::step() {
     if (it == handlers_.end()) continue;  // cancelled: tombstone in queue
     EventFn fn = std::move(it->second);
     handlers_.erase(it);
+    GC_INVARIANT(ev.time >= now_, "virtual clock would move backwards");
     now_ = ev.time;
     ++executed_;
     if (obs::metrics_on()) {

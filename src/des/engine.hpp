@@ -6,6 +6,13 @@
 // clock and the event calendar. Determinism: events at equal timestamps
 // fire in insertion order (monotonic sequence number tiebreak), so a given
 // seed replays exactly.
+//
+// set_tie_break_seed() scrambles that same-timestamp order with a seeded
+// bijection. Simulation *outcomes* must not depend on it: any two events
+// that share a timestamp are logically concurrent, and code that needs an
+// order (per-link FIFO, client submission order) must enforce one
+// explicitly. tests/test_schedule_fuzz.cpp replays whole campaigns under
+// many seeds and asserts byte-identical results.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "common/log.hpp"
 #include "common/units.hpp"
 
@@ -61,20 +69,32 @@ class Engine {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() const { return handlers_.size(); }
 
+  /// Schedule-fuzzing hook: seed != 0 replaces the insertion-order
+  /// tie-break among equal-timestamp events with a seeded bijective
+  /// scramble of the event ids. 0 restores insertion order. Only affects
+  /// events scheduled after the call.
+  void set_tie_break_seed(std::uint64_t seed) { tie_seed_ = seed; }
+  [[nodiscard]] std::uint64_t tie_break_seed() const { return tie_seed_; }
+
  private:
   struct Event {
     SimTime time;
+    std::uint64_t tie;  ///< equal-timestamp order: id, or a seeded scramble
     EventId id;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.id > b.id;
     }
   };
 
+  [[nodiscard]] std::uint64_t tie_of(EventId id) const;
+
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
+  std::uint64_t tie_seed_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_map<EventId, EventFn> handlers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/invariant.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -134,6 +135,11 @@ void Agent::handle_agent_register(const net::Envelope& envelope) {
 
 void Agent::handle_submit(const net::Envelope& envelope) {
   GC_CHECK_MSG(kind_ == Kind::kMaster, "clients must submit to the MA");
+  // Clients stamp their request id (>= 1) as the trace id on every
+  // submit; a zero here means a hand-rolled envelope skipped the client
+  // and the whole request chain would be untraceable.
+  GC_INVARIANT(envelope.trace_id != 0,
+               "client submit envelope carries no trace id");
   const RequestSubmitMsg msg = RequestSubmitMsg::decode(envelope.payload);
   Pending pending;
   pending.from_client = true;
@@ -185,6 +191,8 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
   const obs::TraceId trace_id = pending.trace_id;
   auto [it, inserted] = pending_.emplace(key, std::move(pending));
   if (!inserted) {
+    GC_INVARIANT(false, "duplicate in-flight request key " +
+                            std::to_string(key) + " at agent " + name_);
     GC_WARN << "agent " << name_ << ": duplicate request key " << key;
     return;
   }
@@ -271,6 +279,16 @@ void Agent::finalize(std::uint64_t key) {
   request.request_id = key;
   request.service = pending.service;
   request.in_bytes = pending.in_bytes;
+
+  // Candidates accumulate in reply-arrival order, which is incidental:
+  // replies landing at the same instant are logically concurrent, and the
+  // DES tie-break may process them either way. Rank from a canonical
+  // order so the chosen SED depends only on the candidates themselves
+  // (the schedule fuzzer relies on this).
+  std::sort(pending.candidates.begin(), pending.candidates.end(),
+            [](const sched::Candidate& a, const sched::Candidate& b) {
+              return a.sed_uid < b.sed_uid;
+            });
 
   if (kind_ == Kind::kMaster) {
     // Fill the agent-side view of each SED's outstanding assignments

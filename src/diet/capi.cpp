@@ -387,9 +387,9 @@ int diet_SeD(const char* config_file, int /*argc*/, char** /*argv*/) {
   const std::string name =
       config.value().get_or("name", "SeD-" +
                                         std::to_string(g_session.next_sed_uid));
-  auto sed = std::make_unique<Sed>(g_session.next_sed_uid++, name,
-                                   *g_session.table, power, machines, tuning,
-                                   /*seed=*/g_session.next_sed_uid);
+  const auto uid = g_session.next_sed_uid++;
+  auto sed = std::make_unique<Sed>(uid, name, *g_session.table, power,
+                                   machines, tuning, /*seed=*/uid + 1);
   g_session.env->attach(*sed, node);
   g_session.env->start();
   sed->register_at(parent.value());

@@ -14,20 +14,37 @@ std::uint64_t Client::call_async(Profile profile, DoneFn done,
   const std::uint64_t id = next_id_.fetch_add(1);
   // All state mutation happens on the dispatch context so the client needs
   // no locking even when call_async is invoked from an application thread.
-  // Submissions serialize behind the client's marshalling work.
+  // Submissions serialize behind the client's marshalling work, in call-id
+  // order: a burst of hand-off events lands at one timestamp, and the
+  // dispatcher may run logically-concurrent events in any order, so the
+  // queue below (not event order) decides who marshals first.
   env()->post_after(0.0, [this, id, profile = std::move(profile),
                           done = std::move(done), deadline_s]() mutable {
+    queued_submissions_.emplace(
+        id, QueuedSubmission{std::move(profile), std::move(done), deadline_s});
+    drain_submissions();
+  });
+  return id;
+}
+
+void Client::drain_submissions() {
+  while (true) {
+    auto it = queued_submissions_.find(next_submission_);
+    if (it == queued_submissions_.end()) return;
+    QueuedSubmission q = std::move(it->second);
+    queued_submissions_.erase(it);
+    const std::uint64_t id = next_submission_++;
     const double now = env()->now();
     submit_busy_until_ =
         std::max(submit_busy_until_, now) + tuning_.submit_marshalling;
     env()->post_after(submit_busy_until_ - now,
-                      [this, id, profile = std::move(profile),
-                       done = std::move(done), deadline_s]() mutable {
+                      [this, id, profile = std::move(q.profile),
+                       done = std::move(q.done),
+                       deadline_s = q.deadline_s]() mutable {
                         submit(id, std::move(profile), std::move(done),
                                deadline_s);
                       });
-  });
-  return id;
+  }
 }
 
 gc::Status Client::call(Profile& profile) {

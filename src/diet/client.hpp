@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -101,6 +102,10 @@ class Client final : public net::Actor {
 
   void submit(std::uint64_t id, Profile profile, DoneFn done,
               double deadline_s);
+  /// Hands queued submissions to the marshalling serializer in call-id
+  /// order (= call_async program order), however the hand-off events were
+  /// interleaved by the dispatcher.
+  void drain_submissions();
   /// Ships the IN/INOUT data to the chosen SED. Persistent arguments the
   /// SED is known to hold travel as id-only references unless
   /// `force_full` (the missing-data retry).
@@ -116,6 +121,15 @@ class Client final : public net::Actor {
   net::Endpoint ma_ = net::kNullEndpoint;
   double submit_busy_until_ = 0.0;
   std::atomic<std::uint64_t> next_id_{1};
+  struct QueuedSubmission {
+    Profile profile;
+    DoneFn done;
+    double deadline_s = 0.0;
+  };
+  /// Submissions whose hand-off event has fired, keyed by call id and
+  /// drained in id order (see drain_submissions).
+  std::map<std::uint64_t, QueuedSubmission> queued_submissions_;
+  std::uint64_t next_submission_ = 1;  ///< next call id to hand off
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   std::unordered_map<std::uint64_t, net::Endpoint> call_sed_;
   std::vector<CallRecord> records_;

@@ -12,12 +12,21 @@ void DataManager::store(const ArgValue& value) {
   auto it = store_.find(id);
   if (it != store_.end()) {
     bytes_ -= it->second.value.wire_bytes();
+    if constexpr (check::kEnabled) {
+      audit_.remove(id, it->second.value.wire_bytes(), __FILE__, __LINE__);
+    }
     lru_.erase(it->second.lru_position);
     store_.erase(it);
   }
   lru_.push_front(id);
   store_.emplace(id, Entry{value, lru_.begin()});
   bytes_ += value.wire_bytes();
+  if constexpr (check::kEnabled) {
+    audit_.add(id, value.wire_bytes(), __FILE__, __LINE__);
+    audit_.expect(store_.size(), bytes_, __FILE__, __LINE__);
+    GC_INVARIANT(lru_.size() == store_.size(),
+                 "LRU list and store diverged");
+  }
   evict_to_fit();
 }
 
@@ -38,8 +47,16 @@ bool DataManager::erase(const std::string& data_id) {
   auto it = store_.find(data_id);
   if (it == store_.end()) return false;
   bytes_ -= it->second.value.wire_bytes();
+  if constexpr (check::kEnabled) {
+    audit_.remove(data_id, it->second.value.wire_bytes(), __FILE__, __LINE__);
+  }
   lru_.erase(it->second.lru_position);
   store_.erase(it);
+  if constexpr (check::kEnabled) {
+    audit_.expect(store_.size(), bytes_, __FILE__, __LINE__);
+    GC_INVARIANT(lru_.size() == store_.size(),
+                 "LRU list and store diverged");
+  }
   return true;
 }
 

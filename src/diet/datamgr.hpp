@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "check/invariant.hpp"
 #include "diet/data.hpp"
 
 namespace gc::diet {
@@ -58,6 +59,8 @@ class DataManager {
   std::uint64_t evictions_ = 0;
   std::unordered_map<std::string, Entry> store_;
   std::list<std::string> lru_;  ///< front = most recently used
+  /// Shadow accounting (GC_CHECK builds): catches bytes_/LRU drift.
+  check::StoreAudit audit_{"sed data store"};
 };
 
 }  // namespace gc::diet

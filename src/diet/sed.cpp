@@ -95,6 +95,7 @@ void Sed::send_load_report() {
 void Sed::fail() {
   failed_ = true;
   queue_.clear();
+  if constexpr (check::kEnabled) live_calls_.reset();
   queued_work_s_ = 0.0;
   // Running contexts are abandoned: their finish() becomes a no-op send
   // from a detached endpoint once we leave the Env.
@@ -163,6 +164,8 @@ void Sed::handle_collect(const net::Envelope& envelope) {
 }
 
 void Sed::handle_call(const net::Envelope& envelope) {
+  GC_INVARIANT(envelope.trace_id != 0,
+               "call-data envelope carries no trace id");
   CallDataMsg msg = CallDataMsg::decode(envelope.payload);
   net::Reader r(msg.inputs);
   PendingJob job;
@@ -221,11 +224,16 @@ void Sed::handle_call(const net::Envelope& envelope) {
         env()->now(), "queue:" + msg.path, "sed:" + name_, job.trace_id);
   }
   queued_work_s_ += job.comp_estimate_s;
+  if constexpr (check::kEnabled) {
+    live_calls_.add(job.call_id, __FILE__, __LINE__);
+  }
   queue_.push_back(std::move(job));
   if (obs::metrics_on()) {
-    obs::Metrics::instance()
-        .gauge("diet_sed_queue_depth", {{"sed", name_}})
-        .set(static_cast<double>(queue_length()));
+    auto& gauge = obs::Metrics::instance()
+        .gauge("diet_sed_queue_depth", {{"sed", name_}});
+    gauge.set(static_cast<double>(queue_length()));
+    GC_INVARIANT(gauge.value() == static_cast<double>(queue_length()),
+                 "queue-depth gauge diverged from the queue");
   }
   start_next();
 }
@@ -293,6 +301,8 @@ void Sed::complete_job(PendingJob& job, SimTime started, int solve_status) {
   ++completed_;
   busy_seconds_ += finished - started;
   queued_work_s_ = std::max(0.0, queued_work_s_ - job.comp_estimate_s);
+  GC_INVARIANT(running_ > 0, "completing a job with no job running");
+  if constexpr (check::kEnabled) live_calls_.remove(job.call_id);
   job_log_.push_back(JobRecord{job.call_id, profile.path(), job.arrived,
                                started, finished, solve_status});
   obs::Tracer::instance().end_span(job.exec_span, finished);

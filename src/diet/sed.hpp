@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "common/rng.hpp"
 #include "diet/datamgr.hpp"
 #include "diet/protocol.hpp"
@@ -134,6 +135,9 @@ class Sed final : public net::Actor {
   std::vector<JobRecord> job_log_;
   std::vector<std::unique_ptr<ServiceContext>> live_contexts_;
   DataManager data_manager_;
+  /// Call ids live on this SED (queued or running); a client retry only
+  /// reuses an id after its result message went out (GC_CHECK builds).
+  check::UniqueIds live_calls_{"sed live call ids"};
   bool failed_ = false;
 };
 

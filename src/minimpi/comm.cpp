@@ -1,5 +1,8 @@
 #include "minimpi/comm.hpp"
 
+// gclint: allow-file(thread) MiniMPI models MPI ranks as real threads; it
+// hosts solver code and never touches the DES sim path.
+
 #include <thread>
 
 namespace gc::minimpi {

@@ -1,5 +1,7 @@
 #include "naming/registry.hpp"
 
+#include <algorithm>
+
 namespace gc::naming {
 
 gc::Status Registry::bind(const std::string& name, net::Endpoint endpoint) {
@@ -42,6 +44,9 @@ std::vector<std::string> Registry::list() const {
     (void)ep;
     out.push_back(name);
   }
+  // The backing map is unordered; callers print and compare this list, so
+  // hand it out in a hash-independent order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -2,13 +2,22 @@
 
 #include <utility>
 
+#include "check/lockorder.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace gc::net {
 
+// gclint: allow-file(wallclock) RealEnv IS the wall-clock backend; the
+// Env abstraction keeps it out of simulated code paths.
+// gclint: allow-file(thread) the dispatcher/worker threads are this
+// backend's reason to exist; everything else must go through parallel/.
+
 using Clock = std::chrono::steady_clock;
+
+/// Lock-order role of mutex_ (see check::LockOrderRecorder).
+constexpr const char* kLockName = "realenv.mutex";
 
 RealEnv::RealEnv(const Topology& topology, double delay_scale)
     : Env(topology), delay_scale_(delay_scale), origin_(Clock::now()) {}
@@ -20,15 +29,17 @@ SimTime RealEnv::now() const {
 }
 
 void RealEnv::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
   if (running_) return;
   running_ = true;
   stop_requested_ = false;
+  stopped_ = false;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 void RealEnv::stop() {
   {
+    check::LockTracker tracker(kLockName, __FILE__, __LINE__);
     std::unique_lock<std::mutex> lock(mutex_);
     if (!running_) return;
     idle_cv_.wait(lock,
@@ -39,9 +50,10 @@ void RealEnv::stop() {
   if (dispatcher_.joinable()) dispatcher_.join();
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    GC_TRACKED_LOCK(lock, mutex_, kLockName);
     workers.swap(workers_);
     running_ = false;
+    stopped_ = true;
   }
   for (auto& w : workers) {
     if (w.joinable()) w.join();
@@ -49,13 +61,15 @@ void RealEnv::stop() {
 }
 
 void RealEnv::wait_idle() {
+  check::LockTracker tracker(kLockName, __FILE__, __LINE__);
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock,
                 [this] { return live_queued() == 0 && in_flight_ == 0; });
 }
 
 TimerId RealEnv::enqueue(SimTime deadline, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
+  GC_INVARIANT(!stopped_, "post/send after RealEnv::stop() completed");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Timed{deadline, seq, std::move(fn)});
   queued_ids_.insert(seq);
@@ -72,7 +86,7 @@ TimerId RealEnv::post_after(SimTime delay, std::function<void()> fn) {
 }
 
 bool RealEnv::cancel_timer(TimerId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
   if (queued_ids_.count(id) == 0 || cancelled_.count(id) > 0) return false;
   cancelled_.insert(id);
   cv_.notify_all();  // the dispatcher may now be idle
@@ -81,14 +95,14 @@ bool RealEnv::cancel_timer(TimerId id) {
 }
 
 Endpoint RealEnv::do_attach(Actor& actor, NodeId node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
   const Endpoint ep = next_endpoint_++;
   actors_.emplace(ep, Entry{&actor, node});
   return ep;
 }
 
 void RealEnv::detach(Endpoint endpoint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
   actors_.erase(endpoint);
 }
 
@@ -96,7 +110,7 @@ void RealEnv::send(Envelope envelope) {
   NodeId src = 0;
   NodeId dst = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    GC_TRACKED_LOCK(lock, mutex_, kLockName);
     auto to_it = actors_.find(envelope.to);
     if (to_it == actors_.end()) {
       GC_WARN << "realenv: dropping message type " << envelope.type
@@ -128,7 +142,7 @@ void RealEnv::send(Envelope envelope) {
           [this, to, dst_node, env = std::move(envelope)]() mutable {
     Actor* actor = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      GC_TRACKED_LOCK(lock, mutex_, kLockName);
       auto it = actors_.find(to);
       if (it != actors_.end()) actor = it->second.actor;
     }
@@ -148,22 +162,23 @@ void RealEnv::execute(NodeId /*node*/, double /*modeled_seconds*/,
                       std::function<int()> work,
                       std::function<void(int)> done) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    GC_TRACKED_LOCK(lock, mutex_, kLockName);
     ++in_flight_;
   }
   std::thread worker([this, work = std::move(work),
                       done = std::move(done)]() mutable {
     const int result = work ? work() : 0;
     enqueue(now(), [done = std::move(done), result]() { done(result); });
-    std::lock_guard<std::mutex> lock(mutex_);
+    GC_TRACKED_LOCK(lock, mutex_, kLockName);
     --in_flight_;
     idle_cv_.notify_all();
   });
-  std::lock_guard<std::mutex> lock(mutex_);
+  GC_TRACKED_LOCK(lock, mutex_, kLockName);
   workers_.push_back(std::move(worker));
 }
 
 void RealEnv::dispatcher_loop() {
+  check::LockTracker tracker(kLockName, __FILE__, __LINE__);
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     // Drain cancelled timers eagerly so they neither delay shutdown nor
@@ -191,9 +206,11 @@ void RealEnv::dispatcher_loop() {
     queued_ids_.erase(queue_.top().seq);
     queue_.pop();
     ++in_flight_;
+    tracker.unlocked();
     lock.unlock();
     fn();
     lock.lock();
+    tracker.relocked();
     --in_flight_;
     if (live_queued() == 0 && in_flight_ == 0) idle_cv_.notify_all();
   }

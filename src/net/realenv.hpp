@@ -6,6 +6,9 @@
 // RAMSES/GALICS code and take real time. Modeled network delays from the
 // topology are still applied (scaled by `delay_scale`, default 1), so even
 // a laptop run shows realistic finding times.
+//
+// gclint: allow-file(wallclock) RealEnv IS the wall-clock backend
+// gclint: allow-file(thread) dispatcher/worker threads are this backend's job
 #pragma once
 
 #include <atomic>
@@ -89,6 +92,7 @@ class RealEnv final : public Env {
   std::uint64_t next_seq_ = 1;
   bool running_ = false;
   bool stop_requested_ = false;
+  bool stopped_ = false;  ///< stop() completed; posting now is a bug
   int in_flight_ = 0;  ///< executions + the event currently dispatching
 
   std::unordered_map<Endpoint, Entry> actors_;  // guarded by mutex_

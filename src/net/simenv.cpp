@@ -1,5 +1,7 @@
 #include "net/simenv.hpp"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/log.hpp"
@@ -48,15 +50,21 @@ void SimEnv::send(Envelope envelope) {
   }
 
   // FIFO per connection: never deliver before an earlier message on the
-  // same (src, dst) endpoint pair.
+  // same (src, dst) endpoint pair. The bump past the previous delivery is
+  // *strict* (one ulp) so two messages on one stream never share a
+  // timestamp — the engine's same-timestamp tie-break is then free to
+  // reorder without ever breaking stream order (see test_schedule_fuzz).
   const std::uint64_t stream_key =
       (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
   SimTime deliver_at = engine_.now() + delay;
   auto stream = stream_clock_.find(stream_key);
-  if (stream != stream_clock_.end()) {
-    deliver_at = std::max(deliver_at, stream->second);
+  if (stream != stream_clock_.end() && deliver_at <= stream->second) {
+    deliver_at = std::nextafter(stream->second,
+                                std::numeric_limits<SimTime>::infinity());
   }
   stream_clock_[stream_key] = deliver_at;
+  std::uint64_t fifo_seq = 0;
+  if constexpr (check::kEnabled) fifo_seq = ++stream_seq_[stream_key];
 
   if (obs::tracing()) {
     // The in-flight hop as a span on the source node's network track: the
@@ -68,7 +76,11 @@ void SimEnv::send(Envelope envelope) {
   }
 
   const Endpoint to = envelope.to;
-  engine_.schedule_at(deliver_at, [this, to, env = std::move(envelope)]() {
+  engine_.schedule_at(deliver_at, [this, to, stream_key, fifo_seq,
+                                   env = std::move(envelope)]() {
+    if constexpr (check::kEnabled) {
+      fifo_.observe(stream_key, fifo_seq, __FILE__, __LINE__);
+    }
     auto it = actors_.find(to);
     if (it == actors_.end()) return;  // actor detached in flight
     if (obs::tracing()) {

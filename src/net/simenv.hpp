@@ -3,6 +3,7 @@
 
 #include <unordered_map>
 
+#include "check/invariant.hpp"
 #include "des/engine.hpp"
 #include "net/env.hpp"
 
@@ -52,6 +53,10 @@ class SimEnv final : public Env {
   /// — a small control message cannot overtake a bulk transfer sent
   /// earlier on the same connection.
   std::unordered_map<std::uint64_t, SimTime> stream_clock_;
+  /// Per-stream send counters + delivery-order monitor (GC_CHECK builds
+  /// only; the maps stay empty otherwise).
+  std::unordered_map<std::uint64_t, std::uint64_t> stream_seq_;
+  check::FifoMonitor fifo_{"simenv per-stream delivery"};
   std::int64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
 };

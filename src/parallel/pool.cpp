@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "check/lockorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -65,14 +66,14 @@ class Pool {
   }
 
   std::size_t threads() {
-    std::lock_guard<std::mutex> lock(config_mutex_);
+    GC_TRACKED_LOCK(lock, config_mutex_, "pool.config");
     return threads_;
   }
 
   void resize(std::size_t n) {
-    std::lock_guard<std::mutex> config(config_mutex_);
+    GC_TRACKED_LOCK(config, config_mutex_, "pool.config");
     // Serialize against in-flight regions so workers die between batches.
-    std::lock_guard<std::mutex> submit(submit_mutex_);
+    GC_TRACKED_LOCK(submit, submit_mutex_, "pool.submit");
     if (n == 0) n = default_thread_count();
     // Cap absurd requests (negative CLI values cast to size_t, runaway
     // GC_THREADS) — beyond this, more workers only add contention.
@@ -89,7 +90,7 @@ class Pool {
       run_inline(nchunks, fn);
       return;
     }
-    std::lock_guard<std::mutex> submit(submit_mutex_);
+    GC_TRACKED_LOCK(submit, submit_mutex_, "pool.submit");
     if (workers_.empty()) {  // resized to 1 while we waited
       run_inline(nchunks, fn);
       return;
@@ -98,19 +99,20 @@ class Pool {
     region->fn = fn;
     region->nchunks = nchunks;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      GC_TRACKED_LOCK(lock, mutex_, "pool.queue");
       region_ = region;
       ++epoch_;
     }
     cv_work_.notify_all();
     execute(*region);  // the caller is a worker too
     {
+      check::LockTracker tracker("pool.region", __FILE__, __LINE__);
       std::unique_lock<std::mutex> lock(region->m);
       region->cv_done.wait(lock,
                            [&] { return region->done == region->nchunks; });
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      GC_TRACKED_LOCK(lock, mutex_, "pool.queue");
       region_.reset();
     }
     if (region->error) std::rethrow_exception(region->error);
@@ -133,7 +135,7 @@ class Pool {
 
   void stop_workers() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      GC_TRACKED_LOCK(lock, mutex_, "pool.queue");
       stop_ = true;
       ++epoch_;
     }
@@ -147,6 +149,7 @@ class Pool {
     for (;;) {
       std::shared_ptr<Region> region;
       {
+        check::LockTracker tracker("pool.queue", __FILE__, __LINE__);
         std::unique_lock<std::mutex> lock(mutex_);
         cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
         if (stop_) return;
@@ -171,7 +174,7 @@ class Pool {
       } catch (...) {
         error = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(region.m);
+      GC_TRACKED_LOCK(lock, region.m, "pool.region");
       if (error && !region.error) region.error = error;
       if (++region.done == region.nchunks) region.cv_done.notify_all();
     }

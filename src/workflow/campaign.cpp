@@ -49,6 +49,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
       platform::make_grid5000(config.machines_per_sed);
 
   des::Engine engine;
+  engine.set_tie_break_seed(config.tie_break_seed);
   net::SimEnv env(engine, g5k.platform);
   naming::Registry registry;
 

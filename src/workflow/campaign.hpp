@@ -35,6 +35,10 @@ struct CampaignConfig {
   std::function<std::unique_ptr<sched::Policy>()> policy_factory;
   int machines_per_sed = 16;
   std::uint64_t seed = 7;
+  /// DES same-timestamp tie-break seed (0 = insertion order). Any value
+  /// must produce bit-identical campaign results; the schedule fuzzer
+  /// sweeps this to prove ordering assumptions hold.
+  std::uint64_t tie_break_seed = 0;
   ServiceOptions services;        ///< mode defaults to kSim
   diet::AgentTuning agent_tuning; ///< calibrated defaults
   diet::SedTuning sed_tuning;

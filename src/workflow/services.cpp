@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 
@@ -120,8 +121,13 @@ ramses::RunParams real_params(const ZoomArgs& args,
 std::string job_dir(const ServiceOptions& options,
                     diet::ServiceContext& ctx) {
   const std::uint64_t id = g_job_counter.fetch_add(1);
-  std::string dir = options.work_dir + "/" + ctx.sed_name() + "/job_" +
-                    std::to_string(id);
+  // Fixed-width id: the directory name rides the wire as a file-path
+  // argument, so its length must not depend on how many jobs ran before
+  // (payload bytes feed modeled transfer times).
+  char tag[24];
+  std::snprintf(tag, sizeof(tag), "job_%08llu",
+                static_cast<unsigned long long>(id));
+  std::string dir = options.work_dir + "/" + ctx.sed_name() + "/" + tag;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   return dir;

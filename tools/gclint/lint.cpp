@@ -1,0 +1,432 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace gclint {
+
+namespace {
+
+constexpr const char* kRules[] = {"rand", "wallclock", "thread",
+                                  "unchecked-status", "unordered-iter"};
+
+/// A file after preprocessing: stripped code lines plus suppression state.
+struct Prepared {
+  const FileInput* input = nullptr;
+  std::string path;                      ///< forward slashes, leading '/'
+  std::vector<std::string> lines;        ///< comments/strings blanked
+  std::vector<std::set<std::string>> allow;  ///< per-line allowed rules
+  std::set<std::string> allow_file;
+};
+
+std::string normalize_path(const std::string& raw) {
+  std::string path = raw;
+  std::replace(path.begin(), path.end(), '\\', '/');
+  if (path.empty() || path.front() != '/') path.insert(path.begin(), '/');
+  return path;
+}
+
+bool in_dir(const Prepared& file, const char* dir) {
+  return file.path.find(dir) != std::string::npos;
+}
+
+/// Blanks comments, string literals, and char literals while preserving
+/// the line structure, so rule regexes never match inside either. Handles
+/// raw strings with custom delimiters.
+std::string strip(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator of the active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          std::size_t paren = src.find('(', i + 2);
+          if (paren == std::string::npos) {
+            out += c;
+            break;
+          }
+          raw_end = ")" + src.substr(i + 2, paren - i - 2) + "\"";
+          state = State::kRaw;
+          out.append(paren - i + 1, ' ');
+          i = paren;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          out.append(raw_end.size(), ' ');
+          i += raw_end.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type begin = 0;
+  while (begin <= text.size()) {
+    const auto end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+std::vector<std::string> split_rule_list(const std::string& list) {
+  std::vector<std::string> rules;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!current.empty()) rules.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current += c;
+    }
+  }
+  if (!current.empty()) rules.push_back(current);
+  return rules;
+}
+
+bool known_rule(const std::string& rule) {
+  for (const char* name : kRules) {
+    if (rule == name) return true;
+  }
+  return false;
+}
+
+/// Parses `// gclint: allow(...)` / `allow-file(...)` directives from the
+/// ORIGINAL lines (they live inside comments, which strip() blanks out).
+void collect_suppressions(const std::vector<std::string>& raw_lines,
+                          Prepared& file, std::vector<Finding>& findings) {
+  static const std::regex directive(
+      R"(//\s*gclint:\s*(allow|allow-file)\(([^)]*)\))");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(raw_lines[i], match, directive)) continue;
+    const bool whole_file = match[1] == "allow-file";
+    for (const std::string& rule : split_rule_list(match[2])) {
+      if (!known_rule(rule)) {
+        findings.push_back({file.input->path, static_cast<int>(i + 1),
+                            "directive",
+                            "suppression names unknown rule '" + rule + "'"});
+        continue;
+      }
+      if (whole_file) {
+        file.allow_file.insert(rule);
+      } else {
+        file.allow[i].insert(rule);
+        // A directive alone on its line covers the line below it.
+        if (i + 1 < file.lines.size() && is_blank(file.lines[i])) {
+          file.allow[i + 1].insert(rule);
+        }
+      }
+    }
+  }
+}
+
+bool suppressed(const Prepared& file, std::size_t line_index,
+                const std::string& rule) {
+  if (file.allow_file.count(rule) > 0) return true;
+  return line_index < file.allow.size() &&
+         file.allow[line_index].count(rule) > 0;
+}
+
+void report(const Prepared& file, std::size_t line_index,
+            const std::string& rule, const std::string& message,
+            std::vector<Finding>& findings) {
+  if (suppressed(file, line_index, rule)) return;
+  findings.push_back({file.input->path, static_cast<int>(line_index + 1),
+                      rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// rand: nondeterministic random sources outside the blessed RNG module.
+
+void check_rand(const Prepared& file, std::vector<Finding>& findings) {
+  if (in_dir(file, "common/rng.")) return;
+  static const std::regex pattern(
+      R"(\b(std::rand\b|srand\s*\(|random_device\b))");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i], pattern)) {
+      report(file, i, "rand",
+             "nondeterministic random source; use gc::Rng (common/rng.hpp)",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wallclock: real-time reads inside simulation-path code. Virtual time
+// comes from the DES engine; a wall-clock read there silently couples
+// results to host speed.
+
+void check_wallclock(const Prepared& file, std::vector<Finding>& findings) {
+  if (!in_dir(file, "/des/") && !in_dir(file, "/net/") &&
+      !in_dir(file, "/diet/") && !in_dir(file, "/ramses/")) {
+    return;
+  }
+  static const std::regex pattern(
+      R"(\b(system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime)\b)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i], pattern)) {
+      report(file, i, "wallclock",
+             "wall-clock read in sim-path code; use Env::now() virtual time",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// thread: raw std::thread outside the shared pool. Ad-hoc threads bypass
+// the pool's determinism guarantees and GC_THREADS sizing.
+
+void check_thread(const Prepared& file, std::vector<Finding>& findings) {
+  if (in_dir(file, "/parallel/")) return;
+  static const std::regex pattern(R"(\bstd::thread\b)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (std::regex_search(file.lines[i], pattern)) {
+      report(file, i, "thread",
+             "raw std::thread outside src/parallel; use the shared pool",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status: a bare expression-statement call to a function whose
+// declaration (anywhere in the input set) returns Status or Result<...>.
+
+std::set<std::string> collect_status_returning(
+    const std::vector<Prepared>& files) {
+  static const std::regex decl(
+      R"((?:^|[^\w:<])(?:gc::)?(?:Status|Result<[^<>;]*>)\s+([A-Za-z_]\w*)\s*\()");
+  std::set<std::string> names;
+  for (const Prepared& file : files) {
+    for (const std::string& line : file.lines) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(), decl);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        names.insert((*it)[1]);
+      }
+    }
+  }
+  // Factory helpers whose value is the point of the call; a bare statement
+  // of these is dead code, not a swallowed error.
+  names.erase("ok");
+  names.erase("make_error");
+  // Ambiguity guard: a name also declared with a void return anywhere in
+  // the set (RunningStats::add vs ServiceTable::add) cannot be attributed
+  // by token matching — precision wins over recall, skip it.
+  static const std::regex void_decl(R"(\bvoid\s+([A-Za-z_]\w*)\s*\()");
+  for (const Prepared& file : files) {
+    for (const std::string& line : file.lines) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(), void_decl);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        names.erase((*it)[1]);
+      }
+    }
+  }
+  return names;
+}
+
+void check_unchecked_status(const Prepared& file,
+                            const std::set<std::string>& status_fns,
+                            std::vector<Finding>& findings) {
+  // Anchored at statement start: assignments, conditions, and `return`
+  // lines never match, only a discarded call like `registry.unbind(n);`.
+  static const std::regex bare_call(
+      R"(^\s*(?:[A-Za-z_]\w*(?:::|\.|->))*([A-Za-z_]\w*)\s*\(.*\)\s*;\s*$)");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_match(file.lines[i], match, bare_call)) continue;
+    const std::string name = match[1];
+    if (status_fns.count(name) == 0) continue;
+    report(file, i, "unchecked-status",
+           "result of Status-returning '" + name +
+               "' is discarded; check it or cast to void with a reason",
+           findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: range-for over a container declared unordered in the
+// same file, feeding serialization/hash/stream calls — iteration order is
+// hash-dependent and varies across libstdc++ versions and runs.
+
+std::set<std::string> collect_unordered_names(const Prepared& file) {
+  static const std::regex decl(
+      R"(\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+([A-Za-z_]\w*)\s*[;{=])");
+  std::set<std::string> names;
+  for (const std::string& line : file.lines) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      names.insert((*it)[1]);
+    }
+  }
+  return names;
+}
+
+void check_unordered_iter(const Prepared& file,
+                          std::vector<Finding>& findings) {
+  const std::set<std::string> unordered = collect_unordered_names(file);
+  if (unordered.empty()) return;
+  static const std::regex loop(R"(\bfor\s*\([^)]*:\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex sink(
+      R"((serialize|encode|\bhash|Hash|fnv|digest|<<|\.str\s*\())");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::smatch match;
+    if (!std::regex_search(file.lines[i], match, loop)) continue;
+    if (unordered.count(match[1]) == 0) continue;
+    // Scan the loop body: until braces opened at/after the `for` close,
+    // capped to keep the heuristic local.
+    int depth = 0;
+    bool opened = false;
+    const std::size_t last = std::min(file.lines.size(), i + 16);
+    for (std::size_t j = i; j < last; ++j) {
+      for (const char c : file.lines[j]) {
+        if (c == '{') {
+          ++depth;
+          opened = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (std::regex_search(file.lines[j], sink)) {
+        report(file, i, "unordered-iter",
+               "iteration over unordered container '" + std::string(match[1]) +
+                   "' feeds serialized/hashed/streamed output; sort first or "
+                   "use an ordered container",
+               findings);
+        break;
+      }
+      if (opened && depth <= 0) break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names(std::begin(kRules),
+                                              std::end(kRules));
+  return names;
+}
+
+std::vector<Finding> lint(const std::vector<FileInput>& files) {
+  std::vector<Finding> findings;
+  std::vector<Prepared> prepared;
+  prepared.reserve(files.size());
+  for (const FileInput& input : files) {
+    Prepared file;
+    file.input = &input;
+    file.path = normalize_path(input.path);
+    file.lines = split_lines(strip(input.content));
+    file.allow.resize(file.lines.size());
+    collect_suppressions(split_lines(input.content), file, findings);
+    prepared.push_back(std::move(file));
+  }
+  const std::set<std::string> status_fns = collect_status_returning(prepared);
+  for (const Prepared& file : prepared) {
+    check_rand(file, findings);
+    check_wallclock(file, findings);
+    check_thread(file, findings);
+    check_unchecked_status(file, status_fns, findings);
+    check_unordered_iter(file, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.path << ":" << finding.line << ": " << finding.rule << ": "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace gclint

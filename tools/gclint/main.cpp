@@ -1,0 +1,74 @@
+// gclint driver: lints every C++ source file under the given paths and
+// prints findings as "path:line: rule: message". Exit code 1 when any
+// finding survives suppression, so it slots straight into ctest.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && is_source(it->path())) {
+        files.push_back(it->path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+    std::cerr << "usage: gclint <file-or-dir>...\n";
+    return 2;
+  }
+  std::vector<gclint::FileInput> inputs;
+  for (const std::string& path : collect_files(roots)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "gclint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    inputs.push_back({path, content.str()});
+  }
+  const std::vector<gclint::Finding> findings = gclint::lint(inputs);
+  for (const gclint::Finding& finding : findings) {
+    std::cout << gclint::format(finding) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "gclint: " << inputs.size() << " files clean\n";
+    return 0;
+  }
+  std::cout << "gclint: " << findings.size() << " finding(s) in "
+            << inputs.size() << " files\n";
+  return 1;
+}
