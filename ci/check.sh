@@ -23,6 +23,9 @@ cmake --build --preset default -j "$(nproc)"
 step "unit tests"
 ctest --preset default --output-on-failure -j "$(nproc)"
 
+step "chaos fault-injection suite (ctest -L chaos)"
+ctest --preset default -L chaos --output-on-failure
+
 step "gclint over src/"
 ./build/tools/gclint/gclint src
 

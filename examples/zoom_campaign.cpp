@@ -9,9 +9,16 @@
 //   ./zoom_campaign --subsims 30 --policy mct --seed 3
 //   ./zoom_campaign --machines 32        # what 32-machine SEDs would do
 //   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
+//   ./zoom_campaign --fault-plan mixed --fault-seed 3   # chaos run
 //   ./zoom_campaign --trace out.json     # Perfetto trace of the campaign
+//
+// Fault plans (--fault-plan, or the GC_FAULT_PLAN environment variable)
+// are spelled "preset[,key=value...]" with presets none, drop-only,
+// crash-only, and mixed; --fault-seed (or GC_FAULT_SEED) makes the whole
+// chaos run replayable bit-for-bit. See DESIGN.md, "Fault model".
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
@@ -38,6 +45,21 @@ int main(int argc, char** argv) {
     config.call_deadline_s = args.get_double("deadline", 16.0 * 3600.0);
     config.max_retries = static_cast<int>(args.get_int("retries", 2));
   }
+
+  config.fault_plan = args.get("fault-plan", "");
+  if (config.fault_plan.empty()) {
+    if (const char* env_plan = std::getenv("GC_FAULT_PLAN")) {
+      config.fault_plan = env_plan;
+    }
+  }
+  long fault_seed_default = 1;
+  if (const char* env_seed = std::getenv("GC_FAULT_SEED")) {
+    fault_seed_default = std::atol(env_seed);
+  }
+  config.fault_seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", fault_seed_default));
+  const bool chaos =
+      !config.fault_plan.empty() && config.fault_plan != "none";
 
   std::printf("zoom campaign: %d sub-simulations of %d^3 particles, "
               "%d nested boxes, policy '%s', %d machines/SED\n\n",
@@ -68,6 +90,25 @@ int main(int argc, char** argv) {
               gc::format_bytes(result.network_bytes).c_str(),
               static_cast<unsigned long long>(result.network_messages));
 
+  if (chaos) {
+    std::printf("fault plan '%s' (seed %llu):\n", config.fault_plan.c_str(),
+                static_cast<unsigned long long>(config.fault_seed));
+    std::printf("  messages dropped/duplicated/delayed : %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(result.messages_dropped),
+                static_cast<unsigned long long>(result.messages_duplicated),
+                static_cast<unsigned long long>(result.messages_delayed));
+    std::printf("  SED crashes %llu (restarts %llu), LA deaths %llu, "
+                "isolations %llu\n",
+                static_cast<unsigned long long>(result.sed_crashes),
+                static_cast<unsigned long long>(result.sed_restarts),
+                static_cast<unsigned long long>(result.la_deaths),
+                static_cast<unsigned long long>(result.sed_isolations));
+    std::printf("  heartbeat evictions %llu\n",
+                static_cast<unsigned long long>(result.heartbeat_evictions));
+    std::printf("  science digest %016llx\n\n",
+                static_cast<unsigned long long>(result.science_digest));
+  }
+
   std::printf("%-22s %-10s %6s %9s %16s\n", "SED", "site", "power",
               "requests", "busy");
   for (const auto& sed : result.seds) {
@@ -80,6 +121,10 @@ int main(int argc, char** argv) {
   // Latency percentiles (the log-scale curve of Figure 5 in four numbers).
   std::vector<double> latencies;
   for (const auto& record : result.zoom2) {
+    // Abandoned attempts of a chaos run never reached the started stage,
+    // and a retried call can start executing (first attempt) before its
+    // final find completes (later attempt) — both would corrupt the stats.
+    if (record.found < 0.0 || record.started < record.found) continue;
     latencies.push_back(record.latency());
   }
   std::sort(latencies.begin(), latencies.end());

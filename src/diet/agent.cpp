@@ -29,6 +29,91 @@ void Agent::register_at(net::Endpoint parent) {
   GC_CHECK_MSG(kind_ == Kind::kLocal, "only LAs register at a parent");
   parent_ = parent;
   propagate_services();
+  if (tuning_.heartbeat_period > 0.0) arm_heartbeat();
+}
+
+void Agent::arm_heartbeat() {
+  const std::uint64_t epoch = epoch_;
+  env()->post_after(tuning_.heartbeat_period, [this, epoch]() {
+    if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
+    HeartbeatMsg beat;
+    beat.seq = ++heartbeat_seq_;
+    env()->send(
+        net::Envelope{endpoint(), parent_, kHeartbeat, beat.encode(), 0});
+    arm_heartbeat();
+  });
+}
+
+void Agent::fail() {
+  failed_ = true;
+  ++epoch_;
+  env()->detach(endpoint());
+}
+
+void Agent::shutdown() {
+  ++epoch_;
+  for (auto& child : children_) {
+    if (child.hb_timer != 0) {
+      env()->cancel_timer(child.hb_timer);
+      child.hb_timer = 0;
+    }
+  }
+}
+
+Agent::Child* Agent::find_child(net::Endpoint endpoint) {
+  for (auto& child : children_) {
+    if (child.endpoint == endpoint) return &child;
+  }
+  return nullptr;
+}
+
+void Agent::arm_child_deadline(net::Endpoint child_endpoint) {
+  if (tuning_.heartbeat_timeout <= 0.0) return;
+  Child* child = find_child(child_endpoint);
+  if (child == nullptr) return;
+  if (child->hb_timer != 0) env()->cancel_timer(child->hb_timer);
+  child->hb_timer =
+      env()->post_after(tuning_.heartbeat_timeout, [this, child_endpoint]() {
+        if (failed_) return;
+        // The endpoint is the child's identity at arm time: if it
+        // re-registered since (crash-restart), this deadline is stale.
+        Child* c = find_child(child_endpoint);
+        if (c == nullptr || !c->alive) return;
+        c->alive = false;
+        c->hb_timer = 0;
+        ++heartbeat_evictions_;
+        GC_WARN << "agent " << name_ << ": no heartbeat from " << c->name
+                << " for " << tuning_.heartbeat_timeout
+                << "s, marking it dead";
+        if (obs::tracing()) {
+          obs::Tracer::instance().instant(env()->now(), "hb-dead:" + c->name,
+                                          "agent:" + name_, 0);
+        }
+        if (obs::metrics_on()) {
+          obs::Metrics::instance()
+              .counter("diet_agent_hb_evictions_total", {{"agent", name_}})
+              .inc();
+        }
+      });
+}
+
+void Agent::handle_heartbeat(const net::Envelope& envelope) {
+  Child* child = find_child(envelope.from);
+  if (child == nullptr) return;  // from an evicted or unknown sender
+  if (!child->alive) {
+    // A heartbeat from a dead-marked child heals it: either the beacons
+    // were merely dropped, or the partition around it ended.
+    child->alive = true;
+    GC_WARN << "agent " << name_ << ": heartbeat from dead-marked "
+            << child->name << ", reviving it";
+    if (obs::tracing()) {
+      obs::Tracer::instance().instant(env()->now(),
+                                      "hb-revive:" + child->name,
+                                      "agent:" + name_, 0);
+    }
+  }
+  child->consecutive_timeouts = 0;
+  arm_child_deadline(envelope.from);
 }
 
 void Agent::propagate_services() {
@@ -67,6 +152,7 @@ std::uint64_t Agent::assigned_total(std::uint64_t sed_uid) const {
 }
 
 void Agent::on_message(const net::Envelope& envelope) {
+  if (failed_) return;
   switch (envelope.type) {
     case kSedRegister:
       handle_sed_register(envelope);
@@ -86,6 +172,9 @@ void Agent::on_message(const net::Envelope& envelope) {
     case kJobDone:
       handle_job_done(envelope);
       break;
+    case kHeartbeat:
+      handle_heartbeat(envelope);
+      break;
     case kLoadReport:
       break;  // monitoring data; agents store nothing extra in this repo
     case kRegisterAck:
@@ -98,6 +187,28 @@ void Agent::on_message(const net::Envelope& envelope) {
 
 void Agent::handle_sed_register(const net::Envelope& envelope) {
   const SedRegisterMsg msg = SedRegisterMsg::decode(envelope.payload);
+  // A restarted SED re-registers under a fresh endpoint: update the
+  // existing child (keyed by name) instead of growing a doppelganger.
+  for (auto& existing : children_) {
+    if (existing.is_sed && existing.name == msg.name) {
+      if (existing.hb_timer != 0) {
+        env()->cancel_timer(existing.hb_timer);
+        existing.hb_timer = 0;
+      }
+      existing.endpoint = envelope.from;
+      existing.alive = true;
+      existing.consecutive_timeouts = 0;
+      for (const auto& desc : msg.services) {
+        existing.services.insert(desc.path());
+        services_.insert(desc.path());
+      }
+      env()->send(
+          net::Envelope{endpoint(), envelope.from, kRegisterAck, {}, 0});
+      arm_child_deadline(envelope.from);
+      propagate_services();
+      return;
+    }
+  }
   Child child;
   child.endpoint = envelope.from;
   child.is_sed = true;
@@ -108,6 +219,7 @@ void Agent::handle_sed_register(const net::Envelope& envelope) {
   }
   children_.push_back(std::move(child));
   env()->send(net::Envelope{endpoint(), envelope.from, kRegisterAck, {}, 0});
+  arm_child_deadline(envelope.from);
   propagate_services();
 }
 
@@ -130,6 +242,7 @@ void Agent::handle_agent_register(const net::Envelope& envelope) {
   services_.insert(msg.services.begin(), msg.services.end());
   children_.push_back(std::move(child));
   env()->send(net::Envelope{endpoint(), envelope.from, kRegisterAck, {}, 0});
+  arm_child_deadline(envelope.from);
   propagate_services();
 }
 
@@ -141,6 +254,11 @@ void Agent::handle_submit(const net::Envelope& envelope) {
   GC_INVARIANT(envelope.trace_id != 0,
                "client submit envelope carries no trace id");
   const RequestSubmitMsg msg = RequestSubmitMsg::decode(envelope.payload);
+  // A duplicated submit must not fan out twice: the client ignores the
+  // second reply, but the phantom assignment would skew outstanding_.
+  if (!seen_submits_.insert({envelope.from, msg.client_request_id}).second) {
+    return;
+  }
   Pending pending;
   pending.from_client = true;
   pending.reply_to = envelope.from;
@@ -159,6 +277,17 @@ void Agent::handle_submit(const net::Envelope& envelope) {
 
 void Agent::handle_collect(const net::Envelope& envelope) {
   const RequestCollectMsg msg = RequestCollectMsg::decode(envelope.payload);
+  auto existing = pending_.find(msg.request_key);
+  if (existing != pending_.end()) {
+    // Same parent re-asking with the same key = a duplicated
+    // kRequestCollect on the wire; the collect is already running, drop
+    // the copy. Anything else colliding on the key is a real bug.
+    GC_INVARIANT(existing->second.reply_to == envelope.from &&
+                     existing->second.service == msg.desc.path(),
+                 "request key " + std::to_string(msg.request_key) +
+                     " collision at agent " + name_);
+    return;
+  }
   Pending pending;
   pending.from_client = false;
   pending.reply_to = envelope.from;
@@ -172,6 +301,7 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
                           const RequestCollectMsg& msg) {
   std::vector<net::Endpoint> targets;
   for (const auto& child : children_) {
+    if (!child.alive) continue;  // heartbeat watchdog marked it dead
     if (child.services.count(pending.service) > 0) {
       targets.push_back(child.endpoint);
     }
@@ -217,6 +347,7 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
       noisy(tuning_.processing_delay) +
           tuning_.per_message_cost * static_cast<double>(1 + targets.size()),
       [this, key, forwarded, targets, budget, trace_id]() {
+        if (failed_) return;
         if (obs::metrics_on()) {
           obs::Metrics::instance()
               .counter("diet_agent_forwards_total", {{"agent", name_}})
@@ -228,6 +359,7 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
         }
         // Schedule with whatever arrived if a child never answers.
         const net::TimerId timer = env()->post_after(budget, [this, key]() {
+          if (failed_) return;
           auto it = pending_.find(key);
           if (it != pending_.end() && !it->second.finalizing) {
             GC_WARN << "agent " << name_ << ": request " << key
@@ -247,8 +379,10 @@ void Agent::handle_candidates(const net::Envelope& envelope) {
   auto it = pending_.find(msg.request_key);
   if (it == pending_.end()) return;  // late answer after timeout
   Pending& pending = it->second;
+  // A duplicated answer would double-count towards `expected` and list
+  // its candidates twice; one answer per child per request.
+  if (!pending.answered.insert(envelope.from).second) return;
   pending.received += 1;
-  pending.answered.insert(envelope.from);
   // Unmarshalling one reply (and its candidate list) is exclusive CPU.
   charge_cpu(tuning_.per_message_cost *
              static_cast<double>(1 + msg.candidates.size()));
@@ -266,6 +400,7 @@ void Agent::handle_candidates(const net::Envelope& envelope) {
 }
 
 void Agent::finalize(std::uint64_t key) {
+  if (failed_) return;  // a dead agent answers nothing
   auto it = pending_.find(key);
   if (it == pending_.end()) return;
   Pending pending = std::move(it->second);

@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -46,6 +47,14 @@ struct AgentTuning {
   int max_child_timeouts = 2;
   /// LA only: cap on candidates forwarded to the parent (0 = all).
   std::size_t forward_limit = 0;
+  /// Period of liveness beacons this agent (LA) sends to its parent;
+  /// 0 disables them (the default — no extra traffic in fault-free runs).
+  double heartbeat_period = 0.0;
+  /// Mark a child dead after this long without a heartbeat from it; dead
+  /// children are skipped when collecting candidates, and revived by
+  /// their next heartbeat (a drop-tolerant alternative to the strike
+  /// eviction above, which erases for good). 0 disables the watchdog.
+  double heartbeat_timeout = 0.0;
 };
 
 class Agent final : public net::Actor {
@@ -78,6 +87,20 @@ class Agent final : public net::Actor {
   /// Replaces the scheduling policy (the plug-in scheduler hook).
   void set_policy(std::unique_ptr<sched::Policy> policy);
 
+  /// Marks this agent dead (LA death fault): it detaches from the Env and
+  /// ignores everything still in flight towards it.
+  void fail();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Stops the periodic loops (own heartbeat, child watchdogs) without
+  /// failing the agent; RealEnv tests call this before Env::stop().
+  void shutdown();
+
+  /// Children currently marked dead by the heartbeat watchdog.
+  [[nodiscard]] std::uint64_t heartbeat_evictions() const {
+    return heartbeat_evictions_;
+  }
+
  private:
   struct Child {
     net::Endpoint endpoint;
@@ -85,6 +108,8 @@ class Agent final : public net::Actor {
     std::string name;
     std::set<std::string> services;
     int consecutive_timeouts = 0;
+    bool alive = true;           ///< false = heartbeat watchdog fired
+    net::TimerId hb_timer = 0;   ///< pending heartbeat deadline
   };
 
   struct Pending {
@@ -110,6 +135,11 @@ class Agent final : public net::Actor {
   void handle_collect(const net::Envelope& envelope);
   void handle_candidates(const net::Envelope& envelope);
   void handle_job_done(const net::Envelope& envelope);
+  void handle_heartbeat(const net::Envelope& envelope);
+  [[nodiscard]] Child* find_child(net::Endpoint endpoint);
+  /// (Re)arms the heartbeat deadline for one child.
+  void arm_child_deadline(net::Endpoint child_endpoint);
+  void arm_heartbeat();
 
   void start_collect(std::uint64_t key, Pending pending,
                      const RequestCollectMsg& msg);
@@ -145,6 +175,14 @@ class Agent final : public net::Actor {
   std::unordered_map<std::uint64_t, double> outstanding_;
   std::unordered_map<std::uint64_t, std::uint64_t> assigned_total_;
   std::uint64_t requests_handled_ = 0;
+
+  /// MA: submit keys already expanded, so a duplicated kRequestSubmit
+  /// does not fan out (and skew the assignment bookkeeping) twice.
+  std::set<std::pair<net::Endpoint, std::uint64_t>> seen_submits_;
+  std::uint64_t heartbeat_evictions_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by fail()/shutdown(); kills loops
+  bool failed_ = false;
 };
 
 }  // namespace gc::diet

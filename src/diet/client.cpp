@@ -1,5 +1,6 @@
 #include "diet/client.hpp"
 
+#include <cmath>
 #include <future>
 #include <utility>
 
@@ -47,7 +48,7 @@ void Client::drain_submissions() {
   }
 }
 
-gc::Status Client::call(Profile& profile) {
+gc::Status Client::call(Profile& profile, double deadline_s) {
   if (env()->is_simulated()) {
     return make_error(ErrorCode::kFailedPrecondition,
                       "blocking diet_call is not available under the DES; "
@@ -55,11 +56,12 @@ gc::Status Client::call(Profile& profile) {
   }
   std::promise<gc::Status> promise;
   auto future = promise.get_future();
-  call_async(profile, [&promise, &profile](const gc::Status& status,
-                                           Profile& result) {
-    profile = result;  // merge OUT/INOUT values back into the caller's view
-    promise.set_value(status);
-  });
+  call_async(profile,
+             [&promise, &profile](const gc::Status& status, Profile& result) {
+               profile = result;  // merge OUT/INOUT values back
+               promise.set_value(status);
+             },
+             deadline_s);
   return future.get();
 }
 
@@ -106,9 +108,89 @@ void Client::submit(std::uint64_t id, Profile profile, DoneFn done,
         .counter("diet_client_calls_total", {{"client", name_}})
         .inc();
   }
+  call.wire_id = id;  // attempt 1 travels under the call id itself
+  wire_to_call_[id] = id;
   pending_.emplace(id, std::move(call));
   env()->send(
       net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0, id});
+  arm_attempt_timer(id);
+}
+
+void Client::arm_attempt_timer(std::uint64_t call_id) {
+  if (tuning_.attempt_timeout_s <= 0.0) return;
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  const std::uint64_t wire_id = it->second.wire_id;
+  it->second.attempt_timer =
+      env()->post_after(tuning_.attempt_timeout_s, [this, call_id, wire_id]() {
+        auto it = pending_.find(call_id);
+        // Only the attempt that armed this timer may act on it.
+        if (it == pending_.end() || it->second.wire_id != wire_id) return;
+        it->second.attempt_timer = 0;
+        retry_or_fail(call_id, "no result within the attempt timeout");
+      });
+}
+
+void Client::retry_or_fail(std::uint64_t call_id, const std::string& reason) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  if (call.attempt_timer != 0) {
+    env()->cancel_timer(call.attempt_timer);
+    call.attempt_timer = 0;
+  }
+  if (call.attempt >= tuning_.max_attempts) {
+    complete(call_id,
+             make_error(ErrorCode::kUnavailable,
+                        "call failed after " + std::to_string(call.attempt) +
+                            " attempts: " + reason));
+    return;
+  }
+  const double backoff =
+      tuning_.backoff_base_s *
+      std::pow(tuning_.backoff_mult, static_cast<double>(call.attempt - 1));
+  ++call.attempt;
+  GC_WARN << "client " << name_ << ": call " << call_id << " attempt "
+          << call.attempt - 1 << " failed (" << reason << "); retrying in "
+          << backoff << "s";
+  if (obs::metrics_on()) {
+    obs::Metrics::instance()
+        .counter("diet_client_retries_total", {{"client", name_}})
+        .inc();
+  }
+  if (obs::tracing()) {
+    obs::Tracer::instance().instant(env()->now(),
+                                    "retry:" + std::to_string(call_id),
+                                    "client:" + name_, call_id);
+  }
+  const int attempt = call.attempt;
+  env()->post_after(backoff, [this, call_id, attempt]() {
+    auto it = pending_.find(call_id);
+    if (it == pending_.end() || it->second.attempt != attempt) return;
+    start_attempt(call_id);
+  });
+}
+
+void Client::start_attempt(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  wire_to_call_.erase(call.wire_id);
+  // Fresh wire id: whatever the previous attempt still has in flight
+  // (a late reply, a duplicate result) can no longer resolve to us.
+  call.wire_id = 0x8000000000000000ULL | ++next_retry_wire_;
+  wire_to_call_[call.wire_id] = call_id;
+  call.reply_seen = false;
+  call.resent_full = false;
+  call_sed_.erase(call_id);
+
+  RequestSubmitMsg msg;
+  msg.client_request_id = call.wire_id;
+  msg.desc = call.profile.desc();
+  msg.in_bytes = call.profile.in_bytes();
+  env()->send(net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0,
+                            call_id});
+  arm_attempt_timer(call_id);
 }
 
 void Client::on_message(const net::Envelope& envelope) {
@@ -130,8 +212,13 @@ void Client::on_message(const net::Envelope& envelope) {
 
 void Client::handle_reply(const net::Envelope& envelope) {
   const RequestReplyMsg msg = RequestReplyMsg::decode(envelope.payload);
-  auto it = pending_.find(msg.client_request_id);
+  auto wire_it = wire_to_call_.find(msg.client_request_id);
+  if (wire_it == wire_to_call_.end()) return;  // superseded attempt
+  const std::uint64_t call_id = wire_it->second;
+  auto it = pending_.find(call_id);
   if (it == pending_.end()) return;
+  if (it->second.reply_seen) return;  // duplicated reply
+  it->second.reply_seen = true;
   CallRecord& record = records_[it->second.record_index];
   record.found = env()->now();
   obs::Tracer::instance().end_span(it->second.find_span, env()->now());
@@ -143,18 +230,24 @@ void Client::handle_reply(const net::Envelope& envelope) {
   }
 
   if (!msg.found) {
-    complete(msg.client_request_id,
-             make_error(ErrorCode::kUnavailable,
-                        "no server can solve " + record.service));
+    // More attempts in the budget: back off and re-ask (the hierarchy may
+    // be mid-eviction, or a partition may heal). Otherwise fail exactly
+    // like the single-shot client always has.
+    if (it->second.attempt < tuning_.max_attempts) {
+      retry_or_fail(call_id, "no server can solve " + record.service);
+      return;
+    }
+    complete(call_id, make_error(ErrorCode::kUnavailable,
+                                 "no server can solve " + record.service));
     return;
   }
   record.sed_uid = msg.chosen.sed_uid;
   record.sed_name = msg.chosen.sed_name;
   it->second.sed_uid = msg.chosen.sed_uid;
-  call_sed_[msg.client_request_id] = msg.chosen.sed_endpoint;
+  call_sed_[call_id] = msg.chosen.sed_endpoint;
 
-  send_call_data(msg.client_request_id, msg.chosen.sed_endpoint,
-                 msg.chosen.sed_uid, /*force_full=*/false);
+  send_call_data(call_id, msg.chosen.sed_endpoint, msg.chosen.sed_uid,
+                 /*force_full=*/false);
 }
 
 void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
@@ -195,7 +288,7 @@ void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
   }
 
   CallDataMsg data;
-  data.call_id = id;
+  data.call_id = it->second.wire_id;  // == id on attempt 1
   data.path = wire.path();
   data.last_in = wire.last_in();
   data.last_inout = wire.last_inout();
@@ -209,26 +302,32 @@ void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
 
 void Client::handle_started(const net::Envelope& envelope) {
   const CallStartedMsg msg = CallStartedMsg::decode(envelope.payload);
-  auto it = record_of_.find(msg.call_id);
+  auto wire_it = wire_to_call_.find(msg.call_id);
+  if (wire_it == wire_to_call_.end()) return;  // superseded attempt
+  auto it = record_of_.find(wire_it->second);
   if (it == record_of_.end()) return;
   records_[it->second].started = env()->now();
 }
 
 void Client::handle_result(const net::Envelope& envelope) {
   const CallResultMsg msg = CallResultMsg::decode(envelope.payload);
-  auto it = pending_.find(msg.call_id);
+  auto wire_it = wire_to_call_.find(msg.call_id);
+  if (wire_it == wire_to_call_.end()) return;  // superseded attempt
+  const std::uint64_t call_id = wire_it->second;
+  auto it = pending_.find(call_id);
   if (it == pending_.end()) return;
 
   // Persistent-data miss: the SED no longer holds a referenced value
-  // (evicted, or our cache was stale). Resend the full data once.
+  // (evicted, crashed-and-restarted, or our cache was stale). Resend the
+  // full data once per attempt.
   if (msg.solve_status == kMissingDataStatus && !it->second.resent_full) {
-    GC_WARN << "client " << name_ << ": call " << msg.call_id
+    GC_WARN << "client " << name_ << ": call " << call_id
             << " hit a persistent-data miss; resending full data";
     it->second.resent_full = true;
     known_at_[it->second.sed_uid].clear();
-    auto sed_it = call_sed_.find(msg.call_id);
+    auto sed_it = call_sed_.find(call_id);
     if (sed_it != call_sed_.end()) {
-      send_call_data(msg.call_id, sed_it->second, it->second.sed_uid,
+      send_call_data(call_id, sed_it->second, it->second.sed_uid,
                      /*force_full=*/true);
       return;
     }
@@ -242,14 +341,13 @@ void Client::handle_result(const net::Envelope& envelope) {
   it->second.profile.merge_outputs(r);
 
   if (msg.solve_status != 0) {
-    complete(msg.call_id,
-             make_error(ErrorCode::kInternal,
-                        "solve function returned " +
-                            std::to_string(msg.solve_status)));
+    complete(call_id, make_error(ErrorCode::kInternal,
+                                 "solve function returned " +
+                                     std::to_string(msg.solve_status)));
     return;
   }
   record.ok = true;
-  complete(msg.call_id, Status::ok());
+  complete(call_id, Status::ok());
 }
 
 void Client::complete(std::uint64_t id, const gc::Status& status) {
@@ -258,7 +356,9 @@ void Client::complete(std::uint64_t id, const gc::Status& status) {
   PendingCall call = std::move(it->second);
   pending_.erase(it);
   call_sed_.erase(id);
+  wire_to_call_.erase(call.wire_id);
   if (call.deadline_timer != 0) env()->cancel_timer(call.deadline_timer);
+  if (call.attempt_timer != 0) env()->cancel_timer(call.attempt_timer);
   auto& tracer = obs::Tracer::instance();
   tracer.end_span(call.find_span, env()->now());  // no-reply failure paths
   if (call.call_span != 0) {

@@ -55,6 +55,19 @@ class Client final : public net::Actor {
     /// burst of 100 diet_call_async spreads out — as in the paper's
     /// client loop.
     double submit_marshalling = 1.0e-3;
+    /// Total tries per call; 1 (the default) is the pre-existing
+    /// single-shot behavior. Each extra attempt re-runs the whole
+    /// finding + computing phase, possibly on a different SED.
+    int max_attempts = 1;
+    /// Give up on an attempt this long after its submit and retry (or
+    /// fail); 0 waits forever. This is what turns a SED that dies with
+    /// our job into a retry instead of a hung call.
+    double attempt_timeout_s = 0.0;
+    /// Retry i (1-based) waits backoff_base_s * backoff_mult^(i-1)
+    /// before resubmitting, giving the hierarchy time to notice the
+    /// failure (heartbeat eviction) and the WAN time to recover.
+    double backoff_base_s = 0.0;
+    double backoff_mult = 2.0;
   };
 
   explicit Client(std::string name) : name_(std::move(name)) {}
@@ -76,8 +89,10 @@ class Client final : public net::Actor {
                            double deadline_s = 0.0);
 
   /// Synchronous diet_call. Only valid under RealEnv (a simulated client
-  /// cannot block); merges results into `profile`.
-  gc::Status call(Profile& profile);
+  /// cannot block); merges results into `profile`. `deadline_s` > 0
+  /// bounds the wait like call_async's deadline — without it a SED that
+  /// never replies would block the caller forever.
+  gc::Status call(Profile& profile, double deadline_s = 0.0);
 
   void on_message(const net::Envelope& envelope) override;
 
@@ -95,9 +110,19 @@ class Client final : public net::Actor {
     std::size_t record_index = 0;
     net::TimerId deadline_timer = 0;
     std::uint64_t sed_uid = 0;
-    bool resent_full = false;  ///< one retry after a missing-data miss
+    bool resent_full = false;  ///< one resend per attempt after a data miss
     obs::SpanId call_span = 0;  ///< whole call, submit -> complete
     obs::SpanId find_span = 0;  ///< scheduling round-trip, submit -> reply
+    /// The current attempt's on-the-wire request id. Attempt 1 uses the
+    /// call id itself; each retry draws a fresh one, so a SED that
+    /// executes both the lost first attempt and the retry executes two
+    /// distinct wire ids — at-most-once per id by construction — and
+    /// replies to an abandoned attempt miss the wire_to_call_ map and
+    /// fall on the floor.
+    std::uint64_t wire_id = 0;
+    int attempt = 1;
+    bool reply_seen = false;  ///< guards against a duplicated kRequestReply
+    net::TimerId attempt_timer = 0;
   };
 
   void submit(std::uint64_t id, Profile profile, DoneFn done,
@@ -115,6 +140,12 @@ class Client final : public net::Actor {
   void handle_started(const net::Envelope& envelope);
   void handle_result(const net::Envelope& envelope);
   void complete(std::uint64_t id, const gc::Status& status);
+  /// Re-runs the whole finding + computing phase under a fresh wire id.
+  void start_attempt(std::uint64_t call_id);
+  /// Schedules the next attempt after backoff, or completes the call
+  /// with kUnavailable when the attempt budget is spent.
+  void retry_or_fail(std::uint64_t call_id, const std::string& reason);
+  void arm_attempt_timer(std::uint64_t call_id);
 
   std::string name_;
   Tuning tuning_;
@@ -131,6 +162,12 @@ class Client final : public net::Actor {
   std::map<std::uint64_t, QueuedSubmission> queued_submissions_;
   std::uint64_t next_submission_ = 1;  ///< next call id to hand off
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+  /// Current attempt's wire id -> call id; retries re-point it, so a
+  /// message for a superseded attempt no longer resolves.
+  std::unordered_map<std::uint64_t, std::uint64_t> wire_to_call_;
+  /// Wire ids for retry attempts. Disjoint from next_id_ (top bit set)
+  /// because drain_submissions relies on call ids being contiguous.
+  std::uint64_t next_retry_wire_ = 0;
   std::unordered_map<std::uint64_t, net::Endpoint> call_sed_;
   std::vector<CallRecord> records_;
   std::unordered_map<std::uint64_t, std::size_t> record_of_;

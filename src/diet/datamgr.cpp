@@ -60,6 +60,13 @@ bool DataManager::erase(const std::string& data_id) {
   return true;
 }
 
+void DataManager::clear() {
+  store_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  if constexpr (check::kEnabled) audit_.reset();
+}
+
 void DataManager::evict_to_fit() {
   if (max_bytes_ <= 0) return;
   while (bytes_ > max_bytes_ && !lru_.empty()) {

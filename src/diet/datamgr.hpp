@@ -38,6 +38,10 @@ class DataManager {
   /// Explicit removal (DIET_VOLATILE cleanup / diet_free_data).
   bool erase(const std::string& data_id);
 
+  /// Drops everything — a crashed server's store does not survive the
+  /// restart; clients recover through the missing-data resend path.
+  void clear();
+
   [[nodiscard]] std::size_t count() const { return store_.size(); }
   [[nodiscard]] std::int64_t bytes() const { return bytes_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }

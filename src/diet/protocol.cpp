@@ -186,6 +186,21 @@ JobDoneMsg JobDoneMsg::decode(const net::Bytes& payload) {
   return m;
 }
 
+net::Bytes HeartbeatMsg::encode() const {
+  net::Writer w;
+  w.u64(uid);
+  w.u64(seq);
+  return finish(w);
+}
+
+HeartbeatMsg HeartbeatMsg::decode(const net::Bytes& payload) {
+  net::Reader r(payload);
+  HeartbeatMsg m;
+  m.uid = r.u64();
+  m.seq = r.u64();
+  return m;
+}
+
 net::Bytes LoadReportMsg::encode() const {
   net::Writer w;
   w.u64(sed_uid);

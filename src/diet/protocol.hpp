@@ -42,6 +42,7 @@ enum MsgType : std::uint32_t {
   kCallResult = 22,
   kJobDone = 23,
   kLoadReport = 30,
+  kHeartbeat = 31,
 };
 
 struct SedRegisterMsg {
@@ -138,6 +139,17 @@ struct JobDoneMsg {
 
   net::Bytes encode() const;
   static JobDoneMsg decode(const net::Bytes& payload);
+};
+
+/// Periodic liveness beacon from a child (SED or LA) to its parent agent.
+/// A parent that misses them long enough marks the child dead and stops
+/// offering it in finding results; a later heartbeat revives it.
+struct HeartbeatMsg {
+  std::uint64_t uid = 0;  ///< sed uid; 0 for an LA (identified by sender)
+  std::uint64_t seq = 0;  ///< per-sender beacon counter, for tracing
+
+  net::Bytes encode() const;
+  static HeartbeatMsg decode(const net::Bytes& payload);
 };
 
 struct LoadReportMsg {

@@ -73,27 +73,44 @@ void Sed::register_at(net::Endpoint parent) {
     msg.services.push_back(services_.find_by_path(path)->desc);
   }
   env()->send(net::Envelope{endpoint(), parent, kSedRegister, msg.encode(), 0});
-  if (tuning_.load_report_period > 0.0) {
-    env()->post_after(tuning_.load_report_period,
-                      [this]() { send_load_report(); });
-  }
+  if (tuning_.load_report_period > 0.0) arm_load_report();
+  if (tuning_.heartbeat_period > 0.0) arm_heartbeat();
 }
 
-void Sed::send_load_report() {
-  if (failed_ || parent_ == net::kNullEndpoint) return;
-  LoadReportMsg report;
-  report.sed_uid = uid_;
-  report.queue_length = static_cast<double>(queue_length());
-  report.queued_work_s = queued_work_s_;
-  report.jobs_completed = completed_;
-  env()->send(
-      net::Envelope{endpoint(), parent_, kLoadReport, report.encode(), 0});
-  env()->post_after(tuning_.load_report_period,
-                    [this]() { send_load_report(); });
+void Sed::arm_load_report() {
+  // Each periodic loop is pinned to the epoch that armed it; fail() and
+  // shutdown() bump the epoch, so a stale iteration dies instead of
+  // running alongside the chain a restart armed.
+  const std::uint64_t epoch = epoch_;
+  env()->post_after(tuning_.load_report_period, [this, epoch]() {
+    if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
+    LoadReportMsg report;
+    report.sed_uid = uid_;
+    report.queue_length = static_cast<double>(queue_length());
+    report.queued_work_s = queued_work_s_;
+    report.jobs_completed = completed_;
+    env()->send(
+        net::Envelope{endpoint(), parent_, kLoadReport, report.encode(), 0});
+    arm_load_report();
+  });
+}
+
+void Sed::arm_heartbeat() {
+  const std::uint64_t epoch = epoch_;
+  env()->post_after(tuning_.heartbeat_period, [this, epoch]() {
+    if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
+    HeartbeatMsg beat;
+    beat.uid = uid_;
+    beat.seq = ++heartbeat_seq_;
+    env()->send(
+        net::Envelope{endpoint(), parent_, kHeartbeat, beat.encode(), 0});
+    arm_heartbeat();
+  });
 }
 
 void Sed::fail() {
   failed_ = true;
+  ++epoch_;
   queue_.clear();
   if constexpr (check::kEnabled) live_calls_.reset();
   queued_work_s_ = 0.0;
@@ -101,6 +118,22 @@ void Sed::fail() {
   // from a detached endpoint once we leave the Env.
   env()->detach(endpoint());
 }
+
+void Sed::restart() {
+  GC_CHECK_MSG(failed_, "restarting a SED that is not failed");
+  failed_ = false;
+  running_ = 0;
+  heartbeat_seq_ = 0;
+  // The crash lost everything in memory: queued jobs are already gone
+  // (fail() cleared them) and the DTM store starts cold — clients holding
+  // references recover through the missing-data resend path. seen_calls_
+  // and executed_calls_ survive on purpose (see the header).
+  data_manager_.clear();
+  env()->attach(*this, node());
+  register_at(parent_);
+}
+
+void Sed::shutdown() { ++epoch_; }
 
 void Sed::on_message(const net::Envelope& envelope) {
   if (failed_) return;
@@ -155,9 +188,10 @@ void Sed::handle_collect(const net::Envelope& envelope) {
   }
   const net::Endpoint to = envelope.from;
   const obs::TraceId trace_id = envelope.trace_id;
+  const std::uint64_t epoch = epoch_;
   env()->post_after(noisy(tuning_.estimation_delay),
-                    [this, to, reply, trace_id]() {
-    if (failed_) return;
+                    [this, to, reply, trace_id, epoch]() {
+    if (failed_ || epoch != epoch_) return;
     env()->send(net::Envelope{endpoint(), to, kCandidates, reply.encode(), 0,
                               trace_id});
   });
@@ -167,6 +201,17 @@ void Sed::handle_call(const net::Envelope& envelope) {
   GC_INVARIANT(envelope.trace_id != 0,
                "call-data envelope carries no trace id");
   CallDataMsg msg = CallDataMsg::decode(envelope.payload);
+  // At-most-once: a call id we already accepted is a duplicate delivery
+  // (the network's or a stale retry's) and must not execute again.
+  if (seen_calls_.count(msg.call_id) > 0) {
+    if (obs::metrics_on()) {
+      obs::Metrics::instance()
+          .counter("diet_sed_duplicate_calls_total", {{"sed", name_}})
+          .inc();
+    }
+    return;
+  }
+  seen_calls_.insert(msg.call_id);
   net::Reader r(msg.inputs);
   PendingJob job;
   job.call_id = msg.call_id;
@@ -180,6 +225,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
   const ServiceEntry* entry = services_.find_by_path(msg.path);
   if (entry == nullptr) {
     GC_WARN << "sed " << name_ << ": no service " << msg.path;
+    seen_calls_.erase(msg.call_id);  // the error reply invites a resend
     CallResultMsg result;
     result.call_id = msg.call_id;
     result.solve_status = -1;
@@ -199,6 +245,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
       if (stored == nullptr) {
         GC_WARN << "sed " << name_ << ": missing persistent data "
                 << arg.data_id() << " for call " << msg.call_id;
+        seen_calls_.erase(msg.call_id);  // the full-data resend reuses the id
         CallResultMsg result;
         result.call_id = msg.call_id;
         result.solve_status = kMissingDataStatus;
@@ -227,6 +274,7 @@ void Sed::handle_call(const net::Envelope& envelope) {
   if constexpr (check::kEnabled) {
     live_calls_.add(job.call_id, __FILE__, __LINE__);
   }
+  job.epoch = epoch_;
   queue_.push_back(std::move(job));
   if (obs::metrics_on()) {
     auto& gauge = obs::Metrics::instance()
@@ -246,7 +294,7 @@ void Sed::start_next() {
 
   const double init = noisy(tuning_.init_delay);
   env()->post_after(init, [this, job = std::move(job)]() mutable {
-    if (failed_) return;
+    if (failed_ || job.epoch != epoch_) return;
     // Service initiation complete: tell the client (the latency series of
     // Figure 5 ends here) and hand over to the solve function.
     CallStartedMsg started;
@@ -262,6 +310,11 @@ void Sed::start_next() {
       job.exec_span = obs::Tracer::instance().begin_span(
           env()->now(), "exec:" + path, "sed:" + name_, job.trace_id);
     }
+    if constexpr (check::kEnabled) {
+      // THE at-most-once oracle: this id reaches a solve function for the
+      // first and only time, ever, crashes and retries notwithstanding.
+      executed_calls_.add(job.call_id, __FILE__, __LINE__);
+    }
     auto ctx =
         std::make_unique<SedContext>(*this, std::move(job), env()->now());
     ctx->work_dir_ = tuning_.work_dir;
@@ -273,7 +326,9 @@ void Sed::start_next() {
 }
 
 void Sed::complete_job(PendingJob& job, SimTime started, int solve_status) {
-  if (failed_) return;  // a dead SED sends nothing
+  // A dead SED sends nothing; a job from before a crash-restart belongs
+  // to the previous incarnation and must not leak into this one.
+  if (failed_ || job.epoch != epoch_) return;
   Profile& profile = job.profile;
   const SimTime finished = env()->now();
 

@@ -15,6 +15,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "check/invariant.hpp"
@@ -47,6 +48,9 @@ struct SedTuning {
   double load_report_period = 0.0;
   /// Byte budget of the persistent data store (DIET's DTM); 0 = unbounded.
   std::int64_t data_store_max_bytes = 0;
+  /// Period of liveness heartbeats to the parent agent; 0 disables them
+  /// (the default, so fault-free runs send no extra messages).
+  double heartbeat_period = 0.0;
   /// Scratch directory for real service executions.
   std::string work_dir = "/tmp";
 };
@@ -77,6 +81,18 @@ class Sed final : public net::Actor {
   void fail();
   [[nodiscard]] bool failed() const { return failed_; }
 
+  /// Brings a failed SED back: re-attaches to the Env under a fresh
+  /// endpoint, wipes the run-time state a crash would lose (queue, data
+  /// store) and re-registers at the parent. The call-id dedup journal
+  /// survives (modeled as persisted in work_dir) — that is what keeps
+  /// retried calls at-most-once-executed across a crash-restart.
+  void restart();
+
+  /// Stops the periodic loops (heartbeats, load reports) without failing
+  /// the SED. RealEnv tests call this before Env::stop(), which waits for
+  /// an empty queue and would otherwise never see one.
+  void shutdown();
+
   void on_message(const net::Envelope& envelope) override;
 
   [[nodiscard]] std::uint64_t uid() const { return uid_; }
@@ -105,6 +121,7 @@ class Sed final : public net::Actor {
     obs::TraceId trace_id = 0;     ///< from the kCallData envelope
     obs::SpanId queue_span = 0;    ///< arrival -> solve start
     obs::SpanId exec_span = 0;     ///< solve start -> result shipped
+    std::uint64_t epoch = 0;       ///< lifecycle epoch at enqueue time
   };
 
   /// Internal: invoked by the running job's ServiceContext on finish().
@@ -114,7 +131,8 @@ class Sed final : public net::Actor {
   void handle_collect(const net::Envelope& envelope);
   void handle_call(const net::Envelope& envelope);
   void start_next();
-  void send_load_report();
+  void arm_load_report();
+  void arm_heartbeat();
   [[nodiscard]] sched::Estimation make_estimation(const ProfileDesc& request);
   [[nodiscard]] double noisy(double base);
 
@@ -138,6 +156,18 @@ class Sed final : public net::Actor {
   /// Call ids live on this SED (queued or running); a client retry only
   /// reuses an id after its result message went out (GC_CHECK builds).
   check::UniqueIds live_calls_{"sed live call ids"};
+  /// Every call id ever handed to a solve function, add-only — a second
+  /// add of the same id is the at-most-once-execution invariant tripping
+  /// (GC_CHECK builds). Deliberately NOT reset by fail()/restart().
+  check::UniqueIds executed_calls_{"sed executed call ids (at-most-once)"};
+  /// Call-id dedup journal: ids accepted onto the queue. A network
+  /// duplicate of kCallData hits this set and is ignored; error replies
+  /// un-journal their id so the client's corrective resend is accepted.
+  std::unordered_set<std::uint64_t> seen_calls_;
+  /// Bumped by fail()/shutdown(): pending timers and running jobs from an
+  /// older epoch discover they are stale and do nothing.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
   bool failed_ = false;
 };
 

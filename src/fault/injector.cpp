@@ -1,0 +1,69 @@
+#include "fault/injector.hpp"
+
+#include "common/rng.hpp"
+
+namespace gc::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+net::FaultDecision Injector::on_message(SimTime now, net::NodeId src,
+                                        net::NodeId dst,
+                                        const net::Envelope& envelope,
+                                        std::uint64_t stream_seq) {
+  net::FaultDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!isolated_.empty() &&
+        (isolated_.count(src) > 0 || isolated_.count(dst) > 0)) {
+      decision.drop = true;
+      stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+  if (now < plan_.message_faults_from_s) return decision;
+
+  // One private generator per message, keyed by the message's identity:
+  // endpoints, type, and its ordinal on the (from, to) stream. Decisions
+  // are thus replayable and independent of global draw order.
+  Rng rng(seed_ ^
+          mix((static_cast<std::uint64_t>(envelope.from) << 40) ^
+              (static_cast<std::uint64_t>(envelope.to) << 20) ^
+              (static_cast<std::uint64_t>(envelope.type) << 56) ^
+              stream_seq));
+  if (plan_.drop_rate > 0.0 && rng.uniform() < plan_.drop_rate) {
+    decision.drop = true;
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (plan_.duplicate_rate > 0.0 && rng.uniform() < plan_.duplicate_rate) {
+    decision.duplicate = true;
+    decision.dup_lag_s = plan_.dup_lag_s;
+    stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!decision.drop && plan_.delay_rate > 0.0 &&
+      rng.uniform() < plan_.delay_rate) {
+    decision.extra_delay_s = rng.exponential(plan_.delay_mean_s);
+    stats_.delayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void Injector::isolate(net::NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  isolated_.insert(node);
+}
+
+void Injector::heal(net::NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  isolated_.erase(node);
+}
+
+}  // namespace gc::fault

@@ -1,0 +1,192 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace gc::fault {
+
+namespace {
+
+/// The named starting points; overrides then adjust individual knobs.
+Result<FaultPlan> preset(const std::string& name) {
+  FaultPlan plan;
+  if (name == "none") return plan;
+  plan.active = true;
+  if (name == "drop-only") {
+    plan.drop_rate = 0.05;
+    plan.duplicate_rate = 0.02;
+    plan.delay_rate = 0.05;
+    return plan;
+  }
+  if (name == "crash-only") {
+    plan.sed_crash_fraction = 0.3;
+    plan.sed_restart_fraction = 0.5;
+    return plan;
+  }
+  if (name == "mixed") {
+    plan.drop_rate = 0.05;
+    plan.duplicate_rate = 0.02;
+    plan.delay_rate = 0.05;
+    plan.sed_crash_fraction = 0.3;
+    plan.sed_restart_fraction = 0.5;
+    plan.isolations = 1;
+    return plan;
+  }
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown fault plan preset '" + name +
+                        "' (want none, drop-only, crash-only, or mixed)");
+}
+
+Status apply_override(FaultPlan& plan, const std::string& key,
+                      const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fault plan: bad value '" + value + "' for " + key);
+  }
+  if (key == "drop") plan.drop_rate = v;
+  else if (key == "dup") plan.duplicate_rate = v;
+  else if (key == "delay") plan.delay_rate = v;
+  else if (key == "delay_mean_s") plan.delay_mean_s = v;
+  else if (key == "dup_lag_s") plan.dup_lag_s = v;
+  else if (key == "from_s") plan.message_faults_from_s = v;
+  else if (key == "crash") plan.sed_crash_fraction = v;
+  else if (key == "restart") plan.sed_restart_fraction = v;
+  else if (key == "restart_delay_s") plan.sed_restart_delay_s = v;
+  else if (key == "la_deaths") plan.la_deaths = static_cast<int>(v);
+  else if (key == "isolations") plan.isolations = static_cast<int>(v);
+  else if (key == "window_from_s") plan.fault_window_from_s = v;
+  else if (key == "window_to_s") plan.fault_window_to_s = v;
+  else if (key == "max_attempts") plan.max_attempts = static_cast<int>(v);
+  else if (key == "attempt_timeout_s") plan.attempt_timeout_s = v;
+  else if (key == "backoff_base_s") plan.backoff_base_s = v;
+  else if (key == "backoff_mult") plan.backoff_mult = v;
+  else if (key == "heartbeat_period_s") plan.heartbeat_period_s = v;
+  else if (key == "heartbeat_timeout_s") plan.heartbeat_timeout_s = v;
+  else {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fault plan: unknown key '" + key + "'");
+  }
+  return Status::ok();
+}
+
+/// Draws `count` distinct indices in [0, n), skipping `taken`, in a
+/// deterministic order.
+std::vector<int> draw_distinct(Rng& rng, int count, int n,
+                               std::unordered_set<int>& taken) {
+  std::vector<int> out;
+  while (static_cast<int>(out.size()) < count &&
+         static_cast<int>(taken.size()) < n) {
+    const int pick = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(n)));
+    if (taken.insert(pick).second) out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FaultPlan::to_string() const {
+  if (!active) return "none";
+  std::string out = "plan";
+  const auto add = [&out](const char* key, double v) {
+    out += strformat(",%s=%g", key, v);
+  };
+  add("drop", drop_rate);
+  add("dup", duplicate_rate);
+  add("delay", delay_rate);
+  add("delay_mean_s", delay_mean_s);
+  add("crash", sed_crash_fraction);
+  add("restart", sed_restart_fraction);
+  add("la_deaths", la_deaths);
+  add("isolations", isolations);
+  add("max_attempts", max_attempts);
+  return out;
+}
+
+Result<FaultPlan> parse_plan(const std::string& text) {
+  const std::vector<std::string> parts = split(text, ',');
+  if (parts.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty fault plan");
+  }
+  Result<FaultPlan> base = preset(std::string(trim(parts[0])));
+  if (!base.is_ok()) return base;
+  FaultPlan plan = base.value();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string part(trim(parts[i]));
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "fault plan: expected key=value, got '" + part + "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    const Status applied = apply_override(plan, key, value);
+    if (!applied.is_ok()) return applied;
+  }
+  return plan;
+}
+
+std::vector<ProcessFault> materialize(const FaultPlan& plan, int sed_count,
+                                      int la_count, std::uint64_t seed) {
+  std::vector<ProcessFault> schedule;
+  if (!plan.active || sed_count <= 0) return schedule;
+  // The schedule stream is independent of the per-message stream (see
+  // Injector) so adding message faults never reshuffles the crash victims.
+  Rng rng(seed ^ 0x5c5c5c5c5c5c5c5cULL);
+  const auto draw_time = [&rng, &plan] {
+    return plan.fault_window_from_s +
+           rng.uniform() *
+               (plan.fault_window_to_s - plan.fault_window_from_s);
+  };
+
+  std::unordered_set<int> taken;  // SEDs already victimized
+  const int crashes = static_cast<int>(
+      std::ceil(plan.sed_crash_fraction * static_cast<double>(sed_count)));
+  const std::vector<int> crash_victims =
+      draw_distinct(rng, crashes, sed_count, taken);
+  int restarts = static_cast<int>(std::ceil(
+      plan.sed_restart_fraction * static_cast<double>(crash_victims.size())));
+  for (const int sed : crash_victims) {
+    const SimTime at = draw_time();
+    schedule.push_back({ProcessFault::Kind::kSedCrash, sed, at});
+    if (restarts > 0) {
+      --restarts;
+      schedule.push_back({ProcessFault::Kind::kSedRestart, sed,
+                          at + plan.sed_restart_delay_s});
+    }
+  }
+
+  for (const int sed :
+       draw_distinct(rng, plan.isolations, sed_count, taken)) {
+    const SimTime at = draw_time();
+    schedule.push_back({ProcessFault::Kind::kSedIsolate, sed, at});
+    // Partitions heal after one restart delay: the paper's WAN outages
+    // were transient, and a healed SED exercises the revival path.
+    schedule.push_back({ProcessFault::Kind::kSedHeal, sed,
+                        at + plan.sed_restart_delay_s});
+  }
+
+  std::unordered_set<int> taken_las;
+  for (const int la :
+       draw_distinct(rng, plan.la_deaths, la_count, taken_las)) {
+    schedule.push_back({ProcessFault::Kind::kLaDeath, la, draw_time()});
+  }
+
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ProcessFault& a, const ProcessFault& b) {
+              if (a.at_s != b.at_s) return a.at_s < b.at_s;
+              if (a.index != b.index) return a.index < b.index;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return schedule;
+}
+
+}  // namespace gc::fault

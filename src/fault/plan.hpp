@@ -1,0 +1,83 @@
+// Fault plans: what goes wrong, how often, and when.
+//
+// A FaultPlan is a declarative description of a chaos experiment — message
+// drop/duplicate/delay rates, link partitions, and scheduled process faults
+// (SED crash, SED crash-and-restart, LA death) — plus the fault-tolerance
+// knobs (retry budget, backoff, heartbeat cadence) the middleware should run
+// with while the plan is active. Together with a seed it fully determines a
+// run: `materialize()` expands the fractional crash rates into an explicit
+// per-process schedule, and fault::Injector makes the per-message decisions,
+// both from common/rng so every replay is bit-identical.
+//
+// Plans are spelled on the command line as
+//   --fault-plan <preset>[,key=value...]
+// with presets `none`, `drop-only`, `crash-only`, and `mixed` (see
+// DESIGN.md "Fault model").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace gc::fault {
+
+/// Declarative chaos experiment + the tolerance knobs to survive it.
+struct FaultPlan {
+  bool active = false;  ///< false = the zero-cost "none" plan
+
+  // --- message-level faults (per message crossing the wire) ---
+  double drop_rate = 0.0;       ///< P(message never delivered)
+  double duplicate_rate = 0.0;  ///< P(a second copy is delivered)
+  double delay_rate = 0.0;      ///< P(extra delivery delay is added)
+  double delay_mean_s = 10.0;   ///< mean of the exponential extra delay
+  double dup_lag_s = 1.0;       ///< how far behind the duplicate trails
+  /// Messages before this virtual time are never tampered with, so
+  /// deployment/registration always completes and the chaos targets the
+  /// steady-state protocol, like a WAN that degrades mid-campaign.
+  double message_faults_from_s = 2.0;
+
+  // --- process faults (scheduled once per run) ---
+  double sed_crash_fraction = 0.0;    ///< fraction of SEDs that crash
+  double sed_restart_fraction = 0.0;  ///< fraction of crashed SEDs that return
+  double sed_restart_delay_s = 600.0; ///< crash-to-restart delay
+  int la_deaths = 0;                  ///< LAs killed outright (never return)
+  int isolations = 0;                 ///< SEDs whose links partition instead
+  double fault_window_from_s = 30.0;  ///< crashes drawn uniformly in
+  double fault_window_to_s = 4.0 * kHour;  ///< [from, to)
+
+  // --- tolerance knobs applied while the plan is active ---
+  int max_attempts = 5;              ///< client tries per call (>= 1)
+  double attempt_timeout_s = 8.0 * kHour;  ///< per-attempt reply deadline
+  double backoff_base_s = 60.0;      ///< first retry waits this long
+  double backoff_mult = 2.0;         ///< exponential backoff factor
+  double heartbeat_period_s = 30.0;  ///< SED/LA -> parent cadence
+  double heartbeat_timeout_s = 100.0;  ///< parent marks child dead after
+
+  /// Canonical "preset,key=value,..." spelling (stable across versions so
+  /// logs and replay scripts agree).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "preset[,key=value...]" (presets: none, drop-only, crash-only,
+/// mixed). Unknown presets/keys and malformed values are errors.
+Result<FaultPlan> parse_plan(const std::string& text);
+
+/// One scheduled process fault.
+struct ProcessFault {
+  enum class Kind { kSedCrash, kSedRestart, kLaDeath, kSedIsolate, kSedHeal };
+  Kind kind;
+  int index;     ///< SED index or LA index within the deployment
+  SimTime at_s;  ///< virtual time of the event
+};
+
+/// Expands the plan's fractional rates into an explicit, sorted schedule
+/// for a deployment of `sed_count` SEDs and `la_count` LAs. Deterministic
+/// in (plan, counts, seed); victims are distinct and isolated SEDs are
+/// never also crashed.
+std::vector<ProcessFault> materialize(const FaultPlan& plan, int sed_count,
+                                      int la_count, std::uint64_t seed);
+
+}  // namespace gc::fault

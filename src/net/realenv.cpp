@@ -109,6 +109,7 @@ void RealEnv::detach(Endpoint endpoint) {
 void RealEnv::send(Envelope envelope) {
   NodeId src = 0;
   NodeId dst = 0;
+  std::uint64_t stream_seq = 0;
   {
     GC_TRACKED_LOCK(lock, mutex_, kLockName);
     auto to_it = actors_.find(envelope.to);
@@ -120,9 +121,44 @@ void RealEnv::send(Envelope envelope) {
     dst = to_it->second.node;
     auto from_it = actors_.find(envelope.from);
     src = from_it != actors_.end() ? from_it->second.node : dst;
+    if (fault_hook_ != nullptr) {
+      const std::uint64_t stream_key =
+          (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
+      stream_seq = ++fault_seq_[stream_key];
+    }
   }
-  const double delay =
+  double delay =
       delay_scale_ * topology().transfer_time(src, dst, envelope.wire_size());
+  double dup_at = -1.0;
+  if (fault_hook_ != nullptr) {
+    const FaultDecision decision =
+        fault_hook_->on_message(now(), src, dst, envelope, stream_seq);
+    if (decision.tampered()) {
+      if (obs::metrics_on()) {
+        obs::Metrics::instance()
+            .counter("net_fault_tampered_total",
+                     {{"link", "n" + std::to_string(src) + "->n" +
+                                   std::to_string(dst)}})
+            .inc();
+      }
+      if (decision.duplicate) dup_at = delay + decision.dup_lag_s;
+      if (decision.drop) {
+        if (dup_at < 0.0) {
+          if (obs::tracing()) {
+            obs::Tracer::instance().instant(
+                now(), "fault:drop:" + std::to_string(envelope.type),
+                "net:n" + std::to_string(src), envelope.trace_id);
+          }
+          return;
+        }
+        // Dropped original but a duplicate survives: deliver only the copy.
+        delay = dup_at;
+        dup_at = -1.0;
+      } else {
+        delay += decision.extra_delay_s;
+      }
+    }
+  }
   if (obs::metrics_on()) {
     auto& m = obs::Metrics::instance();
     const obs::Labels labels = {
@@ -138,24 +174,26 @@ void RealEnv::send(Envelope envelope) {
   }
   const Endpoint to = envelope.to;
   const NodeId dst_node = dst;
-  enqueue(now() + delay,
-          [this, to, dst_node, env = std::move(envelope)]() mutable {
-    Actor* actor = nullptr;
-    {
-      GC_TRACKED_LOCK(lock, mutex_, kLockName);
-      auto it = actors_.find(to);
-      if (it != actors_.end()) actor = it->second.actor;
-    }
-    if (actor != nullptr) {
-      if (obs::tracing()) {
-        obs::Tracer::instance().instant(now(),
-                                        "deliver:" + std::to_string(env.type),
-                                        "net:n" + std::to_string(dst_node),
-                                        env.trace_id);
+  auto deliver = [this, to, dst_node](Envelope env) {
+    return [this, to, dst_node, env = std::move(env)]() mutable {
+      Actor* actor = nullptr;
+      {
+        GC_TRACKED_LOCK(lock, mutex_, kLockName);
+        auto it = actors_.find(to);
+        if (it != actors_.end()) actor = it->second.actor;
       }
-      actor->on_message(env);
-    }
-  });
+      if (actor != nullptr) {
+        if (obs::tracing()) {
+          obs::Tracer::instance().instant(
+              now(), "deliver:" + std::to_string(env.type),
+              "net:n" + std::to_string(dst_node), env.trace_id);
+        }
+        actor->on_message(env);
+      }
+    };
+  };
+  if (dup_at >= 0.0) enqueue(now() + dup_at, deliver(envelope));
+  enqueue(now() + delay, deliver(std::move(envelope)));
 }
 
 void RealEnv::execute(NodeId /*node*/, double /*modeled_seconds*/,

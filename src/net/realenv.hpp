@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/env.hpp"
+#include "net/fault.hpp"
 
 namespace gc::net {
 
@@ -53,6 +54,11 @@ class RealEnv final : public Env {
   void execute(NodeId node, double modeled_seconds, std::function<int()> work,
                std::function<void(int)> done) override;
   [[nodiscard]] bool is_simulated() const override { return false; }
+
+  /// Installs (or clears, with nullptr) the fault-injection hook. The hook
+  /// must outlive the env and be installed before start(); with none
+  /// installed the send path is unchanged.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
 
  private:
   Endpoint do_attach(Actor& actor, NodeId node) override;
@@ -97,6 +103,11 @@ class RealEnv final : public Env {
 
   std::unordered_map<Endpoint, Entry> actors_;  // guarded by mutex_
   Endpoint next_endpoint_ = 1;
+
+  /// Per-stream send counters for the fault hook (guarded by mutex_,
+  /// populated only while a hook is installed).
+  std::unordered_map<std::uint64_t, std::uint64_t> fault_seq_;
+  FaultHook* fault_hook_ = nullptr;  ///< set before start(); read-only after
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;  // guarded by mutex_

@@ -36,8 +36,7 @@ void SimEnv::send(Envelope envelope) {
   const NodeId src =
       from_it != actors_.end() ? from_it->second.node : to_it->second.node;
   const NodeId dst = to_it->second.node;
-  const double delay =
-      topology().transfer_time(src, dst, envelope.wire_size());
+  double delay = topology().transfer_time(src, dst, envelope.wire_size());
   ++messages_sent_;
   bytes_sent_ += envelope.wire_size();
 
@@ -49,13 +48,48 @@ void SimEnv::send(Envelope envelope) {
         .inc(static_cast<std::uint64_t>(envelope.wire_size()));
   }
 
+  const std::uint64_t stream_key =
+      (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
+
+  // Fault injection: tampered messages (dropped, duplicated, delayed)
+  // leave the per-stream FIFO model and deliver out of band; clean
+  // messages — and everything when no hook is installed — take the exact
+  // pre-existing path.
+  if (fault_hook_ != nullptr) {
+    const FaultDecision decision = fault_hook_->on_message(
+        engine_.now(), src, dst, envelope, ++fault_seq_[stream_key]);
+    if (decision.tampered()) {
+      if (obs::metrics_on()) {
+        obs::Metrics::instance()
+            .counter("net_fault_tampered_total", link_labels(src, dst))
+            .inc();
+      }
+      if (decision.duplicate) {
+        // The copy also crosses the wire: charge it like any message.
+        ++messages_sent_;
+        bytes_sent_ += envelope.wire_size();
+        schedule_delivery(engine_.now() + delay + decision.dup_lag_s,
+                          envelope, src, stream_key, 0);
+      }
+      if (decision.drop) {
+        if (obs::tracing()) {
+          obs::Tracer::instance().instant(
+              engine_.now(), "fault:drop:" + std::to_string(envelope.type),
+              "net:n" + std::to_string(src), envelope.trace_id);
+        }
+        return;
+      }
+      schedule_delivery(engine_.now() + delay + decision.extra_delay_s,
+                        std::move(envelope), src, stream_key, 0);
+      return;
+    }
+  }
+
   // FIFO per connection: never deliver before an earlier message on the
   // same (src, dst) endpoint pair. The bump past the previous delivery is
   // *strict* (one ulp) so two messages on one stream never share a
   // timestamp — the engine's same-timestamp tie-break is then free to
   // reorder without ever breaking stream order (see test_schedule_fuzz).
-  const std::uint64_t stream_key =
-      (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
   SimTime deliver_at = engine_.now() + delay;
   auto stream = stream_clock_.find(stream_key);
   if (stream != stream_clock_.end() && deliver_at <= stream->second) {
@@ -66,20 +100,29 @@ void SimEnv::send(Envelope envelope) {
   std::uint64_t fifo_seq = 0;
   if constexpr (check::kEnabled) fifo_seq = ++stream_seq_[stream_key];
 
+  schedule_delivery(deliver_at, std::move(envelope), src, stream_key,
+                    fifo_seq);
+}
+
+void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,
+                               std::uint64_t stream_key,
+                               std::uint64_t fifo_seq) {
   if (obs::tracing()) {
     // The in-flight hop as a span on the source node's network track: the
     // whole transfer, send to delivery, linked to the request's trace.
     obs::Tracer::instance().complete_span(
-        engine_.now(), deliver_at - engine_.now(),
+        engine_.now(), at - engine_.now(),
         "msg:" + std::to_string(envelope.type),
         "net:n" + std::to_string(src), envelope.trace_id);
   }
 
   const Endpoint to = envelope.to;
-  engine_.schedule_at(deliver_at, [this, to, stream_key, fifo_seq,
-                                   env = std::move(envelope)]() {
+  engine_.schedule_at(at, [this, to, stream_key, fifo_seq,
+                           env = std::move(envelope)]() {
     if constexpr (check::kEnabled) {
-      fifo_.observe(stream_key, fifo_seq, __FILE__, __LINE__);
+      // Out-of-band deliveries (fault-tampered, fifo_seq 0) are exempt:
+      // dropped and duplicated messages break exact succession by design.
+      if (fifo_seq != 0) fifo_.observe(stream_key, fifo_seq, __FILE__, __LINE__);
     }
     auto it = actors_.find(to);
     if (it == actors_.end()) return;  // actor detached in flight

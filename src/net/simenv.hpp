@@ -6,6 +6,7 @@
 #include "check/invariant.hpp"
 #include "des/engine.hpp"
 #include "net/env.hpp"
+#include "net/fault.hpp"
 
 namespace gc::net {
 
@@ -33,12 +34,19 @@ class SimEnv final : public Env {
 
   [[nodiscard]] des::Engine& engine() { return engine_; }
 
+  /// Installs (or clears, with nullptr) the fault-injection hook. The hook
+  /// must outlive the env; with none installed the send path is unchanged.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
   /// Total bytes charged to the network model so far.
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
 
  private:
   Endpoint do_attach(Actor& actor, NodeId node) override;
+  /// Schedules one delivery; fifo_seq 0 = out-of-band (no FIFO check).
+  void schedule_delivery(SimTime at, Envelope envelope, NodeId src,
+                         std::uint64_t stream_key, std::uint64_t fifo_seq);
 
   struct Entry {
     Actor* actor;
@@ -57,6 +65,10 @@ class SimEnv final : public Env {
   /// only; the maps stay empty otherwise).
   std::unordered_map<std::uint64_t, std::uint64_t> stream_seq_;
   check::FifoMonitor fifo_{"simenv per-stream delivery"};
+  /// Per-stream send counters fed to the fault hook; maintained (and the
+  /// map populated) only while a hook is installed.
+  std::unordered_map<std::uint64_t, std::uint64_t> fault_seq_;
+  FaultHook* fault_hook_ = nullptr;
   std::int64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
 };

@@ -1,12 +1,15 @@
 #include "workflow/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "des/engine.hpp"
+#include "fault/injector.hpp"
 #include "halo/halomaker.hpp"
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
@@ -15,6 +18,31 @@
 #include "ramses/simulation.hpp"
 
 namespace gc::workflow {
+
+namespace {
+
+/// One successful zoom2 call's science: centre, zoom depth, return code.
+using ScienceTuple = std::array<std::int64_t, 5>;
+
+/// FNV-1a over the sorted tuples — independent of completion order,
+/// scheduling, and which attempt of a retried call finally landed.
+std::uint64_t science_digest_of(std::vector<ScienceTuple> tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::int64_t value) {
+    auto u = static_cast<std::uint64_t>(value);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const ScienceTuple& tuple : tuples) {
+    for (std::int64_t value : tuple) mix(value);
+  }
+  return h;
+}
+
+}  // namespace
 
 diet::DeploymentSpec deployment_spec_from_g5k(
     const platform::G5kDeployment& g5k, const CampaignConfig& config) {
@@ -45,26 +73,62 @@ diet::DeploymentSpec deployment_spec_from_g5k(
 }
 
 CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
-  platform::G5kDeployment g5k =
-      platform::make_grid5000(config.machines_per_sed);
+  // Chaos runs work on a local copy: the plan's tolerance knobs become
+  // the deployment's tunings, so "--fault-plan mixed" is one switch. The
+  // fault-free path copies the config untouched and takes the exact
+  // pre-fault code path everywhere below.
+  fault::FaultPlan plan;
+  if (!config.fault_plan.empty()) {
+    auto parsed = fault::parse_plan(config.fault_plan);
+    GC_CHECK_MSG(parsed.is_ok(),
+                 "bad fault plan: " + parsed.status().to_string());
+    plan = parsed.value();
+  }
+  CampaignConfig cfg = config;
+  if (plan.active) {
+    cfg.sed_tuning.heartbeat_period = plan.heartbeat_period_s;
+    cfg.agent_tuning.heartbeat_period = plan.heartbeat_period_s;
+    cfg.agent_tuning.heartbeat_timeout = plan.heartbeat_timeout_s;
+    // The heartbeat watchdog owns liveness under chaos; strike eviction
+    // would erase a child for good over what may be dropped messages.
+    cfg.agent_tuning.max_child_timeouts = 0;
+    // Campaign-level rescue on top of the client's own attempts: a call
+    // that burned its whole attempt budget is resubmitted from scratch.
+    if (cfg.max_retries == 0) cfg.max_retries = 3;
+  }
+
+  platform::G5kDeployment g5k = platform::make_grid5000(cfg.machines_per_sed);
 
   des::Engine engine;
-  engine.set_tie_break_seed(config.tie_break_seed);
+  engine.set_tie_break_seed(cfg.tie_break_seed);
   net::SimEnv env(engine, g5k.platform);
   naming::Registry registry;
 
-  ServiceOptions service_options = config.services;
-  service_options.work_dir += "/campaign_" + std::to_string(config.seed);
+  std::unique_ptr<fault::Injector> injector;
+  if (plan.active) {
+    injector = std::make_unique<fault::Injector>(plan, cfg.fault_seed);
+    env.set_fault_hook(injector.get());
+  }
+
+  ServiceOptions service_options = cfg.services;
+  service_options.work_dir += "/campaign_" + std::to_string(cfg.seed);
   diet::ServiceTable services;
   GC_CHECK(register_services(services, service_options).is_ok());
 
-  const diet::DeploymentSpec spec = deployment_spec_from_g5k(g5k, config);
+  const diet::DeploymentSpec spec = deployment_spec_from_g5k(g5k, cfg);
   diet::Deployment deployment(env, registry, services, spec);
-  if (config.policy_factory) {
-    deployment.ma().set_policy(config.policy_factory());
+  if (cfg.policy_factory) {
+    deployment.ma().set_policy(cfg.policy_factory());
   }
 
-  diet::Client client("client");
+  diet::Client::Tuning client_tuning;
+  if (plan.active) {
+    client_tuning.max_attempts = plan.max_attempts;
+    client_tuning.attempt_timeout_s = plan.attempt_timeout_s;
+    client_tuning.backoff_base_s = plan.backoff_base_s;
+    client_tuning.backoff_mult = plan.backoff_mult;
+  }
+  diet::Client client("client", client_tuning);
   env.attach(client, g5k.client_node);
   auto ma = registry.resolve("MA1");
   GC_CHECK(ma.is_ok());
@@ -79,8 +143,8 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
   const std::string namelist_path = service_options.work_dir + "/zoom.nml";
   {
     ramses::RunParams params;
-    params.npart_dim = config.resolution;
-    params.box_mpc = config.size_mpc;
+    params.npart_dim = cfg.resolution;
+    params.box_mpc = cfg.size_mpc;
     std::ofstream out(namelist_path);
     out << params.to_namelist();
   }
@@ -90,36 +154,92 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
   bool zoom1_done = false;
 
   // Scheduled fault: kill one SED mid-campaign (bench A4).
-  if (config.fault_sed_index >= 0) {
-    GC_CHECK(static_cast<std::size_t>(config.fault_sed_index) <
+  if (cfg.fault_sed_index >= 0) {
+    GC_CHECK(static_cast<std::size_t>(cfg.fault_sed_index) <
              deployment.sed_count());
-    const double delay = std::max(0.0, config.fault_at_s - engine.now());
-    env.post_after(delay, [&deployment, &config]() {
+    const double delay = std::max(0.0, cfg.fault_at_s - engine.now());
+    env.post_after(delay, [&deployment, &cfg]() {
       GC_WARN << "fault injection: killing "
-              << deployment.sed(
-                     static_cast<std::size_t>(config.fault_sed_index))
+              << deployment.sed(static_cast<std::size_t>(cfg.fault_sed_index))
                      .name();
-      deployment.sed(static_cast<std::size_t>(config.fault_sed_index))
-          .fail();
+      deployment.sed(static_cast<std::size_t>(cfg.fault_sed_index)).fail();
     });
   }
 
+  // The plan's process-fault schedule: crashes, restarts, LA deaths, and
+  // link partitions, all at virtual times drawn in materialize().
+  if (plan.active) {
+    const auto schedule =
+        fault::materialize(plan, static_cast<int>(deployment.sed_count()),
+                           static_cast<int>(deployment.la_count()),
+                           cfg.fault_seed);
+    for (const fault::ProcessFault& f : schedule) {
+      const double delay = std::max(0.0, f.at_s - engine.now());
+      const auto index = static_cast<std::size_t>(f.index);
+      switch (f.kind) {
+        case fault::ProcessFault::Kind::kSedCrash:
+          ++result.sed_crashes;
+          env.post_after(delay, [&deployment, index]() {
+            GC_WARN << "fault plan: crashing " << deployment.sed(index).name();
+            deployment.sed(index).fail();
+          });
+          break;
+        case fault::ProcessFault::Kind::kSedRestart:
+          ++result.sed_restarts;
+          env.post_after(delay, [&deployment, index]() {
+            GC_WARN << "fault plan: restarting "
+                    << deployment.sed(index).name();
+            deployment.sed(index).restart();
+          });
+          break;
+        case fault::ProcessFault::Kind::kLaDeath:
+          ++result.la_deaths;
+          env.post_after(delay, [&deployment, index]() {
+            GC_WARN << "fault plan: killing " << deployment.la(index).name();
+            deployment.la(index).fail();
+          });
+          break;
+        case fault::ProcessFault::Kind::kSedIsolate: {
+          ++result.sed_isolations;
+          const net::NodeId node = spec.seds.at(index).node;
+          env.post_after(delay, [&deployment, &injector, index, node]() {
+            GC_WARN << "fault plan: isolating " << deployment.sed(index).name();
+            injector->isolate(node);
+          });
+          break;
+        }
+        case fault::ProcessFault::Kind::kSedHeal: {
+          const net::NodeId node = spec.seds.at(index).node;
+          env.post_after(delay, [&deployment, &injector, index, node]() {
+            GC_WARN << "fault plan: healing " << deployment.sed(index).name();
+            injector->heal(node);
+          });
+          break;
+        }
+      }
+    }
+  }
+
   // Part 2: issued all at once when part 1 completes; failed calls are
-  // resubmitted up to config.max_retries times each.
+  // resubmitted up to cfg.max_retries times each.
+  std::vector<ScienceTuple> science;
   auto submit_one = std::make_shared<
       std::function<void(const halo::Halo&, int)>>();
   *submit_one = [&, submit_one](const halo::Halo& halo, int retries_left) {
-    const int cx = static_cast<int>(halo.x * config.resolution);
-    const int cy = static_cast<int>(halo.y * config.resolution);
-    const int cz = static_cast<int>(halo.z * config.resolution);
+    const int cx = static_cast<int>(halo.x * cfg.resolution);
+    const int cy = static_cast<int>(halo.y * cfg.resolution);
+    const int cz = static_cast<int>(halo.z * cfg.resolution);
     diet::Profile profile = make_zoom2_profile(
-        namelist_path, config.shipped_input_bytes, config.resolution,
-        config.size_mpc, cx, cy, cz, config.nb_box, config.input_mode);
+        namelist_path, cfg.shipped_input_bytes, cfg.resolution,
+        cfg.size_mpc, cx, cy, cz, cfg.nb_box, cfg.input_mode);
     client.call_async(
         std::move(profile),
-        [&, submit_one, halo, retries_left](const gc::Status& status,
-                                            diet::Profile&) {
+        [&, submit_one, halo, retries_left, cx, cy, cz](
+            const gc::Status& status, diet::Profile& out_profile) {
           if (status.is_ok()) {
+            auto rc = out_profile.arg(8).get_scalar<std::int32_t>();
+            science.push_back({cx, cy, cz, cfg.nb_box,
+                               rc.is_ok() ? rc.value() : -1});
             ++completed;
             return;
           }
@@ -131,7 +251,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           ++result.failed_calls;
           ++completed;
         },
-        config.call_deadline_s);
+        cfg.call_deadline_s);
   };
 
   auto submit_zoom2 = [&](const std::string& catalog_path) {
@@ -139,37 +259,68 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
     std::vector<halo::Halo> halos;
     if (catalog.is_ok()) halos = std::move(catalog.value().halos);
     GC_CHECK_MSG(!halos.empty(), "zoom1 produced no halos");
-    for (int i = 0; i < config.sub_simulations; ++i) {
+    for (int i = 0; i < cfg.sub_simulations; ++i) {
       (*submit_one)(halos[static_cast<std::size_t>(i) % halos.size()],
-                    config.max_retries);
+                    cfg.max_retries);
     }
   };
 
-  diet::Profile zoom1 =
-      make_zoom1_profile(namelist_path, config.shipped_input_bytes,
-                         config.resolution, config.size_mpc,
-                         config.input_mode);
-  client.call_async(
-      std::move(zoom1),
-      [&](const gc::Status& status, diet::Profile& profile) {
-        zoom1_done = true;
-        GC_CHECK_MSG(status.is_ok(), "zoom1 failed: " + status.to_string());
-        auto file = profile.arg(3).get_file();
-        GC_CHECK(file.is_ok());
-        submit_zoom2(file.value().path);
-      });
+  // Part 1; under a fault plan the whole call is resubmitted when even the
+  // client's own attempt budget was not enough (zoom1 is the campaign's
+  // single point of failure, so it gets the same rescue as zoom2 calls).
+  auto submit_zoom1 = std::make_shared<std::function<void(int)>>();
+  *submit_zoom1 = [&, submit_zoom1](int retries_left) {
+    diet::Profile zoom1 =
+        make_zoom1_profile(namelist_path, cfg.shipped_input_bytes,
+                           cfg.resolution, cfg.size_mpc, cfg.input_mode);
+    client.call_async(
+        std::move(zoom1),
+        [&, submit_zoom1, retries_left](const gc::Status& status,
+                                        diet::Profile& profile) {
+          if (!status.is_ok() && retries_left > 0) {
+            ++result.resubmissions;
+            (*submit_zoom1)(retries_left - 1);
+            return;
+          }
+          zoom1_done = true;
+          GC_CHECK_MSG(status.is_ok(), "zoom1 failed: " + status.to_string());
+          auto file = profile.arg(3).get_file();
+          GC_CHECK(file.is_ok());
+          submit_zoom2(file.value().path);
+        });
+  };
+  (*submit_zoom1)(plan.active ? cfg.max_retries : 0);
 
-  engine.run();
+  if (plan.active) {
+    // Heartbeat loops re-arm themselves forever, so the calendar never
+    // drains under a plan; step until the campaign itself is done.
+    while (engine.step()) {
+      if (zoom1_done &&
+          completed == static_cast<std::size_t>(cfg.sub_simulations)) {
+        break;
+      }
+    }
+  } else {
+    engine.run();
+  }
   GC_CHECK_MSG(zoom1_done, "zoom1 never completed");
-  GC_CHECK_MSG(completed == static_cast<std::size_t>(config.sub_simulations),
+  GC_CHECK_MSG(completed == static_cast<std::size_t>(cfg.sub_simulations),
                "campaign did not finish all sub-simulations");
 
   // ---- metrics ----
   const auto& records = client.records();
   GC_CHECK(records.size() >=
-           1 + static_cast<std::size_t>(config.sub_simulations));
+           1 + static_cast<std::size_t>(cfg.sub_simulations));
+  // Split by service (a chaos run may resubmit zoom1, so position 0 is
+  // not guaranteed); the last zoom1 attempt is the one that fed part 2.
   result.zoom1 = records[0];
-  result.zoom2.assign(records.begin() + 1, records.end());
+  for (const auto& record : records) {
+    if (record.service == "ramsesZoom1") {
+      result.zoom1 = record;
+    } else {
+      result.zoom2.push_back(record);
+    }
+  }
 
   result.part1_duration = result.zoom1.total_time();
 
@@ -217,10 +368,21 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
   // else being either payload transfer or computation.
   result.overhead_total =
       finding_stats.sum() +
-      config.sed_tuning.init_delay *
-          static_cast<double>(config.sub_simulations + 1);
+      cfg.sed_tuning.init_delay *
+          static_cast<double>(cfg.sub_simulations + 1);
   result.network_bytes = env.bytes_sent();
   result.network_messages = env.messages_sent();
+  result.science_digest = science_digest_of(std::move(science));
+
+  if (injector) {
+    result.messages_dropped = injector->stats().dropped.load();
+    result.messages_duplicated = injector->stats().duplicated.load();
+    result.messages_delayed = injector->stats().delayed.load();
+  }
+  result.heartbeat_evictions = deployment.ma().heartbeat_evictions();
+  for (std::size_t i = 0; i < deployment.la_count(); ++i) {
+    result.heartbeat_evictions += deployment.la(i).heartbeat_evictions();
+  }
 
   // Campaign phases as spans (timestamps reconstructed from the records,
   // all in the engine's virtual time) + summary histograms.

@@ -58,6 +58,16 @@ struct CampaignConfig {
   std::int64_t shipped_input_bytes = 4096;
   /// Persistence mode of that input (kPersistent enables the DTM path).
   diet::Persistence input_mode = diet::Persistence::kVolatile;
+
+  /// Chaos experiment: a fault::parse_plan spelling ("" or "none" = off).
+  /// When active, the plan's tolerance knobs (client retries, heartbeats)
+  /// override the tunings above, the net layer tampers with messages, and
+  /// the plan's process-fault schedule is materialized over the
+  /// deployment. (fault_sed_index above is the older single-SED bench.)
+  std::string fault_plan;
+  /// Seed for every fault decision (message tampering, victim selection,
+  /// fault times). Same plan + same seed = bit-identical chaos run.
+  std::uint64_t fault_seed = 1;
 };
 
 struct SedSummary {
@@ -85,6 +95,21 @@ struct CampaignResult {
   std::uint64_t resubmissions = 0;  ///< retries issued after failures
   std::int64_t network_bytes = 0;   ///< total bytes charged to the network
   std::uint64_t network_messages = 0;
+
+  /// Order-independent FNV-1a hash of the science every successful zoom2
+  /// call produced (centre, zoom depth, return code). A chaos run is
+  /// scientifically correct iff this matches the fault-free run's digest.
+  std::uint64_t science_digest = 0;
+
+  // Chaos-run accounting (all zero when no fault plan is active).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t sed_crashes = 0;
+  std::uint64_t sed_restarts = 0;
+  std::uint64_t la_deaths = 0;
+  std::uint64_t sed_isolations = 0;
+  std::uint64_t heartbeat_evictions = 0;  ///< watchdog firings, all agents
 };
 
 /// Runs the campaign on the simulated Grid'5000 deployment of Section 5.1.

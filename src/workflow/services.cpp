@@ -307,8 +307,15 @@ gc::Status register_services(diet::ServiceTable& table,
       };
     } else {
       work = [a, opts, &ctx, catalog_path]() {
+        // The catalog is science output: derive it from the request's
+        // inputs alone, never from the SED's draw history — a retried or
+        // rescheduled call must fabricate the identical catalog on any
+        // server (the chaos suite diffs science against fault-free runs).
+        Rng catalog_rng(0x9e3779b97f4a7c15ULL ^
+                        (static_cast<std::uint64_t>(a.resolution) << 32) ^
+                        static_cast<std::uint64_t>(opts.sim_min_halos));
         const halo::HaloCatalog catalog = fabricate_catalog(
-            opts.sim_min_halos, a.resolution, ctx.rng());
+            opts.sim_min_halos, a.resolution, catalog_rng);
         const std::string dir = job_dir(opts, ctx);
         *catalog_path = dir + "/halo_catalog.bin";
         return halo::write_catalog(*catalog_path, catalog).is_ok() ? 0 : 3;

@@ -231,6 +231,15 @@ TEST(CodecFuzz, LoadReportMsg) {
   });
 }
 
+TEST(CodecFuzz, HeartbeatMsg) {
+  roundtrip<diet::HeartbeatMsg>([](Rng& rng) {
+    diet::HeartbeatMsg msg;
+    msg.uid = rng.next_u64();
+    msg.seq = rng.next_u64();
+    return msg;
+  });
+}
+
 // ---------- Status error paths ----------
 
 TEST(StatusErrorPaths, RegistryReportsTypedErrors) {
