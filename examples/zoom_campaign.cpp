@@ -11,11 +11,21 @@
 //   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
 //   ./zoom_campaign --fault-plan mixed --fault-seed 3   # chaos run
 //   ./zoom_campaign --trace out.json     # Perfetto trace of the campaign
+//   ./zoom_campaign --persistence persistent --policy mct-data
+//                                        # DTM: replica catalog + locality
 //
 // Fault plans (--fault-plan, or the GC_FAULT_PLAN environment variable)
 // are spelled "preset[,key=value...]" with presets none, drop-only,
 // crash-only, and mixed; --fault-seed (or GC_FAULT_SEED) makes the whole
 // chaos run replayable bit-for-bit. See DESIGN.md, "Fault model".
+//
+// Data management (--persistence, or GC_PERSISTENCE) selects volatile
+// (the default: every request ships its input, outputs come home in
+// full) or persistent (inputs and service outputs stay on the SEDs,
+// registered in the hierarchy's replica catalog; repeat requests ship
+// id-only references and missing data travels SED-to-SED). --replicas N
+// (GC_REPLICAS) additionally write-replicates fresh persistent data to N
+// SEDs. See DESIGN.md, "Data management".
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +71,29 @@ int main(int argc, char** argv) {
   const bool chaos =
       !config.fault_plan.empty() && config.fault_plan != "none";
 
+  std::string persistence = args.get("persistence", "");
+  if (persistence.empty()) {
+    if (const char* env_mode = std::getenv("GC_PERSISTENCE")) {
+      persistence = env_mode;
+    }
+  }
+  const bool persistent = persistence == "persistent";
+  if (!persistence.empty() && !persistent && persistence != "volatile") {
+    std::fprintf(stderr, "unknown --persistence '%s' (volatile|persistent)\n",
+                 persistence.c_str());
+    return 2;
+  }
+  long replicas_default = 1;
+  if (const char* env_replicas = std::getenv("GC_REPLICAS")) {
+    replicas_default = std::atol(env_replicas);
+  }
+  config.replicas =
+      static_cast<int>(args.get_int("replicas", replicas_default));
+  if (persistent) {
+    config.input_mode = gc::diet::Persistence::kPersistent;
+    config.services.output_mode = gc::diet::Persistence::kPersistent;
+  }
+
   std::printf("zoom campaign: %d sub-simulations of %d^3 particles, "
               "%d nested boxes, policy '%s', %d machines/SED\n\n",
               config.sub_simulations, config.resolution, config.nb_box,
@@ -86,9 +119,18 @@ int main(int argc, char** argv) {
   std::printf("failed calls             : %llu (%llu resubmissions)\n",
               static_cast<unsigned long long>(result.failed_calls),
               static_cast<unsigned long long>(result.resubmissions));
-  std::printf("network traffic          : %s in %llu messages\n\n",
+  std::printf("network traffic          : %s in %llu messages\n",
               gc::format_bytes(result.network_bytes).c_str(),
               static_cast<unsigned long long>(result.network_messages));
+  // Printed only under --persistence so the default report stays
+  // byte-identical to the pre-DTM harness.
+  if (persistent) {
+    std::printf("inter-site (WAN) traffic : %s (persistent data, %d "
+                "replica%s)\n",
+                gc::format_bytes(result.wan_bytes).c_str(), config.replicas,
+                config.replicas == 1 ? "" : "s");
+  }
+  std::printf("\n");
 
   if (chaos) {
     std::printf("fault plan '%s' (seed %llu):\n", config.fault_plan.c_str(),

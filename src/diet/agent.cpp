@@ -85,6 +85,10 @@ void Agent::arm_child_deadline(net::Endpoint child_endpoint) {
         GC_WARN << "agent " << name_ << ": no heartbeat from " << c->name
                 << " for " << tuning_.heartbeat_timeout
                 << "s, marking it dead";
+        // A dead SED's replicas are unreachable: drop them so locate
+        // answers and locality pricing never point at it. (A dead LA's
+        // SEDs are still alive and directly reachable — keep theirs.)
+        if (c->is_sed) drop_sed_replicas(c->sed_uid);
         if (obs::tracing()) {
           obs::Tracer::instance().instant(env()->now(), "hb-dead:" + c->name,
                                           "agent:" + name_, 0);
@@ -175,6 +179,15 @@ void Agent::on_message(const net::Envelope& envelope) {
     case kHeartbeat:
       handle_heartbeat(envelope);
       break;
+    case dtm::kDataRegister:
+      handle_data_register(envelope);
+      break;
+    case dtm::kDataUnregister:
+      handle_data_unregister(envelope);
+      break;
+    case dtm::kDataLocate:
+      handle_data_locate(envelope);
+      break;
     case kLoadReport:
       break;  // monitoring data; agents store nothing extra in this repo
     case kRegisterAck:
@@ -196,8 +209,13 @@ void Agent::handle_sed_register(const net::Envelope& envelope) {
         existing.hb_timer = 0;
       }
       existing.endpoint = envelope.from;
+      existing.sed_uid = msg.sed_uid;
       existing.alive = true;
       existing.consecutive_timeouts = 0;
+      // A re-registration means the SED restarted: its in-memory data
+      // store is gone, so every replica the catalog still credits it
+      // with is stale.
+      drop_sed_replicas(msg.sed_uid);
       for (const auto& desc : msg.services) {
         existing.services.insert(desc.path());
         services_.insert(desc.path());
@@ -213,6 +231,7 @@ void Agent::handle_sed_register(const net::Envelope& envelope) {
   child.endpoint = envelope.from;
   child.is_sed = true;
   child.name = msg.name;
+  child.sed_uid = msg.sed_uid;
   for (const auto& desc : msg.services) {
     child.services.insert(desc.path());
     services_.insert(desc.path());
@@ -266,12 +285,14 @@ void Agent::handle_submit(const net::Envelope& envelope) {
   pending.service = msg.desc.path();
   pending.in_bytes = msg.in_bytes;
   pending.trace_id = envelope.trace_id;
+  pending.deps = msg.deps;
 
   RequestCollectMsg collect;
   collect.request_key = next_key_++;
   collect.desc = msg.desc;
   collect.in_bytes = msg.in_bytes;
   collect.timeout_s = tuning_.collect_timeout;
+  collect.deps = msg.deps;
   start_collect(collect.request_key, std::move(pending), collect);
 }
 
@@ -294,6 +315,7 @@ void Agent::handle_collect(const net::Envelope& envelope) {
   pending.service = msg.desc.path();
   pending.in_bytes = msg.in_bytes;
   pending.trace_id = envelope.trace_id;
+  pending.deps = msg.deps;
   start_collect(msg.request_key, std::move(pending), msg);
 }
 
@@ -432,6 +454,10 @@ void Agent::finalize(std::uint64_t key) {
       candidate.est.agent_assigned = outstanding(candidate.sed_uid);
     }
   }
+  // Price data locality at every level: LAs rank their subtree with their
+  // own catalog, the MA re-prices with the hierarchy-wide one (the fields
+  // are not serialized, so each level's fill is independent).
+  fill_locality(pending);
   policy_->rank(pending.candidates, request, rng_);
 
   if (kind_ == Kind::kMaster) {
@@ -439,6 +465,14 @@ void Agent::finalize(std::uint64_t key) {
     RequestReplyMsg reply;
     reply.client_request_id = pending.client_request_id;
     reply.found = !pending.candidates.empty();
+    // Tell the client which declared deps resolve to a live replica
+    // somewhere: those ship as references, the rest as full data.
+    for (const auto& dep : pending.deps) {
+      const auto* replicas = catalog_.locate(dep.data_id);
+      if (replicas != nullptr && !replicas->empty()) {
+        reply.available_ids.push_back(dep.data_id);
+      }
+    }
     if (reply.found) {
       reply.chosen = pending.candidates.front();
       outstanding_[reply.chosen.sed_uid] += 1.0;
@@ -489,6 +523,7 @@ void Agent::note_timeouts(const Pending& pending) {
     if (++child.consecutive_timeouts >= tuning_.max_child_timeouts) {
       GC_WARN << "agent " << name_ << ": evicting unresponsive child "
               << child.name;
+      if (child.is_sed) drop_sed_replicas(child.sed_uid);
       it = children_.erase(it);
       evicted = true;
     } else {
@@ -502,6 +537,139 @@ void Agent::note_timeouts(const Pending& pending) {
       services_.insert(child.services.begin(), child.services.end());
     }
     propagate_services();
+  }
+}
+
+void Agent::update_catalog_gauge() {
+  if (!obs::metrics_on()) return;
+  auto& m = obs::Metrics::instance();
+  const obs::Labels labels = {{"agent", name_}};
+  m.gauge("diet_dtm_catalog_entries", labels)
+      .set(static_cast<double>(catalog_.entry_count()));
+  m.gauge("diet_dtm_catalog_replicas", labels)
+      .set(static_cast<double>(catalog_.replica_count()));
+}
+
+void Agent::drop_sed_replicas(std::uint64_t sed_uid) {
+  if (sed_uid == 0) return;
+  const std::vector<std::string> dropped = catalog_.drop_sed(sed_uid);
+  if (dropped.empty()) return;
+  update_catalog_gauge();
+  if (parent_ == net::kNullEndpoint) return;
+  dtm::DataUnregisterMsg msg;
+  msg.sed_uid = sed_uid;
+  // Empty data_id = "drop everything this SED held" — one message no
+  // matter how many replicas died with the SED.
+  env()->send(net::Envelope{endpoint(), parent_, dtm::kDataUnregister,
+                            msg.encode(), 0});
+}
+
+void Agent::handle_data_register(const net::Envelope& envelope) {
+  const dtm::DataRegisterMsg msg = dtm::DataRegisterMsg::decode(
+      envelope.payload);
+  catalog_.add(msg.data_id, msg.holder);
+  update_catalog_gauge();
+  // Write-replication: the holder's direct parent picks the extra homes.
+  // Only the agent that has the holder as a direct SED child fans out, so
+  // a forwarded registration never cascades into more copies.
+  if (msg.replicas > 1) {
+    bool direct_parent = false;
+    for (const auto& child : children_) {
+      if (child.is_sed && child.sed_uid == msg.holder.sed_uid) {
+        direct_parent = true;
+        break;
+      }
+    }
+    if (direct_parent) {
+      int wanted = msg.replicas - 1;
+      // children_ keeps registration order: the target choice is part of
+      // the deterministic schedule.
+      for (const auto& child : children_) {
+        if (wanted <= 0) break;
+        if (!child.is_sed || !child.alive) continue;
+        if (child.sed_uid == msg.holder.sed_uid) continue;
+        if (catalog_.holds(msg.data_id, child.sed_uid)) continue;
+        dtm::DataReplicateMsg rep;
+        rep.data_id = msg.data_id;
+        rep.holder = msg.holder;
+        env()->send(net::Envelope{endpoint(), child.endpoint,
+                                  dtm::kDataReplicate, rep.encode(), 0,
+                                  envelope.trace_id});
+        --wanted;
+      }
+    }
+  }
+  if (parent_ != net::kNullEndpoint) {
+    dtm::DataRegisterMsg up = msg;
+    up.replicas = 1;  // replication is the direct parent's job alone
+    env()->send(net::Envelope{endpoint(), parent_, dtm::kDataRegister,
+                              up.encode(), 0, envelope.trace_id});
+  }
+}
+
+void Agent::handle_data_unregister(const net::Envelope& envelope) {
+  const dtm::DataUnregisterMsg msg = dtm::DataUnregisterMsg::decode(
+      envelope.payload);
+  if (msg.data_id.empty()) {
+    catalog_.drop_sed(msg.sed_uid);
+  } else {
+    catalog_.remove(msg.data_id, msg.sed_uid);
+  }
+  update_catalog_gauge();
+  if (parent_ != net::kNullEndpoint) {
+    env()->send(net::Envelope{endpoint(), parent_, dtm::kDataUnregister,
+                              envelope.payload, 0, envelope.trace_id});
+  }
+}
+
+void Agent::handle_data_locate(const net::Envelope& envelope) {
+  const dtm::DataLocateMsg msg = dtm::DataLocateMsg::decode(envelope.payload);
+  const auto* replicas = catalog_.locate(msg.data_id);
+  dtm::DataLocationMsg answer;
+  answer.data_id = msg.data_id;
+  if (replicas != nullptr) {
+    for (const auto& [uid, info] : *replicas) {
+      if (uid == msg.requester_uid) continue;
+      answer.replicas.push_back(info);
+    }
+  }
+  if (!answer.replicas.empty() || parent_ == net::kNullEndpoint) {
+    // Answer straight to the requesting SED — the reply does not retrace
+    // the locate's path down the tree. At the root an empty answer is
+    // final: nobody in the hierarchy holds the id.
+    env()->send(net::Envelope{endpoint(), msg.requester_endpoint,
+                              dtm::kDataLocation, answer.encode(), 0,
+                              envelope.trace_id});
+    return;
+  }
+  env()->send(net::Envelope{endpoint(), parent_, dtm::kDataLocate,
+                            envelope.payload, 0, envelope.trace_id});
+}
+
+void Agent::fill_locality(Pending& pending) {
+  if (pending.deps.empty()) return;
+  for (auto& candidate : pending.candidates) {
+    double bytes = 0.0;
+    double xfer = 0.0;
+    const net::NodeId cand_node = env()->node_of(candidate.sed_endpoint);
+    for (const auto& dep : pending.deps) {
+      const auto* replicas = catalog_.locate(dep.data_id);
+      // Deps nobody holds cost every candidate the same (a client push)
+      // and deps the candidate itself holds cost nothing: neither adds
+      // to the bytes-to-move term.
+      if (replicas == nullptr || replicas->empty()) continue;
+      if (replicas->count(candidate.sed_uid) > 0) continue;
+      bytes += static_cast<double>(dep.bytes);
+      double best = -1.0;
+      for (const auto& [uid, info] : *replicas) {
+        const double t =
+            env()->topology().transfer_time(info.node, cand_node, dep.bytes);
+        if (best < 0.0 || t < best) best = t;
+      }
+      if (best > 0.0) xfer += best;
+    }
+    candidate.est.data_bytes_to_move = bytes;
+    candidate.est.data_xfer_s = xfer;
   }
 }
 

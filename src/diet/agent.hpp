@@ -22,6 +22,8 @@
 
 #include "common/rng.hpp"
 #include "diet/protocol.hpp"
+#include "dtm/catalog.hpp"
+#include "dtm/messages.hpp"
 #include "net/env.hpp"
 #include "obs/trace.hpp"
 #include "sched/policy.hpp"
@@ -101,11 +103,17 @@ class Agent final : public net::Actor {
     return heartbeat_evictions_;
   }
 
+  /// Replica catalog for this agent's subtree (whole hierarchy at the MA).
+  [[nodiscard]] const dtm::ReplicaCatalog& catalog() const {
+    return catalog_;
+  }
+
  private:
   struct Child {
     net::Endpoint endpoint;
     bool is_sed;
     std::string name;
+    std::uint64_t sed_uid = 0;   ///< 0 for LA children
     std::set<std::string> services;
     int consecutive_timeouts = 0;
     bool alive = true;           ///< false = heartbeat watchdog fired
@@ -127,6 +135,9 @@ class Agent final : public net::Actor {
     net::TimerId timeout_timer = 0;
     obs::TraceId trace_id = 0;  ///< carried from the incoming envelope
     obs::SpanId span = 0;       ///< collect -> finalize on this agent
+    /// Persistent inputs declared by the client; priced against the
+    /// catalog when candidates are finalized (locality-aware scheduling).
+    std::vector<DataDep> deps;
   };
 
   void handle_sed_register(const net::Envelope& envelope);
@@ -136,6 +147,16 @@ class Agent final : public net::Actor {
   void handle_candidates(const net::Envelope& envelope);
   void handle_job_done(const net::Envelope& envelope);
   void handle_heartbeat(const net::Envelope& envelope);
+  void handle_data_register(const net::Envelope& envelope);
+  void handle_data_unregister(const net::Envelope& envelope);
+  void handle_data_locate(const net::Envelope& envelope);
+  /// Drops every replica a (dead/restarted) SED held from this catalog
+  /// and, when anything was dropped, tells the parent to do the same.
+  void drop_sed_replicas(std::uint64_t sed_uid);
+  /// Fills each candidate's data-locality estimation fields from this
+  /// agent's catalog (bytes that must move + modeled transfer time).
+  void fill_locality(Pending& pending);
+  void update_catalog_gauge();
   [[nodiscard]] Child* find_child(net::Endpoint endpoint);
   /// (Re)arms the heartbeat deadline for one child.
   void arm_child_deadline(net::Endpoint child_endpoint);
@@ -166,6 +187,8 @@ class Agent final : public net::Actor {
   net::Endpoint parent_ = net::kNullEndpoint;
   std::vector<Child> children_;
   std::set<std::string> services_;
+  /// Which SEDs below this agent hold which persistent data ids.
+  dtm::ReplicaCatalog catalog_;
 
   std::uint64_t next_key_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;

@@ -9,6 +9,33 @@
 
 namespace gc::diet {
 
+namespace {
+
+/// Assigns content-derived ids to persistent arguments that lack one and
+/// lists the unique (id, bytes) pairs as the request's data deps — the
+/// volume agents price against their replica catalogs. Volatile-only
+/// profiles return an empty list, keeping their wire encoding unchanged.
+std::vector<DataDep> declare_deps(Profile& profile) {
+  std::vector<DataDep> deps;
+  std::set<std::string> seen;
+  for (int i = 0; i <= profile.last_inout(); ++i) {
+    ArgValue& arg = profile.arg(i);
+    if (!arg.has_value() ||
+        arg.desc.persistence == Persistence::kVolatile) {
+      continue;
+    }
+    if (arg.data_id().empty() && !arg.is_reference()) {
+      arg.set_data_id(arg.content_id());
+    }
+    if (arg.data_id().empty()) continue;
+    if (!seen.insert(arg.data_id()).second) continue;
+    deps.push_back(DataDep{arg.data_id(), arg.wire_bytes()});
+  }
+  return deps;
+}
+
+}  // namespace
+
 std::uint64_t Client::call_async(Profile profile, DoneFn done,
                                  double deadline_s) {
   GC_CHECK_MSG(ma_ != net::kNullEndpoint, "client not connected to an MA");
@@ -78,6 +105,7 @@ void Client::submit(std::uint64_t id, Profile profile, DoneFn done,
   msg.client_request_id = id;
   msg.desc = profile.desc();
   msg.in_bytes = profile.in_bytes();
+  msg.deps = declare_deps(profile);
 
   net::TimerId deadline_timer = 0;
   if (deadline_s > 0.0) {
@@ -89,8 +117,11 @@ void Client::submit(std::uint64_t id, Profile profile, DoneFn done,
                               "call deadline exceeded"));
     });
   }
-  PendingCall call{std::move(profile), std::move(done), records_.size() - 1,
-                   deadline_timer};
+  PendingCall call;
+  call.profile = std::move(profile);
+  call.done = std::move(done);
+  call.record_index = records_.size() - 1;
+  call.deadline_timer = deadline_timer;
   if (obs::tracing()) {
     // The client request id doubles as the trace id: unique per call and
     // deterministic under the DES. Every hop of the request chain below
@@ -188,6 +219,7 @@ void Client::start_attempt(std::uint64_t call_id) {
   msg.client_request_id = call.wire_id;
   msg.desc = call.profile.desc();
   msg.in_bytes = call.profile.in_bytes();
+  msg.deps = declare_deps(call.profile);
   env()->send(net::Envelope{endpoint(), ma_, kRequestSubmit, msg.encode(), 0,
                             call_id});
   arm_attempt_timer(call_id);
@@ -244,6 +276,9 @@ void Client::handle_reply(const net::Envelope& envelope) {
   record.sed_uid = msg.chosen.sed_uid;
   record.sed_name = msg.chosen.sed_name;
   it->second.sed_uid = msg.chosen.sed_uid;
+  it->second.available.clear();
+  it->second.available.insert(msg.available_ids.begin(),
+                              msg.available_ids.end());
   call_sed_[call_id] = msg.chosen.sed_endpoint;
 
   send_call_data(call_id, msg.chosen.sed_endpoint, msg.chosen.sed_uid,
@@ -268,23 +303,39 @@ void Client::send_call_data(std::uint64_t id, net::Endpoint sed,
   }
 
   // Ship the IN/INOUT data to the chosen SED (the "computing phase" hand-
-  // off of Section 2.2); arguments this SED is known to hold travel as
-  // references. Location is registered at *send* time: per-destination
-  // delivery is FIFO, so a later reference can never overtake the data it
-  // refers to (and the missing-data retry is the safety net regardless).
+  // off of Section 2.2); arguments this SED is known to hold — or that
+  // the MA's catalog resolved to a replica the SED can pull from a peer —
+  // travel as references. Location is registered at *send* time: per-
+  // destination delivery is FIFO, so a later reference can never overtake
+  // the data it refers to (and the missing-data retry is the safety net
+  // regardless).
   Profile wire = profile;
   auto& known = known_at_[sed_uid];
+  const std::set<std::string>& available = it->second.available;
+  std::int64_t bytes_saved = 0;
   for (int i = 0; i <= wire.last_inout(); ++i) {
     ArgValue& arg = wire.arg(i);
     if (!arg.has_value() || arg.data_id().empty() ||
         arg.desc.persistence == Persistence::kVolatile) {
       continue;
     }
-    if (!force_full && known.count(arg.data_id()) > 0) {
+    if (!force_full && (known.count(arg.data_id()) > 0 ||
+                        available.count(arg.data_id()) > 0)) {
+      const std::int64_t full = arg.wire_bytes();
       arg.make_reference();
+      bytes_saved += std::max<std::int64_t>(0, full - arg.wire_bytes());
     } else {
       known.insert(arg.data_id());
     }
+  }
+  if (bytes_saved > 0 && obs::metrics_on()) {
+    // Per-link: the bytes a reference kept off the client -> SED path.
+    const std::string link = "n" + std::to_string(node()) + "->n" +
+                             std::to_string(env()->node_of(sed));
+    obs::Metrics::instance()
+        .counter("diet_dtm_bytes_saved_total",
+                 {{"client", name_}, {"link", link}})
+        .inc(static_cast<std::uint64_t>(bytes_saved));
   }
 
   CallDataMsg data;
@@ -339,6 +390,18 @@ void Client::handle_result(const net::Envelope& envelope) {
 
   net::Reader r(msg.outputs);
   it->second.profile.merge_outputs(r);
+
+  // PERSISTENT OUT data came home as a reference: the value stayed on the
+  // SED (and in the hierarchy catalog). Remember who holds it so a later
+  // call can ship the id instead of the bytes.
+  Profile& out_profile = it->second.profile;
+  for (int i = out_profile.last_inout() + 1; i < out_profile.arg_count();
+       ++i) {
+    const ArgValue& arg = out_profile.arg(i);
+    if (arg.is_reference() && !arg.data_id().empty()) {
+      known_at_[it->second.sed_uid].insert(arg.data_id());
+    }
+  }
 
   if (msg.solve_status != 0) {
     complete(call_id, make_error(ErrorCode::kInternal,

@@ -123,6 +123,10 @@ class Client final : public net::Actor {
     int attempt = 1;
     bool reply_seen = false;  ///< guards against a duplicated kRequestReply
     net::TimerId attempt_timer = 0;
+    /// Data ids the MA's reply said resolve to a live replica somewhere
+    /// in the hierarchy: these ship as references even to a SED that does
+    /// not hold them (it pulls peer-to-peer). Refilled on every reply.
+    std::set<std::string> available;
   };
 
   void submit(std::uint64_t id, Profile profile, DoneFn done,

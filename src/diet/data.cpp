@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
+
+#include "check/invariant.hpp"
 
 namespace gc::diet {
 
@@ -48,6 +51,22 @@ std::size_t base_type_size(BaseType t) {
     case BaseType::kDouble: return 8;
   }
   return 0;
+}
+
+std::uint64_t ArgDesc::element_count() const {
+  // rows and cols come off the wire, so a hostile (or corrupted) message
+  // can carry a shape whose product wraps 64 bits — and whose honest
+  // product, scaled by the element size, would wrap payload_bytes() into
+  // a bogus (even negative) modeled volume. Clamp at a ceiling no real
+  // argument approaches, chosen so kMaxElements * 8 still fits int64.
+  constexpr std::uint64_t kMaxElements =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) /
+      8;
+  if (cols != 0 && rows > kMaxElements / cols) {
+    GC_INVARIANT(false, "ArgDesc rows*cols overflows; clamped");
+    return kMaxElements;
+  }
+  return rows * cols;
 }
 
 std::int64_t ArgDesc::payload_bytes() const {

@@ -66,7 +66,9 @@ struct ArgDesc {
   std::uint64_t rows = 1;  ///< vector length / matrix rows / string length
   std::uint64_t cols = 1;  ///< matrix cols (1 otherwise)
 
-  [[nodiscard]] std::uint64_t element_count() const { return rows * cols; }
+  /// rows * cols, clamped so the product (and payload_bytes() derived
+  /// from it) cannot wrap — a decoded descriptor may carry hostile shapes.
+  [[nodiscard]] std::uint64_t element_count() const;
   [[nodiscard]] std::int64_t payload_bytes() const;
 
   /// Shape compatibility for service matching: same container and base

@@ -3,7 +3,35 @@
 namespace gc::diet {
 
 namespace {
+
 net::Bytes finish(net::Writer& w) { return w.take(); }
+
+// Dep lists are trailing-optional: written only when non-empty, decoded
+// only when bytes remain. A message without persistent inputs therefore
+// encodes exactly as it did before the data-management subsystem existed,
+// which keeps fault-free volatile runs byte-identical.
+void encode_deps(net::Writer& w, const std::vector<DataDep>& deps) {
+  if (deps.empty()) return;
+  w.u32(static_cast<std::uint32_t>(deps.size()));
+  for (const auto& dep : deps) {
+    w.str(dep.data_id);
+    w.i64(dep.bytes);
+  }
+}
+
+std::vector<DataDep> decode_deps(net::Reader& r) {
+  std::vector<DataDep> deps;
+  if (r.remaining() == 0) return deps;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    DataDep dep;
+    dep.data_id = r.str();
+    dep.bytes = r.i64();
+    deps.push_back(std::move(dep));
+  }
+  return deps;
+}
+
 }  // namespace
 
 net::Bytes SedRegisterMsg::encode() const {
@@ -53,6 +81,7 @@ net::Bytes RequestSubmitMsg::encode() const {
   w.u64(client_request_id);
   desc.serialize(w);
   w.i64(in_bytes);
+  encode_deps(w, deps);
   return finish(w);
 }
 
@@ -62,6 +91,7 @@ RequestSubmitMsg RequestSubmitMsg::decode(const net::Bytes& payload) {
   m.client_request_id = r.u64();
   m.desc = ProfileDesc::deserialize(r);
   m.in_bytes = r.i64();
+  m.deps = decode_deps(r);
   return m;
 }
 
@@ -71,6 +101,7 @@ net::Bytes RequestCollectMsg::encode() const {
   desc.serialize(w);
   w.i64(in_bytes);
   w.f64(timeout_s);
+  encode_deps(w, deps);
   return finish(w);
 }
 
@@ -81,6 +112,7 @@ RequestCollectMsg RequestCollectMsg::decode(const net::Bytes& payload) {
   m.desc = ProfileDesc::deserialize(r);
   m.in_bytes = r.i64();
   m.timeout_s = r.f64();
+  m.deps = decode_deps(r);
   return m;
 }
 
@@ -104,6 +136,11 @@ net::Bytes RequestReplyMsg::encode() const {
   w.u64(client_request_id);
   w.u8(found ? 1 : 0);
   if (found) chosen.serialize(w);
+  // Trailing-optional, like the dep lists: absent when empty.
+  if (!available_ids.empty()) {
+    w.u32(static_cast<std::uint32_t>(available_ids.size()));
+    for (const auto& id : available_ids) w.str(id);
+  }
   return finish(w);
 }
 
@@ -113,6 +150,12 @@ RequestReplyMsg RequestReplyMsg::decode(const net::Bytes& payload) {
   m.client_request_id = r.u64();
   m.found = r.u8() != 0;
   if (m.found) m.chosen = sched::Candidate::deserialize(r);
+  if (r.remaining() > 0) {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      m.available_ids.push_back(r.str());
+    }
+  }
   return m;
 }
 

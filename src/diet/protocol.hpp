@@ -64,10 +64,22 @@ struct AgentRegisterMsg {
   static AgentRegisterMsg decode(const net::Bytes& payload);
 };
 
+/// One persistent input the request depends on: the data id plus the wire
+/// volume shipping it would cost. Rides submit/collect messages so agents
+/// can price data locality against their replica catalogs.
+struct DataDep {
+  std::string data_id;
+  std::int64_t bytes = 0;
+};
+
 struct RequestSubmitMsg {
   std::uint64_t client_request_id = 0;
   ProfileDesc desc;
   std::int64_t in_bytes = 0;
+  /// Persistent inputs (trailing-optional on the wire: encoded only when
+  /// non-empty, so requests without persistent data — every fault-free
+  /// volatile run — keep their exact pre-catalog encoding).
+  std::vector<DataDep> deps;
 
   net::Bytes encode() const;
   static RequestSubmitMsg decode(const net::Bytes& payload);
@@ -82,6 +94,8 @@ struct RequestCollectMsg {
   /// a subtree still reach the root before IT gives up. 0 = use the
   /// receiving agent's configured timeout.
   double timeout_s = 0.0;
+  /// Persistent inputs, forwarded from the submit (trailing-optional).
+  std::vector<DataDep> deps;
 
   net::Bytes encode() const;
   static RequestCollectMsg decode(const net::Bytes& payload);
@@ -99,6 +113,11 @@ struct RequestReplyMsg {
   std::uint64_t client_request_id = 0;
   bool found = false;
   sched::Candidate chosen;
+  /// Of the request's declared deps: ids the MA's catalog can resolve to
+  /// a live replica somewhere in the hierarchy. The client ships these as
+  /// references even to a SED that does not hold them — the SED pulls
+  /// them peer-to-peer. Trailing-optional on the wire.
+  std::vector<std::string> available_ids;
 
   net::Bytes encode() const;
   static RequestReplyMsg decode(const net::Bytes& payload);

@@ -48,6 +48,14 @@ class SedContext final : public ServiceContext {
   bool finished_ = false;
 };
 
+/// Decodes a stored/pushed blob back into an ArgValue for materialization.
+ArgValue decode_blob(const net::Bytes& value) {
+  net::Reader r(value);
+  ArgValue arg;
+  arg.deserialize_value(r);
+  return arg;
+}
+
 }  // namespace
 
 Sed::Sed(std::uint64_t uid, std::string name, ServiceTable& services,
@@ -60,7 +68,21 @@ Sed::Sed(std::uint64_t uid, std::string name, ServiceTable& services,
       machines_(machines),
       tuning_(std::move(tuning)),
       rng_(seed),
-      data_manager_(tuning_.data_store_max_bytes) {}
+      data_manager_(tuning_.data_store_max_bytes, name_) {
+  // Catalog-coordinated eviction: an LRU victim leaves the hierarchy
+  // catalog too, so locate answers never point at data we dropped.
+  data_manager_.set_eviction_listener(
+      [this](const std::string& id, std::int64_t /*bytes*/) {
+        if (failed_ || parent_ == net::kNullEndpoint || env() == nullptr) {
+          return;
+        }
+        dtm::DataUnregisterMsg msg;
+        msg.sed_uid = uid_;
+        msg.data_id = id;
+        env()->send(net::Envelope{endpoint(), parent_, dtm::kDataUnregister,
+                                  msg.encode(), 0});
+      });
+}
 
 void Sed::register_at(net::Endpoint parent) {
   parent_ = parent;
@@ -112,6 +134,11 @@ void Sed::fail() {
   failed_ = true;
   ++epoch_;
   queue_.clear();
+  for (auto& [id, fetch] : fetches_) {
+    if (fetch.timer != 0) env()->cancel_timer(fetch.timer);
+  }
+  fetches_.clear();
+  blocked_.clear();
   if constexpr (check::kEnabled) live_calls_.reset();
   queued_work_s_ = 0.0;
   // Running contexts are abandoned: their finish() becomes a no-op send
@@ -125,9 +152,11 @@ void Sed::restart() {
   running_ = 0;
   heartbeat_seq_ = 0;
   // The crash lost everything in memory: queued jobs are already gone
-  // (fail() cleared them) and the DTM store starts cold — clients holding
-  // references recover through the missing-data resend path. seen_calls_
-  // and executed_calls_ survive on purpose (see the header).
+  // (fail() cleared them) and the DTM store starts cold — the parent
+  // drops this SED's catalog entries when it sees the re-registration,
+  // and clients holding references recover through a peer re-fetch (or
+  // the missing-data resend when no replica survived). seen_calls_ and
+  // executed_calls_ survive on purpose (see the header).
   data_manager_.clear();
   env()->attach(*this, node());
   register_at(parent_);
@@ -143,6 +172,18 @@ void Sed::on_message(const net::Envelope& envelope) {
       break;
     case kCallData:
       handle_call(envelope);
+      break;
+    case dtm::kDataLocation:
+      handle_data_location(envelope);
+      break;
+    case dtm::kDataPull:
+      handle_data_pull(envelope);
+      break;
+    case dtm::kDataPush:
+      handle_data_push(envelope);
+      break;
+    case dtm::kDataReplicate:
+      handle_data_replicate(envelope);
       break;
     case kRegisterAck:
       break;
@@ -197,6 +238,70 @@ void Sed::handle_collect(const net::Envelope& envelope) {
   });
 }
 
+void Sed::store_value(const ArgValue& arg, int replicas, obs::TraceId trace) {
+  net::Writer w;
+  arg.serialize_value(w);
+  dtm::Blob blob;
+  blob.value = w.take();
+  blob.charged_bytes = arg.wire_bytes();
+  const std::int64_t charged = blob.charged_bytes;
+  const bool fresh = data_manager_.store(arg.data_id(), std::move(blob));
+  if (fresh && parent_ != net::kNullEndpoint) {
+    dtm::DataRegisterMsg reg;
+    reg.data_id = arg.data_id();
+    reg.holder = dtm::ReplicaInfo{uid_, endpoint(), node(), charged};
+    reg.replicas = static_cast<std::int32_t>(replicas);
+    env()->send(net::Envelope{endpoint(), parent_, dtm::kDataRegister,
+                              reg.encode(), 0, trace});
+  }
+}
+
+void Sed::begin_fetch(const std::string& id, std::uint64_t call_id,
+                      obs::TraceId trace) {
+  FetchState& fetch = fetches_[id];
+  fetch.waiters.push_back(call_id);
+  if (fetch.waiters.size() > 1) return;  // locate already in flight
+  dtm::DataLocateMsg msg;
+  msg.data_id = id;
+  msg.requester_uid = uid_;
+  msg.requester_endpoint = endpoint();
+  env()->send(net::Envelope{endpoint(), parent_, dtm::kDataLocate,
+                            msg.encode(), 0, trace});
+  if (tuning_.data_fetch_timeout_s > 0.0) {
+    const std::uint64_t epoch = epoch_;
+    fetch.timer = env()->post_after(tuning_.data_fetch_timeout_s,
+                                    [this, id, epoch]() {
+      if (failed_ || epoch != epoch_) return;
+      auto it = fetches_.find(id);
+      if (it == fetches_.end()) return;
+      it->second.timer = 0;
+      fail_fetch(id);
+    });
+  }
+}
+
+void Sed::fail_fetch(const std::string& id) {
+  auto it = fetches_.find(id);
+  if (it == fetches_.end()) return;
+  FetchState fetch = std::move(it->second);
+  fetches_.erase(it);
+  if (fetch.timer != 0) env()->cancel_timer(fetch.timer);
+  for (const std::uint64_t call_id : fetch.waiters) {
+    auto blocked = blocked_.find(call_id);
+    if (blocked == blocked_.end()) continue;  // already failed via another id
+    PendingJob job = std::move(blocked->second.job);
+    blocked_.erase(blocked);
+    GC_WARN << "sed " << name_ << ": missing persistent data " << id
+            << " for call " << job.call_id;
+    seen_calls_.erase(job.call_id);  // the full-data resend reuses the id
+    CallResultMsg result;
+    result.call_id = job.call_id;
+    result.solve_status = kMissingDataStatus;
+    env()->send(net::Envelope{endpoint(), job.client, kCallResult,
+                              result.encode(), 0, job.trace_id});
+  }
+}
+
 void Sed::handle_call(const net::Envelope& envelope) {
   GC_INVARIANT(envelope.trace_id != 0,
                "call-data envelope carries no trace id");
@@ -234,31 +339,53 @@ void Sed::handle_call(const net::Envelope& envelope) {
     return;
   }
 
-  // Persistent data management (DTM): incoming persistent values are
-  // stored on receipt so calls queued behind this one can reference them;
-  // incoming references are resolved against the store.
+  // Persistent data management: incoming persistent values are stored on
+  // receipt (and registered in the hierarchy catalog) so calls queued
+  // behind this one can reference them; incoming references are resolved
+  // against the local store, and local misses start a peer-to-peer fetch
+  // through the catalog instead of failing back to the client.
+  std::set<std::string> missing;
   for (int i = 0; i <= job.profile.last_inout(); ++i) {
     ArgValue& arg = job.profile.arg(i);
     if (!arg.has_value()) continue;
     if (arg.is_reference()) {
-      const ArgValue* stored = data_manager_.lookup(arg.data_id());
+      const dtm::Blob* stored = data_manager_.lookup(arg.data_id());
       if (stored == nullptr) {
-        GC_WARN << "sed " << name_ << ": missing persistent data "
-                << arg.data_id() << " for call " << msg.call_id;
-        seen_calls_.erase(msg.call_id);  // the full-data resend reuses the id
-        CallResultMsg result;
-        result.call_id = msg.call_id;
-        result.solve_status = kMissingDataStatus;
-        env()->send(net::Envelope{endpoint(), job.client, kCallResult,
-                                  result.encode(), 0, job.trace_id});
-        return;
+        if (parent_ == net::kNullEndpoint) {
+          // No hierarchy to ask: fail fast, the client resends in full.
+          GC_WARN << "sed " << name_ << ": missing persistent data "
+                  << arg.data_id() << " for call " << msg.call_id;
+          seen_calls_.erase(msg.call_id);
+          CallResultMsg result;
+          result.call_id = msg.call_id;
+          result.solve_status = kMissingDataStatus;
+          env()->send(net::Envelope{endpoint(), job.client, kCallResult,
+                                    result.encode(), 0, job.trace_id});
+          return;
+        }
+        missing.insert(arg.data_id());
+      } else {
+        arg.materialize_from(decode_blob(stored->value));
       }
-      arg.materialize_from(*stored);
     } else if (arg.desc.persistence != Persistence::kVolatile &&
                !arg.data_id().empty()) {
-      data_manager_.store(arg);
+      store_value(arg, tuning_.replication_factor, job.trace_id);
     }
   }
+  if (!missing.empty()) {
+    const std::uint64_t call_id = job.call_id;
+    const obs::TraceId trace = job.trace_id;
+    BlockedCall blocked;
+    blocked.job = std::move(job);
+    blocked.missing = missing;
+    blocked_.emplace(call_id, std::move(blocked));
+    for (const auto& id : missing) begin_fetch(id, call_id, trace);
+    return;
+  }
+  admit_job(std::move(job), entry);
+}
+
+void Sed::admit_job(PendingJob job, const ServiceEntry* entry) {
   if (entry->estimator) {
     sched::Estimation est;
     est.host_power = host_power_;
@@ -268,7 +395,8 @@ void Sed::handle_call(const net::Envelope& envelope) {
   }
   if (obs::tracing()) {
     job.queue_span = obs::Tracer::instance().begin_span(
-        env()->now(), "queue:" + msg.path, "sed:" + name_, job.trace_id);
+        env()->now(), "queue:" + job.profile.path(), "sed:" + name_,
+        job.trace_id);
   }
   queued_work_s_ += job.comp_estimate_s;
   if constexpr (check::kEnabled) {
@@ -284,6 +412,131 @@ void Sed::handle_call(const net::Envelope& envelope) {
                  "queue-depth gauge diverged from the queue");
   }
   start_next();
+}
+
+void Sed::handle_data_location(const net::Envelope& envelope) {
+  const dtm::DataLocationMsg msg = dtm::DataLocationMsg::decode(
+      envelope.payload);
+  auto it = fetches_.find(msg.data_id);
+  if (it == fetches_.end() || it->second.pull_sent) return;
+  // Nearest replica on the modeled links; smallest uid breaks ties so the
+  // choice is deterministic under the DES.
+  const dtm::ReplicaInfo* best = nullptr;
+  double best_time = 0.0;
+  for (const auto& replica : msg.replicas) {
+    if (replica.sed_uid == uid_) continue;
+    const double t =
+        env()->topology().transfer_time(replica.node, node(), replica.bytes);
+    if (best == nullptr || t < best_time ||
+        (t == best_time && replica.sed_uid < best->sed_uid)) {
+      best = &replica;
+      best_time = t;
+    }
+  }
+  if (best == nullptr) {
+    fail_fetch(msg.data_id);
+    return;
+  }
+  it->second.pull_sent = true;
+  dtm::DataPullMsg pull;
+  pull.data_id = msg.data_id;
+  pull.requester_uid = uid_;
+  env()->send(net::Envelope{endpoint(), best->endpoint, dtm::kDataPull,
+                            pull.encode(), 0, envelope.trace_id});
+}
+
+void Sed::handle_data_pull(const net::Envelope& envelope) {
+  const dtm::DataPullMsg msg = dtm::DataPullMsg::decode(envelope.payload);
+  dtm::DataPushMsg push;
+  push.data_id = msg.data_id;
+  const dtm::Blob* stored = data_manager_.lookup(msg.data_id);
+  std::int64_t extra = 0;
+  if (stored != nullptr) {
+    push.found = true;
+    push.value = stored->value;
+    push.charged_bytes = stored->charged_bytes;
+    extra = std::max<std::int64_t>(
+        0, stored->charged_bytes -
+               static_cast<std::int64_t>(stored->value.size()));
+    // The requester holds a copy once the push lands: our entry now has a
+    // replica elsewhere and becomes a preferred eviction victim.
+    data_manager_.set_replica_hint(msg.data_id, 1);
+    if (obs::metrics_on()) {
+      // Per-link accounting, same label convention as net_bytes_total:
+      // this transfer rides node() -> requester's node.
+      const std::string link =
+          "n" + std::to_string(node()) + "->n" +
+          std::to_string(env()->node_of(envelope.from));
+      obs::Metrics::instance()
+          .counter("diet_dtm_bytes_moved_total",
+                   {{"sed", name_}, {"link", link}})
+          .inc(static_cast<std::uint64_t>(stored->charged_bytes));
+    }
+  }
+  env()->send(net::Envelope{endpoint(), envelope.from, dtm::kDataPush,
+                            push.encode(), extra, envelope.trace_id});
+}
+
+void Sed::handle_data_push(const net::Envelope& envelope) {
+  const dtm::DataPushMsg msg = dtm::DataPushMsg::decode(envelope.payload);
+  auto it = fetches_.find(msg.data_id);
+  if (!msg.found) {
+    // The peer evicted it between the catalog answer and our pull.
+    if (it != fetches_.end()) fail_fetch(msg.data_id);
+    return;
+  }
+  dtm::Blob blob;
+  blob.value = msg.value;
+  blob.charged_bytes = msg.charged_bytes;
+  const bool fresh = data_manager_.store(msg.data_id, std::move(blob));
+  // The pusher still holds the value: both copies are replicated now.
+  data_manager_.set_replica_hint(msg.data_id, 1);
+  if (fresh && parent_ != net::kNullEndpoint) {
+    dtm::DataRegisterMsg reg;
+    reg.data_id = msg.data_id;
+    reg.holder = dtm::ReplicaInfo{uid_, endpoint(), node(), msg.charged_bytes};
+    reg.replicas = 1;  // a pulled copy never cascades replication
+    env()->send(net::Envelope{endpoint(), parent_, dtm::kDataRegister,
+                              reg.encode(), 0, envelope.trace_id});
+  }
+  if (it == fetches_.end()) return;  // replication copy: nobody is waiting
+  FetchState fetch = std::move(it->second);
+  fetches_.erase(it);
+  if (fetch.timer != 0) env()->cancel_timer(fetch.timer);
+  const ArgValue stored = decode_blob(msg.value);
+  for (const std::uint64_t call_id : fetch.waiters) {
+    auto blocked = blocked_.find(call_id);
+    if (blocked == blocked_.end()) continue;  // failed via another id
+    BlockedCall& call = blocked->second;
+    for (int i = 0; i <= call.job.profile.last_inout(); ++i) {
+      ArgValue& arg = call.job.profile.arg(i);
+      if (arg.has_value() && arg.is_reference() &&
+          arg.data_id() == msg.data_id) {
+        arg.materialize_from(stored);
+      }
+    }
+    call.missing.erase(msg.data_id);
+    if (call.missing.empty()) {
+      PendingJob job = std::move(call.job);
+      blocked_.erase(blocked);
+      const ServiceEntry* entry = services_.find_by_path(job.profile.path());
+      GC_CHECK(entry != nullptr);  // checked when the call arrived
+      admit_job(std::move(job), entry);
+    }
+  }
+}
+
+void Sed::handle_data_replicate(const net::Envelope& envelope) {
+  const dtm::DataReplicateMsg msg = dtm::DataReplicateMsg::decode(
+      envelope.payload);
+  if (msg.holder.sed_uid == uid_ || data_manager_.contains(msg.data_id)) {
+    return;
+  }
+  dtm::DataPullMsg pull;
+  pull.data_id = msg.data_id;
+  pull.requester_uid = uid_;
+  env()->send(net::Envelope{endpoint(), msg.holder.endpoint, dtm::kDataPull,
+                            pull.encode(), 0, envelope.trace_id});
 }
 
 void Sed::start_next() {
@@ -332,13 +585,29 @@ void Sed::complete_job(PendingJob& job, SimTime started, int solve_status) {
   Profile& profile = job.profile;
   const SimTime finished = env()->now();
 
-  // Persist non-volatile arguments for future reference calls.
+  // Persist non-volatile arguments for future reference calls; fresh ids
+  // register in the hierarchy catalog and request write-replication.
+  // Service-produced outputs arrive without an identity — mint one from
+  // the content so the client (the id rides home in the outputs) and the
+  // catalog agree on what the data is called.
   if (solve_status == 0) {
     for (int i = 0; i < profile.arg_count(); ++i) {
-      const ArgValue& arg = profile.arg(i);
-      if (arg.desc.persistence != Persistence::kVolatile &&
-          arg.has_value() && !arg.data_id().empty()) {
-        data_manager_.store(arg);
+      ArgValue& arg = profile.arg(i);
+      if (arg.desc.persistence == Persistence::kVolatile || !arg.has_value())
+        continue;
+      if (arg.data_id().empty() && !arg.is_reference()) {
+        arg.set_data_id(arg.content_id());
+      }
+      if (arg.data_id().empty()) continue;
+      store_value(arg, tuning_.replication_factor, job.trace_id);
+      // DIET semantics: PERSISTENT/STICKY OUT data stays on the server —
+      // only the id travels home (PERSISTENT_RETURN ships the value too).
+      // The client, or a later request, reaches the bytes through the
+      // replica catalog instead of the result message.
+      if (i > profile.last_inout() &&
+          (arg.desc.persistence == Persistence::kPersistent ||
+           arg.desc.persistence == Persistence::kSticky)) {
+        arg.make_reference();
       }
     }
   }

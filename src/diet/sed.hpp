@@ -10,19 +10,30 @@
 // Agent, queues incoming calls FIFO, and runs at most one simulation at a
 // time ("each server cannot compute more than one simulation at the same
 // time"). Job timestamps are logged for the Gantt chart of Figure 4.
+//
+// Data management: persistent arguments live in a dtm::DataManager and
+// are registered in the hierarchy's replica catalog. A call referencing an
+// id this SED does not hold no longer fails straight back to the client —
+// the job blocks while the SED locates a surviving replica through its
+// parent and pulls it peer-to-peer from the nearest holder; only when the
+// hierarchy knows no replica (or the fetch times out) does the SED answer
+// kMissingDataStatus and let the client resend the full data.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "check/invariant.hpp"
 #include "common/rng.hpp"
-#include "diet/datamgr.hpp"
 #include "diet/protocol.hpp"
 #include "diet/service.hpp"
+#include "dtm/datamgr.hpp"
+#include "dtm/messages.hpp"
 #include "net/env.hpp"
 #include "obs/trace.hpp"
 
@@ -48,6 +59,12 @@ struct SedTuning {
   double load_report_period = 0.0;
   /// Byte budget of the persistent data store (DIET's DTM); 0 = unbounded.
   std::int64_t data_store_max_bytes = 0;
+  /// Desired total replica count for data stored here: >1 asks the parent
+  /// LA to replicate fresh values onto sibling SEDs (write-replication).
+  int replication_factor = 1;
+  /// How long a blocked call waits for a peer-to-peer fetch before giving
+  /// up and answering kMissingDataStatus (client full-resend fallback).
+  double data_fetch_timeout_s = 10.0;
   /// Period of liveness heartbeats to the parent agent; 0 disables them
   /// (the default, so fault-free runs send no extra messages).
   double heartbeat_period = 0.0;
@@ -108,9 +125,11 @@ class Sed final : public net::Actor {
     return job_log_;
   }
   [[nodiscard]] const ServiceTable& services() const { return services_; }
-  [[nodiscard]] const DataManager& data_manager() const {
+  [[nodiscard]] const dtm::DataManager& data_manager() const {
     return data_manager_;
   }
+  /// Calls currently blocked on peer-to-peer data fetches.
+  [[nodiscard]] std::size_t blocked_calls() const { return blocked_.size(); }
 
   struct PendingJob {
     std::uint64_t call_id = 0;
@@ -128,8 +147,38 @@ class Sed final : public net::Actor {
   void complete_job(PendingJob& job, SimTime started, int solve_status);
 
  private:
+  /// A call whose referenced data is being fetched from a peer; admitted
+  /// to the queue once every missing id has arrived.
+  struct BlockedCall {
+    PendingJob job;
+    std::set<std::string> missing;
+  };
+  /// One in-flight fetch of one data id, shared by every call waiting on
+  /// it (waiters in arrival order — deterministic under the DES).
+  struct FetchState {
+    std::vector<std::uint64_t> waiters;
+    net::TimerId timer = 0;
+    bool pull_sent = false;
+  };
+
   void handle_collect(const net::Envelope& envelope);
   void handle_call(const net::Envelope& envelope);
+  void handle_data_location(const net::Envelope& envelope);
+  void handle_data_pull(const net::Envelope& envelope);
+  void handle_data_push(const net::Envelope& envelope);
+  void handle_data_replicate(const net::Envelope& envelope);
+  /// Runs the admission tail (estimator, spans, queue) for a job whose
+  /// data is fully materialized.
+  void admit_job(PendingJob job, const ServiceEntry* entry);
+  /// Stores a persistent value and, on fresh insert, registers it in the
+  /// hierarchy catalog asking for `replicas` total copies.
+  void store_value(const ArgValue& arg, int replicas, obs::TraceId trace);
+  /// Starts (or joins) the peer fetch of `id` on behalf of `call_id`.
+  void begin_fetch(const std::string& id, std::uint64_t call_id,
+                   obs::TraceId trace);
+  /// Gives up on `id`: every waiting call answers kMissingDataStatus so
+  /// the client falls back to a full-data resend.
+  void fail_fetch(const std::string& id);
   void start_next();
   void arm_load_report();
   void arm_heartbeat();
@@ -152,7 +201,12 @@ class Sed final : public net::Actor {
   double busy_seconds_ = 0.0;
   std::vector<JobRecord> job_log_;
   std::vector<std::unique_ptr<ServiceContext>> live_contexts_;
-  DataManager data_manager_;
+  dtm::DataManager data_manager_;
+  /// In-flight peer fetches by data id (ordered: timer/failure handling
+  /// iterates deterministically).
+  std::map<std::string, FetchState> fetches_;
+  /// Calls parked while their referenced data is in flight, by call id.
+  std::map<std::uint64_t, BlockedCall> blocked_;
   /// Call ids live on this SED (queued or running); a client retry only
   /// reuses an id after its result message went out (GC_CHECK builds).
   check::UniqueIds live_calls_{"sed live call ids"};

@@ -1,0 +1,56 @@
+#include "dtm/catalog.hpp"
+
+namespace gc::dtm {
+
+void ReplicaCatalog::add(const std::string& id, const ReplicaInfo& info) {
+  if (id.empty() || info.sed_uid == 0) return;
+  entries_[id][info.sed_uid] = info;
+}
+
+bool ReplicaCatalog::remove(const std::string& id, std::uint64_t sed_uid) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const bool removed = it->second.erase(sed_uid) > 0;
+  if (it->second.empty()) entries_.erase(it);
+  return removed;
+}
+
+std::vector<std::string> ReplicaCatalog::drop_sed(std::uint64_t sed_uid) {
+  std::vector<std::string> dropped;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.erase(sed_uid) > 0) dropped.push_back(it->first);
+    if (it->second.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+const std::map<std::uint64_t, ReplicaInfo>* ReplicaCatalog::locate(
+    const std::string& id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+bool ReplicaCatalog::holds(const std::string& id,
+                           std::uint64_t sed_uid) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.count(sed_uid) > 0;
+}
+
+std::size_t ReplicaCatalog::replica_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, replicas] : entries_) n += replicas.size();
+  return n;
+}
+
+std::vector<std::string> ReplicaCatalog::ids() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, replicas] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace gc::dtm

@@ -1,0 +1,72 @@
+// Replica catalog: which servers hold which persistent data.
+//
+// Every agent (LA and MA) keeps one. SEDs register each id they store
+// with their parent LA; the LA records it and forwards the registration
+// up, so the MA's catalog covers the whole hierarchy while each LA covers
+// its subtree. Evictions and crashes unregister the same way (a silent
+// crash is caught by the heartbeat watchdog, which drops every replica
+// the dead SED held).
+//
+// Two consumers:
+//  - locality-aware scheduling: agents price each candidate's
+//    bytes-to-move from the catalog + the platform cost model
+//    (Agent::finalize), consumed by the "mct-data" policy;
+//  - peer-to-peer pulls: a SED that misses a referenced id asks its
+//    parent to locate a surviving replica and fetches from the nearest
+//    one over the modeled link (diet/sed.cpp) instead of failing the
+//    call back to the client.
+//
+// All containers are ordered so catalog-derived decisions (replica
+// choice, replication targets) are deterministic under the DES.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace gc::dtm {
+
+/// One replica of one data id, as the catalog sees it.
+struct ReplicaInfo {
+  std::uint64_t sed_uid = 0;
+  net::Endpoint endpoint = net::kNullEndpoint;
+  net::NodeId node = 0;
+  std::int64_t bytes = 0;  ///< modeled wire volume of the value
+};
+
+class ReplicaCatalog {
+ public:
+  /// Adds (or refreshes) one replica of `id`.
+  void add(const std::string& id, const ReplicaInfo& info);
+
+  /// Removes one replica; false if it was not recorded.
+  bool remove(const std::string& id, std::uint64_t sed_uid);
+
+  /// Drops every replica a SED held (crash / restart / eviction);
+  /// returns the ids that lost a replica.
+  std::vector<std::string> drop_sed(std::uint64_t sed_uid);
+
+  /// Replicas of `id` ordered by sed uid; nullptr when none are known.
+  [[nodiscard]] const std::map<std::uint64_t, ReplicaInfo>* locate(
+      const std::string& id) const;
+
+  /// True when `sed_uid` is recorded as holding `id`.
+  [[nodiscard]] bool holds(const std::string& id,
+                           std::uint64_t sed_uid) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t replica_count() const;
+
+  /// Data ids in catalog order (for tests and diagnostics).
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  /// id -> (sed uid -> replica). Both maps ordered: iteration order is
+  /// part of the deterministic schedule.
+  std::map<std::string, std::map<std::uint64_t, ReplicaInfo>> entries_;
+};
+
+}  // namespace gc::dtm

@@ -1,0 +1,124 @@
+#include "dtm/datamgr.hpp"
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace gc::dtm {
+
+void DataManager::update_gauges() const {
+  if (owner_.empty() || !obs::metrics_on()) return;
+  auto& m = obs::Metrics::instance();
+  const obs::Labels labels = {{"owner", owner_}};
+  m.gauge("diet_dtm_store_bytes", labels)
+      .set(static_cast<double>(bytes_));
+  m.gauge("diet_dtm_entries", labels)
+      .set(static_cast<double>(store_.size()));
+}
+
+bool DataManager::store(const std::string& id, Blob blob) {
+  if (id.empty()) return false;
+  const bool inserted = store_.find(id) == store_.end();
+  if (!inserted) remove_entry(id);
+  lru_.push_front(id);
+  const std::int64_t charged = blob.charged_bytes;
+  store_.emplace(id, Entry{std::move(blob), 0, lru_.begin()});
+  bytes_ += charged;
+  if constexpr (check::kEnabled) {
+    audit_.add(id, charged, __FILE__, __LINE__);
+    audit_.expect(store_.size(), bytes_, __FILE__, __LINE__);
+    GC_INVARIANT(lru_.size() == store_.size(),
+                 "LRU list and store diverged");
+  }
+  evict_to_fit();
+  update_gauges();
+  return inserted;
+}
+
+const Blob* DataManager::lookup(const std::string& id) {
+  auto it = store_.find(id);
+  if (it == store_.end()) {
+    ++misses_;
+    if (!owner_.empty() && obs::metrics_on()) {
+      obs::Metrics::instance()
+          .counter("diet_dtm_misses_total", {{"owner", owner_}})
+          .inc();
+    }
+    return nullptr;
+  }
+  ++hits_;
+  if (!owner_.empty() && obs::metrics_on()) {
+    obs::Metrics::instance()
+        .counter("diet_dtm_hits_total", {{"owner", owner_}})
+        .inc();
+  }
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(id);
+  it->second.lru_position = lru_.begin();
+  return &it->second.blob;
+}
+
+void DataManager::set_replica_hint(const std::string& id,
+                                   int other_replicas) {
+  auto it = store_.find(id);
+  if (it != store_.end()) it->second.replica_hint = other_replicas;
+}
+
+void DataManager::remove_entry(const std::string& id) {
+  auto it = store_.find(id);
+  GC_CHECK(it != store_.end());
+  bytes_ -= it->second.blob.charged_bytes;
+  if constexpr (check::kEnabled) {
+    audit_.remove(id, it->second.blob.charged_bytes, __FILE__, __LINE__);
+  }
+  lru_.erase(it->second.lru_position);
+  store_.erase(it);
+  if constexpr (check::kEnabled) {
+    audit_.expect(store_.size(), bytes_, __FILE__, __LINE__);
+    GC_INVARIANT(lru_.size() == store_.size(),
+                 "LRU list and store diverged");
+  }
+}
+
+bool DataManager::erase(const std::string& id) {
+  if (store_.find(id) == store_.end()) return false;
+  remove_entry(id);
+  update_gauges();
+  return true;
+}
+
+void DataManager::clear() {
+  store_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  if constexpr (check::kEnabled) audit_.reset();
+  update_gauges();
+}
+
+void DataManager::evict_to_fit() {
+  if (max_bytes_ <= 0) return;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    // Catalog-coordinated victim choice: the least-recently-used entry
+    // with a known replica elsewhere goes first (a peer can serve it
+    // back); only when every entry is the last copy does plain LRU apply.
+    std::string victim;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (store_.at(*it).replica_hint > 0) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim.empty()) victim = lru_.back();
+    const std::int64_t charged = store_.at(victim).blob.charged_bytes;
+    GC_DEBUG << "dtm: evicting " << victim;
+    remove_entry(victim);
+    ++evictions_;
+    if (!owner_.empty() && obs::metrics_on()) {
+      obs::Metrics::instance()
+          .counter("diet_dtm_evictions_total", {{"owner", owner_}})
+          .inc();
+    }
+    if (eviction_listener_) eviction_listener_(victim, charged);
+  }
+}
+
+}  // namespace gc::dtm

@@ -1,0 +1,116 @@
+// Hierarchy-wide data management (DIET's DAGDA successor to the per-SED
+// DTM): the server-local replica store.
+//
+// DIET's non-VOLATILE persistence modes keep argument data on the server
+// between calls so a client can ship an id instead of the bytes:
+//
+//   call 1: client -> SED  full data, persistence = DIET_PERSISTENT
+//           SED stores it under the argument's data id
+//   call 2: client -> SED  reference (id only)
+//           SED materializes the stored value before solving
+//
+// This store is deliberately value-agnostic: it holds opaque serialized
+// blobs plus the modeled wire volume they represent, so the module sits
+// below the diet layer (which owns the ArgValue codec) and above nothing
+// but the codec/metrics/check foundations. The SED serializes at the
+// boundary.
+//
+// The store is LRU-bounded by charged bytes. Eviction is catalog-
+// coordinated in two ways: victims known to have replicas elsewhere (the
+// replica hint) are evicted first, and every eviction fires the listener
+// so the owner can unregister the id from the hierarchy catalog. A miss
+// is no longer a dead end — the owner locates a surviving replica through
+// the catalog and pulls it peer-to-peer (see diet/sed.cpp), with the
+// client full-resend as the final fallback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "check/invariant.hpp"
+#include "net/codec.hpp"
+
+namespace gc::dtm {
+
+/// One stored value: the serialized payload plus the wire volume the
+/// value represents (files charge their modeled size, not the few bytes
+/// of path metadata that physically travel).
+struct Blob {
+  net::Bytes value;
+  std::int64_t charged_bytes = 0;
+};
+
+class DataManager {
+ public:
+  /// max_bytes bounds the total charged_bytes of stored values (0 =
+  /// unbounded); `owner` labels the diet_dtm_* metrics (empty = unmetered).
+  explicit DataManager(std::int64_t max_bytes = 0, std::string owner = "")
+      : max_bytes_(max_bytes), owner_(std::move(owner)) {}
+
+  /// Stores (or refreshes) a blob under `id`. Returns true when the id
+  /// was not present before (the caller registers it in the catalog).
+  bool store(const std::string& id, Blob blob);
+
+  /// Looks up a stored blob; nullptr on miss. Refreshes LRU order and
+  /// counts the hit/miss.
+  [[nodiscard]] const Blob* lookup(const std::string& id);
+
+  /// True when `id` is stored; no LRU refresh, no hit/miss accounting.
+  [[nodiscard]] bool contains(const std::string& id) const {
+    return store_.count(id) > 0;
+  }
+
+  /// Marks `id` as replicated elsewhere in the hierarchy: eviction
+  /// prefers such entries, because a peer can serve them back.
+  void set_replica_hint(const std::string& id, int other_replicas);
+
+  /// Explicit removal (DIET_VOLATILE cleanup / diet_free_data). Does not
+  /// fire the eviction listener.
+  bool erase(const std::string& id);
+
+  /// Drops everything — a crashed server's store does not survive the
+  /// restart; peers re-fetch from surviving replicas (or the client
+  /// resends). Does not fire the eviction listener.
+  void clear();
+
+  /// Called with (id, charged_bytes) for every LRU eviction, so the owner
+  /// can unregister the replica from the hierarchy catalog.
+  void set_eviction_listener(
+      std::function<void(const std::string&, std::int64_t)> listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] std::size_t count() const { return store_.size(); }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_to_fit();
+  void remove_entry(const std::string& id);
+  void update_gauges() const;
+
+  struct Entry {
+    Blob blob;
+    int replica_hint = 0;  ///< known replicas elsewhere (eviction prefers >0)
+    std::list<std::string>::iterator lru_position;
+  };
+
+  std::int64_t max_bytes_;
+  std::string owner_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::string, Entry> store_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::function<void(const std::string&, std::int64_t)> eviction_listener_;
+  /// Shadow accounting (GC_CHECK builds): catches bytes_/LRU drift.
+  check::StoreAudit audit_{"dtm data store"};
+};
+
+}  // namespace gc::dtm

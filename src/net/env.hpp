@@ -82,6 +82,14 @@ class Env {
 
   [[nodiscard]] virtual bool is_simulated() const = 0;
 
+  /// Node an endpoint is attached to; 0 when unknown (detached endpoint,
+  /// or a backend without an address book). Real DIET deployments know
+  /// this from the deployment file; SimEnv answers from its attach table.
+  /// Agents use it to price candidate links in the data-locality term.
+  [[nodiscard]] virtual NodeId node_of(Endpoint /*endpoint*/) const {
+    return 0;
+  }
+
   [[nodiscard]] const Topology& topology() const { return *topology_; }
 
  protected:

@@ -39,6 +39,7 @@ void SimEnv::send(Envelope envelope) {
   double delay = topology().transfer_time(src, dst, envelope.wire_size());
   ++messages_sent_;
   bytes_sent_ += envelope.wire_size();
+  bytes_by_node_pair_[{src, dst}] += envelope.wire_size();
 
   if (obs::metrics_on()) {
     auto& m = obs::Metrics::instance();
@@ -68,6 +69,7 @@ void SimEnv::send(Envelope envelope) {
         // The copy also crosses the wire: charge it like any message.
         ++messages_sent_;
         bytes_sent_ += envelope.wire_size();
+        bytes_by_node_pair_[{src, dst}] += envelope.wire_size();
         schedule_delivery(engine_.now() + delay + decision.dup_lag_s,
                           envelope, src, stream_key, 0);
       }

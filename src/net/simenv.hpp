@@ -1,7 +1,9 @@
 // DES-backed Env: virtual time, modeled transfer and computation costs.
 #pragma once
 
+#include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "check/invariant.hpp"
 #include "des/engine.hpp"
@@ -32,6 +34,11 @@ class SimEnv final : public Env {
 
   [[nodiscard]] bool is_simulated() const override { return true; }
 
+  [[nodiscard]] NodeId node_of(Endpoint endpoint) const override {
+    auto it = actors_.find(endpoint);
+    return it != actors_.end() ? it->second.node : 0;
+  }
+
   [[nodiscard]] des::Engine& engine() { return engine_; }
 
   /// Installs (or clears, with nullptr) the fault-injection hook. The hook
@@ -41,6 +48,14 @@ class SimEnv final : public Env {
   /// Total bytes charged to the network model so far.
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Bytes charged per directed (src, dst) node pair, in node order.
+  /// Callers with a site map (the platform) can split this into LAN vs
+  /// WAN traffic — what the data-locality bench reports.
+  [[nodiscard]] const std::map<std::pair<NodeId, NodeId>, std::int64_t>&
+  bytes_by_node_pair() const {
+    return bytes_by_node_pair_;
+  }
 
  private:
   Endpoint do_attach(Actor& actor, NodeId node) override;
@@ -71,6 +86,7 @@ class SimEnv final : public Env {
   FaultHook* fault_hook_ = nullptr;
   std::int64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::map<std::pair<NodeId, NodeId>, std::int64_t> bytes_by_node_pair_;
 };
 
 }  // namespace gc::net

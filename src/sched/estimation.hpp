@@ -31,6 +31,17 @@ struct Estimation {
   /// "list of requests" state of Section 2.1 and what makes the default
   /// policy distribute 100 simultaneous requests evenly.
   double agent_assigned = 0.0;
+  /// Filled agent-side from the replica catalog, and deliberately NOT
+  /// serialized (each agent recomputes it from its own catalog level, so
+  /// the wire format — and the modeled transfer times of fault-free runs
+  /// with no persistent data — is unchanged): bytes of the request's
+  /// persistent inputs that are known to the hierarchy but not resident
+  /// on this SED, i.e. what scheduling here would have to move.
+  double data_bytes_to_move = 0.0;
+  /// Modeled seconds to move them from the nearest replicas over the
+  /// platform's links (catalog + topology cost model); 0 when nothing
+  /// moves or the topology cannot price it.
+  double data_xfer_s = 0.0;
 
   void serialize(net::Writer& w) const;
   static Estimation deserialize(net::Reader& r);

@@ -35,6 +35,21 @@ class DefaultPolicy final : public Policy {
   }
 };
 
+double completion_estimate(const Candidate& c) {
+  // Per-job compute estimate: plugin-filled when available, otherwise
+  // infer from the queue (queued_work / queue_length) or fall back to a
+  // power-only ranking.
+  double per_job = c.est.service_comp_s;
+  if (per_job < 0.0) {
+    per_job = c.est.queue_length > 0.0
+                  ? c.est.queued_work_s / c.est.queue_length
+                  : 1.0 / std::max(c.est.host_power, 1e-9);
+  }
+  const double backlog =
+      std::max(c.est.queued_work_s, outstanding(c) * per_job);
+  return backlog + per_job;
+}
+
 class MctPolicy final : public Policy {
  public:
   [[nodiscard]] std::string name() const override { return "mct"; }
@@ -46,26 +61,33 @@ class MctPolicy final : public Policy {
                        return completion_estimate(a) < completion_estimate(b);
                      });
   }
+};
 
- private:
-  static double completion_estimate(const Candidate& c) {
-    // Per-job compute estimate: plugin-filled when available, otherwise
-    // infer from the queue (queued_work / queue_length) or fall back to a
-    // power-only ranking.
-    double per_job = c.est.service_comp_s;
-    if (per_job < 0.0) {
-      per_job = c.est.queue_length > 0.0
-                    ? c.est.queued_work_s / c.est.queue_length
-                    : 1.0 / std::max(c.est.host_power, 1e-9);
-    }
-    const double backlog =
-        std::max(c.est.queued_work_s,
-                 outstanding_jobs(c) * per_job);
-    return backlog + per_job;
+class MctDataPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string name() const override { return "mct-data"; }
+
+  void rank(std::vector<Candidate>& candidates, const RequestContext&,
+            Rng&) override {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return data_completion(a) < data_completion(b);
+                     });
   }
 
-  static double outstanding_jobs(const Candidate& c) {
-    return std::max(c.est.agent_assigned, c.est.queue_length);
+ private:
+  static double data_completion(const Candidate& c) {
+    // Completion estimate plus the cost of moving the request's
+    // persistent inputs to this SED. Agents fill data_xfer_s from the
+    // replica catalog and the platform cost model; when only the byte
+    // count is known (unit tests, topology-less callers), convert it at
+    // the WAN reference bandwidth of the Grid'5000 model (1 Gb/s).
+    double xfer = c.est.data_xfer_s;
+    if (xfer <= 0.0 && c.est.data_bytes_to_move > 0.0) {
+      constexpr double kReferenceBandwidth = 1e9 / 8.0;  // bytes/second
+      xfer = c.est.data_bytes_to_move / kReferenceBandwidth;
+    }
+    return completion_estimate(c) + xfer;
   }
 };
 
@@ -102,6 +124,9 @@ std::unique_ptr<Policy> make_default_policy() {
 std::unique_ptr<Policy> make_mct_policy() {
   return std::make_unique<MctPolicy>();
 }
+std::unique_ptr<Policy> make_mct_data_policy() {
+  return std::make_unique<MctDataPolicy>();
+}
 std::unique_ptr<Policy> make_fastest_policy() {
   return std::make_unique<FastestPolicy>();
 }
@@ -112,13 +137,14 @@ std::unique_ptr<Policy> make_random_policy() {
 std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "default") return make_default_policy();
   if (name == "mct") return make_mct_policy();
+  if (name == "mct-data") return make_mct_data_policy();
   if (name == "fastest") return make_fastest_policy();
   if (name == "random") return make_random_policy();
   return nullptr;
 }
 
 std::vector<std::string> policy_names() {
-  return {"default", "mct", "fastest", "random"};
+  return {"default", "mct", "mct-data", "fastest", "random"};
 }
 
 }  // namespace gc::sched

@@ -13,6 +13,11 @@
 //                  filled per-service compute estimate and the queued work
 //                  to finish each job earliest (the paper's "better
 //                  makespan could be attained" fix);
+//   - "mct-data" : MCT plus the data-locality term the agents fill from
+//                  the replica catalog (Estimation::data_bytes_to_move /
+//                  data_xfer_s): a SED already holding the request's
+//                  persistent inputs wins over an otherwise-equal one
+//                  that would have to pull them across the WAN;
 //   - "fastest"  : highest aggregate power first;
 //   - "random"   : uniform random (baseline for ablations).
 #pragma once
@@ -46,6 +51,7 @@ class Policy {
 
 std::unique_ptr<Policy> make_default_policy();
 std::unique_ptr<Policy> make_mct_policy();
+std::unique_ptr<Policy> make_mct_data_policy();
 std::unique_ptr<Policy> make_fastest_policy();
 std::unique_ptr<Policy> make_random_policy();
 

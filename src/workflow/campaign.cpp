@@ -96,6 +96,9 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
     // that burned its whole attempt budget is resubmitted from scratch.
     if (cfg.max_retries == 0) cfg.max_retries = 3;
   }
+  if (cfg.replicas > 1) {
+    cfg.sed_tuning.replication_factor = cfg.replicas;
+  }
 
   platform::G5kDeployment g5k = platform::make_grid5000(cfg.machines_per_sed);
 
@@ -372,6 +375,12 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           static_cast<double>(cfg.sub_simulations + 1);
   result.network_bytes = env.bytes_sent();
   result.network_messages = env.messages_sent();
+  for (const auto& [pair, bytes] : env.bytes_by_node_pair()) {
+    if (g5k.platform.node(pair.first).site !=
+        g5k.platform.node(pair.second).site) {
+      result.wan_bytes += bytes;
+    }
+  }
   result.science_digest = science_digest_of(std::move(science));
 
   if (injector) {

@@ -58,6 +58,10 @@ struct CampaignConfig {
   std::int64_t shipped_input_bytes = 4096;
   /// Persistence mode of that input (kPersistent enables the DTM path).
   diet::Persistence input_mode = diet::Persistence::kVolatile;
+  /// Write-replication factor for persistent data (1 = holder only). The
+  /// holder's parent LA fans fresh registrations out to this many SEDs,
+  /// so a crash still leaves a live replica to pull from.
+  int replicas = 1;
 
   /// Chaos experiment: a fault::parse_plan spelling ("" or "none" = off).
   /// When active, the plan's tolerance knobs (client retries, heartbeats)
@@ -95,6 +99,9 @@ struct CampaignResult {
   std::uint64_t resubmissions = 0;  ///< retries issued after failures
   std::int64_t network_bytes = 0;   ///< total bytes charged to the network
   std::uint64_t network_messages = 0;
+  /// Bytes that crossed a RENATER site boundary — the traffic persistence
+  /// and locality-aware scheduling are meant to save (BENCH_datalocality).
+  std::int64_t wan_bytes = 0;
 
   /// Order-independent FNV-1a hash of the science every successful zoom2
   /// call produced (centre, zoom depth, return code). A chaos run is

@@ -326,8 +326,14 @@ gc::Status register_services(diet::ServiceTable& table,
       if (rc == 0) {
         const std::int64_t modeled_bytes =
             opts.mode == ServiceMode::kSim ? opts.catalog_bytes : -1;
-        profile.arg(3).set_file(*catalog_path, Persistence::kVolatile,
-                                modeled_bytes);
+        // The client drives part 2 from this catalog, so a persistent run
+        // uses PERSISTENT_RETURN: keep a replica on the SED (and in the
+        // hierarchy catalog) but still ship the value home.
+        const Persistence zoom1_mode =
+            opts.output_mode == Persistence::kPersistent
+                ? Persistence::kPersistentReturn
+                : opts.output_mode;
+        profile.arg(3).set_file(*catalog_path, zoom1_mode, modeled_bytes);
       }
       profile.arg(4).set_scalar<std::int32_t>(rc, BaseType::kInt,
                                               Persistence::kVolatile);
@@ -373,7 +379,7 @@ gc::Status register_services(diet::ServiceTable& table,
       if (rc == 0) {
         const std::int64_t modeled_bytes =
             opts.mode == ServiceMode::kSim ? opts.tarball_bytes : -1;
-        profile.arg(7).set_file(*tar_path, Persistence::kVolatile,
+        profile.arg(7).set_file(*tar_path, opts.output_mode,
                                 modeled_bytes);
       }
       profile.arg(8).set_scalar<std::int32_t>(rc, BaseType::kInt,

@@ -55,6 +55,12 @@ struct ServiceOptions {
   /// Fabricated zoom1 catalogs contain at least this many halos so the
   /// campaign can always pick its 100 re-simulation targets.
   int sim_min_halos = 128;
+  /// Persistence of the services' OUT files (zoom1 halo catalog, zoom2
+  /// result tarball). DIET_PERSISTENT keeps the snapshot on the SED and
+  /// registers it in the hierarchy's replica catalog, so a later request
+  /// (zoom2 reading zoom1's outputs, a re-run) finds the bytes in place
+  /// instead of re-shipping them across the WAN.
+  diet::Persistence output_mode = diet::Persistence::kVolatile;
 };
 
 /// Builds the two profile descriptions (shared by clients and servers —

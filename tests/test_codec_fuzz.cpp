@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "diet/config.hpp"
 #include "diet/protocol.hpp"
+#include "dtm/messages.hpp"
 #include "io/fortran.hpp"
 #include "io/namelist.hpp"
 #include "io/tar.hpp"
@@ -129,12 +131,26 @@ TEST(CodecFuzz, AgentRegisterMsg) {
   });
 }
 
+/// Zero to a few data dependencies: the empty case matters because the
+/// deps ride as a trailing-optional section (absent = pre-DTM wire form).
+std::vector<diet::DataDep> random_deps(Rng& rng) {
+  std::vector<diet::DataDep> deps;
+  const std::uint64_t count = rng.uniform_u64(4);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    deps.push_back(diet::DataDep{
+        random_name(rng),
+        static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40))});
+  }
+  return deps;
+}
+
 TEST(CodecFuzz, RequestSubmitMsg) {
   roundtrip<diet::RequestSubmitMsg>([](Rng& rng) {
     diet::RequestSubmitMsg msg;
     msg.client_request_id = rng.next_u64();
     msg.desc = random_desc(rng);
     msg.in_bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
+    msg.deps = random_deps(rng);
     return msg;
   });
 }
@@ -146,6 +162,7 @@ TEST(CodecFuzz, RequestCollectMsg) {
     msg.desc = random_desc(rng);
     msg.in_bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
     msg.timeout_s = rng.uniform(0.0, 30.0);
+    msg.deps = random_deps(rng);
     return msg;
   });
 }
@@ -168,6 +185,10 @@ TEST(CodecFuzz, RequestReplyMsg) {
     msg.client_request_id = rng.next_u64();
     msg.found = rng.uniform_u64(2) == 1;
     msg.chosen = random_candidate(rng);
+    const std::uint64_t available = rng.uniform_u64(4);
+    for (std::uint64_t i = 0; i < available; ++i) {
+      msg.available_ids.push_back(random_name(rng));
+    }
     return msg;
   });
 }
@@ -238,6 +259,157 @@ TEST(CodecFuzz, HeartbeatMsg) {
     msg.seq = rng.next_u64();
     return msg;
   });
+}
+
+// ---------- DTM message fuzz ----------
+
+dtm::ReplicaInfo random_replica(Rng& rng) {
+  dtm::ReplicaInfo info;
+  info.sed_uid = rng.next_u64();
+  info.endpoint = static_cast<net::Endpoint>(rng.uniform_u64(1 << 16));
+  info.node = static_cast<net::NodeId>(rng.uniform_u64(1 << 12));
+  info.bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
+  return info;
+}
+
+TEST(CodecFuzz, DataRegisterMsg) {
+  roundtrip<dtm::DataRegisterMsg>([](Rng& rng) {
+    dtm::DataRegisterMsg msg;
+    msg.data_id = random_name(rng);
+    msg.holder = random_replica(rng);
+    msg.replicas = static_cast<std::int32_t>(rng.uniform_u64(8)) + 1;
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataUnregisterMsg) {
+  roundtrip<dtm::DataUnregisterMsg>([](Rng& rng) {
+    dtm::DataUnregisterMsg msg;
+    msg.sed_uid = rng.next_u64();
+    msg.data_id = random_name(rng);  // may be empty = drop-all
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataLocateMsg) {
+  roundtrip<dtm::DataLocateMsg>([](Rng& rng) {
+    dtm::DataLocateMsg msg;
+    msg.data_id = random_name(rng);
+    msg.requester_uid = rng.next_u64();
+    msg.requester_endpoint =
+        static_cast<net::Endpoint>(rng.uniform_u64(1 << 16));
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataLocationMsg) {
+  roundtrip<dtm::DataLocationMsg>([](Rng& rng) {
+    dtm::DataLocationMsg msg;
+    msg.data_id = random_name(rng);
+    const std::uint64_t count = rng.uniform_u64(6);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      msg.replicas.push_back(random_replica(rng));
+    }
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataPullMsg) {
+  roundtrip<dtm::DataPullMsg>([](Rng& rng) {
+    dtm::DataPullMsg msg;
+    msg.data_id = random_name(rng);
+    msg.requester_uid = rng.next_u64();
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataPushMsg) {
+  roundtrip<dtm::DataPushMsg>([](Rng& rng) {
+    dtm::DataPushMsg msg;
+    msg.data_id = random_name(rng);
+    msg.found = rng.uniform_u64(2) == 1;
+    msg.value = random_bytes(rng);
+    msg.charged_bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, DataReplicateMsg) {
+  roundtrip<dtm::DataReplicateMsg>([](Rng& rng) {
+    dtm::DataReplicateMsg msg;
+    msg.data_id = random_name(rng);
+    msg.holder = random_replica(rng);
+    return msg;
+  });
+}
+
+// ---------- adversarial descriptor shapes ----------
+
+// A decoded ArgDesc can carry any rows/cols a hostile or corrupted message
+// chose; element_count() must clamp so the product (and payload_bytes())
+// never wraps into a bogus or negative modeled volume.
+TEST(CodecFuzz, ArgDescAdversarialShapesNeverOverflow) {
+  constexpr std::uint64_t kMax =
+      std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint64_t kMaxElements =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) / 8;
+
+  struct Capture {
+    static void handler(const char*, int, const std::string&) {}
+    Capture() {
+      check::reset_failure_count();
+      check::set_failure_handler(&Capture::handler);
+    }
+    ~Capture() { check::set_failure_handler(nullptr); }
+  } capture;
+
+  const std::pair<std::uint64_t, std::uint64_t> hostile[] = {
+      {1ULL << 40, 1ULL << 40},  // product wraps 64 bits outright
+      {kMax, kMax},
+      {kMax, 2},
+      {3, kMax / 2},
+      {kMaxElements, 2},     // honest product, *8 would wrap int64
+      {kMaxElements + 1, 1},
+  };
+  for (const auto& [rows, cols] : hostile) {
+    diet::ArgDesc desc;
+    desc.type = diet::DataType::kMatrix;
+    desc.base = diet::BaseType::kDouble;  // 8 bytes: the worst multiplier
+    desc.rows = rows;
+    desc.cols = cols;
+
+    // Decode path: hostile shapes survive the codec verbatim...
+    net::Writer w;
+    desc.serialize(w);
+    const net::Bytes wire = w.take();
+    net::Reader r(wire);
+    const diet::ArgDesc back = diet::ArgDesc::deserialize(r);
+    EXPECT_EQ(back.rows, rows);
+    EXPECT_EQ(back.cols, cols);
+
+    // ...but the derived quantities are clamped, never wrapped.
+    EXPECT_LE(back.element_count(), kMaxElements)
+        << "rows=" << rows << " cols=" << cols;
+    EXPECT_GE(back.payload_bytes(), 0)
+        << "rows=" << rows << " cols=" << cols;
+  }
+
+  // Sane shapes stay exact, and only the hostile ones trip the invariant.
+  diet::ArgDesc sane;
+  sane.type = diet::DataType::kMatrix;
+  sane.base = diet::BaseType::kDouble;
+  sane.rows = 1000;
+  sane.cols = 1000;
+  EXPECT_EQ(sane.element_count(), 1000u * 1000u);
+  EXPECT_EQ(sane.payload_bytes(), 8'000'000);
+
+  if constexpr (check::kEnabled) {
+    // Every hostile shape above tripped the clamp invariant exactly once
+    // (via element_count inside both element_count and payload_bytes calls,
+    // so >= the number of hostile shapes); the sane shape added none.
+    EXPECT_GE(check::failure_count(), std::size(hostile));
+  }
+  check::reset_failure_count();
 }
 
 // ---------- Status error paths ----------

@@ -150,6 +150,42 @@ TEST(Gclint, AllowsUnorderedIterationWithoutSink) {
   EXPECT_TRUE(lint_one("src/diet/x.cpp", src).empty());
 }
 
+// ---------- dtm-store ----------
+
+TEST(Gclint, FlagsDirectDataManagerStoreOutsideDtm) {
+  const std::string src =
+      "dtm::DataManager cache_;\n"
+      "void f(const std::string& id, dtm::Blob blob) {\n"
+      "  cache_.store(id, std::move(blob));\n"
+      "}\n";
+  const auto findings = lint_one("src/diet/agent.cpp", src);
+  ASSERT_TRUE(has_rule(findings, "dtm-store"));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(Gclint, FlagsStoreThroughAccessorChain) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/workflow/campaign.cpp",
+               "void f(diet::Sed& sed) { sed.data_manager().store(id, b); }\n"),
+      "dtm-store"));
+}
+
+TEST(Gclint, AllowsStoreInsideDtmAndSed) {
+  const std::string src =
+      "dtm::DataManager store_;\n"
+      "void f() { store_.store(id, std::move(blob)); }\n";
+  EXPECT_TRUE(lint_one("src/dtm/datamgr.cpp", src).empty());
+  EXPECT_TRUE(lint_one("src/diet/sed.cpp", src).empty());
+}
+
+TEST(Gclint, IgnoresAtomicStore) {
+  // .store() on names never declared DataManager (atomics) is invisible.
+  const std::string src =
+      "std::atomic<bool> enabled_;\n"
+      "void f() { enabled_.store(true, std::memory_order_relaxed); }\n";
+  EXPECT_TRUE(lint_one("src/obs/x.hpp", src).empty());
+}
+
 // ---------- comment and string immunity ----------
 
 TEST(Gclint, IgnoresCommentsAndStrings) {
@@ -200,7 +236,7 @@ TEST(Gclint, UnknownRuleInDirectiveIsItselfReported) {
 
 TEST(Gclint, RuleListIsStable) {
   const auto& names = gclint::rule_names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_NE(std::find(names.begin(), names.end(), "unchecked-status"),
             names.end());
 }

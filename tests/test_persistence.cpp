@@ -1,13 +1,17 @@
-// Tests for persistent data management (DIET's DTM): the DataManager LRU
-// store and the client <-> SED reference protocol end to end.
+// Tests for persistent data management (DIET's DTM/DAGDA): the dtm blob
+// store and replica catalog, the client <-> SED reference protocol, the
+// hierarchy catalog's consistency properties, and peer-to-peer healing
+// after replica loss.
 #include <gtest/gtest.h>
 
 #include "des/engine.hpp"
 #include "diet/client.hpp"
-#include "diet/datamgr.hpp"
 #include "diet/deployment.hpp"
+#include "dtm/catalog.hpp"
+#include "dtm/datamgr.hpp"
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
+#include "sched/policy.hpp"
 
 namespace gc::diet {
 namespace {
@@ -19,6 +23,13 @@ ArgValue vector_value(std::size_t n, double fill, Persistence mode) {
       value.set_vector<double>(data, BaseType::kDouble, mode).is_ok());
   value.set_data_id(value.content_id());
   return value;
+}
+
+/// The serialized form a SED would store for an argument.
+dtm::Blob blob_of(const ArgValue& value) {
+  net::Writer w;
+  value.serialize_value(w);
+  return dtm::Blob{w.take(), value.wire_bytes()};
 }
 
 // ---------- ArgValue reference mechanics ----------
@@ -67,17 +78,17 @@ TEST(ArgValueRef, MaterializeRestoresPayload) {
   EXPECT_EQ(reference.data_id(), stored.data_id());
 }
 
-// ---------- DataManager ----------
+// ---------- dtm::DataManager (the blob store) ----------
 
 TEST(DataManager, StoreLookupErase) {
-  DataManager manager;
+  dtm::DataManager manager;
   const ArgValue value = vector_value(10, 1.0, Persistence::kPersistent);
-  manager.store(value);
+  EXPECT_TRUE(manager.store(value.data_id(), blob_of(value)));
   EXPECT_EQ(manager.count(), 1u);
   EXPECT_EQ(manager.bytes(), 80);
-  const ArgValue* found = manager.lookup(value.data_id());
+  const dtm::Blob* found = manager.lookup(value.data_id());
   ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found->wire_bytes(), 80);
+  EXPECT_EQ(found->charged_bytes, 80);
   EXPECT_EQ(manager.hits(), 1u);
   EXPECT_EQ(manager.lookup("nope"), nullptr);
   EXPECT_EQ(manager.misses(), 1u);
@@ -86,42 +97,79 @@ TEST(DataManager, StoreLookupErase) {
   EXPECT_EQ(manager.bytes(), 0);
 }
 
-TEST(DataManager, IgnoresUnnamedAndReferences) {
-  DataManager manager;
-  ArgValue unnamed;
-  (void)unnamed.set_string("x", Persistence::kPersistent);
-  manager.store(unnamed);  // no data id
-  EXPECT_EQ(manager.count(), 0u);
-  ArgValue reference = vector_value(4, 1.0, Persistence::kPersistent);
-  reference.make_reference();
-  manager.store(reference);
-  EXPECT_EQ(manager.count(), 0u);
-}
-
-TEST(DataManager, RestoreRefreshesBytes) {
-  DataManager manager;
-  ArgValue value = vector_value(10, 1.0, Persistence::kPersistent);
-  manager.store(value);
-  manager.store(value);  // idempotent
+TEST(DataManager, RefreshIsNotAFreshStore) {
+  dtm::DataManager manager;
+  const ArgValue value = vector_value(10, 1.0, Persistence::kPersistent);
+  EXPECT_TRUE(manager.store(value.data_id(), blob_of(value)));
+  // A refresh keeps one entry and reports not-fresh, so the owner does
+  // not re-register the id in the catalog.
+  EXPECT_FALSE(manager.store(value.data_id(), blob_of(value)));
   EXPECT_EQ(manager.count(), 1u);
   EXPECT_EQ(manager.bytes(), 80);
 }
 
 TEST(DataManager, LruEviction) {
-  DataManager manager(/*max_bytes=*/200);
+  dtm::DataManager manager(/*max_bytes=*/200);
   const ArgValue a = vector_value(10, 1.0, Persistence::kPersistent);  // 80 B
   const ArgValue b = vector_value(10, 2.0, Persistence::kPersistent);
   const ArgValue c = vector_value(10, 3.0, Persistence::kPersistent);
-  manager.store(a);
-  manager.store(b);
+  std::vector<std::string> evicted;
+  manager.set_eviction_listener(
+      [&evicted](const std::string& id, std::int64_t) {
+        evicted.push_back(id);
+      });
+  manager.store(a.data_id(), blob_of(a));
+  manager.store(b.data_id(), blob_of(b));
   EXPECT_EQ(manager.count(), 2u);
   // Touch a so b becomes the LRU victim.
   EXPECT_NE(manager.lookup(a.data_id()), nullptr);
-  manager.store(c);  // 240 B > 200 -> evict b
+  manager.store(c.data_id(), blob_of(c));  // 240 B > 200 -> evict b
   EXPECT_EQ(manager.evictions(), 1u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], b.data_id());
   EXPECT_NE(manager.lookup(a.data_id()), nullptr);
   EXPECT_EQ(manager.lookup(b.data_id()), nullptr);
   EXPECT_NE(manager.lookup(c.data_id()), nullptr);
+}
+
+TEST(DataManager, EvictionPrefersReplicatedEntries) {
+  dtm::DataManager manager(/*max_bytes=*/200);
+  const ArgValue a = vector_value(10, 1.0, Persistence::kPersistent);
+  const ArgValue b = vector_value(10, 2.0, Persistence::kPersistent);
+  const ArgValue c = vector_value(10, 3.0, Persistence::kPersistent);
+  manager.store(a.data_id(), blob_of(a));
+  manager.store(b.data_id(), blob_of(b));
+  // a is the LRU victim, but b has a replica elsewhere: a peer can serve
+  // b back, so b goes first.
+  manager.set_replica_hint(b.data_id(), 1);
+  manager.store(c.data_id(), blob_of(c));
+  EXPECT_NE(manager.lookup(a.data_id()), nullptr);
+  EXPECT_EQ(manager.lookup(b.data_id()), nullptr);
+}
+
+// ---------- mct-data policy ----------
+
+TEST(MctDataPolicy, PrefersTheDataHolder) {
+  auto policy = sched::make_policy("mct-data");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), "mct-data");
+  // Two otherwise-equal SEDs; moving the data to #2 costs 50 s.
+  sched::Candidate holder;
+  holder.sed_uid = 1;
+  holder.est.service_comp_s = 100.0;
+  sched::Candidate mover;
+  mover.sed_uid = 2;
+  mover.est.service_comp_s = 100.0;
+  mover.est.data_bytes_to_move = 6.25e9;
+  mover.est.data_xfer_s = 50.0;
+  std::vector<sched::Candidate> candidates{mover, holder};
+  Rng rng(1);
+  policy->rank(candidates, sched::RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 1u);
+  // A big enough compute gap still outweighs locality.
+  candidates[0].est.service_comp_s = 1000.0;
+  policy->rank(candidates, sched::RequestContext{}, rng);
+  EXPECT_EQ(candidates[0].sed_uid, 2u);
 }
 
 // ---------- end to end over the middleware ----------
@@ -136,8 +184,15 @@ ProfileDesc sum_desc() {
   return desc;
 }
 
+struct FixtureOptions {
+  std::int64_t store_bytes = 0;
+  int sed_count = 1;
+  int replication_factor = 1;
+  std::string policy = "default";
+};
+
 struct PersistFixture {
-  explicit PersistFixture(std::int64_t store_bytes = 0)
+  explicit PersistFixture(FixtureOptions options = {})
       : topology(1e-3, 1e6 /* slow link: payload size matters */),
         env(engine, topology) {
     SolveFn solve = [](ServiceContext& ctx) {
@@ -158,15 +213,22 @@ struct PersistFixture {
 
     DeploymentSpec spec;
     spec.ma_node = 0;
-    spec.sed_tuning.data_store_max_bytes = store_bytes;
+    spec.policy = options.policy;
+    spec.sed_tuning.data_store_max_bytes = options.store_bytes;
+    spec.sed_tuning.replication_factor = options.replication_factor;
     DeploymentSpec::LaSpec la;
     la.name = "LA";
     la.node = 1;
-    DeploymentSpec::SedSpec sed;
-    sed.name = "SeD";
-    sed.node = 2;
-    la.sed_indexes.push_back(0);
-    spec.seds.push_back(sed);
+    for (int i = 0; i < options.sed_count; ++i) {
+      DeploymentSpec::SedSpec sed;
+      sed.name = "SeD" + std::to_string(i);
+      sed.node = static_cast<net::NodeId>(2 + i);
+      // Strictly decreasing power: under --policy fastest the first SED
+      // wins every placement, which the P2P tests rely on.
+      sed.host_power = 4.0 - i;
+      la.sed_indexes.push_back(i);
+      spec.seds.push_back(sed);
+    }
     spec.las.push_back(la);
     deployment = std::make_unique<Deployment>(env, registry, services, spec);
     env.attach(client, 0);
@@ -191,6 +253,30 @@ struct PersistFixture {
     engine.run();
     EXPECT_TRUE(ok);
     return sum;
+  }
+
+  /// Catalog-consistency property: every replica the hierarchy believes
+  /// in is resolvable — the recorded SED exists, is alive, and actually
+  /// holds the blob. Checked at the MA and at every LA.
+  void expect_catalog_resolvable() {
+    std::vector<const dtm::ReplicaCatalog*> catalogs;
+    catalogs.push_back(&deployment->ma().catalog());
+    for (std::size_t i = 0; i < deployment->la_count(); ++i) {
+      catalogs.push_back(&deployment->la(i).catalog());
+    }
+    for (const dtm::ReplicaCatalog* catalog : catalogs) {
+      for (const std::string& id : catalog->ids()) {
+        const auto* replicas = catalog->locate(id);
+        ASSERT_NE(replicas, nullptr);
+        for (const auto& [uid, info] : *replicas) {
+          Sed* sed = deployment->sed_by_uid(uid);
+          ASSERT_NE(sed, nullptr) << "catalog points at unknown SED " << uid;
+          EXPECT_FALSE(sed->failed());
+          EXPECT_TRUE(sed->data_manager().contains(id))
+              << "catalog entry " << id << " not resident on SED " << uid;
+        }
+      }
+    }
   }
 
   des::Engine engine;
@@ -230,8 +316,11 @@ TEST(Persistence, VolatileAlwaysShipsFullData) {
 
 TEST(Persistence, EvictionTriggersTransparentResend) {
   // Store fits only one value: the second datum evicts the first; re-using
-  // the first then misses and the client resends transparently.
-  PersistFixture fix(/*store_bytes=*/200000);
+  // the first then misses, the locate comes back empty (no surviving
+  // replica anywhere), and the client resends transparently.
+  FixtureOptions options;
+  options.store_bytes = 200000;
+  PersistFixture fix(options);
   const std::vector<double> first(20000, 1.0);
   const std::vector<double> second(20000, 2.0);
 
@@ -253,6 +342,137 @@ TEST(Persistence, DistinctDataGetDistinctIds) {
       fix.call_sum(std::vector<double>(100, 2.0), Persistence::kPersistent),
       200.0);
   EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 2u);
+}
+
+// ---------- hierarchy catalog properties ----------
+
+TEST(Catalog, RegistrationAggregatesUpTheHierarchy) {
+  PersistFixture fix;
+  const std::vector<double> data(1000, 1.0);
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 1000.0);
+
+  // The id is in the LA's catalog and the MA's, attributed to SED uid 1.
+  EXPECT_EQ(fix.deployment->ma().catalog().entry_count(), 1u);
+  EXPECT_EQ(fix.deployment->la(0).catalog().entry_count(), 1u);
+  const std::vector<std::string> ids = fix.deployment->ma().catalog().ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(fix.deployment->ma().catalog().holds(ids[0], 1));
+  fix.expect_catalog_resolvable();
+}
+
+TEST(Catalog, NoStaleEntriesAfterEviction) {
+  FixtureOptions options;
+  options.store_bytes = 200000;
+  PersistFixture fix(options);
+  EXPECT_DOUBLE_EQ(
+      fix.call_sum(std::vector<double>(20000, 1.0), Persistence::kPersistent),
+      20000.0);
+  EXPECT_DOUBLE_EQ(
+      fix.call_sum(std::vector<double>(20000, 2.0), Persistence::kPersistent),
+      40000.0);
+  fix.engine.run();
+  // The evicted id unregistered itself all the way up: one entry left,
+  // and everything still recorded is resident.
+  EXPECT_EQ(fix.deployment->ma().catalog().entry_count(), 1u);
+  EXPECT_EQ(fix.deployment->la(0).catalog().entry_count(), 1u);
+  fix.expect_catalog_resolvable();
+}
+
+TEST(Catalog, WriteReplicationCopiesToPeers) {
+  FixtureOptions options;
+  options.sed_count = 2;
+  options.replication_factor = 2;
+  options.policy = "fastest";
+  PersistFixture fix(options);
+  const std::vector<double> data(20000, 0.5);
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 10000.0);
+  fix.engine.run();  // let the replication pull complete
+
+  // The LA fanned the fresh registration out: both SEDs hold the blob,
+  // the catalogs record two replicas, and all of them resolve.
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 1u);
+  EXPECT_EQ(fix.deployment->sed(1).data_manager().count(), 1u);
+  EXPECT_EQ(fix.deployment->ma().catalog().replica_count(), 2u);
+  EXPECT_EQ(fix.deployment->la(0).catalog().replica_count(), 2u);
+  fix.expect_catalog_resolvable();
+}
+
+TEST(Catalog, CrashedSedReplicasAreDropped) {
+  FixtureOptions options;
+  options.sed_count = 2;
+  options.replication_factor = 2;
+  options.policy = "fastest";
+  PersistFixture fix(options);
+  EXPECT_DOUBLE_EQ(
+      fix.call_sum(std::vector<double>(20000, 0.5), Persistence::kPersistent),
+      10000.0);
+  fix.engine.run();
+  EXPECT_EQ(fix.deployment->ma().catalog().replica_count(), 2u);
+
+  // Restart SED 0 (its store dies with it). Re-registration tells the LA,
+  // which drops every replica the old incarnation held and propagates the
+  // unregistration to the MA.
+  fix.deployment->sed(0).fail();
+  fix.deployment->sed(0).restart();
+  fix.engine.run();
+  EXPECT_EQ(fix.deployment->sed(0).data_manager().count(), 0u);
+  EXPECT_EQ(fix.deployment->ma().catalog().replica_count(), 1u);
+  EXPECT_FALSE(fix.deployment->ma().catalog().holds(
+      fix.deployment->ma().catalog().ids()[0], 1));
+  fix.expect_catalog_resolvable();
+}
+
+// ---------- chaos: replica loss heals peer-to-peer ----------
+
+TEST(Chaos, ReplicaLossHealsViaPeerFetch) {
+  FixtureOptions options;
+  options.sed_count = 2;
+  options.replication_factor = 2;
+  options.policy = "fastest";
+  PersistFixture fix(options);
+  const std::vector<double> data(20000, 0.5);  // 160 KB payload
+  const net::NodeId client_node = 0;
+  const net::NodeId sed0_node = 2;
+  const net::NodeId sed1_node = 3;
+
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 10000.0);
+  fix.engine.run();
+  EXPECT_EQ(fix.deployment->ma().catalog().replica_count(), 2u);
+
+  // SED 0 (the fastest, so the scheduler's constant choice) crashes and
+  // loses its store; SED 1 keeps its replica.
+  fix.deployment->sed(0).fail();
+  fix.deployment->sed(0).restart();
+  fix.engine.run();
+  EXPECT_FALSE(fix.deployment->sed(0).data_manager().contains(
+      fix.deployment->ma().catalog().ids()[0]));
+
+  const auto client_bytes_before =
+      fix.env.bytes_by_node_pair().count({client_node, sed0_node}) > 0
+          ? fix.env.bytes_by_node_pair().at({client_node, sed0_node})
+          : 0;
+
+  // Same data again: the call lands on the restarted SED 0, misses, and
+  // must heal by pulling the blob from SED 1 — not by failing back to
+  // the client for a full resend.
+  EXPECT_DOUBLE_EQ(fix.call_sum(data, Persistence::kPersistent), 10000.0);
+  fix.engine.run();
+
+  const auto client_bytes_after =
+      fix.env.bytes_by_node_pair().at({client_node, sed0_node});
+  const auto peer_bytes = fix.env.bytes_by_node_pair().count(
+                              {sed1_node, sed0_node}) > 0
+                              ? fix.env.bytes_by_node_pair().at(
+                                    {sed1_node, sed0_node})
+                              : 0;
+  // The payload crossed the SED 1 -> SED 0 link, not the client link.
+  EXPECT_LT(client_bytes_after - client_bytes_before, 16000);
+  EXPECT_GT(peer_bytes, 160000);
+  // The healed replica is stored, re-registered, and resolvable again.
+  EXPECT_TRUE(fix.deployment->sed(0).data_manager().contains(
+      fix.deployment->ma().catalog().ids()[0]));
+  EXPECT_EQ(fix.deployment->ma().catalog().replica_count(), 2u);
+  fix.expect_catalog_resolvable();
 }
 
 }  // namespace

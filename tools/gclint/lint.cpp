@@ -11,8 +11,9 @@ namespace gclint {
 
 namespace {
 
-constexpr const char* kRules[] = {"rand", "wallclock", "thread",
-                                  "unchecked-status", "unordered-iter"};
+constexpr const char* kRules[] = {"rand",           "wallclock",
+                                  "thread",         "unchecked-status",
+                                  "unordered-iter", "dtm-store"};
 
 /// A file after preprocessing: stripped code lines plus suppression state.
 struct Prepared {
@@ -384,6 +385,55 @@ void check_unordered_iter(const Prepared& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// dtm-store: direct DataManager::store outside the data-management layer.
+// Every store must ride the SED's store_value path so the replica catalog
+// hears about it; a bypassed store is invisible to locate/replication and
+// leaks on eviction. Matches `.store(`/`->store(` on names declared
+// DataManager in the same file (atomics' .store() stays invisible because
+// their names are never declared DataManager).
+
+std::set<std::string> collect_datamanager_names(const Prepared& file) {
+  static const std::regex decl(
+      R"(\b(?:dtm::)?DataManager\s*[&*]?\s+([A-Za-z_]\w*)\s*[;{=(,)])");
+  std::set<std::string> names;
+  for (const std::string& line : file.lines) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      names.insert((*it)[1]);
+    }
+  }
+  return names;
+}
+
+void check_dtm_store(const Prepared& file, std::vector<Finding>& findings) {
+  if (in_dir(file, "/dtm/") || in_dir(file, "diet/sed.cpp")) return;
+  const std::set<std::string> managers = collect_datamanager_names(file);
+  static const std::regex accessor(
+      R"(\bdata_manager\s*\(\s*\)\s*(?:\.|->)\s*store\s*\()");
+  static const std::regex call(
+      R"(\b([A-Za-z_]\w*)\s*(?:\.|->)\s*store\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& line = file.lines[i];
+    bool hit = std::regex_search(line, accessor);
+    if (!hit && !managers.empty()) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(), call);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        if (managers.count((*it)[1]) > 0) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      report(file, i, "dtm-store",
+             "direct DataManager::store outside src/dtm//src/diet/sed.cpp; "
+             "route the write through the SED so the catalog is updated",
+             findings);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
@@ -412,6 +462,7 @@ std::vector<Finding> lint(const std::vector<FileInput>& files) {
     check_thread(file, findings);
     check_unchecked_status(file, status_fns, findings);
     check_unordered_iter(file, findings);
+    check_dtm_store(file, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

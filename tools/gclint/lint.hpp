@@ -22,6 +22,8 @@
 //                    discarding the result
 //   unordered-iter   iterating an unordered container into serialized,
 //                    hashed, or streamed output
+//   dtm-store        direct DataManager::store outside src/dtm/ or
+//                    src/diet/sed.cpp (bypasses the replica catalog)
 #pragma once
 
 #include <string>
