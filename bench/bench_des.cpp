@@ -1,0 +1,296 @@
+// bench_des — DES kernel & message-path throughput (BENCH_des.json).
+//
+// Every scaling result in the ROADMAP (MA federation, thousands of
+// concurrent clients, contention-aware networking) rides on the DES
+// engine's event throughput; this bench pins it down with three workloads:
+//
+//   phold      PHOLD-style self-driving event population: a fixed budget of
+//              events, each firing reschedules one successor at
+//              now + Exp(1), and every 4th firing re-arms a far-future
+//              watchdog after cancelling the previous one (the diet
+//              heartbeat/timeout pattern, so the cancel path is priced in).
+//              Runs on BOTH the optimized engine and the frozen naive
+//              reference (src/des/reference.hpp), so the phold before/after
+//              is measured live in the same binary.
+//
+//   pingstorm  Request/reply message storm through SimEnv over a
+//              1 MA / 4 LA / 64 SED topology: every SED ping-pongs its LA
+//              and every LA ping-pongs the MA, exercising the per-stream
+//              FIFO clock, byte accounting, and delivery-event path.
+//
+//   campaign22 The 22-sub-sim zoom campaign replay (the paper's Section 5
+//              experiment at bench scale), events counted via the
+//              des_events_executed_total metric.
+//
+// Output: events/sec per workload, printed and written to --json
+// (default BENCH_des.json) with before/after numbers. "Before" for
+// pingstorm/campaign22 is the recorded pre-PR measurement in this
+// container (see EXPERIMENTS.md, "DES kernel throughput"); for phold it is
+// the live reference-engine run.
+//
+//   bench_des                      # full sizes, writes BENCH_des.json
+//   bench_des --quick              # CI smoke sizes
+//   bench_des --quick --floor 250000   # exit 1 if phold drops below floor
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "des/engine.hpp"
+#include "des/reference.hpp"
+#include "net/env.hpp"
+#include "net/simenv.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "workflow/campaign.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Pre-PR throughput of this same bench in this container (1 CPU,
+// RelWithDebInfo, GC_CHECK=ON): median of three back-to-back runs of this
+// exact harness built against the pre-rewrite engine/simenv, interleaved
+// with the post-rewrite runs so both sides saw the same machine load.
+// Methodology and the matching table live in EXPERIMENTS.md.
+constexpr double kRecordedPrePr[3] = {
+    2466107.0,  // phold      (also measured live via ReferenceEngine)
+    1276003.0,  // pingstorm
+    197638.0,   // campaign22 (dominated by campaign setup, not the kernel;
+                //             run-to-run spread is ~±20% either side)
+};
+
+// ---------------------------------------------------------------------------
+// phold
+
+template <typename EngineT>
+struct PholdCtx {
+  EngineT engine;
+  gc::Rng rng{7};
+  std::uint64_t remaining = 0;  ///< successors still to be scheduled
+  std::uint64_t fired = 0;
+  std::uint64_t watchdog = 0;  ///< pending far-future timer, 0 = none
+  std::uint64_t cancels = 0;
+};
+
+template <typename EngineT>
+struct PholdEvent {
+  PholdCtx<EngineT>* c;
+  void operator()() {
+    PholdCtx<EngineT>& ctx = *c;
+    ++ctx.fired;
+    if (ctx.remaining == 0) return;
+    --ctx.remaining;
+    ctx.engine.schedule_after(ctx.rng.exponential(1.0), PholdEvent<EngineT>{c});
+    if ((ctx.fired & 3u) == 0) {
+      // Heartbeat pattern: re-arm a watchdog far in the future; the
+      // previous one is cancelled and must not rot in the calendar.
+      if (ctx.watchdog != 0 && ctx.engine.cancel(ctx.watchdog)) ++ctx.cancels;
+      ctx.watchdog = ctx.engine.schedule_after(1e9, PholdEvent<EngineT>{c});
+    }
+  }
+};
+
+/// Runs PHOLD with `population` events in flight and ~`budget` total
+/// firings; returns events/sec (cancellations included in the work, not in
+/// the numerator).
+template <typename EngineT>
+double phold_rate(std::uint64_t budget, int population) {
+  PholdCtx<EngineT> ctx;
+  ctx.remaining = budget > static_cast<std::uint64_t>(population)
+                      ? budget - static_cast<std::uint64_t>(population)
+                      : 0;
+  for (int i = 0; i < population; ++i) {
+    ctx.engine.schedule_after(ctx.rng.exponential(1.0),
+                              PholdEvent<EngineT>{&ctx});
+  }
+  const auto t0 = Clock::now();
+  ctx.engine.run();
+  const double dt = elapsed_s(t0);
+  return static_cast<double>(ctx.engine.events_executed()) / dt;
+}
+
+// ---------------------------------------------------------------------------
+// pingstorm
+
+struct StormActor final : gc::net::Actor {
+  gc::net::Endpoint parent = gc::net::kNullEndpoint;  ///< 0: pure echoer
+  int remaining = 0;  ///< pings this actor will still send
+
+  void on_message(const gc::net::Envelope& e) override {
+    if (e.type == 1) {  // ping from a child: echo a pong
+      gc::net::Envelope r;
+      r.from = endpoint();
+      r.to = e.from;
+      r.type = 2;
+      env()->send(r);
+      return;
+    }
+    send_next();  // pong from the parent: fire the next ping
+  }
+
+  void send_next() {
+    if (remaining <= 0) return;
+    --remaining;
+    gc::net::Envelope p;
+    p.from = endpoint();
+    p.to = parent;
+    p.type = 1;
+    env()->send(p);
+  }
+};
+
+/// 1 MA / 4 LA / 64 SED ping-pong storm; returns events/sec and fills
+/// messages with the wire-message count. Runs with metrics enabled — the
+/// production configuration — so the per-link counter path is priced in.
+double pingstorm_rate(int rounds, std::uint64_t* messages) {
+  auto& metrics = gc::obs::Metrics::instance();
+  const bool was_on = metrics.enabled();
+  metrics.reset();
+  metrics.set_enabled(true);
+  gc::des::Engine engine;
+  gc::net::UniformTopology topology(5e-4, 1.25e8);
+  gc::net::SimEnv env(engine, topology);
+
+  constexpr int kLas = 4;
+  constexpr int kSeds = 64;
+  StormActor ma;
+  StormActor las[kLas];
+  StormActor seds[kSeds];
+  env.attach(ma, 0);
+  for (int i = 0; i < kLas; ++i) {
+    env.attach(las[i], static_cast<gc::net::NodeId>(1 + i));
+    las[i].parent = ma.endpoint();
+    las[i].remaining = rounds;
+  }
+  for (int i = 0; i < kSeds; ++i) {
+    env.attach(seds[i], static_cast<gc::net::NodeId>(1 + kLas + i));
+    seds[i].parent = las[i / (kSeds / kLas)].endpoint();
+    seds[i].remaining = rounds;
+  }
+  for (int i = 0; i < kLas; ++i) {
+    engine.schedule_at(0.0, [&las, i] { las[i].send_next(); });
+  }
+  for (int i = 0; i < kSeds; ++i) {
+    engine.schedule_at(0.0, [&seds, i] { seds[i].send_next(); });
+  }
+
+  const auto t0 = Clock::now();
+  engine.run();
+  const double dt = elapsed_s(t0);
+  metrics.set_enabled(was_on);
+  *messages = env.messages_sent();
+  return static_cast<double>(engine.events_executed()) / dt;
+}
+
+// ---------------------------------------------------------------------------
+// campaign22
+
+/// The zoom campaign replay, repeated `reps` times for a stable wall-time
+/// denominator; events counted via the metrics registry
+/// (des_events_executed_total), which each campaign engine bumps per event.
+double campaign_rate(int sub_sims, int reps, std::uint64_t* events) {
+  auto& metrics = gc::obs::Metrics::instance();
+  const bool was_on = metrics.enabled();
+  metrics.reset();
+  metrics.set_enabled(true);
+
+  const auto t0 = Clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    gc::workflow::CampaignConfig config;
+    config.sub_simulations = sub_sims;
+    config.seed = 11;
+    const gc::workflow::CampaignResult result =
+        gc::workflow::run_grid5000_campaign(config);
+    if (result.failed_calls != 0) {
+      std::fprintf(stderr, "campaign22: unexpected failed calls\n");
+    }
+  }
+  const double dt = elapsed_s(t0);
+
+  *events = metrics.counter("des_events_executed_total").value();
+  metrics.set_enabled(was_on);
+  return static_cast<double>(*events) / dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gc::set_default_log_level(gc::LogLevel::kWarn);
+  const gc::CliArgs args(argc, argv);
+  const bool quick = args.has("quick");
+  const double floor = args.get_double("floor", 0.0);
+  const std::string json_path = args.get("json", "BENCH_des.json");
+
+  const std::uint64_t phold_budget = quick ? 300000 : 3000000;
+  const int phold_population = static_cast<int>(args.get_int("population", 4096));
+  const int storm_rounds = quick ? 150 : 3000;
+  const int sub_sims = quick ? 6 : 22;
+  const int campaign_reps = quick ? 2 : 40;
+
+  std::printf("bench_des (%s): phold %llu events / storm %d rounds / "
+              "campaign %d sub-sims\n\n",
+              quick ? "quick" : "full",
+              static_cast<unsigned long long>(phold_budget), storm_rounds,
+              sub_sims);
+
+  // phold: reference lane first so the optimized lane runs on a warm heap.
+  const double phold_ref =
+      phold_rate<gc::des::ReferenceEngine>(phold_budget, phold_population);
+  const double phold_opt =
+      phold_rate<gc::des::Engine>(phold_budget, phold_population);
+  std::printf("%-11s %12.0f ev/s   (reference %12.0f ev/s, %.2fx)\n", "phold",
+              phold_opt, phold_ref, phold_opt / phold_ref);
+
+  std::uint64_t storm_messages = 0;
+  const double storm = pingstorm_rate(storm_rounds, &storm_messages);
+  std::printf("%-11s %12.0f ev/s   (%llu messages)\n", "pingstorm", storm,
+              static_cast<unsigned long long>(storm_messages));
+
+  std::uint64_t campaign_events = 0;
+  const double campaign =
+      campaign_rate(sub_sims, campaign_reps, &campaign_events);
+  std::printf("%-11s %12.0f ev/s   (%llu events)\n", "campaign22", campaign,
+              static_cast<unsigned long long>(campaign_events));
+
+  std::ofstream json(json_path, std::ios::trunc);
+  json << "{\n  \"bench\": \"bench_des\",\n  \"quick\": "
+       << (quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+  const char* names[3] = {"phold", "pingstorm", "campaign22"};
+  const double after[3] = {phold_opt, storm, campaign};
+  const double before[3] = {phold_ref, kRecordedPrePr[1], kRecordedPrePr[2]};
+  const char* before_src[3] = {"reference engine, live",
+                               "recorded pre-PR, this container",
+                               "recorded pre-PR, this container"};
+  for (int i = 0; i < 3; ++i) {
+    json << "    {\"name\": \"" << names[i] << "\", \"events_per_sec\": "
+         << static_cast<std::uint64_t>(after[i])
+         << ", \"before_events_per_sec\": "
+         << static_cast<std::uint64_t>(before[i]) << ", \"before_source\": \""
+         << before_src[i] << "\", \"speedup\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f",
+                  before[i] > 0.0 ? after[i] / before[i] : 0.0);
+    json << buf << "}" << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (floor > 0.0 && phold_opt < floor) {
+    std::fprintf(stderr,
+                 "FAIL: phold %.0f ev/s below floor %.0f ev/s "
+                 "(10x-regression guard)\n",
+                 phold_opt, floor);
+    return 1;
+  }
+  return 0;
+}

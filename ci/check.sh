@@ -29,6 +29,12 @@ ctest --preset default -L chaos --output-on-failure
 step "gclint over src/"
 ./build/tools/gclint/gclint src
 
+step "bench-smoke (bench_des --quick)"
+# Not a benchmark run — a regression tripwire. The floor is set ~10x below
+# what this container sustains (see BENCH_des.json) so only a catastrophic
+# DES-kernel slowdown, not machine noise, fails the gate.
+./build/bench/bench_des --quick --floor 250000 --json build/BENCH_des_smoke.json
+
 step "clang-tidy (src/common + src/des)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Focused pass over the foundational modules; the GC_CLANG_TIDY=ON

@@ -11,6 +11,8 @@
 //   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
 //   ./zoom_campaign --fault-plan mixed --fault-seed 3   # chaos run
 //   ./zoom_campaign --trace out.json     # Perfetto trace of the campaign
+//   ./zoom_campaign --tie-seed 5         # scramble same-time event order
+//                                        # (results must not change)
 //   ./zoom_campaign --persistence persistent --policy mct-data
 //                                        # DTM: replica catalog + locality
 //
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
   config.sub_simulations = static_cast<int>(args.get_int("subsims", 100));
   config.policy = args.get("policy", "default");
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  config.tie_break_seed =
+      static_cast<std::uint64_t>(args.get_int("tie-seed", 0));
   config.machines_per_sed = static_cast<int>(args.get_int("machines", 16));
   config.resolution = static_cast<int>(args.get_int("resolution", 128));
   config.nb_box = static_cast<int>(args.get_int("nbbox", 2));

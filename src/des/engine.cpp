@@ -8,24 +8,95 @@
 namespace gc::des {
 
 namespace {
+
 double engine_clock(const void* ctx) {
   return static_cast<const Engine*>(ctx)->now();
 }
+
+/// Compaction trigger: tombstones may occupy at most half the calendar
+/// (and small calendars are never worth rebuilding).
+constexpr std::size_t kCompactMinEntries = 64;
+
 }  // namespace
 
 Engine::Engine() { set_log_clock(&engine_clock, this); }
 
 Engine::~Engine() { clear_log_clock(this); }
 
-std::uint64_t Engine::tie_of(EventId id) const {
-  if (tie_seed_ == 0) return id;
-  // splitmix64 finalizer: a bijection over u64, so distinct ids keep
-  // distinct tie keys and the scramble is a pure permutation of the
-  // insertion order among equal timestamps.
-  std::uint64_t z = id + tie_seed_ * 0x9e3779b97f4a7c15ULL;
+std::uint64_t Engine::tie_of(std::uint64_t seq) const {
+  if (tie_seed_ == 0) return seq;
+  // splitmix64 finalizer: a bijection over u64, so distinct sequence
+  // numbers keep distinct tie keys and the scramble is a pure permutation
+  // of the insertion order among equal timestamps.
+  std::uint64_t z = seq + tie_seed_ * 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+void Engine::heap_push(const HeapEntry& entry) {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry moving = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void Engine::heap_pop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Engine::free_slot(std::uint32_t slot) {
+  ++slab_[slot].generation;
+  free_slots_.push_back(slot);
+}
+
+void Engine::drop_tombstone_root() {
+  const std::uint32_t slot = heap_[0].slot;
+  heap_pop();
+  --tombstones_;
+  free_slot(slot);
+}
+
+void Engine::compact() {
+  std::size_t keep = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slab_[entry.slot].armed) {
+      heap_[keep++] = entry;
+    } else {
+      free_slot(entry.slot);
+    }
+  }
+  heap_.resize(keep);
+  if (keep > 1) {
+    // Floyd heapify over the 4-ary layout: sift down every internal node.
+    for (std::size_t i = (keep - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  tombstones_ = 0;
 }
 
 EventId Engine::schedule_at(SimTime t, EventFn fn) {
@@ -39,32 +110,67 @@ EventId Engine::schedule_at(SimTime t, EventFn fn) {
         obs::Metrics::instance().counter("des_events_scheduled_total");
     scheduled.inc();
   }
-  const EventId id = next_id_++;
-  queue_.push(Event{t, tie_of(id), id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  const std::uint64_t seq = next_seq_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Record& record = slab_[slot];
+  record.fn = std::move(fn);
+  record.armed = true;
+  heap_push(HeapEntry{t, tie_of(seq), seq, slot});
+  ++live_;
+  if (heap_.size() > depth_highwater_) {
+    depth_highwater_ = heap_.size();
+    if (obs::metrics_on()) {
+      static obs::Gauge& depth =
+          obs::Metrics::instance().gauge("des_queue_depth");
+      depth.set(static_cast<double>(depth_highwater_));
+    }
+  }
+  return (static_cast<EventId>(record.generation) << 32) | slot;
 }
 
 bool Engine::cancel(EventId id) {
-  const bool live = handlers_.erase(id) > 0;
-  if (live && obs::metrics_on()) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffULL);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slab_.size()) return false;
+  Record& record = slab_[slot];
+  if (!record.armed || record.generation != generation) return false;
+  record.armed = false;
+  record.fn.reset();  // release captures now, not at pop time
+  --live_;
+  ++tombstones_;
+  if (obs::metrics_on()) {
     static obs::Counter& cancelled =
         obs::Metrics::instance().counter("des_events_cancelled_total");
     cancelled.inc();
   }
-  return live;
+  if (heap_.size() >= kCompactMinEntries && tombstones_ * 2 > heap_.size()) {
+    compact();
+  }
+  return true;
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    auto it = handlers_.find(ev.id);
-    if (it == handlers_.end()) continue;  // cancelled: tombstone in queue
-    EventFn fn = std::move(it->second);
-    handlers_.erase(it);
-    GC_INVARIANT(ev.time >= now_, "virtual clock would move backwards");
-    now_ = ev.time;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    Record& record = slab_[top.slot];
+    if (!record.armed) {
+      drop_tombstone_root();
+      continue;
+    }
+    GC_INVARIANT(top.time >= now_, "virtual clock would move backwards");
+    EventFn fn = std::move(record.fn);
+    record.armed = false;
+    heap_pop();
+    free_slot(top.slot);
+    --live_;
+    now_ = top.time;
     ++executed_;
     if (obs::metrics_on()) {
       static obs::Counter& executed =
@@ -94,14 +200,14 @@ void Engine::run() {
 void Engine::run_until(SimTime t_end) {
   const SimTime start = now_;
   const std::uint64_t executed_before = executed_;
-  while (!queue_.empty()) {
-    // Skip tombstones so we do not advance the clock for cancelled events.
-    const Event ev = queue_.top();
-    if (handlers_.find(ev.id) == handlers_.end()) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    // Reclaim cancelled heads eagerly so they never advance the clock and
+    // are never re-scanned on the next iteration.
+    if (!slab_[heap_[0].slot].armed) {
+      drop_tombstone_root();
       continue;
     }
-    if (ev.time > t_end) break;
+    if (heap_[0].time > t_end) break;
     step();
   }
   if (now_ < t_end) now_ = t_end;

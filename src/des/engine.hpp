@@ -13,12 +13,26 @@
 // order (per-link FIFO, client submission order) must enforce one
 // explicitly. tests/test_schedule_fuzz.cpp replays whole campaigns under
 // many seeds and asserts byte-identical results.
+//
+// Performance (see DESIGN.md, "DES kernel performance"): the calendar is a
+// 4-ary min-heap of 32-byte entries over a slab-allocated event-record
+// pool. Handlers are stored in the slab as EventFn — a small-buffer
+// callable, so typical lambdas never touch the allocator — and cancellation
+// is O(1) and generation-checked: it disarms the record in place without
+// searching the heap. Cancelled entries left in the heap (tombstones) are
+// compacted away once they outnumber half the calendar, so cancel-heavy
+// users (heartbeat/retry timers) cannot grow the heap without bound. The
+// pop order is the total order (time, tie, seq) — identical, under every
+// tie-break seed, to the pre-optimization reference implementation kept in
+// des/reference.hpp; tests/test_des_property.cpp proves it differentially.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "check/invariant.hpp"
@@ -27,9 +41,106 @@
 
 namespace gc::des {
 
-using EventFn = std::function<void()>;
+/// Move-only callable of signature void() with a small-buffer optimization
+/// sized so every handler the middleware schedules on its message path
+/// (including SimEnv's delivery lambda, which carries a whole Envelope)
+/// stays inline. Larger callables fall back to one heap allocation, like
+/// std::function.
+class EventFn {
+ public:
+  EventFn() noexcept = default;
 
-/// Handle for cancelling a scheduled event.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_* call site
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+      destroy_ = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+    } else {
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &heap, sizeof heap);
+      invoke_ = [](void* p) {
+        Fn* fn;
+        std::memcpy(&fn, p, sizeof fn);
+        (*fn)();
+      };
+      relocate_ = [](void* dst, void* src) {
+        std::memcpy(dst, src, sizeof(Fn*));  // ownership moves with the ptr
+      };
+      destroy_ = [](void* p) {
+        Fn* fn;
+        std::memcpy(&fn, p, sizeof fn);
+        delete fn;
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  /// Destroys the held callable (releasing its captures) immediately.
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  /// Sized for SimEnv's per-message delivery lambda in GC_CHECK builds
+  /// (captured Envelope + stream bookkeeping = 80 bytes).
+  static constexpr std::size_t kInlineBytes = 80;
+
+  void move_from(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (relocate_ != nullptr) relocate_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  /// Move-constructs the payload into dst and destroys the src payload.
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+/// Handle for cancelling a scheduled event: (generation << 32) | slot into
+/// the engine's record pool. Generations start at 1, so 0 is never issued
+/// — callers use 0 as "no timer".
 using EventId = std::uint64_t;
 
 class Engine {
@@ -52,8 +163,10 @@ class Engine {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event; returns false if it already fired or is
-  /// unknown.
+  /// Cancels a pending event in O(1); returns false if it already fired,
+  /// was already cancelled, or is unknown. The handler (and its captures)
+  /// is released immediately; the calendar entry becomes a tombstone that
+  /// compaction or a later pop reclaims.
   bool cancel(EventId id);
 
   /// Executes the next event; returns false when the calendar is empty.
@@ -67,37 +180,73 @@ class Engine {
   void run_until(SimTime t_end);
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
-  [[nodiscard]] std::size_t events_pending() const { return handlers_.size(); }
+  [[nodiscard]] std::size_t events_pending() const { return live_; }
+  /// Cancelled events still occupying calendar entries. Bounded by the
+  /// compaction threshold: never more than half the calendar (plus the
+  /// sub-threshold constant), regardless of cancellation rate.
+  [[nodiscard]] std::size_t events_tombstoned() const { return tombstones_; }
+  /// Peak calendar size (live + tombstones) over the engine's lifetime —
+  /// what the des_queue_depth gauge reports when metrics are on.
+  [[nodiscard]] std::size_t queue_depth_highwater() const {
+    return depth_highwater_;
+  }
 
   /// Schedule-fuzzing hook: seed != 0 replaces the insertion-order
   /// tie-break among equal-timestamp events with a seeded bijective
-  /// scramble of the event ids. 0 restores insertion order. Only affects
-  /// events scheduled after the call.
+  /// scramble of the event sequence numbers. 0 restores insertion order.
+  /// Only affects events scheduled after the call.
   void set_tie_break_seed(std::uint64_t seed) { tie_seed_ = seed; }
   [[nodiscard]] std::uint64_t tie_break_seed() const { return tie_seed_; }
 
  private:
-  struct Event {
+  /// One calendar entry; 32 bytes so heap sifts move cache-friendly PODs
+  /// while the handler stays put in the slab.
+  struct HeapEntry {
     SimTime time;
-    std::uint64_t tie;  ///< equal-timestamp order: id, or a seeded scramble
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.tie != b.tie) return a.tie > b.tie;
-      return a.id > b.id;
-    }
+    std::uint64_t tie;  ///< equal-timestamp order: seq, or a seeded scramble
+    std::uint64_t seq;  ///< insertion order; final tie key across seed epochs
+    std::uint32_t slot;
   };
 
-  [[nodiscard]] std::uint64_t tie_of(EventId id) const;
+  /// Slab record: the handler plus the liveness/generation state that
+  /// makes cancellation O(1). A record is addressed by exactly one heap
+  /// entry from schedule to pop/compaction; `armed` false marks a
+  /// tombstone, and the generation (high half of the EventId) invalidates
+  /// stale handles once the slot is recycled.
+  struct Record {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    bool armed = false;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.tie != b.tie) return a.tie < b.tie;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] std::uint64_t tie_of(std::uint64_t seq) const;
+
+  void heap_push(const HeapEntry& entry);
+  /// Removes the root (heap_[0]).
+  void heap_pop();
+  void sift_down(std::size_t i);
+  /// Drops every tombstone from the heap, frees their slots, re-heapifies.
+  void compact();
+  void free_slot(std::uint32_t slot);
+  /// Pops + frees the root, which must be a tombstone.
+  void drop_tombstone_root();
 
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t tie_seed_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<EventId, EventFn> handlers_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t depth_highwater_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Record> slab_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace gc::des

@@ -1,0 +1,113 @@
+// Naive reference DES engine: the pre-optimization implementation
+// (std::priority_queue of (time, tie, id) + a parallel
+// std::unordered_map<EventId, std::function> handler table), kept
+// header-only as a differential-testing oracle and as the live "before"
+// lane of bench_des.
+//
+// The optimized engine (des/engine.hpp) must pop events in EXACTLY this
+// order under every tie-break seed — tests/test_des_property.cpp replays
+// randomized schedule/cancel/run_until programs against both and asserts
+// identical pop order, clocks, and counters. Do not "improve" this file:
+// its value is being the old semantics, frozen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gc::des {
+
+class ReferenceEngine {
+ public:
+  using Fn = std::function<void()>;
+  using Id = std::uint64_t;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  Id schedule_at(SimTime t, Fn fn) {
+    const Id id = next_id_++;
+    queue_.push(Event{t, tie_of(id), id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  Id schedule_after(SimTime delay, Fn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(Id id) { return handlers_.erase(id) > 0; }
+
+  bool step() {
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      auto it = handlers_.find(ev.id);
+      if (it == handlers_.end()) continue;  // cancelled: tombstone in queue
+      Fn fn = std::move(it->second);
+      handlers_.erase(it);
+      now_ = ev.time;
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  void run_until(SimTime t_end) {
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      if (handlers_.find(ev.id) == handlers_.end()) {
+        queue_.pop();
+        continue;
+      }
+      if (ev.time > t_end) break;
+      step();
+    }
+    if (now_ < t_end) now_ = t_end;
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t events_pending() const { return handlers_.size(); }
+
+  void set_tie_break_seed(std::uint64_t seed) { tie_seed_ = seed; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t tie;
+    Id id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.tie != b.tie) return a.tie > b.tie;
+      return a.id > b.id;
+    }
+  };
+
+  [[nodiscard]] std::uint64_t tie_of(Id id) const {
+    if (tie_seed_ == 0) return id;
+    std::uint64_t z = id + tie_seed_ * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  SimTime now_ = 0.0;
+  Id next_id_ = 1;
+  std::uint64_t tie_seed_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<Id, Fn> handlers_;
+};
+
+}  // namespace gc::des

@@ -12,8 +12,11 @@ namespace gc::net {
 
 namespace {
 
-/// Metric label for one directed node pair, e.g. "n2->n17".
+/// Metric label for one directed node pair, e.g. "n2->n17". Cold path:
+/// called once per stream when its counters are first bound, never per
+/// message.
 obs::Labels link_labels(NodeId src, NodeId dst) {
+  // gclint: allow(hot-string) built once per stream, cached in StreamState
   return {{"link", "n" + std::to_string(src) + "->n" + std::to_string(dst)}};
 }
 
@@ -25,32 +28,50 @@ Endpoint SimEnv::do_attach(Actor& actor, NodeId node) {
   return ep;
 }
 
+const std::map<std::pair<NodeId, NodeId>, std::int64_t>&
+SimEnv::bytes_by_node_pair() const {
+  pair_bytes_.clear();
+  // Unordered iteration feeding commutative += — order-independent.
+  for (const auto& [key, stream] : streams_) {
+    if (stream.bytes != 0) pair_bytes_[{stream.src, stream.dst}] += stream.bytes;
+  }
+  return pair_bytes_;
+}
+
 void SimEnv::send(Envelope envelope) {
-  auto from_it = actors_.find(envelope.from);
   auto to_it = actors_.find(envelope.to);
   if (to_it == actors_.end()) {
     GC_WARN << "simenv: dropping message type " << envelope.type
             << " to unknown endpoint " << envelope.to;
     return;
   }
-  const NodeId src =
-      from_it != actors_.end() ? from_it->second.node : to_it->second.node;
-  const NodeId dst = to_it->second.node;
-  double delay = topology().transfer_time(src, dst, envelope.wire_size());
-  ++messages_sent_;
-  bytes_sent_ += envelope.wire_size();
-  bytes_by_node_pair_[{src, dst}] += envelope.wire_size();
-
-  if (obs::metrics_on()) {
-    auto& m = obs::Metrics::instance();
-    const obs::Labels labels = link_labels(src, dst);
-    m.counter("net_messages_total", labels).inc();
-    m.counter("net_bytes_total", labels)
-        .inc(static_cast<std::uint64_t>(envelope.wire_size()));
-  }
-
   const std::uint64_t stream_key =
       (static_cast<std::uint64_t>(envelope.from) << 32) | envelope.to;
+  auto [stream_it, inserted] = streams_.try_emplace(stream_key);
+  StreamState& stream = stream_it->second;
+  if (inserted) {
+    auto from_it = actors_.find(envelope.from);
+    stream.src =
+        from_it != actors_.end() ? from_it->second.node : to_it->second.node;
+    stream.dst = to_it->second.node;
+  }
+
+  const std::int64_t wire = envelope.wire_size();
+  const double delay = topology().transfer_time(stream.src, stream.dst, wire);
+  ++messages_sent_;
+  bytes_sent_ += wire;
+  stream.bytes += wire;
+
+  if (obs::metrics_on()) {
+    if (stream.messages == nullptr) {
+      auto& m = obs::Metrics::instance();
+      const obs::Labels labels = link_labels(stream.src, stream.dst);
+      stream.messages = &m.counter("net_messages_total", labels);
+      stream.bytes_counter = &m.counter("net_bytes_total", labels);
+    }
+    stream.messages->inc();
+    stream.bytes_counter->inc(static_cast<std::uint64_t>(wire));
+  }
 
   // Fault injection: tampered messages (dropped, duplicated, delayed)
   // leave the per-stream FIFO model and deliver out of band; clean
@@ -58,31 +79,33 @@ void SimEnv::send(Envelope envelope) {
   // pre-existing path.
   if (fault_hook_ != nullptr) {
     const FaultDecision decision = fault_hook_->on_message(
-        engine_.now(), src, dst, envelope, ++fault_seq_[stream_key]);
+        engine_.now(), stream.src, stream.dst, envelope, ++stream.fault_seq);
     if (decision.tampered()) {
       if (obs::metrics_on()) {
-        obs::Metrics::instance()
-            .counter("net_fault_tampered_total", link_labels(src, dst))
-            .inc();
+        if (stream.tampered == nullptr) {
+          stream.tampered = &obs::Metrics::instance().counter(
+              "net_fault_tampered_total", link_labels(stream.src, stream.dst));
+        }
+        stream.tampered->inc();
       }
       if (decision.duplicate) {
         // The copy also crosses the wire: charge it like any message.
         ++messages_sent_;
-        bytes_sent_ += envelope.wire_size();
-        bytes_by_node_pair_[{src, dst}] += envelope.wire_size();
+        bytes_sent_ += wire;
+        stream.bytes += wire;
         schedule_delivery(engine_.now() + delay + decision.dup_lag_s,
-                          envelope, src, stream_key, 0);
+                          envelope, stream.src, stream_key, 0);
       }
       if (decision.drop) {
         if (obs::tracing()) {
           obs::Tracer::instance().instant(
               engine_.now(), "fault:drop:" + std::to_string(envelope.type),
-              "net:n" + std::to_string(src), envelope.trace_id);
+              "net:n" + std::to_string(stream.src), envelope.trace_id);
         }
         return;
       }
       schedule_delivery(engine_.now() + delay + decision.extra_delay_s,
-                        std::move(envelope), src, stream_key, 0);
+                        std::move(envelope), stream.src, stream_key, 0);
       return;
     }
   }
@@ -93,16 +116,16 @@ void SimEnv::send(Envelope envelope) {
   // timestamp — the engine's same-timestamp tie-break is then free to
   // reorder without ever breaking stream order (see test_schedule_fuzz).
   SimTime deliver_at = engine_.now() + delay;
-  auto stream = stream_clock_.find(stream_key);
-  if (stream != stream_clock_.end() && deliver_at <= stream->second) {
-    deliver_at = std::nextafter(stream->second,
+  if (stream.clock_valid && deliver_at <= stream.clock) {
+    deliver_at = std::nextafter(stream.clock,
                                 std::numeric_limits<SimTime>::infinity());
   }
-  stream_clock_[stream_key] = deliver_at;
+  stream.clock = deliver_at;
+  stream.clock_valid = true;
   std::uint64_t fifo_seq = 0;
-  if constexpr (check::kEnabled) fifo_seq = ++stream_seq_[stream_key];
+  if constexpr (check::kEnabled) fifo_seq = ++stream.fifo_seq;
 
-  schedule_delivery(deliver_at, std::move(envelope), src, stream_key,
+  schedule_delivery(deliver_at, std::move(envelope), stream.src, stream_key,
                     fifo_seq);
 }
 
@@ -118,15 +141,16 @@ void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,
         "net:n" + std::to_string(src), envelope.trace_id);
   }
 
-  const Endpoint to = envelope.to;
-  engine_.schedule_at(at, [this, to, stream_key, fifo_seq,
+  // The lambda (Envelope + stream bookkeeping) fits EventFn's inline
+  // buffer, so a message delivery never allocates.
+  engine_.schedule_at(at, [this, stream_key, fifo_seq,
                            env = std::move(envelope)]() {
     if constexpr (check::kEnabled) {
       // Out-of-band deliveries (fault-tampered, fifo_seq 0) are exempt:
       // dropped and duplicated messages break exact succession by design.
       if (fifo_seq != 0) fifo_.observe(stream_key, fifo_seq, __FILE__, __LINE__);
     }
-    auto it = actors_.find(to);
+    auto it = actors_.find(env.to);
     if (it == actors_.end()) return;  // actor detached in flight
     if (obs::tracing()) {
       obs::Tracer::instance().instant(

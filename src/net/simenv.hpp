@@ -9,6 +9,7 @@
 #include "des/engine.hpp"
 #include "net/env.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace gc::net {
 
@@ -51,11 +52,11 @@ class SimEnv final : public Env {
 
   /// Bytes charged per directed (src, dst) node pair, in node order.
   /// Callers with a site map (the platform) can split this into LAN vs
-  /// WAN traffic — what the data-locality bench reports.
+  /// WAN traffic — what the data-locality bench reports. Aggregated from
+  /// the per-stream state on each call; the reference stays valid until
+  /// the next call.
   [[nodiscard]] const std::map<std::pair<NodeId, NodeId>, std::int64_t>&
-  bytes_by_node_pair() const {
-    return bytes_by_node_pair_;
-  }
+  bytes_by_node_pair() const;
 
  private:
   Endpoint do_attach(Actor& actor, NodeId node) override;
@@ -68,25 +69,42 @@ class SimEnv final : public Env {
     NodeId node;
   };
 
+  /// Per (src, dst) endpoint pair: everything the send hot path needs,
+  /// resolved with ONE hash lookup per message instead of the former
+  /// four parallel maps (stream clock, FIFO seq, fault seq, byte ledger)
+  /// plus per-message metric-label construction. Endpoints are never
+  /// reused, so the node pair and the cached per-link counters are fixed
+  /// for the stream's lifetime.
+  struct StreamState {
+    NodeId src = 0;
+    NodeId dst = 0;
+    /// Time of the latest scheduled delivery. Messages on one pair deliver
+    /// in send order, like a TCP/CORBA stream — a small control message
+    /// cannot overtake a bulk transfer sent earlier on the same connection.
+    SimTime clock = 0.0;
+    bool clock_valid = false;
+    std::uint64_t fifo_seq = 0;   ///< send counter (GC_CHECK builds only)
+    std::uint64_t fault_seq = 0;  ///< maintained while a hook is installed
+    std::int64_t bytes = 0;       ///< ledger behind bytes_by_node_pair()
+    /// Lazily bound per-link instruments ("n<src>->n<dst>" label built
+    /// once per stream, not per message); Metrics::reset() never
+    /// invalidates them.
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes_counter = nullptr;
+    obs::Counter* tampered = nullptr;
+  };
+
   des::Engine& engine_;
   Endpoint next_endpoint_ = 1;
   std::unordered_map<Endpoint, Entry> actors_;
-  /// Per (src, dst) endpoint pair: time of the latest scheduled delivery.
-  /// Messages on one pair deliver in send order, like a TCP/CORBA stream
-  /// — a small control message cannot overtake a bulk transfer sent
-  /// earlier on the same connection.
-  std::unordered_map<std::uint64_t, SimTime> stream_clock_;
-  /// Per-stream send counters + delivery-order monitor (GC_CHECK builds
-  /// only; the maps stay empty otherwise).
-  std::unordered_map<std::uint64_t, std::uint64_t> stream_seq_;
+  std::unordered_map<std::uint64_t, StreamState> streams_;
+  /// Delivery-order monitor (GC_CHECK builds only).
   check::FifoMonitor fifo_{"simenv per-stream delivery"};
-  /// Per-stream send counters fed to the fault hook; maintained (and the
-  /// map populated) only while a hook is installed.
-  std::unordered_map<std::uint64_t, std::uint64_t> fault_seq_;
   FaultHook* fault_hook_ = nullptr;
   std::int64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
-  std::map<std::pair<NodeId, NodeId>, std::int64_t> bytes_by_node_pair_;
+  /// Rebuilt by bytes_by_node_pair() from the stream ledgers.
+  mutable std::map<std::pair<NodeId, NodeId>, std::int64_t> pair_bytes_;
 };
 
 }  // namespace gc::net

@@ -1,6 +1,7 @@
 // Tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -103,6 +104,46 @@ TEST(Engine, NestedScheduling) {
   engine.run();
   EXPECT_EQ(depth, 50);
   EXPECT_DOUBLE_EQ(engine.now(), 49.0);
+}
+
+TEST(Engine, CancelledTimersDoNotAccumulate) {
+  // Regression: the heartbeat pattern — re-arm a far-future watchdog and
+  // cancel the previous one, every tick — used to leave one tombstone per
+  // tick in the calendar for the whole run (the watchdogs only drain at
+  // t=1e9). Compaction must keep tombstones bounded by the live count.
+  Engine engine;
+  EventId watchdog = 0;
+  std::size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (watchdog != 0) {
+      EXPECT_TRUE(engine.cancel(watchdog));
+    }
+    watchdog = engine.schedule_at(1e9 + i, [] {});
+    peak = std::max(peak, engine.events_tombstoned());
+    ASSERT_LE(engine.events_tombstoned(),
+              engine.events_pending() + 64);  // compaction invariant
+  }
+  // Live set stayed tiny, so the calendar did too.
+  EXPECT_EQ(engine.events_pending(), 1u);
+  EXPECT_LE(peak, 65u);
+  engine.run();
+  EXPECT_EQ(engine.events_tombstoned(), 0u);
+  EXPECT_EQ(engine.events_executed(), 1u);
+}
+
+TEST(Engine, TombstonedAndHighwaterAccessors) {
+  Engine engine;
+  const EventId a = engine.schedule_at(1.0, [] {});
+  engine.schedule_at(2.0, [] {});
+  engine.schedule_at(3.0, [] {});
+  EXPECT_EQ(engine.queue_depth_highwater(), 3u);
+  EXPECT_EQ(engine.events_tombstoned(), 0u);
+  EXPECT_TRUE(engine.cancel(a));
+  EXPECT_EQ(engine.events_tombstoned(), 1u);
+  EXPECT_EQ(engine.events_pending(), 2u);
+  engine.run();
+  EXPECT_EQ(engine.events_tombstoned(), 0u);
+  EXPECT_EQ(engine.queue_depth_highwater(), 3u);
 }
 
 class EngineRandomized : public ::testing::TestWithParam<std::uint64_t> {};

@@ -186,6 +186,74 @@ TEST(Gclint, IgnoresAtomicStore) {
   EXPECT_TRUE(lint_one("src/obs/x.hpp", src).empty());
 }
 
+// ---------- hot-string ----------
+
+TEST(Gclint, FlagsToStringOnDesHotPath) {
+  const std::string src =
+      "void f(int type) {\n"
+      "  track = std::to_string(type);\n"
+      "}\n";
+  for (const char* path : {"src/des/engine.cpp", "src/net/simenv.cpp"}) {
+    const auto findings = lint_one(path, src);
+    ASSERT_TRUE(has_rule(findings, "hot-string")) << path;
+    EXPECT_EQ(findings[0].line, 2);
+  }
+}
+
+TEST(Gclint, FlagsLiteralConcatenationOnDesHotPath) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/des/engine.cpp",
+               "void f() { name = \"ev:\" + suffix; }\n"),
+      "hot-string"));
+}
+
+TEST(Gclint, AllowsHotStringOutsideHotPath) {
+  // diet/, obs/, workflow/ build strings freely; only the DES kernel and
+  // the SimEnv message path are rate-critical.
+  EXPECT_TRUE(lint_one("src/diet/agent.cpp",
+                       "void f(int t) { s = std::to_string(t); }\n")
+                  .empty());
+  // net/ files other than simenv.cpp (e.g. realenv.cpp) are out of scope.
+  EXPECT_TRUE(lint_one("src/net/realenv.cpp",
+                       "void f(int t) { s = std::to_string(t); }\n")
+                  .empty());
+}
+
+TEST(Gclint, AllowsHotStringInsideTracingGuard) {
+  const std::string src =
+      "void f(int type) {\n"
+      "  if (obs::tracing()) {\n"
+      "    trace(\"msg:\" + std::to_string(type));\n"
+      "  }\n"
+      "  if (obs::metrics_on()) {\n"
+      "    m.counter(\"x_\" + std::to_string(type)).inc();\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/net/simenv.cpp", src).empty());
+}
+
+TEST(Gclint, FlagsHotStringAfterGuardBlockCloses) {
+  const std::string src =
+      "void f(int type) {\n"
+      "  if (obs::tracing()) {\n"
+      "    trace(std::to_string(type));\n"
+      "  }\n"
+      "  name = std::to_string(type);\n"
+      "}\n";
+  const auto findings = lint_one("src/des/engine.cpp", src);
+  ASSERT_TRUE(has_rule(findings, "hot-string"));
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(Gclint, HotStringSuppressionWorks) {
+  const std::string src =
+      "void f(int n) {\n"
+      "  // gclint: allow(hot-string) built once per stream, cached\n"
+      "  label = \"n\" + std::to_string(n);\n"
+      "}\n";
+  EXPECT_TRUE(lint_one("src/net/simenv.cpp", src).empty());
+}
+
 // ---------- comment and string immunity ----------
 
 TEST(Gclint, IgnoresCommentsAndStrings) {
@@ -236,9 +304,10 @@ TEST(Gclint, UnknownRuleInDirectiveIsItselfReported) {
 
 TEST(Gclint, RuleListIsStable) {
   const auto& names = gclint::rule_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_NE(std::find(names.begin(), names.end(), "unchecked-status"),
             names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "hot-string"), names.end());
 }
 
 }  // namespace

@@ -13,7 +13,8 @@ namespace {
 
 constexpr const char* kRules[] = {"rand",           "wallclock",
                                   "thread",         "unchecked-status",
-                                  "unordered-iter", "dtm-store"};
+                                  "unordered-iter", "dtm-store",
+                                  "hot-string"};
 
 /// A file after preprocessing: stripped code lines plus suppression state.
 struct Prepared {
@@ -37,7 +38,10 @@ bool in_dir(const Prepared& file, const char* dir) {
 
 /// Blanks comments, string literals, and char literals while preserving
 /// the line structure, so rule regexes never match inside either. Handles
-/// raw strings with custom delimiters.
+/// raw strings with custom delimiters. The delimiting double quotes of
+/// ordinary string literals are KEPT (contents blanked) so rules that care
+/// about where literals sit — hot-string's `"..." + x` pattern — can see
+/// them; raw and char literals are blanked entirely, quotes included.
 std::string strip(const std::string& src) {
   std::string out;
   out.reserve(src.size());
@@ -72,7 +76,7 @@ std::string strip(const std::string& src) {
           i = paren;
         } else if (c == '"') {
           state = State::kString;
-          out += ' ';
+          out += '"';
         } else if (c == '\'') {
           state = State::kChar;
           out += ' ';
@@ -103,7 +107,7 @@ std::string strip(const std::string& src) {
           ++i;
         } else if (c == '"') {
           state = State::kCode;
-          out += ' ';
+          out += '"';
         } else {
           out += c == '\n' ? '\n' : ' ';
         }
@@ -434,6 +438,54 @@ void check_dtm_store(const Prepared& file, std::vector<Finding>& findings) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-string: per-message std::string construction on the DES/message hot
+// path. Every event and every message delivery runs through src/des/ and
+// src/net/simenv.cpp; a std::to_string or literal concatenation there
+// costs an allocation per event unless it sits in an obs::tracing()/
+// obs::metrics_on() cold branch (a single relaxed atomic load when off) or
+// is hoisted off the per-message path (then suppressed with a reason).
+
+void check_hot_string(const Prepared& file, std::vector<Finding>& findings) {
+  if (!in_dir(file, "/des/") &&
+      file.path.find("net/simenv.cpp") == std::string::npos) {
+    return;
+  }
+  // strip() keeps the delimiting quotes of string literals, so a literal
+  // operand of operator+ is visible as `" +` / `+ "`.
+  static const std::regex trigger(R"(\bstd::to_string\s*\(|"\s*\+|\+\s*")");
+  static const std::regex guard(R"(\b(?:obs\s*::\s*)?(?:tracing|metrics_on)\s*\(\s*\))");
+  // Brace-tracked guard scope: a line is "cold" when it sits inside a
+  // block opened on a line that tests tracing()/metrics_on(), or tests one
+  // itself (single-line `if (obs::tracing()) f(...)`).
+  std::vector<char> brace_guard;  // per open brace: opened under a guard?
+  std::size_t guarded_open = 0;   // braces currently open under a guard
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& line = file.lines[i];
+    const bool line_guard = std::regex_search(line, guard);
+    if (guarded_open == 0 && !line_guard &&
+        std::regex_search(line, trigger)) {
+      report(file, i, "hot-string",
+             "per-message string construction on the DES hot path; guard "
+             "behind obs::tracing()/obs::metrics_on() or cache it off the "
+             "per-event path",
+             findings);
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        const char g = (line_guard || guarded_open > 0) ? 1 : 0;
+        brace_guard.push_back(g);
+        guarded_open += g;
+      } else if (c == '}') {
+        if (!brace_guard.empty()) {
+          guarded_open -= brace_guard.back();
+          brace_guard.pop_back();
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
@@ -463,6 +515,7 @@ std::vector<Finding> lint(const std::vector<FileInput>& files) {
     check_unchecked_status(file, status_fns, findings);
     check_unordered_iter(file, findings);
     check_dtm_store(file, findings);
+    check_hot_string(file, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

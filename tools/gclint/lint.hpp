@@ -24,6 +24,12 @@
 //                    hashed, or streamed output
 //   dtm-store        direct DataManager::store outside src/dtm/ or
 //                    src/diet/sed.cpp (bypasses the replica catalog)
+//   hot-string       per-message std::string construction (std::to_string,
+//                    operator+ on a string literal) in the DES/message hot
+//                    path (src/des/, src/net/simenv.cpp) outside an
+//                    obs::tracing()/obs::metrics_on() cold branch — label
+//                    and trace names must be built lazily or cached, never
+//                    per event/message
 #pragma once
 
 #include <string>
