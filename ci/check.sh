@@ -34,6 +34,48 @@ step "bench-smoke (bench_des --quick)"
 # what this container sustains (see BENCH_des.json) so only a catastrophic
 # DES-kernel slowdown, not machine noise, fails the gate.
 ./build/bench/bench_des --quick --floor 250000 --json build/BENCH_des_smoke.json
+# Sampler-on lane tripwire: the full-run record in BENCH_des.json puts the
+# time-series sampler under 5% on pingstorm; in the noisy quick run only a
+# blowout past 10% fails the gate.
+python3 - build/BENCH_des_smoke.json <<'PY'
+import json, sys
+lanes = {w["name"]: w["events_per_sec"]
+         for w in json.load(open(sys.argv[1]))["workloads"]}
+ratio = lanes["pingstorm_sampled"] / lanes["pingstorm"]
+print(f"pingstorm with sampler on: {100 * ratio:.1f}% of sampler-off")
+assert ratio > 0.90, "time-series sampler overhead blew past 10% on pingstorm"
+PY
+
+step "gcprof over a 22-sub-sim campaign (schema + determinism)"
+# Two campaigns, different tie-break seeds: the journal and time-series
+# exports must be byte-identical (virtual-time sampling, trace-id-sorted
+# export), and gcprof --strict must give every request a complete
+# client->MA->LA->SED path whose phases telescope to the latency.
+GCP=build/gcprof_ci
+mkdir -p "$GCP"
+./build/examples/zoom_campaign --subsims 22 \
+  --journal "$GCP/j1.jsonl" --timeseries "$GCP/t1.jsonl" \
+  --metrics-interval 120 > /dev/null
+./build/examples/zoom_campaign --subsims 22 --tie-seed 97 \
+  --journal "$GCP/j2.jsonl" --timeseries "$GCP/t2.jsonl" \
+  --metrics-interval 120 > /dev/null
+cmp "$GCP/j1.jsonl" "$GCP/j2.jsonl"
+cmp "$GCP/t1.jsonl" "$GCP/t2.jsonl"
+# Schema spot-checks: journal lines carry the path and phase boundaries,
+# series lines carry the sampled registry.
+grep -q '"path": {"ma": ' "$GCP/j1.jsonl"
+grep -q '"phases": {"submitted": ' "$GCP/j1.jsonl"
+grep -q '"counters": {' "$GCP/t1.jsonl"
+[[ "$(wc -l < "$GCP/j1.jsonl")" == "23" ]]   # zoom1 + 22 zoom2
+./build/tools/gcprof/gcprof --journal "$GCP/j1.jsonl" \
+  --timeseries "$GCP/t1.jsonl" --strict --json "$GCP/report1.json" \
+  > "$GCP/report1.txt"
+./build/tools/gcprof/gcprof --journal "$GCP/j2.jsonl" \
+  --timeseries "$GCP/t2.jsonl" --strict --json "$GCP/report2.json" \
+  > /dev/null
+cmp "$GCP/report1.json" "$GCP/report2.json"
+grep -q '"complete_paths": 23' "$GCP/report1.json"
+grep -q '"violations": \[\]' "$GCP/report1.json"
 
 step "clang-tidy (src/common + src/des)"
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -8,11 +8,14 @@
 //   ./pm_simulation --zoom 2                 # nested zoom ICs
 //   ./pm_simulation --threads 4              # pool threads (= GC_THREADS)
 //   ./pm_simulation --trace out.json --metrics m.txt   # observability
+//   ./pm_simulation --timeseries t.jsonl --metrics-interval 0.5
+//                                            # wall-clock metrics curves
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "obs/session.hpp"
+#include "obs/timeseries.hpp"
 #include "parallel/pool.hpp"
 #include "cosmo/massfunction.hpp"
 #include "halo/halomaker.hpp"
@@ -26,6 +29,11 @@ int main(int argc, char** argv) {
   gc::set_default_log_level(gc::LogLevel::kWarn);
   const gc::CliArgs args(argc, argv);
   const gc::obs::Session obs = gc::obs::Session::from_cli(args);
+  // No DES calendar here, so --timeseries samples on the wall clock; the
+  // session's finish() stops the thread and writes the JSONL.
+  if (obs.timeseries_active()) {
+    gc::obs::TimeSeries::instance().start_wall_sampler();
+  }
 
   gc::ramses::RunParams params;
   params.npart_dim = static_cast<int>(args.get_int("n", 16));

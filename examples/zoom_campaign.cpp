@@ -11,6 +11,9 @@
 //   ./zoom_campaign --fault-sed 7 --fault-at 600   # kill a SED at t=600s
 //   ./zoom_campaign --fault-plan mixed --fault-seed 3   # chaos run
 //   ./zoom_campaign --trace out.json     # Perfetto trace of the campaign
+//   ./zoom_campaign --journal j.jsonl    # per-request phase journal
+//   ./zoom_campaign --timeseries t.jsonl --metrics-interval 30
+//                                        # metrics sampled every 30 sim-s
 //   ./zoom_campaign --tie-seed 5         # scramble same-time event order
 //                                        # (results must not change)
 //   ./zoom_campaign --persistence persistent --policy mct-data

@@ -19,6 +19,24 @@ constexpr std::size_t kCompactMinEntries = 64;
 
 }  // namespace
 
+const char* event_tag_name(EventTag tag) {
+  switch (tag) {
+    case EventTag::kGeneric:
+      return "generic";
+    case EventTag::kTimer:
+      return "timer";
+    case EventTag::kMessage:
+      return "message";
+    case EventTag::kExecute:
+      return "execute";
+    case EventTag::kSampler:
+      return "sampler";
+    case EventTag::kCount:
+      break;
+  }
+  return "unknown";
+}
+
 Engine::Engine() { set_log_clock(&engine_clock, this); }
 
 Engine::~Engine() { clear_log_clock(this); }
@@ -99,7 +117,7 @@ void Engine::compact() {
   tombstones_ = 0;
 }
 
-EventId Engine::schedule_at(SimTime t, EventFn fn) {
+EventId Engine::schedule_at(SimTime t, EventFn fn, EventTag tag) {
   // Routed through the invariant layer when it is compiled in (so tests
   // can seed the violation); still a hard check in GC_CHECK=OFF builds.
   GC_INVARIANT(t >= now_, "event scheduled in the past");
@@ -121,7 +139,9 @@ EventId Engine::schedule_at(SimTime t, EventFn fn) {
   }
   Record& record = slab_[slot];
   record.fn = std::move(fn);
+  record.tag = tag;
   record.armed = true;
+  ++tag_scheduled_[static_cast<std::size_t>(tag)];
   heap_push(HeapEntry{t, tie_of(seq), seq, slot});
   ++live_;
   if (heap_.size() > depth_highwater_) {
@@ -156,6 +176,21 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
+void Engine::publish_tag_metrics() const {
+  if (!obs::metrics_on()) return;
+  obs::Metrics& metrics = obs::Metrics::instance();
+  for (std::size_t i = 0; i < kEventTagCount; ++i) {
+    const auto tag = static_cast<EventTag>(i);
+    const obs::Labels labels = {{"tag", event_tag_name(tag)}};
+    metrics.gauge("des_events_scheduled_by_tag", labels)
+        .set(static_cast<double>(tag_scheduled_[i]));
+    metrics.gauge("des_events_executed_by_tag", labels)
+        .set(static_cast<double>(tag_executed_[i]));
+    metrics.gauge("des_time_advanced_seconds_by_tag", labels)
+        .set(tag_time_[i]);
+  }
+}
+
 bool Engine::step() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
@@ -166,10 +201,13 @@ bool Engine::step() {
     }
     GC_INVARIANT(top.time >= now_, "virtual clock would move backwards");
     EventFn fn = std::move(record.fn);
+    const auto tag_index = static_cast<std::size_t>(record.tag);
     record.armed = false;
     heap_pop();
     free_slot(top.slot);
     --live_;
+    ++tag_executed_[tag_index];
+    tag_time_[tag_index] += top.time - now_;
     now_ = top.time;
     ++executed_;
     if (obs::metrics_on()) {

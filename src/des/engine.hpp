@@ -143,6 +143,27 @@ class EventFn {
 /// — callers use 0 as "no timer".
 using EventId = std::uint64_t;
 
+/// Coarse classification of calendar events for engine introspection: who
+/// is the calendar working for? Tags are assigned at the schedule_* call
+/// site (SimEnv tags its delivery/execute/timer events; everything else
+/// defaults to kGeneric) and attributed at pop time. Counting is always on
+/// — three array increments per event — while *publishing* the numbers as
+/// metrics gauges is gated on metrics_on().
+enum class EventTag : std::uint8_t {
+  kGeneric = 0,  ///< untagged schedule_* calls
+  kTimer,        ///< Env::post_after timers (heartbeats, retries, ticks)
+  kMessage,      ///< modeled message delivery (SimEnv::send)
+  kExecute,      ///< modeled computation completion (SimEnv::execute)
+  kSampler,      ///< observability sampling ticks (obs::TimeSeries)
+  kCount,        ///< number of tags, not a tag
+};
+
+inline constexpr std::size_t kEventTagCount =
+    static_cast<std::size_t>(EventTag::kCount);
+
+/// Stable lowercase name for metric labels and reports.
+const char* event_tag_name(EventTag tag);
+
 class Engine {
  public:
   /// While it lives, the engine's virtual clock is the logger's time
@@ -155,12 +176,14 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules fn at absolute simulated time t (>= now).
-  EventId schedule_at(SimTime t, EventFn fn);
+  EventId schedule_at(SimTime t, EventFn fn,
+                      EventTag tag = EventTag::kGeneric);
 
   /// Schedules fn after a delay (>= 0) from now.
-  EventId schedule_after(SimTime delay, EventFn fn) {
+  EventId schedule_after(SimTime delay, EventFn fn,
+                         EventTag tag = EventTag::kGeneric) {
     GC_CHECK_MSG(delay >= 0.0, "negative delay");
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::move(fn), tag);
   }
 
   /// Cancels a pending event in O(1); returns false if it already fired,
@@ -191,6 +214,29 @@ class Engine {
     return depth_highwater_;
   }
 
+  // Per-tag introspection. Deterministic by construction: counts and
+  // virtual-time deltas only — never wall time — so the numbers (and any
+  // export containing them) are byte-identical run to run.
+  [[nodiscard]] std::uint64_t events_scheduled_by_tag(EventTag tag) const {
+    return tag_scheduled_[static_cast<std::size_t>(tag)];
+  }
+  [[nodiscard]] std::uint64_t events_executed_by_tag(EventTag tag) const {
+    return tag_executed_[static_cast<std::size_t>(tag)];
+  }
+  /// Total virtual time the clock advanced *into* events of this tag: for
+  /// each executed event, (its timestamp - previous clock). Sums over all
+  /// tags to now() for a run started at 0 — a decomposition of simulated
+  /// time by what kind of event the calendar was waiting on.
+  [[nodiscard]] double time_advanced_by_tag(EventTag tag) const {
+    return tag_time_[static_cast<std::size_t>(tag)];
+  }
+
+  /// Publishes the per-tag counts and time attribution as metrics gauges
+  /// (des_events_executed_by_tag{tag=...} etc). No-op when metrics are
+  /// off. Call whenever a snapshot is about to be taken — the time-series
+  /// sampler does this each tick.
+  void publish_tag_metrics() const;
+
   /// Schedule-fuzzing hook: seed != 0 replaces the insertion-order
   /// tie-break among equal-timestamp events with a seeded bijective
   /// scramble of the event sequence numbers. 0 restores insertion order.
@@ -216,6 +262,7 @@ class Engine {
   struct Record {
     EventFn fn;
     std::uint32_t generation = 1;
+    EventTag tag = EventTag::kGeneric;
     bool armed = false;
   };
 
@@ -244,6 +291,9 @@ class Engine {
   std::size_t live_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t depth_highwater_ = 0;
+  std::uint64_t tag_scheduled_[kEventTagCount] = {};
+  std::uint64_t tag_executed_[kEventTagCount] = {};
+  double tag_time_[kEventTagCount] = {};
   std::vector<HeapEntry> heap_;
   std::vector<Record> slab_;
   std::vector<std::uint32_t> free_slots_;

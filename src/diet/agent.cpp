@@ -5,6 +5,7 @@
 
 #include "check/invariant.hpp"
 #include "common/log.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace gc::diet {
@@ -200,6 +201,9 @@ void Agent::on_message(const net::Envelope& envelope) {
 
 void Agent::handle_sed_register(const net::Envelope& envelope) {
   const SedRegisterMsg msg = SedRegisterMsg::decode(envelope.payload);
+  // Topology edge for the request journal; idempotent, so the re-register
+  // path below is covered too.
+  if (obs::journal_on()) obs::Journal::instance().note_edge(msg.name, name_);
   // A restarted SED re-registers under a fresh endpoint: update the
   // existing child (keyed by name) instead of growing a doppelganger.
   for (auto& existing : children_) {
@@ -244,6 +248,7 @@ void Agent::handle_sed_register(const net::Envelope& envelope) {
 
 void Agent::handle_agent_register(const net::Envelope& envelope) {
   const AgentRegisterMsg msg = AgentRegisterMsg::decode(envelope.payload);
+  if (obs::journal_on()) obs::Journal::instance().note_edge(msg.name, name_);
   // An LA re-registers whenever its service list grows; update in place.
   for (auto& child : children_) {
     if (child.endpoint == envelope.from) {

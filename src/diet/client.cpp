@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace gc::diet {
@@ -436,6 +437,23 @@ void Client::complete(std::uint64_t id, const gc::Status& status) {
           .histogram("diet_call_total_seconds", obs::duration_buckets_s())
           .observe(record.total_time());
     }
+  }
+  if (obs::journal_on()) {
+    const CallRecord& record = records_[call.record_index];
+    obs::RequestRecord entry;
+    entry.trace_id = id;
+    entry.service = record.service;
+    entry.client = name_;
+    entry.sed = record.sed_name;  // path above the SED resolves at export
+    entry.attempts = call.attempt;
+    entry.status = status.is_ok() ? "ok" : status.to_string();
+    entry.submitted = record.submitted;
+    entry.found = record.found;
+    // completed is only stamped on a kCallResult; failures (deadline,
+    // no-SED) close the record at the moment the call was abandoned.
+    entry.completed =
+        record.completed >= 0.0 ? record.completed : env()->now();
+    obs::Journal::instance().complete(std::move(entry));
   }
   if (call.done) call.done(status, call.profile);
 }

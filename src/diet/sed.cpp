@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace gc::diet {
@@ -629,6 +630,12 @@ void Sed::complete_job(PendingJob& job, SimTime started, int solve_status) {
   if constexpr (check::kEnabled) live_calls_.remove(job.call_id);
   job_log_.push_back(JobRecord{job.call_id, profile.path(), job.arrived,
                                started, finished, solve_status});
+  if (obs::journal_on()) {
+    // Keyed by trace id, so it pairs with the client's completion record
+    // at export time without anything extra on the wire.
+    obs::Journal::instance().sed_phases(job.trace_id, name_, job.arrived,
+                                        started, finished);
+  }
   obs::Tracer::instance().end_span(job.exec_span, finished);
   job.exec_span = 0;
   if (obs::metrics_on()) {

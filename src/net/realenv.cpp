@@ -5,6 +5,7 @@
 #include "check/lockorder.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace gc::net {
@@ -29,12 +30,17 @@ SimTime RealEnv::now() const {
 }
 
 void RealEnv::start() {
-  GC_TRACKED_LOCK(lock, mutex_, kLockName);
-  if (running_) return;
-  running_ = true;
-  stop_requested_ = false;
-  stopped_ = false;
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  {
+    GC_TRACKED_LOCK(lock, mutex_, kLockName);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    stopped_ = false;
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+  // Wall-clock runs have no virtual calendar to hang sampling ticks on;
+  // the sampler brings its own thread. No-op when time series are off.
+  obs::TimeSeries::instance().start_wall_sampler();
 }
 
 void RealEnv::stop() {
@@ -58,6 +64,7 @@ void RealEnv::stop() {
   for (auto& w : workers) {
     if (w.joinable()) w.join();
   }
+  obs::TimeSeries::instance().stop_wall_sampler();
 }
 
 void RealEnv::wait_idle() {

@@ -158,7 +158,7 @@ void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,
           "net:n" + std::to_string(it->second.node), env.trace_id);
     }
     it->second.actor->on_message(env);
-  });
+  }, des::EventTag::kMessage);
 }
 
 void SimEnv::execute(NodeId /*node*/, double modeled_seconds,
@@ -170,7 +170,8 @@ void SimEnv::execute(NodeId /*node*/, double modeled_seconds,
       [work = std::move(work), done = std::move(done)]() mutable {
         const int result = work ? work() : 0;
         done(result);
-      });
+      },
+      des::EventTag::kExecute);
 }
 
 }  // namespace gc::net

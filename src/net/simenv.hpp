@@ -21,7 +21,8 @@ class SimEnv final : public Env {
   [[nodiscard]] SimTime now() const override { return engine_.now(); }
 
   TimerId post_after(SimTime delay, std::function<void()> fn) override {
-    return engine_.schedule_after(delay, std::move(fn));
+    return engine_.schedule_after(delay, std::move(fn),
+                                  des::EventTag::kTimer);
   }
 
   bool cancel_timer(TimerId id) override { return engine_.cancel(id); }

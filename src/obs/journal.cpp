@@ -1,0 +1,126 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace gc::obs {
+
+Journal& Journal::instance() {
+  static Journal* journal = new Journal();  // leaked: outlive all callers
+  return *journal;
+}
+
+void Journal::note_edge(const std::string& child, const std::string& parent) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_[child] = parent;
+}
+
+void Journal::sed_phases(std::uint64_t trace_id, const std::string& sed,
+                         double arrived, double exec_start, double exec_end) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  phases_[trace_id] = SedPhases{sed, arrived, exec_start, exec_end};
+}
+
+void Journal::complete(RequestRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  completions_.push_back(std::move(record));
+}
+
+void Journal::resolve_path(RequestRecord& record) const {
+  auto it = edges_.find(record.sed);
+  if (it == edges_.end()) return;
+  // Walk the registration chain upward: the direct parent is the LA, the
+  // root is the MA. A SED registered straight under the MA has a
+  // single-hop chain and no LA level.
+  std::vector<std::string> chain;
+  std::string current = it->second;
+  while (chain.size() < 16) {  // cycle guard; hierarchies are shallow
+    chain.push_back(current);
+    auto parent = edges_.find(current);
+    if (parent == edges_.end()) break;
+    current = parent->second;
+  }
+  record.ma = chain.back();
+  record.la = chain.size() >= 2 ? chain.front() : "";
+}
+
+std::vector<RequestRecord> Journal::merged_records() const {
+  std::vector<RequestRecord> merged = completions_;
+  for (RequestRecord& record : merged) {
+    auto it = phases_.find(record.trace_id);
+    if (it != phases_.end()) {
+      if (record.sed.empty()) record.sed = it->second.sed;
+      record.arrived = it->second.arrived;
+      record.exec_start = it->second.exec_start;
+      record.exec_end = it->second.exec_end;
+    }
+    resolve_path(record);
+  }
+  // Sorted by trace id: completion order depends on the schedule, trace
+  // ids do not — this is what makes the export byte-stable under
+  // --tie-seed scrambles.
+  std::sort(merged.begin(), merged.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.trace_id < b.trace_id;
+            });
+  return merged;
+}
+
+std::vector<RequestRecord> Journal::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_records();
+}
+
+std::size_t Journal::record_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completions_.size();
+}
+
+std::string Journal::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const RequestRecord& r : merged_records()) {
+    out << "{\"trace_id\": " << r.trace_id << ", \"service\": \""
+        << escape_json(r.service) << "\", \"client\": \""
+        << escape_json(r.client) << "\", \"path\": {\"ma\": \""
+        << escape_json(r.ma) << "\", \"la\": \"" << escape_json(r.la)
+        << "\", \"sed\": \"" << escape_json(r.sed) << "\"}, \"attempts\": "
+        << r.attempts << ", \"status\": \"" << escape_json(r.status)
+        << "\", \"phases\": {\"submitted\": " << fmt_double(r.submitted)
+        << ", \"found\": " << fmt_double(r.found)
+        << ", \"arrived\": " << fmt_double(r.arrived)
+        << ", \"exec_start\": " << fmt_double(r.exec_start)
+        << ", \"exec_end\": " << fmt_double(r.exec_end)
+        << ", \"completed\": " << fmt_double(r.completed) << "}}\n";
+  }
+  return out.str();
+}
+
+Status Journal::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "cannot open " + path);
+  }
+  out << to_jsonl();
+  out.flush();
+  if (!out) {
+    return make_error(ErrorCode::kIoError, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+void Journal::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  edges_.clear();
+  phases_.clear();
+  completions_.clear();
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,124 @@
+// Per-request journal: one structured completion record per DIET call.
+//
+// Traces answer "what happened, visually"; the journal answers "where did
+// this request's time go" in a form a tool can aggregate: for every call,
+// the full hierarchy path (client → MA → LA → SED) and the phase
+// boundaries
+//
+//   submitted → found → arrived → exec_start → exec_end → completed
+//     (finding)  (transfer)  (queue+init)  (compute)   (reply)
+//
+// all in the owning Env's clock. Consecutive boundaries telescope, so the
+// five phases sum to the end-to-end latency exactly — the invariant
+// tools/gcprof checks per record.
+//
+// The journal is a process-global side channel, deliberately NOT on the
+// wire: every protocol message feeds the modeled transfer-time function
+// through its payload size, so extending messages for accounting would
+// shift every timing in the simulation. Instead:
+//
+//   - agents record parent/child *name* edges at registration time
+//     (`note_edge`), giving the journal the hierarchy topology;
+//   - the executing SED contributes its phase timestamps keyed by the
+//     trace id that already rides the envelopes (`sed_phases`);
+//   - the client emits the completion record (`complete`) with the
+//     client-side boundaries, and export time merges the three.
+//
+// Export is JSONL sorted by trace id, so the file is byte-identical run to
+// run (and under --tie-seed scrambles) even though completion *order* is
+// schedule-dependent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::obs {
+
+/// One completed DIET call. Times are seconds on the owning Env's clock;
+/// -1 marks a boundary the request never reached (failed calls).
+struct RequestRecord {
+  std::uint64_t trace_id = 0;
+  std::string service;
+  std::string client;
+  std::string ma;   ///< resolved from registration edges at export
+  std::string la;   ///< "" when the SED registered directly under the MA
+  std::string sed;  ///< executing SED ("" when no SED was ever chosen)
+  int attempts = 1;
+  std::string status;  ///< "ok" or the failure's status string
+
+  double submitted = -1.0;   ///< client issued the request (client clock)
+  double found = -1.0;       ///< scheduling reply received (finding done)
+  double arrived = -1.0;     ///< call data arrived at the SED
+  double exec_start = -1.0;  ///< solve began (queue + service init done)
+  double exec_end = -1.0;    ///< solve finished
+  double completed = -1.0;   ///< result received back at the client
+};
+
+class Journal {
+ public:
+  static Journal& instance();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Records "child registered under parent" (names). Idempotent; called
+  /// by agents on every SED/LA registration, so restarts just re-assert
+  /// the edge.
+  void note_edge(const std::string& child, const std::string& parent);
+
+  /// The executing SED's contribution, keyed by the request's trace id.
+  /// A re-execution (missing-data resend) overwrites: the journal reports
+  /// the attempt that produced the result.
+  void sed_phases(std::uint64_t trace_id, const std::string& sed,
+                  double arrived, double exec_start, double exec_end);
+
+  /// The client's completion record. SED phases and the hierarchy path
+  /// are merged in at export time, so arrival order between the SED's
+  /// contribution and the client's completion never matters.
+  void complete(RequestRecord record);
+
+  /// Fully-merged records, sorted by trace id.
+  [[nodiscard]] std::vector<RequestRecord> records() const;
+
+  [[nodiscard]] std::size_t record_count() const;
+
+  /// One JSON object per line, sorted by trace id.
+  [[nodiscard]] std::string to_jsonl() const;
+  Status write_jsonl(const std::string& path) const;
+
+  /// Drops all records, phases, and edges.
+  void clear();
+
+ private:
+  Journal() = default;
+
+  struct SedPhases {
+    std::string sed;
+    double arrived = -1.0;
+    double exec_start = -1.0;
+    double exec_end = -1.0;
+  };
+
+  /// Resolves ma/la/sed from the edge map; callers hold mutex_.
+  void resolve_path(RequestRecord& record) const;
+  [[nodiscard]] std::vector<RequestRecord> merged_records() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> edges_;          ///< child -> parent
+  std::map<std::uint64_t, SedPhases> phases_;         ///< by trace id
+  std::vector<RequestRecord> completions_;            ///< client records
+};
+
+/// One-atomic fast path for instrumentation sites.
+inline bool journal_on() { return Journal::instance().enabled(); }
+
+}  // namespace gc::obs

@@ -10,8 +10,6 @@
 
 namespace gc::obs {
 
-namespace {
-
 /// Deterministic shortest-round-trip-ish double formatting; avoids
 /// locale-dependent std::ostream state.
 std::string fmt_double(double v) {
@@ -43,7 +41,31 @@ std::string escape_json(const std::string& s) {
   return out;
 }
 
-/// "name{a=\"x\",b=\"y\"}" with labels sorted by key; bare "name" when empty.
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, and newline
+/// must travel escaped inside the quoted value. Applied when the series
+/// key is built, so the stored key is already exposition-safe (and the
+/// escaping is injective — distinct raw values keep distinct keys). The
+/// JSON exporter escapes the whole key string again on top, which is
+/// exactly the right double-escaping for a JSON string holding a
+/// Prometheus series name.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// "name{a=\"x\",b=\"y\"}" with labels sorted by key and values escaped;
+/// bare "name" when empty.
 std::string series_key(const std::string& name, const Labels& labels) {
   if (labels.empty()) return name;
   Labels sorted = labels;
@@ -54,7 +76,7 @@ std::string series_key(const std::string& name, const Labels& labels) {
     if (i > 0) key += ',';
     key += sorted[i].first;
     key += "=\"";
-    key += sorted[i].second;
+    key += escape_label_value(sorted[i].second);
     key += '"';
   }
   key += '}';
@@ -198,6 +220,24 @@ Histogram& Metrics::histogram(const std::string& name,
                  "histogram re-registered with different bounds: " + key);
   }
   return *slot;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    snap.counters.emplace_back(key, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    snap.gauges.emplace_back(key, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    snap.histograms.push_back({key, h->count(), h->sum()});
+  }
+  return snap;
 }
 
 std::string Metrics::to_prometheus() const {

@@ -99,6 +99,22 @@ class Histogram {
 const std::vector<double>& latency_buckets_s();
 const std::vector<double>& duration_buckets_s();
 
+/// Point-in-time copy of every instrument's value, keyed by the registry's
+/// series key (name + sorted, escaped labels), in key order. What the
+/// time-series sampler appends once per tick; histograms are summarized as
+/// (count, sum) — the per-bucket layout never changes over a run, so the
+/// curves people plot from a series are the aggregates.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string key;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramEntry> histograms;
+};
+
 class Metrics {
  public:
   static Metrics& instance();
@@ -121,6 +137,8 @@ class Metrics {
                        const std::vector<double>& bounds,
                        const Labels& labels = {});
 
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
   [[nodiscard]] std::string to_prometheus() const;
   [[nodiscard]] std::string to_json() const;
   Status write_prometheus(const std::string& path) const;
@@ -140,5 +158,13 @@ class Metrics {
 
 /// One-atomic fast path for recording sites.
 inline bool metrics_on() { return Metrics::instance().enabled(); }
+
+/// JSON string escaping shared by the obs exporters (metrics, time-series,
+/// request journal): quotes, backslashes, and control characters.
+std::string escape_json(const std::string& s);
+
+/// Deterministic, locale-independent double formatting ("%.9g") shared by
+/// the obs exporters.
+std::string fmt_double(double v);
 
 }  // namespace gc::obs

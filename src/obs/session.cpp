@@ -5,21 +5,56 @@
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace gc::obs {
 
+namespace {
+
+/// Flag value with env-var fallback: empty flag -> getenv(env) -> "".
+std::string flag_or_env(const CliArgs& args, const std::string& flag,
+                        const char* env) {
+  std::string value = args.get(flag, "");
+  if (value.empty()) {
+    if (const char* from_env = std::getenv(env)) value = from_env;
+  }
+  return value;
+}
+
+}  // namespace
+
 Session::Session(std::string trace_path, std::string metrics_path)
-    : trace_path_(std::move(trace_path)),
-      metrics_path_(std::move(metrics_path)) {
+    : Session(Config{std::move(trace_path), std::move(metrics_path), "", "",
+                     0.0}) {}
+
+Session::Session(Config config)
+    : trace_path_(std::move(config.trace_path)),
+      metrics_path_(std::move(config.metrics_path)),
+      timeseries_path_(std::move(config.timeseries_path)),
+      journal_path_(std::move(config.journal_path)) {
   if (!trace_path_.empty()) {
     Tracer::instance().clear();
     Tracer::instance().set_enabled(true);
   }
-  if (!metrics_path_.empty()) {
+  if (!metrics_path_.empty() || !timeseries_path_.empty()) {
+    // The sampler snapshots the registry, so --timeseries implies metrics
+    // collection even without a --metrics dump at the end.
     Metrics::instance().reset();
     Metrics::instance().set_enabled(true);
+  }
+  if (!timeseries_path_.empty()) {
+    TimeSeries::instance().clear();
+    if (config.metrics_interval_s > 0.0) {
+      TimeSeries::instance().set_interval(config.metrics_interval_s);
+    }
+    TimeSeries::instance().set_enabled(true);
+  }
+  if (!journal_path_.empty()) {
+    Journal::instance().clear();
+    Journal::instance().set_enabled(true);
   }
 }
 
@@ -27,27 +62,38 @@ Session::~Session() { finish(); }
 
 Session::Session(Session&& other) noexcept
     : trace_path_(std::exchange(other.trace_path_, {})),
-      metrics_path_(std::exchange(other.metrics_path_, {})) {}
+      metrics_path_(std::exchange(other.metrics_path_, {})),
+      timeseries_path_(std::exchange(other.timeseries_path_, {})),
+      journal_path_(std::exchange(other.journal_path_, {})) {}
 
 Session& Session::operator=(Session&& other) noexcept {
   if (this != &other) {
     finish();
     trace_path_ = std::exchange(other.trace_path_, {});
     metrics_path_ = std::exchange(other.metrics_path_, {});
+    timeseries_path_ = std::exchange(other.timeseries_path_, {});
+    journal_path_ = std::exchange(other.journal_path_, {});
   }
   return *this;
 }
 
 Session Session::from_cli(const CliArgs& args) {
-  std::string trace = args.get("trace", "");
-  std::string metrics = args.get("metrics", "");
-  if (trace.empty()) {
-    if (const char* env = std::getenv("GC_TRACE")) trace = env;
+  Config config;
+  config.trace_path = flag_or_env(args, "trace", "GC_TRACE");
+  config.metrics_path = flag_or_env(args, "metrics", "GC_METRICS");
+  config.timeseries_path = flag_or_env(args, "timeseries", "GC_TIMESERIES");
+  config.journal_path = flag_or_env(args, "journal", "GC_JOURNAL");
+  const std::string interval =
+      flag_or_env(args, "metrics-interval", "GC_METRICS_INTERVAL");
+  if (!interval.empty()) {
+    config.metrics_interval_s = std::strtod(interval.c_str(), nullptr);
+    if (config.metrics_interval_s <= 0.0) {
+      GC_ERROR << "ignoring non-positive --metrics-interval '" << interval
+               << "'";
+      config.metrics_interval_s = 0.0;
+    }
   }
-  if (metrics.empty()) {
-    if (const char* env = std::getenv("GC_METRICS")) metrics = env;
-  }
-  return Session(std::move(trace), std::move(metrics));
+  return Session(std::move(config));
 }
 
 void Session::finish() {
@@ -61,6 +107,35 @@ void Session::finish() {
     }
     Tracer::instance().set_enabled(false);
     trace_path_.clear();
+  }
+  if (!timeseries_path_.empty()) {
+    // Stop the wall sampler if one is running (no-op for DES-driven runs)
+    // so the final sample lands before export.
+    TimeSeries::instance().stop_wall_sampler();
+    const Status st = TimeSeries::instance().write_jsonl(timeseries_path_);
+    if (!st.is_ok()) {
+      GC_ERROR << "time-series export failed: " << st.to_string();
+    } else {
+      GC_INFO << "time series written to " << timeseries_path_ << " ("
+              << TimeSeries::instance().sample_count() << " samples)";
+    }
+    TimeSeries::instance().set_enabled(false);
+    if (metrics_path_.empty()) {
+      // We enabled the registry for the sampler's sake; release it.
+      Metrics::instance().set_enabled(false);
+    }
+    timeseries_path_.clear();
+  }
+  if (!journal_path_.empty()) {
+    const Status st = Journal::instance().write_jsonl(journal_path_);
+    if (!st.is_ok()) {
+      GC_ERROR << "journal export failed: " << st.to_string();
+    } else {
+      GC_INFO << "journal written to " << journal_path_ << " ("
+              << Journal::instance().record_count() << " records)";
+    }
+    Journal::instance().set_enabled(false);
+    journal_path_.clear();
   }
   if (!metrics_path_.empty()) {
     const bool json = metrics_path_.size() >= 5 &&

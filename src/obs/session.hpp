@@ -1,17 +1,24 @@
-// RAII observability session: enables the tracer and/or metrics registry
-// on construction, writes the exports and disables them on destruction.
+// RAII observability session: enables the tracer, metrics registry,
+// time-series sampler, and/or request journal on construction, writes the
+// exports and disables them on destruction.
 //
 // Binaries create one at the top of main():
 //
 //   gc::obs::Session obs = gc::obs::Session::from_cli(args);
 //
-// which resolves `--trace <path>` / `--metrics <path>` flags with
-// `GC_TRACE` / `GC_METRICS` env-var fallbacks. A default-constructed (or
-// empty-path) session enables nothing and writes nothing, so the flags are
-// free to plumb unconditionally.
+// which resolves `--trace <path>` / `--metrics <path>` /
+// `--timeseries <path>` / `--journal <path>` flags with `GC_TRACE` /
+// `GC_METRICS` / `GC_TIMESERIES` / `GC_JOURNAL` env-var fallbacks, and
+// `--metrics-interval <seconds>` (`GC_METRICS_INTERVAL`) for the sampling
+// period. A default-constructed (or all-empty) session enables nothing and
+// writes nothing, so the flags are free to plumb unconditionally.
 //
 // Metrics output format follows the extension: `.json` gets the flat JSON
-// dump, anything else the Prometheus text exposition.
+// dump, anything else the Prometheus text exposition. Time-series and
+// journal exports are always JSONL.
+//
+// `--timeseries` implies the metrics registry is enabled (the sampler
+// snapshots it), whether or not `--metrics` asks for the final dump.
 #pragma once
 
 #include <string>
@@ -24,8 +31,18 @@ namespace gc::obs {
 
 class Session {
  public:
+  /// All paths optional; empty = that subsystem stays off.
+  struct Config {
+    std::string trace_path;
+    std::string metrics_path;
+    std::string timeseries_path;
+    std::string journal_path;
+    double metrics_interval_s = 0.0;  ///< <= 0 keeps the sampler's default
+  };
+
   Session() = default;
   Session(std::string trace_path, std::string metrics_path);
+  explicit Session(Config config);
   ~Session();
 
   Session(Session&& other) noexcept;
@@ -33,11 +50,17 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Reads --trace/--metrics (GC_TRACE/GC_METRICS as fallback).
+  /// Reads --trace/--metrics/--timeseries/--journal/--metrics-interval
+  /// (GC_TRACE/GC_METRICS/GC_TIMESERIES/GC_JOURNAL/GC_METRICS_INTERVAL as
+  /// fallbacks).
   static Session from_cli(const CliArgs& args);
 
   [[nodiscard]] bool trace_active() const { return !trace_path_.empty(); }
   [[nodiscard]] bool metrics_active() const { return !metrics_path_.empty(); }
+  [[nodiscard]] bool timeseries_active() const {
+    return !timeseries_path_.empty();
+  }
+  [[nodiscard]] bool journal_active() const { return !journal_path_.empty(); }
 
   /// Writes exports now and disables the subsystems; the destructor then
   /// does nothing. Useful to flush before process-exit shortcuts.
@@ -46,6 +69,8 @@ class Session {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string timeseries_path_;
+  std::string journal_path_;
 };
 
 }  // namespace gc::obs

@@ -4,6 +4,7 @@
 #include <array>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 
 #include "common/log.hpp"
@@ -14,6 +15,7 @@
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "ramses/simulation.hpp"
 
@@ -225,10 +227,13 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
 
   // Part 2: issued all at once when part 1 completes; failed calls are
   // resubmitted up to cfg.max_retries times each.
+  // Retry closures live on the stack and capture themselves by reference:
+  // the engine drains before this scope exits, so no callback can outlive
+  // them, and (unlike a shared_ptr captured by its own target) nothing
+  // cycles or leaks.
   std::vector<ScienceTuple> science;
-  auto submit_one = std::make_shared<
-      std::function<void(const halo::Halo&, int)>>();
-  *submit_one = [&, submit_one](const halo::Halo& halo, int retries_left) {
+  std::function<void(const halo::Halo&, int)> submit_one;
+  submit_one = [&](const halo::Halo& halo, int retries_left) {
     const int cx = static_cast<int>(halo.x * cfg.resolution);
     const int cy = static_cast<int>(halo.y * cfg.resolution);
     const int cz = static_cast<int>(halo.z * cfg.resolution);
@@ -237,7 +242,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
         cfg.size_mpc, cx, cy, cz, cfg.nb_box, cfg.input_mode);
     client.call_async(
         std::move(profile),
-        [&, submit_one, halo, retries_left, cx, cy, cz](
+        [&, halo, retries_left, cx, cy, cz](
             const gc::Status& status, diet::Profile& out_profile) {
           if (status.is_ok()) {
             auto rc = out_profile.arg(8).get_scalar<std::int32_t>();
@@ -248,7 +253,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           }
           if (retries_left > 0) {
             ++result.resubmissions;
-            (*submit_one)(halo, retries_left - 1);
+            submit_one(halo, retries_left - 1);
             return;
           }
           ++result.failed_calls;
@@ -263,26 +268,26 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
     if (catalog.is_ok()) halos = std::move(catalog.value().halos);
     GC_CHECK_MSG(!halos.empty(), "zoom1 produced no halos");
     for (int i = 0; i < cfg.sub_simulations; ++i) {
-      (*submit_one)(halos[static_cast<std::size_t>(i) % halos.size()],
-                    cfg.max_retries);
+      submit_one(halos[static_cast<std::size_t>(i) % halos.size()],
+                 cfg.max_retries);
     }
   };
 
   // Part 1; under a fault plan the whole call is resubmitted when even the
   // client's own attempt budget was not enough (zoom1 is the campaign's
   // single point of failure, so it gets the same rescue as zoom2 calls).
-  auto submit_zoom1 = std::make_shared<std::function<void(int)>>();
-  *submit_zoom1 = [&, submit_zoom1](int retries_left) {
+  std::function<void(int)> submit_zoom1;
+  submit_zoom1 = [&](int retries_left) {
     diet::Profile zoom1 =
         make_zoom1_profile(namelist_path, cfg.shipped_input_bytes,
                            cfg.resolution, cfg.size_mpc, cfg.input_mode);
     client.call_async(
         std::move(zoom1),
-        [&, submit_zoom1, retries_left](const gc::Status& status,
-                                        diet::Profile& profile) {
+        [&, retries_left](const gc::Status& status,
+                          diet::Profile& profile) {
           if (!status.is_ok() && retries_left > 0) {
             ++result.resubmissions;
-            (*submit_zoom1)(retries_left - 1);
+            submit_zoom1(retries_left - 1);
             return;
           }
           zoom1_done = true;
@@ -292,7 +297,32 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           submit_zoom2(file.value().path);
         });
   };
-  (*submit_zoom1)(plan.active ? cfg.max_retries : 0);
+  submit_zoom1(plan.active ? cfg.max_retries : 0);
+
+  // Time-series sampler: a self-rearming virtual-time tick snapshotting
+  // the metrics registry every interval() sim-seconds. It rearms only
+  // while *other* work is pending, so the calendar still drains and
+  // engine.run() terminates; sampling never perturbs the simulation — it
+  // only reads. Lives on the stack (events capture it by reference), so
+  // nothing leaks when the plan.active loop exits with a tick pending.
+  std::function<void()> sampler_tick;
+  if (obs::timeseries_on()) {
+    sampler_tick = [&engine, &sampler_tick]() {
+      auto& ts = obs::TimeSeries::instance();
+      engine.publish_tag_metrics();
+      ts.sample(engine.now());
+      if (engine.events_pending() > 0) {
+        engine.schedule_after(ts.interval(),
+                              [&sampler_tick]() { sampler_tick(); },
+                              des::EventTag::kSampler);
+      }
+    };
+    engine.publish_tag_metrics();
+    obs::TimeSeries::instance().sample(engine.now());  // anchor sample
+    engine.schedule_after(obs::TimeSeries::instance().interval(),
+                          [&sampler_tick]() { sampler_tick(); },
+                          des::EventTag::kSampler);
+  }
 
   if (plan.active) {
     // Heartbeat loops re-arm themselves forever, so the calendar never
@@ -413,6 +443,12 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
         .observe(result.makespan);
     m.gauge("campaign_finding_time_mean_seconds").set(result.finding_mean);
     m.gauge("campaign_overhead_seconds").set(result.overhead_total);
+  }
+  if (obs::timeseries_on()) {
+    // Closing sample so the series always covers the full campaign even
+    // when the run ends between ticks — includes the summary gauges above.
+    engine.publish_tag_metrics();
+    obs::TimeSeries::instance().sample(engine.now());
   }
   return result;
 }

@@ -1,0 +1,346 @@
+// gcprof tests: the JSON/JSONL reader, the journal-record model, the
+// report builder's invariants, and an end-to-end pass over a canned
+// 22-sub-simulation campaign — every request must resolve a complete
+// client -> MA -> LA -> SED path whose five phases telescope to the
+// end-to-end latency, and the exports (and the report built from them)
+// must be byte-identical across repeat runs and --tie-seed scrambles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "prof.hpp"
+#include "workflow/campaign.hpp"
+
+namespace gc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON reader.
+
+TEST(GcprofJson, ParsesValuesAndRejectsGarbage) {
+  const auto v = prof::parse_json(
+      "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\\"u\\\\o\\u0041\", "
+      "\"b\": true, \"n\": null}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, prof::JsonValue::Kind::kObject);
+  const prof::JsonValue* arr = v->find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->arr[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(arr->arr[2].number, -300.0);
+  const prof::JsonValue* s = v->find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->str, "q\"u\\oA");
+  EXPECT_EQ(v->find("missing"), nullptr);
+
+  EXPECT_FALSE(prof::parse_json("{\"a\": }").has_value());
+  EXPECT_FALSE(prof::parse_json("{} trailing").has_value());
+  EXPECT_FALSE(prof::parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(prof::parse_json("").has_value());
+}
+
+TEST(GcprofJson, JsonlSkipsBlankLinesAndFailsOnBadLine) {
+  const auto good = prof::parse_jsonl("{\"a\": 1}\n\n  \n{\"b\": 2}\n");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->size(), 2u);
+
+  EXPECT_FALSE(prof::parse_jsonl("{\"a\": 1}\nnot json\n").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Journal-record model.
+
+const char* kJournalLine =
+    "{\"trace_id\": 7, \"service\": \"zoom2\", \"client\": \"c\", "
+    "\"path\": {\"ma\": \"MA1\", \"la\": \"LA-x\", \"sed\": \"SeD-x-1\"}, "
+    "\"attempts\": 2, \"status\": \"ok\", \"phases\": {\"submitted\": 1, "
+    "\"found\": 1.5, \"arrived\": 2, \"exec_start\": 2.25, "
+    "\"exec_end\": 10, \"completed\": 10.5}}";
+
+TEST(GcprofRequest, ParsesJournalLineAndRequiresCoreFields) {
+  const auto v = prof::parse_json(kJournalLine);
+  ASSERT_TRUE(v.has_value());
+  const auto r = prof::request_from_json(*v);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->trace_id, 7u);
+  EXPECT_EQ(r->service, "zoom2");
+  EXPECT_EQ(r->ma, "MA1");
+  EXPECT_EQ(r->la, "LA-x");
+  EXPECT_EQ(r->sed, "SeD-x-1");
+  EXPECT_EQ(r->attempts, 2);
+  EXPECT_TRUE(r->ok());
+  EXPECT_TRUE(r->complete_path());
+  EXPECT_TRUE(r->boundaries_valid());
+  EXPECT_DOUBLE_EQ(r->total(), 9.5);
+
+  // trace_id and the phases object are load-bearing; without them the
+  // line is rejected rather than defaulted.
+  const auto no_id = prof::parse_json("{\"phases\": {}}");
+  ASSERT_TRUE(no_id.has_value());
+  EXPECT_FALSE(prof::request_from_json(*no_id).has_value());
+  const auto no_phases = prof::parse_json("{\"trace_id\": 1}");
+  ASSERT_TRUE(no_phases.has_value());
+  EXPECT_FALSE(prof::request_from_json(*no_phases).has_value());
+}
+
+TEST(GcprofRequest, PhasesTelescopeAndValidityCatchesGaps) {
+  const auto v = prof::parse_json(kJournalLine);
+  ASSERT_TRUE(v.has_value());
+  prof::Request r = *prof::request_from_json(*v);
+  const prof::Phases p = prof::phases_of(r);
+  EXPECT_DOUBLE_EQ(p.finding, 0.5);
+  EXPECT_DOUBLE_EQ(p.transfer, 0.5);
+  EXPECT_DOUBLE_EQ(p.queue_init, 0.25);
+  EXPECT_DOUBLE_EQ(p.compute, 7.75);
+  EXPECT_DOUBLE_EQ(p.reply, 0.5);
+  EXPECT_DOUBLE_EQ(p.sum(), r.total());
+
+  r.arrived = -1.0;  // never reached the SED
+  EXPECT_FALSE(r.boundaries_valid());
+  r.arrived = 2.0;
+  r.exec_end = 1.0;  // non-monotone
+  EXPECT_FALSE(r.boundaries_valid());
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary inputs.
+
+TEST(GcprofTrace, NetworkSecondsAggregatesMsgSpansByTrace) {
+  const auto trace = prof::parse_json(
+      "{\"traceEvents\": ["
+      "{\"ph\": \"X\", \"name\": \"msg:CallData\", \"ts\": 0, "
+      "\"dur\": 1500000, \"args\": {\"trace_id\": \"7\"}},"
+      "{\"ph\": \"X\", \"name\": \"msg:Reply\", \"ts\": 0, "
+      "\"dur\": 500000, \"args\": {\"trace_id\": \"7\"}},"
+      "{\"ph\": \"X\", \"name\": \"msg:CallData\", \"ts\": 0, "
+      "\"dur\": 250000, \"args\": {\"trace_id\": \"8\"}},"
+      "{\"ph\": \"X\", \"name\": \"exec:zoom2\", \"ts\": 0, "
+      "\"dur\": 9000000, \"args\": {\"trace_id\": \"7\"}},"
+      "{\"ph\": \"i\", \"name\": \"msg:Drop\", \"ts\": 0, "
+      "\"args\": {\"trace_id\": \"7\"}}"
+      "]}");
+  ASSERT_TRUE(trace.has_value());
+  const auto by_trace = prof::network_seconds_from_trace(*trace);
+  ASSERT_EQ(by_trace.size(), 2u);  // exec spans and instants don't count
+  EXPECT_DOUBLE_EQ(by_trace.at(7), 2.0);
+  EXPECT_DOUBLE_EQ(by_trace.at(8), 0.25);
+}
+
+TEST(GcprofTrace, SeriesInfoSummarizesCoverage) {
+  const auto samples = prof::parse_jsonl(
+      "{\"t\": 0, \"counters\": {}}\n"
+      "{\"t\": 60, \"counters\": {}}\n"
+      "{\"t\": 120, \"counters\": {}}\n");
+  ASSERT_TRUE(samples.has_value());
+  const prof::SeriesInfo info = prof::series_info(*samples);
+  EXPECT_EQ(info.samples, 3u);
+  EXPECT_DOUBLE_EQ(info.t_first, 0.0);
+  EXPECT_DOUBLE_EQ(info.t_last, 120.0);
+}
+
+// ---------------------------------------------------------------------------
+// Report builder on synthetic records.
+
+prof::Request synthetic(std::uint64_t id, double scale) {
+  prof::Request r;
+  r.trace_id = id;
+  r.service = "zoom2";
+  r.client = "c";
+  r.ma = "MA1";
+  r.la = "LA0";
+  r.sed = "SeD0" + std::to_string(id);
+  r.status = "ok";
+  r.submitted = 0.0;
+  r.found = 1.0 * scale;
+  r.arrived = 2.0 * scale;
+  r.exec_start = 3.0 * scale;
+  r.exec_end = 10.0 * scale;
+  r.completed = 11.0 * scale;
+  return r;
+}
+
+TEST(GcprofReport, FlagsViolationsRanksSlowestAndAttributesLoad) {
+  std::vector<prof::Request> requests;
+  requests.push_back(synthetic(3, 1.0));
+  requests.push_back(synthetic(1, 2.0));
+  prof::Request broken = synthetic(2, 1.0);
+  broken.la = "";  // ok status but the path never resolved: a violation
+  requests.push_back(broken);
+  prof::Request failed = synthetic(4, 1.0);
+  failed.status = "deadline exceeded";
+  failed.arrived = failed.exec_start = failed.exec_end = -1.0;
+  requests.push_back(failed);
+
+  prof::Options opts;
+  opts.top_k = 2;
+  opts.strict = true;
+  const prof::Report report =
+      prof::build_report(requests, std::nullopt, std::nullopt, opts);
+
+  EXPECT_EQ(report.requests, 4u);
+  EXPECT_EQ(report.ok, 3u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.complete_paths, 3u);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("trace 2"), std::string::npos);
+  EXPECT_NE(report.violations[0].find("incomplete path"), std::string::npos);
+
+  // Failed requests without boundaries stay out of the phase totals; the
+  // compute phase (7 per unit scale) dominates every valid record.
+  EXPECT_EQ(report.dominant.at("compute"), 3u);
+  EXPECT_DOUBLE_EQ(report.totals.compute, 7.0 + 14.0 + 7.0);
+  EXPECT_DOUBLE_EQ(report.total_latency, 11.0 + 22.0 + 11.0);
+
+  ASSERT_EQ(report.slowest.size(), 2u);
+  EXPECT_EQ(report.slowest[0].trace_id, 1u);  // scale 2: slowest
+  EXPECT_EQ(report.slowest[1].trace_id, 2u);  // 11 s tie broken by id
+  EXPECT_DOUBLE_EQ(report.span_end - report.span_start, 22.0);
+
+  // Per-SED load from the exec intervals; fan-out from resolved paths. The
+  // failed request's SED shows up too, with no completed job to its name.
+  ASSERT_EQ(report.seds.size(), 4u);
+  EXPECT_EQ(report.seds[0].jobs, 1u);
+  EXPECT_GT(report.seds[0].utilization, 0.0);
+  EXPECT_EQ(report.seds[3].name, "SeD04");
+  EXPECT_EQ(report.seds[3].jobs, 0u);
+  EXPECT_EQ(report.las_by_ma.at("MA1").size(), 1u);
+  EXPECT_EQ(report.seds_by_la.at("LA0").size(), 3u);  // trace 2 has no LA
+
+  // Both renderers are pure functions of the report.
+  EXPECT_EQ(prof::to_text(report), prof::to_text(report));
+  const std::string json = prof::to_json(report);
+  EXPECT_EQ(json, prof::to_json(report));
+  EXPECT_NE(json.find("\"violations\": [\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end over a canned campaign: 1 zoom1 + 22 zoom2 requests through
+// the simulated Grid'5000 deployment, journal + time-series on.
+
+struct TelemetryGuard {
+  TelemetryGuard() {
+    obs::Metrics::instance().reset();
+    obs::Metrics::instance().set_enabled(true);
+    obs::TimeSeries::instance().clear();
+    obs::TimeSeries::instance().set_interval(600.0);
+    obs::TimeSeries::instance().set_enabled(true);
+    obs::Journal::instance().clear();
+    obs::Journal::instance().set_enabled(true);
+  }
+  ~TelemetryGuard() {
+    obs::Journal::instance().set_enabled(false);
+    obs::Journal::instance().clear();
+    obs::TimeSeries::instance().set_enabled(false);
+    obs::TimeSeries::instance().clear();
+    obs::TimeSeries::instance().set_interval(60.0);
+    obs::Metrics::instance().set_enabled(false);
+    obs::Metrics::instance().reset();
+  }
+};
+
+struct Exports {
+  std::string journal;
+  std::string series;
+};
+
+Exports run_campaign(std::uint64_t tie_seed) {
+  obs::Journal::instance().clear();
+  obs::TimeSeries::instance().clear();
+  obs::Metrics::instance().reset();
+  workflow::CampaignConfig config;
+  config.sub_simulations = 22;
+  config.tie_break_seed = tie_seed;
+  const workflow::CampaignResult result =
+      workflow::run_grid5000_campaign(config);
+  EXPECT_EQ(result.failed_calls, 0u);
+  EXPECT_EQ(result.zoom2.size(), 22u);
+  Exports e;
+  e.journal = obs::Journal::instance().to_jsonl();
+  e.series = obs::TimeSeries::instance().to_jsonl();
+  return e;
+}
+
+std::vector<prof::Request> requests_of(const Exports& e) {
+  const auto lines = prof::parse_jsonl(e.journal);
+  EXPECT_TRUE(lines.has_value());
+  std::vector<prof::Request> requests;
+  if (!lines.has_value()) return requests;
+  for (const auto& line : *lines) {
+    const auto r = prof::request_from_json(line);
+    EXPECT_TRUE(r.has_value());
+    if (r.has_value()) requests.push_back(*r);
+  }
+  return requests;
+}
+
+prof::Report report_of(const Exports& e) {
+  const auto samples = prof::parse_jsonl(e.series);
+  EXPECT_TRUE(samples.has_value());
+  prof::Options opts;
+  opts.strict = true;
+  return prof::build_report(requests_of(e), prof::series_info(*samples),
+                            std::nullopt, opts);
+}
+
+TEST(GcprofCampaign, CompletePathsTelescopingPhasesAndDeterminism) {
+  TelemetryGuard guard;
+  // Warm-up run: metric instruments persist across reset(), so the very
+  // first run's early samples see fewer series than any later run's.
+  // Every compared run below starts from the full instrument set.
+  const Exports warmup = run_campaign(0);
+
+  const Exports a = run_campaign(0);
+  // Repeat run, same seed: the journal is a pure function of the modeled
+  // schedule, so it is byte-identical even against the warm-up run.
+  EXPECT_EQ(warmup.journal, a.journal);
+
+  const std::vector<prof::Request> requests = requests_of(a);
+  ASSERT_EQ(requests.size(), 23u);  // 1 zoom1 + 22 zoom2
+  for (const prof::Request& r : requests) {
+    EXPECT_TRUE(r.ok()) << "trace " << r.trace_id << ": " << r.status;
+    EXPECT_TRUE(r.complete_path())
+        << "trace " << r.trace_id << ": " << r.ma << "/" << r.la << "/"
+        << r.sed;
+    EXPECT_TRUE(r.boundaries_valid()) << "trace " << r.trace_id;
+    const prof::Phases p = prof::phases_of(r);
+    EXPECT_NEAR(p.sum(), r.total(), 1e-9 * std::max(1.0, r.total()))
+        << "trace " << r.trace_id;
+  }
+
+  const prof::Report report = report_of(a);
+  EXPECT_EQ(report.requests, 23u);
+  EXPECT_EQ(report.ok, 23u);
+  EXPECT_EQ(report.complete_paths, 23u);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.slowest.size(), 5u);
+  EXPECT_EQ(report.las_by_ma.size(), 1u);  // one MA fronts the platform
+  EXPECT_FALSE(report.seds.empty());
+  for (const prof::SedStat& sed : report.seds) {
+    EXPECT_GE(sed.jobs, 1u);
+    EXPECT_GT(sed.utilization, 0.0);
+    EXPECT_LE(sed.utilization, 1.0);
+  }
+  EXPECT_TRUE(report.have_series);
+  EXPECT_GE(report.series.samples, 2u);
+  EXPECT_NE(prof::to_text(report).find("gcprof report"), std::string::npos);
+
+  // Tie-seed fuzz: scrambling same-timestamp event order must not move a
+  // single byte of either export or of the report built from them.
+  const Exports b = run_campaign(11);
+  const Exports c = run_campaign(97);
+  EXPECT_EQ(a.journal, b.journal);
+  EXPECT_EQ(a.journal, c.journal);
+  EXPECT_EQ(a.series, b.series);
+  EXPECT_EQ(a.series, c.series);
+  EXPECT_EQ(prof::to_json(report), prof::to_json(report_of(b)));
+}
+
+}  // namespace
+}  // namespace gc

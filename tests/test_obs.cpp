@@ -12,7 +12,9 @@
 #include "diet/deployment.hpp"
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace gc::obs {
@@ -551,6 +553,332 @@ TEST(Hierarchy, MetricsCountRequestsPerLevel) {
   EXPECT_EQ(m.histogram("diet_call_total_seconds", duration_buckets_s())
                 .count(),
             static_cast<std::uint64_t>(kCalls));
+}
+
+// ---------------------------------------------------------------------------
+// Label-value escaping (regression: raw quotes/backslashes/newlines in a
+// label value used to reach the exporters unescaped).
+
+TEST(MetricsTest, LabelValuesAreEscapedInExports) {
+  ObsGuard guard;
+  auto& m = Metrics::instance();
+  m.counter("t_esc", {{"path", "a\"b\\c\nd"}}).inc(4);
+
+  const std::string prom = m.to_prometheus();
+  // The raw value must never appear; the escaped spelling must.
+  EXPECT_EQ(prom.find("a\"b\\c\nd"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("t_esc{path=\"a\\\"b\\\\c\\nd\"} 4"), std::string::npos)
+      << prom;
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+  // Escaping is injective: values that differ only by escape-vs-raw must
+  // land on distinct series, not alias each other.
+  Counter& raw = m.counter("t_esc2", {{"k", "x\"y"}});
+  Counter& pre = m.counter("t_esc2", {{"k", "x\\\"y"}});
+  EXPECT_NE(&raw, &pre);
+
+  // Stable identity: the same raw value resolves to the same series.
+  m.counter("t_esc", {{"path", "a\"b\\c\nd"}}).inc();
+  EXPECT_EQ(m.counter("t_esc", {{"path", "a\"b\\c\nd"}}).value(), 5u);
+}
+
+TEST(MetricsTest, SnapshotCapturesAllInstrumentKinds) {
+  ObsGuard guard;
+  auto& m = Metrics::instance();
+  m.counter("t_c", {{"k", "v"}}).inc(3);
+  m.gauge("t_g").set(2.5);
+  m.histogram("t_h", {1.0}).observe(0.5);
+  m.histogram("t_h", {1.0}).observe(3.0);
+
+  // The registry keeps instruments across reset(), so earlier tests'
+  // (zeroed) series may coexist — look keys up instead of counting.
+  const MetricsSnapshot snap = m.snapshot();
+  bool found_counter = false;
+  for (const auto& [key, v] : snap.counters) {
+    if (key == "t_c{k=\"v\"}") {
+      found_counter = true;
+      EXPECT_EQ(v, 3u);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  bool found_gauge = false;
+  for (const auto& [key, v] : snap.gauges) {
+    if (key == "t_g") {
+      found_gauge = true;
+      EXPECT_DOUBLE_EQ(v, 2.5);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.key == "t_h") {
+      found_hist = true;
+      EXPECT_EQ(h.count, 2u);
+      EXPECT_DOUBLE_EQ(h.sum, 3.5);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+// ---------------------------------------------------------------------------
+// Time series.
+
+struct SeriesGuard {
+  SeriesGuard() {
+    TimeSeries::instance().clear();
+    TimeSeries::instance().set_enabled(true);
+  }
+  ~SeriesGuard() {
+    TimeSeries::instance().set_enabled(false);
+    TimeSeries::instance().clear();
+  }
+};
+
+TEST(TimeSeriesTest, SamplesSnapshotTheRegistryAndExportJsonl) {
+  ObsGuard obs_guard;
+  SeriesGuard guard;
+  auto& ts = TimeSeries::instance();
+  auto& m = Metrics::instance();
+
+  m.counter("ts_events").inc(10);
+  ts.sample(1.0);
+  m.counter("ts_events").inc(5);
+  m.gauge("ts_depth").set(3.0);
+  ts.sample(2.0);
+  EXPECT_EQ(ts.sample_count(), 2u);
+
+  const std::string jsonl = ts.to_jsonl();
+  EXPECT_EQ(jsonl, ts.to_jsonl());  // pure function of state
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = jsonl.find('\n'); nl != std::string::npos;
+       nl = jsonl.find('\n', start)) {
+    lines.push_back(jsonl.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+  }
+  // The first sample predates the gauge and the second increment.
+  EXPECT_NE(lines[0].find("\"t\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts_events\": 10"), std::string::npos);
+  EXPECT_EQ(lines[0].find("ts_depth"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ts_events\": 15"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ts_depth\": 3"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, DisabledSamplesNothingAndWallSamplerIsNoop) {
+  ObsGuard obs_guard;
+  auto& ts = TimeSeries::instance();
+  ts.clear();
+  ts.set_enabled(false);
+  ts.sample(1.0);
+  EXPECT_EQ(ts.sample_count(), 0u);
+  ts.start_wall_sampler();  // disabled: must not spawn a thread
+  ts.stop_wall_sampler();   // and stopping an unstarted sampler is safe
+  EXPECT_EQ(ts.sample_count(), 0u);
+}
+
+TEST(TimeSeriesTest, WallSamplerTakesStartAndStopSamples) {
+  ObsGuard obs_guard;
+  SeriesGuard guard;
+  auto& ts = TimeSeries::instance();
+  ts.set_interval(3600.0);  // no periodic ticks within the test
+  ts.start_wall_sampler();
+  ts.stop_wall_sampler();
+  // One immediate sample on start, one closing sample on stop.
+  EXPECT_EQ(ts.sample_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal: merge, path resolution, ordering.
+
+struct JournalGuard {
+  JournalGuard() {
+    Journal::instance().clear();
+    Journal::instance().set_enabled(true);
+  }
+  ~JournalGuard() {
+    Journal::instance().set_enabled(false);
+    Journal::instance().clear();
+  }
+};
+
+TEST(JournalTest, MergesSedPhasesAndResolvesPath) {
+  JournalGuard guard;
+  auto& j = Journal::instance();
+  j.note_edge("LA0", "MA1");
+  j.note_edge("SeD00", "LA0");
+  j.note_edge("SeDdirect", "MA1");  // registered straight under the MA
+
+  // SED phases may arrive before or after the client's completion record;
+  // file both orders across two requests.
+  j.sed_phases(2, "SeD00", 10.0, 11.0, 20.0);
+
+  RequestRecord r2;
+  r2.trace_id = 2;
+  r2.service = "double";
+  r2.client = "client";
+  r2.status = "ok";
+  r2.submitted = 9.0;
+  r2.found = 9.5;
+  r2.completed = 21.0;
+  j.complete(r2);
+
+  RequestRecord r1;
+  r1.trace_id = 1;
+  r1.service = "double";
+  r1.client = "client";
+  r1.sed = "SeDdirect";
+  r1.status = "ok";
+  r1.submitted = 1.0;
+  r1.found = 1.5;
+  r1.completed = 8.0;
+  j.complete(r1);
+  j.sed_phases(1, "SeDdirect", 2.0, 3.0, 7.0);
+
+  const auto records = j.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Sorted by trace id even though trace 2 completed first.
+  EXPECT_EQ(records[0].trace_id, 1u);
+  EXPECT_EQ(records[1].trace_id, 2u);
+
+  // Trace 1: direct SED under the MA — no LA level.
+  EXPECT_EQ(records[0].ma, "MA1");
+  EXPECT_EQ(records[0].la, "");
+  EXPECT_EQ(records[0].sed, "SeDdirect");
+  EXPECT_DOUBLE_EQ(records[0].exec_start, 3.0);
+
+  // Trace 2: full 4-level path, SED name filled from the phase record.
+  EXPECT_EQ(records[1].ma, "MA1");
+  EXPECT_EQ(records[1].la, "LA0");
+  EXPECT_EQ(records[1].sed, "SeD00");
+  EXPECT_DOUBLE_EQ(records[1].arrived, 10.0);
+  EXPECT_DOUBLE_EQ(records[1].exec_end, 20.0);
+}
+
+TEST(JournalTest, JsonlIsValidAndInsertionOrderIndependent) {
+  JournalGuard guard;
+  auto& j = Journal::instance();
+  j.note_edge("LA0", "MA1");
+  j.note_edge("SeD00", "LA0");
+
+  auto file = [&](std::uint64_t id) {
+    RequestRecord r;
+    r.trace_id = id;
+    r.service = "svc\"quoted\"";
+    r.client = "client";
+    r.status = "ok";
+    r.submitted = 1.0;
+    r.found = 2.0;
+    r.completed = 30.0;
+    j.complete(r);
+    j.sed_phases(id, "SeD00", 3.0, 4.0, 29.0);
+  };
+  file(3);
+  file(1);
+  file(2);
+  const std::string first = j.to_jsonl();
+
+  j.clear();
+  j.note_edge("SeD00", "LA0");  // edges in the other order too
+  j.note_edge("LA0", "MA1");
+  file(1);
+  file(2);
+  file(3);
+  EXPECT_EQ(first, j.to_jsonl());
+
+  std::size_t start = 0;
+  for (std::size_t nl = first.find('\n'); nl != std::string::npos;
+       nl = first.find('\n', start)) {
+    EXPECT_TRUE(JsonChecker(first.substr(start, nl - start)).valid());
+    start = nl + 1;
+  }
+}
+
+TEST(Hierarchy, JournalRecordsCompletePhasedRequests) {
+  ObsGuard obs_guard;
+  JournalGuard guard;
+  SimFixture fix;
+
+  constexpr int kCalls = 4;
+  int done = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    fix.client.call_async(double_profile(i),
+                          [&](const gc::Status& s, diet::Profile&) {
+                            EXPECT_TRUE(s.is_ok());
+                            ++done;
+                          });
+  }
+  fix.engine.run();
+  ASSERT_EQ(done, kCalls);
+
+  const auto records = Journal::instance().records();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kCalls));
+  for (const auto& r : records) {
+    EXPECT_EQ(r.status, "ok");
+    EXPECT_EQ(r.client, "client");
+    EXPECT_EQ(r.ma, "MA1");
+    EXPECT_TRUE(r.la == "LA0" || r.la == "LA1") << r.la;
+    EXPECT_EQ(r.sed.rfind("SeD", 0), 0u) << r.sed;
+    // Boundaries present and monotone: submitted <= found <= arrived <=
+    // exec_start <= exec_end <= completed.
+    const double b[] = {r.submitted,   r.found,    r.arrived,
+                        r.exec_start, r.exec_end, r.completed};
+    for (int i = 0; i < 6; ++i) EXPECT_GE(b[i], 0.0);
+    for (int i = 1; i < 6; ++i) EXPECT_GE(b[i], b[i - 1]);
+    // The modeled solve is 10 s.
+    EXPECT_NEAR(r.exec_end - r.exec_start, 10.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DES event tags: counts and virtual-time attribution.
+
+TEST(EventTags, CountsAndTimeAttributionAreTracked) {
+  des::Engine engine;
+  int fired = 0;
+  engine.schedule_after(1.0, [&] { ++fired; }, des::EventTag::kTimer);
+  engine.schedule_after(3.0, [&] { ++fired; }, des::EventTag::kMessage);
+  engine.schedule_after(3.5, [&] { ++fired; });  // default: kGeneric
+  engine.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.events_scheduled_by_tag(des::EventTag::kTimer), 1u);
+  EXPECT_EQ(engine.events_executed_by_tag(des::EventTag::kTimer), 1u);
+  EXPECT_EQ(engine.events_executed_by_tag(des::EventTag::kMessage), 1u);
+  EXPECT_EQ(engine.events_executed_by_tag(des::EventTag::kGeneric), 1u);
+  EXPECT_EQ(engine.events_executed_by_tag(des::EventTag::kSampler), 0u);
+  // Clock advances: 0->1 into the timer, 1->3 into the message, 3->3.5
+  // into the generic event; the per-tag times sum to now().
+  EXPECT_DOUBLE_EQ(engine.time_advanced_by_tag(des::EventTag::kTimer), 1.0);
+  EXPECT_DOUBLE_EQ(engine.time_advanced_by_tag(des::EventTag::kMessage), 2.0);
+  EXPECT_DOUBLE_EQ(engine.time_advanced_by_tag(des::EventTag::kGeneric), 0.5);
+  EXPECT_DOUBLE_EQ(engine.time_advanced_by_tag(des::EventTag::kTimer) +
+                       engine.time_advanced_by_tag(des::EventTag::kMessage) +
+                       engine.time_advanced_by_tag(des::EventTag::kGeneric),
+                   engine.now());
+}
+
+TEST(EventTags, PublishedAsGaugesWhenMetricsOn) {
+  ObsGuard guard;
+  des::Engine engine;
+  engine.schedule_after(2.0, [] {}, des::EventTag::kMessage);
+  engine.run();
+  engine.publish_tag_metrics();
+  auto& m = Metrics::instance();
+  EXPECT_DOUBLE_EQ(
+      m.gauge("des_events_executed_by_tag", {{"tag", "message"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      m.gauge("des_time_advanced_seconds_by_tag", {{"tag", "message"}})
+          .value(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      m.gauge("des_events_executed_by_tag", {{"tag", "execute"}}).value(),
+      0.0);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// gcprof driver: reads the journal (required) plus optional time-series
+// and trace exports, prints the critical-path report to stdout, and
+// optionally writes the JSON form for CI. Exit codes: 0 ok, 1 strict-mode
+// violations, 2 usage/input errors — so it slots straight into scripts.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "prof.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream content;
+  content << in.rdbuf();
+  out = content.str();
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: gcprof --journal <j.jsonl> [--timeseries <t.jsonl>]\n"
+               "              [--trace <trace.json>] [--top N]\n"
+               "              [--json <report.json>] [--strict]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string timeseries_path;
+  std::string trace_path;
+  std::string json_path;
+  gc::prof::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (arg == "--journal") {
+      if (!value(journal_path)) return usage();
+    } else if (arg == "--timeseries") {
+      if (!value(timeseries_path)) return usage();
+    } else if (arg == "--trace") {
+      if (!value(trace_path)) return usage();
+    } else if (arg == "--json") {
+      if (!value(json_path)) return usage();
+    } else if (arg == "--top") {
+      std::string n;
+      if (!value(n)) return usage();
+      options.top_k = std::atoi(n.c_str());
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else {
+      std::cerr << "gcprof: unknown flag " << arg << "\n";
+      return usage();
+    }
+  }
+  if (journal_path.empty()) return usage();
+
+  std::string text;
+  if (!read_file(journal_path, text)) {
+    std::cerr << "gcprof: cannot read " << journal_path << "\n";
+    return 2;
+  }
+  const auto journal_lines = gc::prof::parse_jsonl(text);
+  if (!journal_lines.has_value()) {
+    std::cerr << "gcprof: malformed journal " << journal_path << "\n";
+    return 2;
+  }
+  std::vector<gc::prof::Request> requests;
+  for (const gc::prof::JsonValue& line : *journal_lines) {
+    auto request = gc::prof::request_from_json(line);
+    if (!request.has_value()) {
+      std::cerr << "gcprof: journal record missing required fields\n";
+      return 2;
+    }
+    requests.push_back(std::move(*request));
+  }
+
+  std::optional<gc::prof::SeriesInfo> series;
+  if (!timeseries_path.empty()) {
+    if (!read_file(timeseries_path, text)) {
+      std::cerr << "gcprof: cannot read " << timeseries_path << "\n";
+      return 2;
+    }
+    const auto samples = gc::prof::parse_jsonl(text);
+    if (!samples.has_value()) {
+      std::cerr << "gcprof: malformed time series " << timeseries_path << "\n";
+      return 2;
+    }
+    series = gc::prof::series_info(*samples);
+  }
+
+  std::optional<std::map<std::uint64_t, double>> network;
+  if (!trace_path.empty()) {
+    if (!read_file(trace_path, text)) {
+      std::cerr << "gcprof: cannot read " << trace_path << "\n";
+      return 2;
+    }
+    const auto trace = gc::prof::parse_json(text);
+    if (!trace.has_value()) {
+      std::cerr << "gcprof: malformed trace " << trace_path << "\n";
+      return 2;
+    }
+    network = gc::prof::network_seconds_from_trace(*trace);
+  }
+
+  const gc::prof::Report report = gc::prof::build_report(
+      std::move(requests), series, network, options);
+  std::cout << gc::prof::to_text(report);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << gc::prof::to_json(report);
+    if (!out) {
+      std::cerr << "gcprof: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+  if (options.strict && !report.violations.empty()) {
+    std::cerr << "gcprof: " << report.violations.size()
+              << " violation(s) in strict mode\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,692 @@
+#include "prof.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace gc::prof {
+
+namespace {
+
+// --- formatting helpers (standalone: gcprof links nothing from src/) ---
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- JSON parser: recursive descent over the whole buffer ---
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.str);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return false;
+            }
+          }
+          // Our exports only ever emit \u00XX control escapes; encode the
+          // BMP code point as UTF-8 and move on.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_array(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item)) return false;
+      out.arr.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.obj.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double field_num(const JsonValue& obj, const std::string& key,
+                 double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->num_or(fallback) : fallback;
+}
+
+std::string field_str(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->str_or("") : "";
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::optional<std::vector<JsonValue>> parse_jsonl(const std::string& text) {
+  std::vector<JsonValue> values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::optional<JsonValue> v = parse_json(line);
+    if (!v.has_value()) return std::nullopt;
+    values.push_back(std::move(*v));
+  }
+  return values;
+}
+
+bool Request::boundaries_valid() const {
+  const double b[] = {submitted, found, arrived, exec_start, exec_end,
+                      completed};
+  for (const double v : b) {
+    if (v < 0.0) return false;
+  }
+  for (std::size_t i = 1; i < 6; ++i) {
+    if (b[i] < b[i - 1]) return false;
+  }
+  return true;
+}
+
+Phases phases_of(const Request& r) {
+  Phases p;
+  p.finding = r.found - r.submitted;
+  p.transfer = r.arrived - r.found;
+  p.queue_init = r.exec_start - r.arrived;
+  p.compute = r.exec_end - r.exec_start;
+  p.reply = r.completed - r.exec_end;
+  return p;
+}
+
+std::optional<Request> request_from_json(const JsonValue& v) {
+  const JsonValue* id = v.find("trace_id");
+  const JsonValue* phases = v.find("phases");
+  if (id == nullptr || id->kind != JsonValue::Kind::kNumber ||
+      phases == nullptr || phases->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  Request r;
+  r.trace_id = static_cast<std::uint64_t>(id->number);
+  r.service = field_str(v, "service");
+  r.client = field_str(v, "client");
+  r.status = field_str(v, "status");
+  r.attempts = static_cast<int>(field_num(v, "attempts", 1.0));
+  if (const JsonValue* path = v.find("path")) {
+    r.ma = field_str(*path, "ma");
+    r.la = field_str(*path, "la");
+    r.sed = field_str(*path, "sed");
+  }
+  r.submitted = field_num(*phases, "submitted", -1.0);
+  r.found = field_num(*phases, "found", -1.0);
+  r.arrived = field_num(*phases, "arrived", -1.0);
+  r.exec_start = field_num(*phases, "exec_start", -1.0);
+  r.exec_end = field_num(*phases, "exec_end", -1.0);
+  r.completed = field_num(*phases, "completed", -1.0);
+  return r;
+}
+
+SeriesInfo series_info(const std::vector<JsonValue>& samples) {
+  SeriesInfo info;
+  info.samples = samples.size();
+  if (!samples.empty()) {
+    info.t_first = field_num(samples.front(), "t", 0.0);
+    info.t_last = field_num(samples.back(), "t", 0.0);
+  }
+  return info;
+}
+
+std::map<std::uint64_t, double> network_seconds_from_trace(
+    const JsonValue& trace) {
+  std::map<std::uint64_t, double> by_trace;
+  const JsonValue* events = trace.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return by_trace;
+  }
+  for (const JsonValue& ev : events->arr) {
+    if (field_str(ev, "ph") != "X") continue;
+    const std::string name = field_str(ev, "name");
+    if (name.compare(0, 4, "msg:") != 0) continue;
+    const JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+    const std::string id_str = field_str(*args, "trace_id");
+    if (id_str.empty()) continue;
+    const std::uint64_t id = std::strtoull(id_str.c_str(), nullptr, 10);
+    by_trace[id] += field_num(ev, "dur", 0.0) / 1e6;  // us -> s
+  }
+  return by_trace;
+}
+
+Report build_report(
+    std::vector<Request> requests, const std::optional<SeriesInfo>& series,
+    const std::optional<std::map<std::uint64_t, double>>& network,
+    const Options& options) {
+  Report report;
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.trace_id < b.trace_id;
+            });
+  report.requests = requests.size();
+
+  bool have_span = false;
+  for (const Request& r : requests) {
+    if (r.ok()) {
+      ++report.ok;
+    } else {
+      ++report.failed;
+    }
+    if (r.complete_path()) ++report.complete_paths;
+
+    if (r.ok() && !r.complete_path()) {
+      report.violations.push_back("trace " + std::to_string(r.trace_id) +
+                                  ": ok but incomplete path");
+    }
+    if (r.ok() && !r.boundaries_valid()) {
+      report.violations.push_back("trace " + std::to_string(r.trace_id) +
+                                  ": ok but missing/non-monotone boundaries");
+    }
+
+    if (r.submitted >= 0.0 && r.completed >= 0.0) {
+      if (!have_span) {
+        report.span_start = r.submitted;
+        report.span_end = r.completed;
+        have_span = true;
+      } else {
+        report.span_start = std::min(report.span_start, r.submitted);
+        report.span_end = std::max(report.span_end, r.completed);
+      }
+    }
+
+    if (!r.boundaries_valid()) continue;
+    const Phases p = phases_of(r);
+    // The telescoping invariant: phases are differences of consecutive
+    // exported boundaries, so their sum is the end-to-end latency up to
+    // floating-point re-rounding of the partial sums (a few ulps).
+    const double tolerance = 1e-9 * std::max(1.0, std::abs(r.total()));
+    if (std::abs(p.sum() - r.total()) > tolerance) {
+      report.violations.push_back("trace " + std::to_string(r.trace_id) +
+                                  ": phases do not sum to total");
+    }
+    report.totals.finding += p.finding;
+    report.totals.transfer += p.transfer;
+    report.totals.queue_init += p.queue_init;
+    report.totals.compute += p.compute;
+    report.totals.reply += p.reply;
+    report.total_latency += r.total();
+    const double values[] = {p.finding, p.transfer, p.queue_init, p.compute,
+                             p.reply};
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 5; ++i) {
+      if (values[i] > values[best]) best = i;
+    }
+    ++report.dominant[kPhaseNames[best]];
+  }
+
+  // Top-k slowest among requests with a measurable total; ties broken by
+  // trace id so the list is deterministic.
+  std::vector<Request> timed;
+  for (const Request& r : requests) {
+    if (r.submitted >= 0.0 && r.completed >= 0.0) timed.push_back(r);
+  }
+  std::sort(timed.begin(), timed.end(), [](const Request& a,
+                                           const Request& b) {
+    if (a.total() != b.total()) return a.total() > b.total();
+    return a.trace_id < b.trace_id;
+  });
+  const std::size_t k =
+      std::min(timed.size(), static_cast<std::size_t>(
+                                 options.top_k > 0 ? options.top_k : 0));
+  report.slowest.assign(timed.begin(), timed.begin() + static_cast<long>(k));
+
+  // Per-SED load, from the compute intervals the journal already carries.
+  const double span = report.span_end - report.span_start;
+  std::map<std::string, SedStat> sed_stats;
+  for (const Request& r : requests) {
+    if (r.sed.empty()) continue;
+    SedStat& stat = sed_stats[r.sed];
+    stat.name = r.sed;
+    if (stat.la.empty()) stat.la = r.la;
+    if (r.exec_start >= 0.0 && r.exec_end >= 0.0) {
+      ++stat.jobs;
+      stat.busy_seconds += r.exec_end - r.exec_start;
+    }
+  }
+  for (auto& [name, stat] : sed_stats) {
+    stat.utilization = span > 0.0 ? stat.busy_seconds / span : 0.0;
+    report.seds.push_back(stat);
+  }
+
+  // Hierarchy fan-out from the resolved paths.
+  std::map<std::string, std::set<std::string>> las;
+  std::map<std::string, std::set<std::string>> seds;
+  for (const Request& r : requests) {
+    if (!r.ma.empty() && !r.la.empty()) las[r.ma].insert(r.la);
+    if (!r.la.empty() && !r.sed.empty()) seds[r.la].insert(r.sed);
+  }
+  for (const auto& [ma, children] : las) {
+    report.las_by_ma[ma].assign(children.begin(), children.end());
+  }
+  for (const auto& [la, children] : seds) {
+    report.seds_by_la[la].assign(children.begin(), children.end());
+  }
+
+  if (series.has_value()) {
+    report.have_series = true;
+    report.series = *series;
+  }
+  if (network.has_value()) {
+    report.have_network = true;
+    for (const Request& r : requests) {
+      auto it = network->find(r.trace_id);
+      if (it != network->end()) {
+        ++report.network_traced;
+        report.network_seconds += it->second;
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+std::string pct(double part, double whole) {
+  return whole > 0.0 ? fmt_fixed(100.0 * part / whole, 1) + "%" : "-";
+}
+
+void phase_rows(std::ostringstream& out, const Report& r) {
+  const double values[] = {r.totals.finding, r.totals.transfer,
+                           r.totals.queue_init, r.totals.compute,
+                           r.totals.reply};
+  for (std::size_t i = 0; i < 5; ++i) {
+    out << "  " << kPhaseNames[i];
+    for (std::size_t pad = std::string(kPhaseNames[i]).size(); pad < 12;
+         ++pad) {
+      out << ' ';
+    }
+    out << fmt_fixed(values[i], 3) << " s  (" << pct(values[i], r.total_latency)
+        << ")\n";
+  }
+}
+
+}  // namespace
+
+std::string to_text(const Report& r) {
+  std::ostringstream out;
+  out << "gcprof report\n";
+  out << "requests: " << r.requests << " (ok " << r.ok << ", failed "
+      << r.failed << ", complete paths " << r.complete_paths << ")\n";
+  out << "span: " << fmt_fixed(r.span_start, 3) << " .. "
+      << fmt_fixed(r.span_end, 3) << " s (makespan "
+      << fmt_fixed(r.span_end - r.span_start, 3) << " s)\n";
+  out << "\ncritical-path decomposition (total "
+      << fmt_fixed(r.total_latency, 3) << " request-seconds):\n";
+  phase_rows(out, r);
+  out << "\ndominant phase:";
+  if (r.dominant.empty()) out << " (none)";
+  for (const auto& [phase, count] : r.dominant) {
+    out << " " << phase << "=" << count;
+  }
+  out << "\n\ntop " << r.slowest.size() << " slowest requests:\n";
+  for (const Request& req : r.slowest) {
+    const Phases p = phases_of(req);
+    out << "  trace " << req.trace_id << "  " << req.service << "  "
+        << fmt_fixed(req.total(), 3) << " s  " << req.client << " -> "
+        << req.ma << " -> " << (req.la.empty() ? "(direct)" : req.la)
+        << " -> " << req.sed << "\n";
+    if (req.boundaries_valid()) {
+      out << "    finding " << fmt_fixed(p.finding, 3) << ", transfer "
+          << fmt_fixed(p.transfer, 3) << ", queue+init "
+          << fmt_fixed(p.queue_init, 3) << ", compute "
+          << fmt_fixed(p.compute, 3) << ", reply " << fmt_fixed(p.reply, 3)
+          << "\n";
+    }
+  }
+  out << "\nper-SED utilization (" << r.seds.size() << " SEDs):\n";
+  for (const SedStat& sed : r.seds) {
+    out << "  " << sed.name << "  jobs " << sed.jobs << "  busy "
+        << fmt_fixed(sed.busy_seconds, 3) << " s  util "
+        << fmt_fixed(100.0 * sed.utilization, 1) << "%\n";
+  }
+  std::size_t sed_total = 0;
+  out << "\nhierarchy fan-out: " << r.las_by_ma.size() << " MA(s)\n";
+  for (const auto& [ma, children] : r.las_by_ma) {
+    out << "  " << ma << ": " << children.size() << " LA(s)\n";
+  }
+  for (const auto& [la, children] : r.seds_by_la) {
+    out << "  " << la << ": " << children.size() << " SED(s)\n";
+    sed_total += children.size();
+  }
+  out << "  total SEDs on request paths: " << sed_total << "\n";
+  if (r.have_series) {
+    out << "\ntimeseries: " << r.series.samples << " samples covering "
+        << fmt_fixed(r.series.t_first, 3) << " .. "
+        << fmt_fixed(r.series.t_last, 3) << " s\n";
+  }
+  if (r.have_network) {
+    out << "\nnetwork (from trace): " << r.network_traced
+        << " traced requests, " << fmt_fixed(r.network_seconds, 3)
+        << " s in msg spans\n";
+  }
+  if (!r.violations.empty()) {
+    out << "\nviolations (" << r.violations.size() << "):\n";
+    for (const std::string& v : r.violations) {
+      out << "  " << v << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const Report& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"requests\": " << r.requests << ",\n";
+  out << "  \"ok\": " << r.ok << ",\n";
+  out << "  \"failed\": " << r.failed << ",\n";
+  out << "  \"complete_paths\": " << r.complete_paths << ",\n";
+  out << "  \"span\": {\"start\": " << fmt_double(r.span_start)
+      << ", \"end\": " << fmt_double(r.span_end) << "},\n";
+  out << "  \"total_latency_seconds\": " << fmt_double(r.total_latency)
+      << ",\n";
+  const double values[] = {r.totals.finding, r.totals.transfer,
+                           r.totals.queue_init, r.totals.compute,
+                           r.totals.reply};
+  out << "  \"phases\": {";
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << kPhaseNames[i] << "\": " << fmt_double(values[i]);
+  }
+  out << "},\n";
+  out << "  \"dominant\": {";
+  bool first = true;
+  for (const auto& [phase, count] : r.dominant) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << phase << "\": " << count;
+  }
+  out << "},\n";
+  out << "  \"slowest\": [";
+  first = true;
+  for (const Request& req : r.slowest) {
+    if (!first) out << ",";
+    first = false;
+    const Phases p = phases_of(req);
+    out << "\n    {\"trace_id\": " << req.trace_id << ", \"service\": \""
+        << escape_json(req.service) << "\", \"total\": "
+        << fmt_double(req.total()) << ", \"path\": {\"client\": \""
+        << escape_json(req.client) << "\", \"ma\": \"" << escape_json(req.ma)
+        << "\", \"la\": \"" << escape_json(req.la) << "\", \"sed\": \""
+        << escape_json(req.sed) << "\"}, \"phases\": {\"finding\": "
+        << fmt_double(p.finding) << ", \"transfer\": "
+        << fmt_double(p.transfer) << ", \"queue_init\": "
+        << fmt_double(p.queue_init) << ", \"compute\": "
+        << fmt_double(p.compute) << ", \"reply\": " << fmt_double(p.reply)
+        << "}}";
+  }
+  out << "\n  ],\n";
+  out << "  \"seds\": [";
+  first = true;
+  for (const SedStat& sed : r.seds) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"name\": \"" << escape_json(sed.name) << "\", \"la\": \""
+        << escape_json(sed.la) << "\", \"jobs\": " << sed.jobs
+        << ", \"busy_seconds\": " << fmt_double(sed.busy_seconds)
+        << ", \"utilization\": " << fmt_double(sed.utilization) << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"fanout\": {\"las_by_ma\": {";
+  first = true;
+  for (const auto& [ma, children] : r.las_by_ma) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << escape_json(ma) << "\": " << children.size();
+  }
+  out << "}, \"seds_by_la\": {";
+  first = true;
+  for (const auto& [la, children] : r.seds_by_la) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << escape_json(la) << "\": " << children.size();
+  }
+  out << "}},\n";
+  if (r.have_series) {
+    out << "  \"timeseries\": {\"samples\": " << r.series.samples
+        << ", \"t_first\": " << fmt_double(r.series.t_first)
+        << ", \"t_last\": " << fmt_double(r.series.t_last) << "},\n";
+  }
+  if (r.have_network) {
+    out << "  \"network\": {\"traced\": " << r.network_traced
+        << ", \"seconds\": " << fmt_double(r.network_seconds) << "},\n";
+  }
+  out << "  \"violations\": [";
+  first = true;
+  for (const std::string& v : r.violations) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << escape_json(v) << '"';
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace gc::prof

@@ -1,0 +1,177 @@
+// gcprof: offline profiler over the observability exports.
+//
+// Input: the per-request journal (--journal, JSONL; see obs/journal.hpp),
+// optionally the time-series export (--timeseries, JSONL; obs/timeseries.hpp)
+// and a Chrome trace (--trace; obs/trace.hpp). Output: a deterministic
+// critical-path report — where did each request's time go, which phase
+// dominates, which SEDs carried the load, what the hierarchy fan-out looked
+// like — as human text and as JSON for CI assertions.
+//
+// Everything here is pure computation over parsed files: no clocks, no
+// randomness, no ordering dependence on the input (requests are re-sorted,
+// maps are ordered), so the same inputs always produce byte-identical
+// reports. Split into a static core (this header + prof.cpp) so tests can
+// drive the analysis on canned exports without shelling out to the binary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gc::prof {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON: just enough to read our own exports. Object members keep
+// file order; `find` is linear (our objects are small).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] double num_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string str_or(std::string fallback) const {
+    return kind == Kind::kString ? str : std::move(fallback);
+  }
+};
+
+/// Whole-text parse; std::nullopt on any syntax error or trailing garbage.
+std::optional<JsonValue> parse_json(const std::string& text);
+
+/// One value per non-empty line; std::nullopt if any line fails to parse.
+std::optional<std::vector<JsonValue>> parse_jsonl(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Journal model.
+
+/// One journal record (one DIET call), as exported by obs::Journal.
+struct Request {
+  std::uint64_t trace_id = 0;
+  std::string service;
+  std::string client;
+  std::string ma;
+  std::string la;
+  std::string sed;
+  int attempts = 1;
+  std::string status;
+  double submitted = -1.0;
+  double found = -1.0;
+  double arrived = -1.0;
+  double exec_start = -1.0;
+  double exec_end = -1.0;
+  double completed = -1.0;
+
+  [[nodiscard]] bool ok() const { return status == "ok"; }
+  /// Full client -> MA -> LA -> SED path resolved.
+  [[nodiscard]] bool complete_path() const {
+    return !client.empty() && !ma.empty() && !la.empty() && !sed.empty();
+  }
+  /// All six boundaries present and non-decreasing.
+  [[nodiscard]] bool boundaries_valid() const;
+  [[nodiscard]] double total() const { return completed - submitted; }
+};
+
+/// The five phases between consecutive boundaries. Computed as differences
+/// of the (already-rounded) exported boundaries, so sum() telescopes to
+/// total() up to float re-rounding of the partial sums — build_report
+/// verifies the identity to a 1e-9 relative tolerance per record.
+struct Phases {
+  double finding = 0.0;     ///< submitted -> found (MA scheduling round-trip)
+  double transfer = 0.0;    ///< found -> arrived (call data to the SED)
+  double queue_init = 0.0;  ///< arrived -> exec_start (SED queue + init)
+  double compute = 0.0;     ///< exec_start -> exec_end (solve function)
+  double reply = 0.0;       ///< exec_end -> completed (result home)
+  [[nodiscard]] double sum() const {
+    return finding + transfer + queue_init + compute + reply;
+  }
+};
+
+/// Phase names in boundary order, parallel to the Phases fields.
+inline constexpr const char* kPhaseNames[] = {"finding", "transfer",
+                                              "queue_init", "compute",
+                                              "reply"};
+
+[[nodiscard]] Phases phases_of(const Request& r);
+
+/// Parses one journal line; std::nullopt if required fields are missing.
+std::optional<Request> request_from_json(const JsonValue& v);
+
+// ---------------------------------------------------------------------------
+// Auxiliary inputs.
+
+/// Summary of the time-series export: sample count and time coverage.
+struct SeriesInfo {
+  std::size_t samples = 0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+};
+
+[[nodiscard]] SeriesInfo series_info(const std::vector<JsonValue>& samples);
+
+/// Total duration of "msg:*" spans per trace id, in seconds, from a Chrome
+/// trace export — the modeled time requests spent on the network.
+[[nodiscard]] std::map<std::uint64_t, double> network_seconds_from_trace(
+    const JsonValue& trace);
+
+// ---------------------------------------------------------------------------
+// Report.
+
+struct Options {
+  int top_k = 5;       ///< slowest-request list length
+  bool strict = false; ///< record violations (and fail) on incomplete data
+};
+
+struct SedStat {
+  std::string name;
+  std::string la;  ///< parent LA (from the requests it served)
+  std::uint64_t jobs = 0;
+  double busy_seconds = 0.0;
+  double utilization = 0.0;  ///< busy / campaign span
+};
+
+struct Report {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t complete_paths = 0;
+  double span_start = 0.0;  ///< earliest submitted
+  double span_end = 0.0;    ///< latest completed
+  Phases totals;            ///< summed over requests with valid boundaries
+  double total_latency = 0.0;
+  std::map<std::string, std::size_t> dominant;  ///< phase -> #requests where
+                                                ///< it was the largest share
+  std::vector<Request> slowest;  ///< top-k by total(), ties by trace id
+  std::vector<SedStat> seds;     ///< sorted by name
+  std::map<std::string, std::vector<std::string>> las_by_ma;  ///< sorted
+  std::map<std::string, std::vector<std::string>> seds_by_la; ///< sorted
+
+  bool have_series = false;
+  SeriesInfo series;
+
+  bool have_network = false;
+  std::size_t network_traced = 0;     ///< requests with msg spans
+  double network_seconds = 0.0;       ///< summed over all traced requests
+
+  /// Strict-mode findings; empty means the exports are complete and
+  /// self-consistent. Populated (but not fatal) in non-strict mode too.
+  std::vector<std::string> violations;
+};
+
+[[nodiscard]] Report build_report(
+    std::vector<Request> requests, const std::optional<SeriesInfo>& series,
+    const std::optional<std::map<std::uint64_t, double>>& network,
+    const Options& options);
+
+[[nodiscard]] std::string to_text(const Report& report);
+[[nodiscard]] std::string to_json(const Report& report);
+
+}  // namespace gc::prof
