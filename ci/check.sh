@@ -29,6 +29,24 @@ ctest --preset default -L chaos --output-on-failure
 step "gclint over src/"
 ./build/tools/gclint/gclint src
 
+step "model-checker smoke (ctest -L mc-smoke + mc_explore sweep)"
+# Exhaustive DPOR verification of the bounded scenarios (src/mc): every
+# inequivalent schedule of each scenario is executed and the invariant
+# layer checked on all of them, plus the seeded-mutation detection proofs.
+ctest --preset default -L mc-smoke --output-on-failure
+./build/examples/mc_explore --json build/BENCH_mc.json
+# Tripwires on the sweep: every scenario must explore to completion with
+# no violation, and sleep-set reduction must actually prune.
+python3 - build/BENCH_mc.json <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for s in report["scenarios"]:
+    print(f'{s["name"]}: explored={s["explored"]} pruned={s["pruned"]}')
+    assert s["complete"], f'{s["name"]} hit the execution cap'
+    assert not s["violation"], f'{s["name"]} violated an invariant'
+    assert s["pruned"] > 0, f'{s["name"]}: sleep sets pruned nothing'
+PY
+
 step "bench-smoke (bench_des --quick)"
 # Not a benchmark run — a regression tripwire. The floor is set ~10x below
 # what this container sustains (see BENCH_des.json) so only a catastrophic

@@ -6,11 +6,27 @@ namespace gc::check {
 
 namespace {
 
-/// Names this thread currently holds, oldest first. Owned per thread;
-/// leaked at thread exit via the usual thread_local teardown.
-std::vector<std::string>& held_stack() {
-  thread_local std::vector<std::string> stack;
-  return stack;
+/// Names this thread currently holds, oldest first, behind a teardown
+/// sentinel. TLS destructors run BEFORE atexit destructors on the main
+/// thread, and the pool's function-local static destructor takes tracked
+/// locks on its way out — touching the stack then would be a use after
+/// free (ThreadSanitizer catches it at exit). The sentinel flag is
+/// trivially destructible, so reading it after teardown is safe; once the
+/// stack is gone the recorder degrades to a no-op, which is fine — lock
+/// ordering during single-threaded process exit proves nothing.
+struct TlsHeld {
+  std::vector<std::string> names;
+  ~TlsHeld() { torn_down() = true; }
+  static bool& torn_down() {
+    thread_local bool flag = false;
+    return flag;
+  }
+};
+
+std::vector<std::string>* held_stack() {
+  if (TlsHeld::torn_down()) return nullptr;
+  thread_local TlsHeld held;
+  return &held.names;
 }
 
 std::string join(const std::vector<std::string>& names) {
@@ -31,7 +47,9 @@ LockOrderRecorder& LockOrderRecorder::instance() {
 
 void LockOrderRecorder::acquired(const char* name, const char* file,
                                  int line) {
-  std::vector<std::string>& held = held_stack();
+  std::vector<std::string>* held_ptr = held_stack();
+  if (held_ptr == nullptr) return;  // process teardown, see TlsHeld
+  std::vector<std::string>& held = *held_ptr;
   std::string violation;
   if (std::find(held.begin(), held.end(), name) != held.end()) {
     violation = std::string("lock-order: re-acquiring \"") + name +
@@ -65,7 +83,9 @@ void LockOrderRecorder::acquired(const char* name, const char* file,
 }
 
 void LockOrderRecorder::released(const char* name) {
-  std::vector<std::string>& held = held_stack();
+  std::vector<std::string>* held_ptr = held_stack();
+  if (held_ptr == nullptr) return;  // process teardown, see TlsHeld
+  std::vector<std::string>& held = *held_ptr;
   // Release the most recent acquisition of this name (locks are scoped,
   // so this is the matching one).
   for (auto it = held.rbegin(); it != held.rend(); ++it) {

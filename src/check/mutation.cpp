@@ -1,0 +1,31 @@
+#include "check/mutation.hpp"
+
+namespace gc::check {
+
+namespace {
+
+#ifdef GC_MC_MUTATIONS
+bool g_flags[static_cast<std::size_t>(Mutation::kCount)] = {};
+#endif
+
+}  // namespace
+
+bool mutation_enabled(Mutation m) {
+#ifdef GC_MC_MUTATIONS
+  return g_flags[static_cast<std::size_t>(m)];
+#else
+  (void)m;
+  return false;
+#endif
+}
+
+void set_mutation(Mutation m, bool on) {
+#ifdef GC_MC_MUTATIONS
+  g_flags[static_cast<std::size_t>(m)] = on;
+#else
+  (void)m;
+  (void)on;
+#endif
+}
+
+}  // namespace gc::check

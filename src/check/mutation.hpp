@@ -1,0 +1,59 @@
+// Mutation seams: known-fixed bugs kept re-introducible for the model
+// checker's own test suite.
+//
+// A concurrency checker that has never caught a bug proves nothing about
+// itself. Each seam below re-enables one ordering bug this repo actually
+// had and fixed; tests/test_mc.cpp flips a seam on, runs the DPOR
+// explorer over a small scenario, and asserts the checker produces a
+// counterexample trace. The seams compile only under GC_MC_MUTATIONS
+// (CMake option, default ON — the flags still default to off, so the
+// behavior of an untouched process is byte-identical) and sit in
+// src/check so the layers that host the bugs (src/diet) can query them
+// without a dependency cycle.
+#pragma once
+
+#include <cstddef>
+
+namespace gc::check {
+
+#ifdef GC_MC_MUTATIONS
+inline constexpr bool kMutationsCompiled = true;
+#else
+inline constexpr bool kMutationsCompiled = false;
+#endif
+
+enum class Mutation : std::size_t {
+  /// Client: a retry reuses the previous attempt's wire id instead of
+  /// drawing a fresh one, so a stale reply to the abandoned attempt is
+  /// accepted as if it answered the live one.
+  kStaleReplyReuseWire = 0,
+  /// SED: skip the duplicate-call journal, so a duplicated kCallData
+  /// (fault-injected network duplicate) executes the job twice.
+  kSedSkipDedup,
+  /// Agent: heartbeat eviction forgets to drop the dead SED's replica
+  /// catalog entries, so locate() keeps routing to a corpse.
+  kKeepReplicasOnEviction,
+  kCount,
+};
+
+/// Runtime switch for one seam. Always false when GC_MC_MUTATIONS is not
+/// compiled in; call sites stay `if (mutation_enabled(...))` either way.
+[[nodiscard]] bool mutation_enabled(Mutation m);
+
+/// Flips a seam (no-op without GC_MC_MUTATIONS). Tests pair this with a
+/// scope guard; nothing in production code ever calls it.
+void set_mutation(Mutation m, bool on);
+
+/// Convenience guard: enables a mutation for one scope.
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(Mutation m) : m_(m) { set_mutation(m_, true); }
+  ~ScopedMutation() { set_mutation(m_, false); }
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+
+ private:
+  Mutation m_;
+};
+
+}  // namespace gc::check

@@ -1,5 +1,6 @@
 #include "des/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -16,6 +17,19 @@ double engine_clock(const void* ctx) {
 /// Compaction trigger: tombstones may occupy at most half the calendar
 /// (and small calendars are never worth rebuilding).
 constexpr std::size_t kCompactMinEntries = 64;
+
+/// Causal event id: a splitmix64-style mix of the parent event's cid and
+/// the child's index among its parent's scheduled events. A handler's
+/// behavior depends only on its own actor's state, so the children of an
+/// event keep the same cids no matter how unrelated events interleave
+/// around it — which is what lets the model checker name "the same event"
+/// across different explored schedules.
+std::uint64_t mix_cid(std::uint64_t parent, std::uint64_t child) {
+  std::uint64_t z = parent + child * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 }  // namespace
 
@@ -88,6 +102,31 @@ void Engine::heap_pop() {
   if (!heap_.empty()) sift_down(0);
 }
 
+void Engine::sift_up(std::size_t i) {
+  const HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void Engine::heap_remove_at(std::size_t i) {
+  heap_[i] = heap_.back();
+  heap_.pop_back();
+  if (i < heap_.size()) {
+    // The filler came from a leaf: it may be out of order in either
+    // direction relative to its new neighborhood, but only one applies.
+    if (i > 0 && earlier(heap_[i], heap_[(i - 1) / 4])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  }
+}
+
 void Engine::free_slot(std::uint32_t slot) {
   ++slab_[slot].generation;
   free_slots_.push_back(slot);
@@ -117,7 +156,8 @@ void Engine::compact() {
   tombstones_ = 0;
 }
 
-EventId Engine::schedule_at(SimTime t, EventFn fn, EventTag tag) {
+EventId Engine::schedule_at(SimTime t, EventFn fn, EventTag tag,
+                            std::uint32_t owner) {
   // Routed through the invariant layer when it is compiled in (so tests
   // can seed the violation); still a hard check in GC_CHECK=OFF builds.
   GC_INVARIANT(t >= now_, "event scheduled in the past");
@@ -140,6 +180,9 @@ EventId Engine::schedule_at(SimTime t, EventFn fn, EventTag tag) {
   Record& record = slab_[slot];
   record.fn = std::move(fn);
   record.tag = tag;
+  record.owner = owner == kInheritOwner ? current_owner_ : owner;
+  record.cid = in_event_ ? mix_cid(current_cid_, ++current_children_)
+                         : mix_cid(0, ++root_children_);
   record.armed = true;
   ++tag_scheduled_[static_cast<std::size_t>(tag)];
   heap_push(HeapEntry{t, tie_of(seq), seq, slot});
@@ -161,6 +204,9 @@ bool Engine::cancel(EventId id) {
   if (slot >= slab_.size()) return false;
   Record& record = slab_[slot];
   if (!record.armed || record.generation != generation) return false;
+  // Independence tripwire for the model checker: a handler reaching into
+  // another owner's pending event couples the two owners.
+  if (in_event_ && record.owner != current_owner_) ++cross_owner_cancels_;
   record.armed = false;
   record.fn.reset();  // release captures now, not at pop time
   --live_;
@@ -192,32 +238,86 @@ void Engine::publish_tag_metrics() const {
 }
 
 bool Engine::step() {
+  return strategy_ != nullptr ? step_controlled() : step_native();
+}
+
+void Engine::dispatch(const HeapEntry& top) {
+  Record& record = slab_[top.slot];
+  GC_INVARIANT(top.time >= now_, "virtual clock would move backwards");
+  EventFn fn = std::move(record.fn);
+  const auto tag_index = static_cast<std::size_t>(record.tag);
+  const std::uint64_t cid = record.cid;
+  const std::uint32_t owner = record.owner;
+  record.armed = false;
+  free_slot(top.slot);  // fn() may reuse the slot; record is dead from here
+  --live_;
+  ++tag_executed_[tag_index];
+  tag_time_[tag_index] += top.time - now_;
+  now_ = top.time;
+  ++executed_;
+  if (obs::metrics_on()) {
+    static obs::Counter& executed =
+        obs::Metrics::instance().counter("des_events_executed_total");
+    executed.inc();
+  }
+  in_event_ = true;
+  current_owner_ = owner;
+  current_cid_ = cid;
+  current_children_ = 0;
+  fn();
+  in_event_ = false;
+  current_owner_ = 0;
+  current_cid_ = 0;
+}
+
+bool Engine::step_native() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
-    Record& record = slab_[top.slot];
-    if (!record.armed) {
+    if (!slab_[top.slot].armed) {
       drop_tombstone_root();
       continue;
     }
-    GC_INVARIANT(top.time >= now_, "virtual clock would move backwards");
-    EventFn fn = std::move(record.fn);
-    const auto tag_index = static_cast<std::size_t>(record.tag);
-    record.armed = false;
     heap_pop();
-    free_slot(top.slot);
-    --live_;
-    ++tag_executed_[tag_index];
-    tag_time_[tag_index] += top.time - now_;
-    now_ = top.time;
-    ++executed_;
-    if (obs::metrics_on()) {
-      static obs::Counter& executed =
-          obs::Metrics::instance().counter("des_events_executed_total");
-      executed.inc();
-    }
-    fn();
+    dispatch(top);
     return true;
   }
+  return false;
+}
+
+bool Engine::step_controlled() {
+  // Reclaim tombstone roots so heap_[0] is the true minimal armed time.
+  while (!heap_.empty() && !slab_[heap_[0].slot].armed) drop_tombstone_root();
+  if (heap_.empty()) return false;
+  const SimTime next_time = heap_[0].time;
+  // The co-enabled tie group: every armed entry at the minimal timestamp.
+  // A linear scan of the calendar — the checker's scenarios keep it small,
+  // and the native path never comes through here.
+  std::vector<HeapEntry> group;
+  for (const HeapEntry& entry : heap_) {
+    if (entry.time == next_time && slab_[entry.slot].armed) {
+      group.push_back(entry);
+    }
+  }
+  // Present in native pop order: index 0 is what step_native would run.
+  std::sort(group.begin(), group.end(), earlier);
+  choice_scratch_.clear();
+  for (const HeapEntry& entry : group) {
+    const Record& record = slab_[entry.slot];
+    choice_scratch_.push_back(Choice{record.cid, entry.seq, entry.time,
+                                     entry.slot, record.owner, record.tag});
+  }
+  const std::size_t picked = strategy_->pick(choice_scratch_);
+  if (picked == Strategy::kAbortRun) return false;
+  GC_CHECK_MSG(picked < choice_scratch_.size(), "strategy pick out of range");
+  const std::uint32_t slot = choice_scratch_[picked].slot;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].slot != slot) continue;
+    const HeapEntry top = heap_[i];
+    heap_remove_at(i);
+    dispatch(top);
+    return true;
+  }
+  GC_CHECK_MSG(false, "picked choice vanished from the calendar");
   return false;
 }
 
@@ -246,7 +346,7 @@ void Engine::run_until(SimTime t_end) {
       continue;
     }
     if (heap_[0].time > t_end) break;
-    step();
+    if (!step()) break;  // only a strategy abort stops a non-empty calendar
   }
   if (now_ < t_end) now_ = t_end;
   if (obs::tracing() && executed_ > executed_before) {

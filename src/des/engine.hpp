@@ -164,6 +164,38 @@ inline constexpr std::size_t kEventTagCount =
 /// Stable lowercase name for metric labels and reports.
 const char* event_tag_name(EventTag tag);
 
+/// Owner of an event: the actor endpoint whose private state the handler
+/// mutates. 0 is the "root context" (scenario setup code, handlers that
+/// touch shared/global state) and is conservatively treated as dependent
+/// with everything by the model checker. Events scheduled from inside a
+/// handler inherit the running event's owner unless the call site says
+/// otherwise (SimEnv deliveries are owned by the destination endpoint).
+inline constexpr std::uint32_t kInheritOwner = 0xffffffffu;
+
+/// One schedulable alternative at a controlled decision point: an armed
+/// calendar entry at the minimal pending timestamp. Choices are presented
+/// in native pop order — index 0 is what an uncontrolled step() would run.
+struct Choice {
+  std::uint64_t cid;   ///< causal id, stable across interleavings
+  std::uint64_t seq;   ///< insertion order (debugging / trace dumps)
+  SimTime time;        ///< the shared timestamp of the tie group
+  std::uint32_t slot;  ///< calendar slot (engine-internal)
+  std::uint32_t owner; ///< see kInheritOwner doc; 0 = root context
+  EventTag tag;
+};
+
+/// External schedule strategy: consulted on EVERY controlled step with the
+/// full tie group of co-enabled events; returns the index to execute, or
+/// kAbortRun to stop the run (step() then returns false with the calendar
+/// intact). The model checker in src/mc is the real client; a strategy
+/// that always returns 0 replays the native (tie-seed) order exactly.
+class Strategy {
+ public:
+  static constexpr std::size_t kAbortRun = static_cast<std::size_t>(-1);
+  virtual ~Strategy() = default;
+  virtual std::size_t pick(const std::vector<Choice>& choices) = 0;
+};
+
 class Engine {
  public:
   /// While it lives, the engine's virtual clock is the logger's time
@@ -175,15 +207,19 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules fn at absolute simulated time t (>= now).
-  EventId schedule_at(SimTime t, EventFn fn,
-                      EventTag tag = EventTag::kGeneric);
+  /// Schedules fn at absolute simulated time t (>= now). `owner` defaults
+  /// to inheriting the currently executing event's owner (root context 0
+  /// outside any handler); pass an explicit endpoint to re-root ownership
+  /// (SimEnv does this for message deliveries).
+  EventId schedule_at(SimTime t, EventFn fn, EventTag tag = EventTag::kGeneric,
+                      std::uint32_t owner = kInheritOwner);
 
   /// Schedules fn after a delay (>= 0) from now.
   EventId schedule_after(SimTime delay, EventFn fn,
-                         EventTag tag = EventTag::kGeneric) {
+                         EventTag tag = EventTag::kGeneric,
+                         std::uint32_t owner = kInheritOwner) {
     GC_CHECK_MSG(delay >= 0.0, "negative delay");
-    return schedule_at(now_ + delay, std::move(fn), tag);
+    return schedule_at(now_ + delay, std::move(fn), tag, owner);
   }
 
   /// Cancels a pending event in O(1); returns false if it already fired,
@@ -244,6 +280,27 @@ class Engine {
   void set_tie_break_seed(std::uint64_t seed) { tie_seed_ = seed; }
   [[nodiscard]] std::uint64_t tie_break_seed() const { return tie_seed_; }
 
+  /// Controlled-scheduler seam: while a strategy is installed, every
+  /// step() gathers the armed events at the minimal pending timestamp (the
+  /// co-enabled tie group) and executes the one the strategy picks. With
+  /// nullptr (the default) the native pop path runs, byte-identical to the
+  /// pre-seam engine. The strategy must outlive its installation.
+  void set_strategy(Strategy* strategy) { strategy_ = strategy; }
+  [[nodiscard]] Strategy* strategy() const { return strategy_; }
+
+  /// Causal id of the currently executing event (0 outside any handler).
+  [[nodiscard]] std::uint64_t current_cid() const { return current_cid_; }
+  /// Owner of the currently executing event (0 outside any handler).
+  [[nodiscard]] std::uint32_t current_owner() const { return current_owner_; }
+
+  /// Soundness tripwire for the model checker's independence relation:
+  /// number of cancels issued from inside a handler against an event a
+  /// *different* owner scheduled. Such a cancel couples two owners the
+  /// relation assumes commute; mc asserts this stays 0 over a run.
+  [[nodiscard]] std::uint64_t cross_owner_cancels() const {
+    return cross_owner_cancels_;
+  }
+
  private:
   /// One calendar entry; 32 bytes so heap sifts move cache-friendly PODs
   /// while the handler stays put in the slab.
@@ -261,7 +318,9 @@ class Engine {
   /// stale handles once the slot is recycled.
   struct Record {
     EventFn fn;
+    std::uint64_t cid = 0;   ///< causal id: mix(parent cid, child index)
     std::uint32_t generation = 1;
+    std::uint32_t owner = 0; ///< owning endpoint; 0 = root context
     EventTag tag = EventTag::kGeneric;
     bool armed = false;
   };
@@ -278,6 +337,16 @@ class Engine {
   /// Removes the root (heap_[0]).
   void heap_pop();
   void sift_down(std::size_t i);
+  void sift_up(std::size_t i);
+  /// Removes the entry at an arbitrary heap index, restoring heap order.
+  void heap_remove_at(std::size_t i);
+  /// Native pop-the-root step (the pre-seam fast path).
+  bool step_native();
+  /// Strategy-driven step: collect the minimal-time tie group, let the
+  /// installed strategy pick (or abort), execute the chosen entry.
+  bool step_controlled();
+  /// Runs one popped record's handler with owner/cid context tracked.
+  void dispatch(const HeapEntry& top);
   /// Drops every tombstone from the heap, frees their slots, re-heapifies.
   void compact();
   void free_slot(std::uint32_t slot);
@@ -288,6 +357,14 @@ class Engine {
   std::uint64_t next_seq_ = 1;
   std::uint64_t tie_seed_ = 0;
   std::uint64_t executed_ = 0;
+  Strategy* strategy_ = nullptr;
+  bool in_event_ = false;
+  std::uint32_t current_owner_ = 0;
+  std::uint64_t current_cid_ = 0;
+  std::uint64_t current_children_ = 0;  ///< events scheduled by the running handler
+  std::uint64_t root_children_ = 0;     ///< events scheduled outside any handler
+  std::uint64_t cross_owner_cancels_ = 0;
+  std::vector<Choice> choice_scratch_;  ///< reused by step_controlled
   std::size_t live_ = 0;
   std::size_t tombstones_ = 0;
   std::size_t depth_highwater_ = 0;

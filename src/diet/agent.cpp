@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/invariant.hpp"
+#include "check/mutation.hpp"
 #include "common/log.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
@@ -35,7 +36,7 @@ void Agent::register_at(net::Endpoint parent) {
 
 void Agent::arm_heartbeat() {
   const std::uint64_t epoch = epoch_;
-  env()->post_after(tuning_.heartbeat_period, [this, epoch]() {
+  env()->post_after_as(endpoint(), tuning_.heartbeat_period, [this, epoch]() {
     if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
     HeartbeatMsg beat;
     beat.seq = ++heartbeat_seq_;
@@ -74,7 +75,7 @@ void Agent::arm_child_deadline(net::Endpoint child_endpoint) {
   if (child == nullptr) return;
   if (child->hb_timer != 0) env()->cancel_timer(child->hb_timer);
   child->hb_timer =
-      env()->post_after(tuning_.heartbeat_timeout, [this, child_endpoint]() {
+      env()->post_after_as(endpoint(), tuning_.heartbeat_timeout, [this, child_endpoint]() {
         if (failed_) return;
         // The endpoint is the child's identity at arm time: if it
         // re-registered since (crash-restart), this deadline is stale.
@@ -89,7 +90,13 @@ void Agent::arm_child_deadline(net::Endpoint child_endpoint) {
         // A dead SED's replicas are unreachable: drop them so locate
         // answers and locality pricing never point at it. (A dead LA's
         // SEDs are still alive and directly reachable — keep theirs.)
-        if (c->is_sed) drop_sed_replicas(c->sed_uid);
+        // Mutation seam kKeepReplicasOnEviction re-introduces the leak
+        // where eviction forgot this cleanup.
+        if (c->is_sed &&
+            !check::mutation_enabled(
+                check::Mutation::kKeepReplicasOnEviction)) {
+          drop_sed_replicas(c->sed_uid);
+        }
         if (obs::tracing()) {
           obs::Tracer::instance().instant(env()->now(), "hb-dead:" + c->name,
                                           "agent:" + name_, 0);

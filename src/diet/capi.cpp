@@ -251,6 +251,9 @@ int diet_wait(diet_reqID_t request_id) {
   std::unique_lock<std::mutex> lock(g_session.async_mutex);
   auto it = g_session.async_requests.find(request_id);
   if (it == g_session.async_requests.end()) return -1;
+  // DIET C API contract: this blocks a RealEnv client thread, never the
+  // dispatch context.
+  // gclint: allow(mc-blocking) RealEnv client-thread wait
   g_session.async_cv.wait(lock, [request_id] {
     auto i = g_session.async_requests.find(request_id);
     return i == g_session.async_requests.end() || i->second.completed;
@@ -261,6 +264,7 @@ int diet_wait(diet_reqID_t request_id) {
 
 int diet_wait_all() {
   std::unique_lock<std::mutex> lock(g_session.async_mutex);
+  // gclint: allow(mc-blocking) RealEnv client-thread wait
   g_session.async_cv.wait(lock, [] {
     for (const auto& [id, request] : g_session.async_requests) {
       (void)id;
@@ -280,6 +284,7 @@ int diet_wait_any(diet_reqID_t* request_id) {
   if (request_id == nullptr) return -1;
   std::unique_lock<std::mutex> lock(g_session.async_mutex);
   diet_reqID_t found = 0;
+  // gclint: allow(mc-blocking) RealEnv client-thread wait
   g_session.async_cv.wait(lock, [&found] {
     for (const auto& [id, request] : g_session.async_requests) {
       if (request.completed) {

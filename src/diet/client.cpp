@@ -4,6 +4,7 @@
 #include <future>
 #include <utility>
 
+#include "check/mutation.hpp"
 #include "common/log.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
@@ -47,7 +48,8 @@ std::uint64_t Client::call_async(Profile profile, DoneFn done,
   // order: a burst of hand-off events lands at one timestamp, and the
   // dispatcher may run logically-concurrent events in any order, so the
   // queue below (not event order) decides who marshals first.
-  env()->post_after(0.0, [this, id, profile = std::move(profile),
+  env()->post_after_as(endpoint(), 0.0,
+                       [this, id, profile = std::move(profile),
                           done = std::move(done), deadline_s]() mutable {
     queued_submissions_.emplace(
         id, QueuedSubmission{std::move(profile), std::move(done), deadline_s});
@@ -90,6 +92,9 @@ gc::Status Client::call(Profile& profile, double deadline_s) {
                promise.set_value(status);
              },
              deadline_s);
+  // The synchronous call() API is RealEnv-only (guarded above); simulated
+  // scenarios go through call_async.
+  // gclint: allow(mc-blocking) RealEnv-only synchronous path
   return future.get();
 }
 
@@ -210,7 +215,12 @@ void Client::start_attempt(std::uint64_t call_id) {
   wire_to_call_.erase(call.wire_id);
   // Fresh wire id: whatever the previous attempt still has in flight
   // (a late reply, a duplicate result) can no longer resolve to us.
-  call.wire_id = 0x8000000000000000ULL | ++next_retry_wire_;
+  // Mutation seam kStaleReplyReuseWire re-introduces the fixed bug of
+  // retrying under the old id — the SED's dedup journal then swallows a
+  // retry that lands on the SED that already ran the lost attempt.
+  if (!check::mutation_enabled(check::Mutation::kStaleReplyReuseWire)) {
+    call.wire_id = 0x8000000000000000ULL | ++next_retry_wire_;
+  }
   wire_to_call_[call.wire_id] = call_id;
   call.reply_seen = false;
   call.resent_full = false;

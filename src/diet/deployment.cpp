@@ -21,9 +21,13 @@ Deployment::Deployment(net::Env& env, naming::Registry& registry,
   seds_.reserve(spec.seds.size());
   for (std::size_t i = 0; i < spec.seds.size(); ++i) {
     const auto& sed_spec = spec.seds[i];
+    SedTuning tuning = spec.sed_tuning;
+    if (sed_spec.heartbeat_period >= 0.0) {
+      tuning.heartbeat_period = sed_spec.heartbeat_period;
+    }
     auto sed = std::make_unique<Sed>(
         /*uid=*/static_cast<std::uint64_t>(i + 1), sed_spec.name, services,
-        sed_spec.host_power, sed_spec.machines, spec.sed_tuning,
+        sed_spec.host_power, sed_spec.machines, std::move(tuning),
         seeder.next_u64());
     env.attach(*sed, sed_spec.node);
     registry.rebind(sed_spec.name, sed->endpoint());

@@ -24,6 +24,11 @@ struct DeploymentSpec {
     net::NodeId node = 0;
     double host_power = 1.0;
     int machines = 1;
+    /// Overrides sed_tuning.heartbeat_period for this SED when >= 0.
+    /// Staggering the periods keeps sibling beacons from landing on the
+    /// parent at identical timestamps — the model checker uses this to
+    /// avoid state-space blow-up from equivalent beacon orderings.
+    double heartbeat_period = -1.0;
   };
   struct LaSpec {
     std::string name;

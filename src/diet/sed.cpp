@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/mutation.hpp"
 #include "common/log.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
@@ -105,7 +106,7 @@ void Sed::arm_load_report() {
   // shutdown() bump the epoch, so a stale iteration dies instead of
   // running alongside the chain a restart armed.
   const std::uint64_t epoch = epoch_;
-  env()->post_after(tuning_.load_report_period, [this, epoch]() {
+  env()->post_after_as(endpoint(), tuning_.load_report_period, [this, epoch]() {
     if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
     LoadReportMsg report;
     report.sed_uid = uid_;
@@ -120,7 +121,7 @@ void Sed::arm_load_report() {
 
 void Sed::arm_heartbeat() {
   const std::uint64_t epoch = epoch_;
-  env()->post_after(tuning_.heartbeat_period, [this, epoch]() {
+  env()->post_after_as(endpoint(), tuning_.heartbeat_period, [this, epoch]() {
     if (epoch != epoch_ || failed_ || parent_ == net::kNullEndpoint) return;
     HeartbeatMsg beat;
     beat.uid = uid_;
@@ -309,7 +310,10 @@ void Sed::handle_call(const net::Envelope& envelope) {
   CallDataMsg msg = CallDataMsg::decode(envelope.payload);
   // At-most-once: a call id we already accepted is a duplicate delivery
   // (the network's or a stale retry's) and must not execute again.
-  if (seen_calls_.count(msg.call_id) > 0) {
+  // Mutation seam kSedSkipDedup drops the journal lookup — a duplicated
+  // kCallData then executes twice and trips executed_calls_.
+  if (!check::mutation_enabled(check::Mutation::kSedSkipDedup) &&
+      seen_calls_.count(msg.call_id) > 0) {
     if (obs::metrics_on()) {
       obs::Metrics::instance()
           .counter("diet_sed_duplicate_calls_total", {{"sed", name_}})

@@ -1,0 +1,460 @@
+#include "mc/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/invariant.hpp"
+
+namespace gc::mc {
+
+namespace {
+
+/// The violation captured by the installed failure handler. The checker
+/// is strictly single-threaded (one scenario execution at a time), so a
+/// file-scope slot is fine; first failure wins — follow-on failures in an
+/// already-inconsistent run add nothing.
+struct Capture {
+  bool hit = false;
+  Violation violation;
+} g_capture;
+
+void capture_handler(const char* file, int line, const std::string& what) {
+  if (g_capture.hit) return;
+  g_capture.hit = true;
+  g_capture.violation = Violation{what, file != nullptr ? file : "", line};
+}
+
+/// Independence relation: co-enabled events commute iff they belong to
+/// different actors. Owner 0 is the root context (shared state) and is
+/// dependent with everything.
+bool independent(std::uint32_t owner_a, std::uint32_t owner_b) {
+  return owner_a != owner_b && owner_a != 0 && owner_b != 0;
+}
+
+/// True once the current run was aborted (sleep-blocked branch or a
+/// captured violation); scenarios consult it to skip end-of-run property
+/// checks that are meaningless on a half-executed world.
+bool g_run_aborted = false;
+
+struct SleepEntry {
+  std::uint64_t cid = 0;
+  std::uint32_t owner = 0;
+};
+
+bool sleeping(const std::vector<SleepEntry>& sleep, std::uint64_t cid) {
+  for (const SleepEntry& entry : sleep) {
+    if (entry.cid == cid) return true;
+  }
+  return false;
+}
+
+/// One decision point on the current DFS path. Rebuilt choices on replay
+/// must match `choices` exactly (the scenario-determinism contract).
+struct Node {
+  std::vector<des::Choice> choices;
+  std::vector<bool> done;           ///< alternatives already fully explored
+  std::vector<SleepEntry> sleep_in; ///< sleep set on entry to this node
+  std::size_t picked = 0;
+};
+
+/// DFS explorer; also the engine Strategy for the run being executed.
+class Explorer final : public des::Strategy {
+ public:
+  explicit Explorer(const Options& options) : options_(options) {}
+
+  enum class RunEnd { kComplete, kSleepBlocked, kViolation };
+
+  void begin_run() {
+    depth_ = 0;
+    cur_sleep_.clear();
+    run_end_ = RunEnd::kComplete;
+    aborted_ = false;
+    g_run_aborted = false;
+    g_capture.hit = false;
+  }
+
+  std::size_t pick(const std::vector<des::Choice>& choices) override {
+    // Latched: once a run is abandoned, later engine.run() calls by the
+    // same scenario invocation must not resume executing events.
+    if (aborted_) return kAbortRun;
+    if (g_capture.hit) {
+      run_end_ = RunEnd::kViolation;
+      return abort_run();
+    }
+    max_enabled_ = std::max<std::uint64_t>(max_enabled_, choices.size());
+    if (depth_ < path_.size()) {
+      // Replaying the decision prefix of this branch.
+      Node& node = path_[depth_];
+      GC_CHECK_MSG(same_choices(node.choices, choices),
+                   "scenario is not deterministic: replayed decision point "
+                   "offered a different tie group");
+      advance_sleep(node);
+      ++depth_;
+      return node.picked;
+    }
+    // Extending the path at a fresh decision point.
+    Node node;
+    node.choices = choices;
+    node.done.assign(choices.size(), false);
+    node.sleep_in = cur_sleep_;
+    if (choices.size() > 1) ++decision_points_;
+    std::size_t first = choices.size();
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (!sleeping(node.sleep_in, choices[i].cid)) {
+        first = i;
+        break;
+      }
+    }
+    if (first == choices.size()) {
+      // Every enabled event sleeps: this branch re-orders only commuting
+      // events of an already-explored trace.
+      ++pruned_;
+      run_end_ = RunEnd::kSleepBlocked;
+      return abort_run();
+    }
+    node.picked = first;
+    advance_sleep(node);
+    path_.push_back(std::move(node));
+    ++depth_;
+    return first;
+  }
+
+  /// After a run: classify it, then move `picked` to the next unexplored
+  /// non-sleeping alternative, popping exhausted nodes. Returns false
+  /// when the whole tree is done.
+  bool advance() {
+    while (!path_.empty()) {
+      Node& node = path_.back();
+      node.done[node.picked] = true;
+      std::size_t next = node.choices.size();
+      for (std::size_t i = 0; i < node.choices.size(); ++i) {
+        if (!node.done[i] && !sleeping(node.sleep_in, node.choices[i].cid)) {
+          next = i;
+          break;
+        }
+      }
+      if (next != node.choices.size()) {
+        node.picked = next;
+        return true;
+      }
+      // Alternatives suppressed by the sleep set were never executed:
+      // each is (at least) one schedule DPOR did not have to run.
+      for (std::size_t i = 0; i < node.choices.size(); ++i) {
+        if (!node.done[i]) ++pruned_;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  /// The multi-choice decisions of the current path (the violating run).
+  [[nodiscard]] std::vector<Step> schedule_of_path() const {
+    std::vector<Step> steps;
+    std::uint64_t index = 0;
+    for (std::size_t d = 0; d < depth_ && d < path_.size(); ++d) {
+      const Node& node = path_[d];
+      if (node.choices.size() < 2) continue;
+      const des::Choice& chosen = node.choices[node.picked];
+      steps.push_back(Step{index, chosen.cid, chosen.owner, chosen.tag,
+                           chosen.time, node.choices.size(), node.picked});
+      ++index;
+    }
+    return steps;
+  }
+
+  [[nodiscard]] RunEnd run_end() const { return run_end_; }
+  [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
+  [[nodiscard]] std::uint64_t decision_points() const {
+    return decision_points_;
+  }
+  [[nodiscard]] std::uint64_t max_enabled() const { return max_enabled_; }
+
+  /// A run that ended without an engine abort can still have tripped the
+  /// handler in its end-of-run checks. A sleep-blocked run stays
+  /// sleep-blocked: its world is half-executed and any end-of-run failure
+  /// on it is an artifact, not a property violation.
+  void note_end_of_run() {
+    if (run_end_ == RunEnd::kComplete && g_capture.hit) {
+      run_end_ = RunEnd::kViolation;
+    }
+  }
+
+ private:
+  std::size_t abort_run() {
+    aborted_ = true;
+    g_run_aborted = true;
+    return kAbortRun;
+  }
+
+  static bool same_choices(const std::vector<des::Choice>& a,
+                           const std::vector<des::Choice>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].cid != b[i].cid) return false;
+    }
+    return true;
+  }
+
+  /// Sleep set entering the chosen event's subtree: inherited entries
+  /// plus explored siblings, minus everything dependent with the chosen
+  /// event (executing a dependent event wakes a sleeper).
+  void advance_sleep(const Node& node) {
+    const des::Choice& chosen = node.choices[node.picked];
+    std::vector<SleepEntry> next;
+    for (const SleepEntry& entry : node.sleep_in) {
+      if (independent(entry.owner, chosen.owner)) next.push_back(entry);
+    }
+    if (options_.sleep_sets) {
+      for (std::size_t i = 0; i < node.choices.size(); ++i) {
+        if (!node.done[i]) continue;
+        const des::Choice& done_choice = node.choices[i];
+        if (independent(done_choice.owner, chosen.owner)) {
+          next.push_back(SleepEntry{done_choice.cid, done_choice.owner});
+        }
+      }
+    }
+    cur_sleep_ = std::move(next);
+  }
+
+  Options options_;
+  std::vector<Node> path_;
+  std::size_t depth_ = 0;
+  std::vector<SleepEntry> cur_sleep_;
+  RunEnd run_end_ = RunEnd::kComplete;
+  bool aborted_ = false;
+  std::uint64_t pruned_ = 0;
+  std::uint64_t decision_points_ = 0;
+  std::uint64_t max_enabled_ = 0;
+};
+
+/// Strategy for replays: force recorded picks at their decision
+/// ordinals, take the native order everywhere else, log what ran.
+class ReplayStrategy final : public des::Strategy {
+ public:
+  explicit ReplayStrategy(const std::vector<Decision>& decisions) {
+    for (const Decision& d : decisions) forced_[d.index] = d.cid;
+  }
+
+  std::size_t pick(const std::vector<des::Choice>& choices) override {
+    if (g_capture.hit) {
+      g_run_aborted = true;
+      return kAbortRun;
+    }
+    if (choices.size() < 2) return 0;
+    std::size_t idx = 0;
+    auto it = forced_.find(seen_);
+    if (it != forced_.end()) {
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i].cid == it->second) {
+          idx = i;
+          break;
+        }
+      }
+    }
+    log_.push_back(Step{seen_, choices[idx].cid, choices[idx].owner,
+                        choices[idx].tag, choices[idx].time, choices.size(),
+                        idx});
+    ++seen_;
+    return idx;
+  }
+
+  [[nodiscard]] const std::vector<Step>& log() const { return log_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> forced_;
+  std::uint64_t seen_ = 0;
+  std::vector<Step> log_;
+};
+
+/// Installs the capture handler for one scope; restores the default
+/// print-and-abort handler on exit.
+struct ScopedHandler {
+  ScopedHandler() {
+    g_capture.hit = false;
+    check::set_failure_handler(&capture_handler);
+  }
+  ~ScopedHandler() { check::set_failure_handler(nullptr); }
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+};
+
+ReplayResult run_once(const ScenarioFn& scenario,
+                      const std::vector<Decision>& decisions) {
+  ScopedHandler handler;
+  ReplayStrategy strategy(decisions);
+  ReplayResult result;
+  g_run_aborted = false;
+  des::Engine engine;
+  engine.set_strategy(&strategy);
+  RunContext ctx{engine, result.owner_names};
+  scenario(ctx);
+  engine.set_strategy(nullptr);
+  result.violation_found = g_capture.hit;
+  if (g_capture.hit) result.violation = g_capture.violation;
+  result.schedule = strategy.log();
+  return result;
+}
+
+/// Greedy linear minimization: try dropping each forced decision; keep
+/// the drop when the violation still reproduces. Then one final replay
+/// re-derives a self-consistent trace (indices of later decisions can
+/// shift once earlier ones are dropped).
+std::vector<Decision> minimize(const ScenarioFn& scenario,
+                               std::vector<Decision> decisions,
+                               std::uint64_t& executions) {
+  for (std::size_t i = 0; i < decisions.size();) {
+    std::vector<Decision> candidate = decisions;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    ++executions;
+    if (run_once(scenario, candidate).violation_found) {
+      decisions = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+  ++executions;
+  const ReplayResult final_run = run_once(scenario, decisions);
+  if (!final_run.violation_found) return decisions;  // shouldn't happen
+  std::vector<Decision> derived;
+  for (const Step& step : final_run.schedule) {
+    if (step.picked != 0) derived.push_back(Decision{step.index, step.cid});
+  }
+  return derived;
+}
+
+}  // namespace
+
+bool current_run_aborted() { return g_run_aborted; }
+
+Result explore(const ScenarioFn& scenario, const Options& options) {
+  GC_CHECK_MSG(check::kEnabled,
+               "mc::explore needs a GC_CHECK build: the properties live in "
+               "the invariant layer");
+  Result result;
+  Explorer explorer(options);
+  ScopedHandler handler;
+  for (;;) {
+    explorer.begin_run();
+    des::Engine engine;
+    engine.set_strategy(&explorer);
+    result.owner_names.clear();
+    RunContext ctx{engine, result.owner_names};
+    scenario(ctx);
+    engine.set_strategy(nullptr);
+    explorer.note_end_of_run();
+    ++result.executions;
+    result.cross_owner_cancels =
+        std::max(result.cross_owner_cancels, engine.cross_owner_cancels());
+    if (explorer.run_end() == Explorer::RunEnd::kViolation) {
+      result.violation_found = true;
+      result.violation = g_capture.violation;
+      result.violating_schedule = explorer.schedule_of_path();
+      std::vector<Decision> decisions;
+      for (const Step& step : result.violating_schedule) {
+        if (step.picked != 0) {
+          decisions.push_back(Decision{step.index, step.cid});
+        }
+      }
+      if (options.minimize) {
+        decisions = minimize(scenario, std::move(decisions),
+                             result.executions);
+        const ReplayResult final_run = run_once(scenario, decisions);
+        if (final_run.violation_found) {
+          result.violation = final_run.violation;
+          result.violating_schedule = final_run.schedule;
+          result.owner_names = final_run.owner_names;
+        }
+        ++result.executions;
+      }
+      result.counterexample = std::move(decisions);
+      break;
+    }
+    if (explorer.run_end() == Explorer::RunEnd::kComplete) {
+      ++result.schedules_explored;
+    }
+    if (options.max_executions != 0 &&
+        result.executions >= options.max_executions) {
+      break;  // capped: complete stays false
+    }
+    if (!explorer.advance()) {
+      result.complete = true;
+      break;
+    }
+  }
+  result.schedules_pruned = explorer.pruned();
+  result.decision_points = explorer.decision_points();
+  result.max_enabled = explorer.max_enabled();
+  return result;
+}
+
+ReplayResult replay(const ScenarioFn& scenario,
+                    const std::vector<Decision>& decisions) {
+  GC_CHECK_MSG(check::kEnabled,
+               "mc::replay needs a GC_CHECK build: the properties live in "
+               "the invariant layer");
+  return run_once(scenario, decisions);
+}
+
+std::string encode_trace(const std::string& scenario_name,
+                         const std::vector<Decision>& decisions) {
+  std::ostringstream out;
+  out << "# gc mc counterexample v1\n";
+  out << "scenario " << scenario_name << "\n";
+  for (const Decision& d : decisions) {
+    out << "decision " << d.index << " " << d.cid << "\n";
+  }
+  return out.str();
+}
+
+bool decode_trace(const std::string& text, std::string& scenario_name,
+                  std::vector<Decision>& decisions) {
+  std::istringstream in(text);
+  std::string line;
+  scenario_name.clear();
+  decisions.clear();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "scenario") {
+      fields >> scenario_name;
+    } else if (keyword == "decision") {
+      Decision d;
+      fields >> d.index >> d.cid;
+      if (fields.fail()) return false;
+      decisions.push_back(d);
+    } else {
+      return false;
+    }
+  }
+  return !scenario_name.empty();
+}
+
+std::string format_counterexample(const Result& result) {
+  std::ostringstream out;
+  if (!result.violation_found) {
+    out << "no violation\n";
+    return out.str();
+  }
+  out << "VIOLATION: " << result.violation.what << "\n";
+  if (!result.violation.file.empty()) {
+    out << "  at " << result.violation.file << ":" << result.violation.line
+        << "\n";
+  }
+  out << "schedule (" << result.violating_schedule.size()
+      << " racing decisions; unlisted steps take the default order):\n";
+  for (const Step& step : result.violating_schedule) {
+    out << "  [" << step.index << "] t=" << step.time << " ran cid "
+        << step.cid << " owner " << step.owner;
+    auto name = result.owner_names.find(step.owner);
+    if (name != result.owner_names.end()) out << " (" << name->second << ")";
+    out << " tag " << des::event_tag_name(step.tag) << " [picked "
+        << step.picked << " of " << step.alternatives << "]";
+    if (step.picked != 0) out << "  <-- forced";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gc::mc

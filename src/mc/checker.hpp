@@ -1,0 +1,155 @@
+// DPOR model checker over the DES engine.
+//
+// Upgrades the PR 3 schedule fuzzer ("32 tie-break seeds passed") to
+// systematic exploration: every inequivalent interleaving of a bounded
+// scenario is executed exactly once, and the invariants the repo already
+// asserts (at-most-once execution, FIFO delivery, heartbeat-eviction
+// consistency, replica-catalog coherence, scenario end-state checks) are
+// verified to hold over ALL of them, not a sample.
+//
+// How it plugs in — three pieces, see DESIGN.md "Model checking":
+//  - decision points: the engine's controlled-scheduler seam
+//    (des::Strategy) presents the tie group of co-enabled events (all
+//    armed events at the minimal pending timestamp) at every step. Only
+//    same-timestamp events are concurrent in a DES; an earlier event is
+//    causally first by virtual time, so each tie group IS the full set of
+//    schedulable alternatives.
+//  - independence: two co-enabled events commute iff they have different
+//    nonzero owners. An event's owner is the actor endpoint whose state
+//    its handler mutates (SimEnv deliveries: the destination; timers and
+//    continuations: inherited). Owner 0 (root context) is conservatively
+//    dependent with everything. Same-stream FIFO never constrains a tie
+//    group: SimEnv bumps same-stream deliveries apart by one ulp, so two
+//    FIFO-ordered messages are never co-enabled in the first place.
+//  - reduction: depth-first re-execution with sleep sets (Godefroid).
+//    Each explored Mazurkiewicz trace is executed once; a branch whose
+//    every enabled event sleeps is abandoned (counted as pruned).
+//    Exploration is stateless — state "restoration" is deterministic
+//    re-execution of the decision prefix, which doubles as the replay
+//    mechanism for counterexamples.
+//
+// Soundness caveats (also in DESIGN.md): exhaustiveness is relative to
+// the scenario's virtual-time structure. Timeout races that depend on
+// *metric* time (a message arriving before vs after a timer) are only
+// explored when the scenario makes the timestamps collide; distinct
+// timestamps order events causally and are not permuted. That is the
+// correct semantics for a DES — and the reason scenarios below zero out
+// delay noise and use symmetric deployments, which maximizes collisions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace gc::mc {
+
+/// A captured invariant failure (via check::set_failure_handler).
+struct Violation {
+  std::string what;
+  std::string file;
+  int line = 0;
+};
+
+/// One forced pick for replay: at the `index`-th decision point that
+/// offered more than one choice, run the event with causal id `cid`.
+/// Causal ids are stable across interleavings (they hash the scheduling
+/// parent chain, not execution order), so a recorded decision names the
+/// same logical event in every re-execution.
+struct Decision {
+  std::uint64_t index = 0;
+  std::uint64_t cid = 0;
+};
+
+/// One multi-choice decision of an executed schedule, for trace printing.
+struct Step {
+  std::uint64_t index = 0;     ///< multi-choice decision ordinal
+  std::uint64_t cid = 0;       ///< the event that ran
+  std::uint32_t owner = 0;     ///< its owner endpoint (0 = root)
+  des::EventTag tag = des::EventTag::kGeneric;
+  double time = 0.0;           ///< virtual time of the tie group
+  std::size_t alternatives = 0;///< size of the tie group
+  std::size_t picked = 0;      ///< index picked (0 = native order)
+};
+
+/// Handed to the scenario on every (re-)execution. The scenario builds
+/// its whole world against `engine` and runs it to completion; it may
+/// name owner endpoints for readable counterexamples.
+struct RunContext {
+  des::Engine& engine;
+  std::map<std::uint32_t, std::string>& owner_names;
+};
+
+/// A bounded, deterministic scenario. MUST be reproducible: same
+/// decision prefix => bitwise-same execution (no wall clock, no global
+/// RNG, no cross-run state). Express properties as GC_INVARIANT /
+/// invariant-layer checks — the checker captures those.
+using ScenarioFn = std::function<void(RunContext&)>;
+
+struct Options {
+  /// false = naive enumeration (sleep sets off); the pruning baseline.
+  bool sleep_sets = true;
+  /// Cap on scenario executions (complete + abandoned); 0 = unlimited.
+  std::uint64_t max_executions = 0;
+  /// Skip counterexample minimization (it re-executes the scenario up to
+  /// once per non-default decision).
+  bool minimize = true;
+};
+
+struct Result {
+  std::uint64_t schedules_explored = 0;  ///< complete inequivalent runs
+  std::uint64_t schedules_pruned = 0;    ///< sleep-set-suppressed branches
+  std::uint64_t executions = 0;          ///< scenario (re-)executions total
+  std::uint64_t decision_points = 0;     ///< multi-choice points, all runs
+  std::uint64_t max_enabled = 0;         ///< widest tie group seen
+  std::uint64_t cross_owner_cancels = 0; ///< independence tripwire (max/run)
+  bool complete = false;                 ///< tree exhausted, no cap hit
+  bool violation_found = false;
+  Violation violation;
+  /// Minimized forced picks that reproduce the violation via replay().
+  std::vector<Decision> counterexample;
+  /// The violating schedule's multi-choice decisions, in order.
+  std::vector<Step> violating_schedule;
+  /// Owner endpoint -> name, from the violating (or last) run.
+  std::map<std::uint32_t, std::string> owner_names;
+};
+
+/// True while the checker has abandoned the current scenario execution
+/// (sleep-blocked branch or a captured violation). Scenarios MUST gate
+/// their end-of-run property checks on this: an abandoned run leaves a
+/// half-executed world, and asserting completion properties on it would
+/// record artifacts as violations.
+bool current_run_aborted();
+
+/// Explores every inequivalent schedule of `scenario` (or all schedules
+/// with sleep_sets off). Stops at the first violation. Requires a
+/// GC_CHECK build (the properties live in the invariant layer).
+Result explore(const ScenarioFn& scenario, const Options& options = {});
+
+/// Re-runs the scenario forcing the recorded decisions (defaults
+/// elsewhere); deterministic and bit-identical run to run.
+struct ReplayResult {
+  bool violation_found = false;
+  Violation violation;
+  std::vector<Step> schedule;   ///< multi-choice decisions actually taken
+  std::map<std::uint32_t, std::string> owner_names;
+};
+ReplayResult replay(const ScenarioFn& scenario,
+                    const std::vector<Decision>& decisions);
+
+/// Counterexample trace file: one-line header, scenario name, then one
+/// `decision <index> <cid>` line per forced pick.
+std::string encode_trace(const std::string& scenario_name,
+                         const std::vector<Decision>& decisions);
+/// Returns false on a malformed file.
+bool decode_trace(const std::string& text, std::string& scenario_name,
+                  std::vector<Decision>& decisions);
+
+/// Human-readable counterexample: the violation plus the exact delivery
+/// order that produced it.
+std::string format_counterexample(const Result& result);
+
+}  // namespace gc::mc

@@ -1,0 +1,342 @@
+#include "mc/scenario.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "common/log.hpp"
+#include "diet/client.hpp"
+#include "diet/deployment.hpp"
+#include "diet/protocol.hpp"
+#include "dtm/catalog.hpp"
+#include "fault/scripted.hpp"
+#include "naming/registry.hpp"
+#include "net/simenv.hpp"
+
+namespace gc::mc {
+namespace {
+
+// ---------- services ----------
+
+/// int -> int * 2, scalar in / scalar out, volatile.
+diet::ProfileDesc double_desc() {
+  diet::ProfileDesc desc("double", 0, 0, 1);
+  desc.arg(0).type = diet::DataType::kScalar;
+  desc.arg(0).base = diet::BaseType::kInt;
+  desc.arg(1).type = diet::DataType::kScalar;
+  desc.arg(1).base = diet::BaseType::kInt;
+  return desc;
+}
+
+diet::SolveFn double_solve() {
+  return [](diet::ServiceContext& ctx) {
+    ctx.compute(
+        0.05,
+        [&ctx]() {
+          const auto in = ctx.profile().arg(0).get_scalar<std::int32_t>();
+          if (!in.is_ok()) return 1;
+          ctx.profile().arg(1).set_scalar<std::int32_t>(
+              in.value() * 2, diet::BaseType::kInt,
+              diet::Persistence::kVolatile);
+          return 0;
+        },
+        [&ctx](int rc) { ctx.finish(rc); });
+  };
+}
+
+/// persistent vector in -> sum out; the persistent argument lands in the
+/// SED data store and the hierarchy replica catalog.
+diet::ProfileDesc sum_desc() {
+  diet::ProfileDesc desc("sum", 0, 0, 1);
+  desc.arg(0).type = diet::DataType::kVector;
+  desc.arg(0).base = diet::BaseType::kDouble;
+  desc.arg(1).type = diet::DataType::kScalar;
+  desc.arg(1).base = diet::BaseType::kDouble;
+  return desc;
+}
+
+diet::SolveFn sum_solve() {
+  return [](diet::ServiceContext& ctx) {
+    ctx.compute(
+        0.2,
+        [&ctx]() {
+          const auto data = ctx.profile().arg(0).get_vector<double>();
+          if (!data.is_ok()) return 1;
+          double sum = 0.0;
+          for (const double v : data.value()) sum += v;
+          ctx.profile().arg(1).set_scalar<double>(
+              sum, diet::BaseType::kDouble, diet::Persistence::kVolatile);
+          return 0;
+        },
+        [&ctx](int rc) { ctx.finish(rc); });
+  };
+}
+
+// ---------- deployment helpers ----------
+
+/// Symmetric hierarchy: every SED has the same power, so candidates tie
+/// and the MA's pick is decided by arrival order — a real race.
+diet::DeploymentSpec make_spec(int las, int seds_per_la) {
+  diet::DeploymentSpec spec;
+  spec.ma_node = 0;
+  spec.agent_tuning.delay_noise_cv = 0.0;
+  spec.sed_tuning.delay_noise_cv = 0.0;
+  for (int la = 0; la < las; ++la) {
+    diet::DeploymentSpec::LaSpec l;
+    l.name = "LA" + std::to_string(la);
+    l.node = static_cast<net::NodeId>(1 + la);
+    for (int s = 0; s < seds_per_la; ++s) {
+      diet::DeploymentSpec::SedSpec sed;
+      sed.name = "SeD" + std::to_string(la) + std::to_string(s);
+      sed.node = static_cast<net::NodeId>(1 + las + la * seds_per_la + s);
+      sed.host_power = 1.0;
+      sed.machines = 1;
+      l.sed_indexes.push_back(static_cast<int>(spec.seds.size()));
+      spec.seds.push_back(sed);
+    }
+    spec.las.push_back(l);
+  }
+  return spec;
+}
+
+void name_owners(RunContext& ctx, diet::Deployment& deployment,
+                 diet::Client& client) {
+  ctx.owner_names[deployment.ma().endpoint()] = deployment.ma().name();
+  for (std::size_t i = 0; i < deployment.la_count(); ++i) {
+    ctx.owner_names[deployment.la(i).endpoint()] = deployment.la(i).name();
+  }
+  for (std::size_t i = 0; i < deployment.sed_count(); ++i) {
+    ctx.owner_names[deployment.sed(i).endpoint()] = deployment.sed(i).name();
+  }
+  ctx.owner_names[client.endpoint()] = client.name();
+}
+
+/// No-lost-calls property: all `expected` calls completed, successfully.
+void expect_all_completed(const diet::Client& client, int completions,
+                          int expected) {
+  GC_INVARIANT(completions == expected,
+               "every submitted call must complete successfully "
+               "(lost or failed call)");
+  for (const auto& record : client.records()) {
+    GC_INVARIANT(record.ok, "call record not ok: " + record.service);
+  }
+}
+
+/// Catalog-coherence property: no catalog level may still attribute a
+/// replica to `dead_uid`.
+void expect_no_replicas_on(const dtm::ReplicaCatalog& catalog,
+                           std::uint64_t dead_uid, const std::string& who) {
+  for (const std::string& id : catalog.ids()) {
+    const auto* replicas = catalog.locate(id);
+    if (replicas == nullptr) continue;
+    GC_INVARIANT(replicas->find(dead_uid) == replicas->end(),
+                 who + " catalog still attributes " + id +
+                     " to the evicted SED");
+  }
+}
+
+// ---------- scenario bodies ----------
+
+/// 1 MA / 1 LA / 2 symmetric SEDs; `calls` volatile calls; optional
+/// scripted faults and client tuning (retries).
+void small_body(RunContext& ctx, int calls, fault::ScriptedHook* hook,
+                const diet::Client::Tuning& tuning) {
+  net::UniformTopology topology(5e-3, 1.25e8);
+  net::SimEnv env(ctx.engine, topology);
+  if (hook != nullptr) env.set_fault_hook(hook);
+  naming::Registry registry;
+  diet::ServiceTable services;
+  GC_CHECK(services.add(double_desc(), double_solve()).is_ok());
+
+  diet::Deployment deployment(env, registry, services, make_spec(1, 2));
+  diet::Client client("client", tuning);
+  env.attach(client, 0);
+  client.connect(registry.resolve("MA1").value());
+  name_owners(ctx, deployment, client);
+  ctx.engine.run_until(1.0);
+
+  int completions = 0;
+  for (int i = 0; i < calls; ++i) {
+    diet::Profile profile("double", 0, 0, 1);
+    profile.arg(0).set_scalar<std::int32_t>(i, diet::BaseType::kInt,
+                                            diet::Persistence::kVolatile);
+    profile.arg(1).desc.type = diet::DataType::kScalar;
+    profile.arg(1).desc.base = diet::BaseType::kInt;
+    client.call_async(std::move(profile),
+                      [&completions](const gc::Status& status,
+                                     diet::Profile& out) {
+                        (void)out;
+                        if (status.is_ok()) ++completions;
+                      });
+  }
+  ctx.engine.run();
+
+  if (current_run_aborted()) return;
+  expect_all_completed(client, completions, calls);
+}
+
+void small_scenario(RunContext& ctx) {
+  small_body(ctx, 2, nullptr, diet::Client::Tuning{});
+}
+
+void small_dup_scenario(RunContext& ctx) {
+  // The first kCallData is duplicated with zero lag: both copies land in
+  // one tie group and the checker runs them in every order. The SED's
+  // dedup journal must execute the call exactly once either way.
+  fault::ScriptedHook hook;
+  hook.duplicate(diet::kCallData, 1, 0.0);
+  small_body(ctx, 1, &hook, diet::Client::Tuning{});
+}
+
+void small_drop_scenario(RunContext& ctx) {
+  // The first kCallResult is dropped in-network; the client's attempt
+  // timer fires and the whole finding+computing phase re-runs under a
+  // fresh wire id, on whichever SED wins the rescheduling race.
+  fault::ScriptedHook hook;
+  hook.drop(diet::kCallResult, 1);
+  diet::Client::Tuning tuning;
+  tuning.max_attempts = 3;
+  tuning.attempt_timeout_s = 0.5;
+  small_body(ctx, 1, &hook, tuning);
+}
+
+/// 1 MA / 1 LA / 2 SEDs with heartbeats; call 1 stores persistent data,
+/// its SED crashes, the watchdog evicts it (dropping its replicas), it
+/// heals, and call 2 completes. Properties: catalog coherence after the
+/// eviction, at least one eviction, and no lost calls.
+void crash_heal_scenario(RunContext& ctx) {
+  net::UniformTopology topology(5e-3, 1.25e8);
+  net::SimEnv env(ctx.engine, topology);
+  naming::Registry registry;
+  diet::ServiceTable services;
+  GC_CHECK(services.add(sum_desc(), sum_solve()).is_ok());
+
+  diet::DeploymentSpec spec = make_spec(1, 2);
+  // Staggered (coprime) beacon periods: sibling heartbeats never land on
+  // the LA at identical timestamps, so the explorer is not asked to
+  // permute equivalent beacon arrivals for the whole run.
+  spec.seds[0].heartbeat_period = 0.23;
+  spec.seds[1].heartbeat_period = 0.31;
+  spec.sed_tuning.data_fetch_timeout_s = 0.5;
+  // The watchdog tuning is shared by the MA and the LA, so the LA must
+  // beacon its parent too or the MA would evict it.
+  spec.agent_tuning.heartbeat_period = 0.2;
+  spec.agent_tuning.heartbeat_timeout = 0.7;
+  diet::Deployment deployment(env, registry, services, spec);
+  diet::Client client("client");
+  env.attach(client, 0);
+  client.connect(registry.resolve("MA1").value());
+  name_owners(ctx, deployment, client);
+  ctx.engine.run_until(1.0);
+
+  const std::vector<double> data(64, 1.0);
+  int completions = 0;
+  const auto submit_sum = [&client, &data, &completions] {
+    diet::Profile profile("sum", 0, 0, 1);
+    profile.arg(0).set_vector<double>(data, diet::BaseType::kDouble,
+                                      diet::Persistence::kPersistent);
+    profile.arg(1).desc.type = diet::DataType::kScalar;
+    profile.arg(1).desc.base = diet::BaseType::kDouble;
+    client.call_async(std::move(profile),
+                      [&completions](const gc::Status& status,
+                                     diet::Profile& out) {
+                        (void)out;
+                        if (status.is_ok()) ++completions;
+                      });
+  };
+  submit_sum();
+
+  // Call 1 is done well before t=1.6 (deterministic delays); crash the
+  // SED that ran it — the one holding the persistent replica.
+  std::uint64_t dead_uid = 0;
+  ctx.engine.schedule_at(1.6, [&deployment, &client, &dead_uid] {
+    if (client.records().empty()) return;
+    dead_uid = client.records()[0].sed_uid;
+    diet::Sed* sed = deployment.sed_by_uid(dead_uid);
+    if (sed != nullptr) sed->fail();
+  });
+  // Beacons stop at 1.6; the LA watchdog fires by ~2.3 and must have
+  // dropped the dead SED's replicas from every catalog level.
+  ctx.engine.schedule_at(2.5, [&deployment, &dead_uid] {
+    if (dead_uid == 0) return;
+    expect_no_replicas_on(deployment.la(0).catalog(), dead_uid, "LA0");
+    expect_no_replicas_on(deployment.ma().catalog(), dead_uid, "MA");
+  });
+  ctx.engine.schedule_at(2.7, [&deployment, &dead_uid] {
+    diet::Sed* sed = deployment.sed_by_uid(dead_uid);
+    if (sed != nullptr && sed->failed()) sed->restart();
+  });
+  ctx.engine.schedule_at(2.8, submit_sum);
+  ctx.engine.run_until(4.0);
+
+  if (current_run_aborted()) return;
+  expect_all_completed(client, completions, 2);
+  GC_INVARIANT(deployment.la(0).heartbeat_evictions() >= 1,
+               "the LA watchdog must have evicted the crashed SED");
+}
+
+/// 1 MA / 2 LAs / 4 symmetric SEDs, fault-free; two calls race through
+/// both subtrees.
+void hierarchy_scenario(RunContext& ctx) {
+  net::UniformTopology topology(5e-3, 1.25e8);
+  net::SimEnv env(ctx.engine, topology);
+  naming::Registry registry;
+  diet::ServiceTable services;
+  GC_CHECK(services.add(double_desc(), double_solve()).is_ok());
+
+  diet::Deployment deployment(env, registry, services, make_spec(2, 2));
+  diet::Client client("client");
+  env.attach(client, 0);
+  client.connect(registry.resolve("MA1").value());
+  name_owners(ctx, deployment, client);
+  ctx.engine.run_until(1.0);
+
+  int completions = 0;
+  for (int i = 0; i < 2; ++i) {
+    diet::Profile profile("double", 0, 0, 1);
+    profile.arg(0).set_scalar<std::int32_t>(i, diet::BaseType::kInt,
+                                            diet::Persistence::kVolatile);
+    profile.arg(1).desc.type = diet::DataType::kScalar;
+    profile.arg(1).desc.base = diet::BaseType::kInt;
+    client.call_async(std::move(profile),
+                      [&completions](const gc::Status& status,
+                                     diet::Profile& out) {
+                        (void)out;
+                        if (status.is_ok()) ++completions;
+                      });
+  }
+  ctx.engine.run();
+
+  if (current_run_aborted()) return;
+  expect_all_completed(client, completions, 2);
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> all = {
+      {"small", "1MA/1LA/2SED, 2 volatile calls, fault-free",
+       &small_scenario},
+      {"small_dup", "1MA/1LA/2SED, duplicated kCallData (same-time tie)",
+       &small_dup_scenario},
+      {"small_drop", "1MA/1LA/2SED, dropped kCallResult + client retries",
+       &small_drop_scenario},
+      {"crash_heal",
+       "1MA/1LA/2SED, persistent data, SED crash -> eviction -> heal",
+       &crash_heal_scenario},
+      {"hierarchy", "1MA/2LA/4SED, 2 volatile calls, fault-free",
+       &hierarchy_scenario},
+  };
+  return all;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& scenario : scenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace gc::mc

@@ -1,0 +1,32 @@
+// Bounded DIET scenarios for the model checker.
+//
+// Each scenario builds a full middleware deployment against the run's
+// fresh engine, drives a short workload (possibly under scripted faults),
+// and states its properties as GC_INVARIANT checks — which the checker's
+// failure handler captures. Scenarios are deliberately deterministic:
+// every delay-noise CV is zeroed and SEDs are symmetric, so the only
+// degrees of freedom are genuine scheduling races (same-timestamp tie
+// groups), which is exactly the space mc::explore enumerates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/checker.hpp"
+
+namespace gc::mc {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn fn;
+};
+
+/// The named scenarios mc_explore (and the tests) can run, in listing
+/// order. All are bounded and safe for exhaustive exploration.
+const std::vector<Scenario>& scenarios();
+
+/// nullptr when no scenario has that name.
+const Scenario* find_scenario(const std::string& name);
+
+}  // namespace gc::mc

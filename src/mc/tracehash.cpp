@@ -1,0 +1,39 @@
+#include "mc/tracehash.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/statehash.hpp"
+#include "obs/trace.hpp"
+
+namespace gc::mc {
+
+std::uint64_t trace_topology_hash() {
+  const std::vector<obs::TraceEvent> events = obs::Tracer::instance().events();
+  std::map<obs::SpanId, std::string> span_names;
+  for (const auto& ev : events) {
+    if (ev.span_id != 0) span_names[ev.span_id] = ev.name;
+  }
+  check::MultisetHash multiset;
+  for (const auto& ev : events) {
+    check::Fnv f;
+    f.u64(static_cast<std::uint64_t>(ev.phase));
+    f.str(ev.name);
+    f.str(ev.track);
+    f.u64(ev.trace_id);
+    const auto parent = span_names.find(ev.parent_span);
+    f.str(parent == span_names.end() ? std::string() : parent->second);
+    f.d(ev.ts);
+    f.d(ev.dur);
+    f.u64(ev.args.size());
+    for (const auto& [key, value] : ev.args) {
+      f.str(key);
+      f.str(value);
+    }
+    multiset.add(f.h);
+  }
+  return multiset.finish();
+}
+
+}  // namespace gc::mc

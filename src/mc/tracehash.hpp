@@ -1,0 +1,18 @@
+// Order-independent hash of the observability trace.
+//
+// Span ids and record order legitimately permute across tie-break seeds
+// and schedules (they are allocation-order artifacts), so each span is
+// reduced to its topology tuple (phase, name, track, trace id, parent's
+// NAME, ts, dur, args) and the per-tuple hashes combine commutatively.
+// Shared by the schedule fuzzer (tie-break invariance) and anything that
+// wants to compare runs for observational equivalence.
+#pragma once
+
+#include <cstdint>
+
+namespace gc::mc {
+
+/// Hashes the global obs::Tracer's current event buffer.
+std::uint64_t trace_topology_hash();
+
+}  // namespace gc::mc

@@ -52,6 +52,18 @@ class Env {
   /// id can cancel the timer before it fires.
   virtual TimerId post_after(SimTime delay, std::function<void()> fn) = 0;
 
+  /// post_after, attributed to `owner` for the DES's independence
+  /// bookkeeping (see des::Strategy). An actor arming a timer chain from
+  /// outside its own dispatch context (deployment-time registration, an
+  /// application thread) passes its endpoint so the chain does not fall
+  /// into the conservatively-shared root ownership. Backends without a
+  /// scheduler seam ignore the attribution.
+  virtual TimerId post_after_as(Endpoint owner, SimTime delay,
+                                std::function<void()> fn) {
+    (void)owner;
+    return post_after(delay, std::move(fn));
+  }
+
   /// Cancels a pending timer; false if it already fired or is unknown.
   virtual bool cancel_timer(TimerId id) = 0;
 

@@ -142,7 +142,11 @@ void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,
   }
 
   // The lambda (Envelope + stream bookkeeping) fits EventFn's inline
-  // buffer, so a message delivery never allocates.
+  // buffer, so a message delivery never allocates. The delivery event is
+  // owned by the destination endpoint: its handler mutates that actor's
+  // state, so deliveries to different actors commute (the model checker's
+  // independence relation relies on this).
+  const Endpoint owner = envelope.to;
   engine_.schedule_at(at, [this, stream_key, fifo_seq,
                            env = std::move(envelope)]() {
     if constexpr (check::kEnabled) {
@@ -158,7 +162,7 @@ void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,
           "net:n" + std::to_string(it->second.node), env.trace_id);
     }
     it->second.actor->on_message(env);
-  }, des::EventTag::kMessage);
+  }, des::EventTag::kMessage, owner);
 }
 
 void SimEnv::execute(NodeId /*node*/, double modeled_seconds,

@@ -25,6 +25,12 @@ class SimEnv final : public Env {
                                   des::EventTag::kTimer);
   }
 
+  TimerId post_after_as(Endpoint owner, SimTime delay,
+                        std::function<void()> fn) override {
+    return engine_.schedule_after(delay, std::move(fn), des::EventTag::kTimer,
+                                  owner);
+  }
+
   bool cancel_timer(TimerId id) override { return engine_.cancel(id); }
 
   void detach(Endpoint endpoint) override { actors_.erase(endpoint); }

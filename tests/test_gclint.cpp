@@ -254,6 +254,51 @@ TEST(Gclint, HotStringSuppressionWorks) {
   EXPECT_TRUE(lint_one("src/net/simenv.cpp", src).empty());
 }
 
+// ---------- mc-blocking ----------
+
+TEST(Gclint, FlagsSleepInMiddleware) {
+  for (const char* dir : {"diet", "dtm"}) {
+    const auto findings = lint_one(
+        std::string("src/") + dir + "/x.cpp",
+        "void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); "
+        "}\n");
+    EXPECT_TRUE(has_rule(findings, "mc-blocking")) << dir;
+  }
+}
+
+TEST(Gclint, FlagsUnboundedWaitInMiddleware) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/diet/x.cpp", "cv.wait(lock, [] { return done; });\n"),
+      "mc-blocking"));
+  EXPECT_TRUE(has_rule(
+      lint_one("src/dtm/x.cpp", "sem->acquire();\n"), "mc-blocking"));
+  EXPECT_TRUE(has_rule(
+      lint_one("src/diet/x.cpp", "return future.get();\n"), "mc-blocking"));
+}
+
+TEST(Gclint, AllowsBoundedWaitAndNonFutureGet) {
+  // wait_for has a deadline, wait_idle is a different API, and .get() on
+  // a smart pointer is not a blocking call.
+  const std::string src =
+      "bool ok = cv.wait_for(lock, timeout, [] { return done; });\n"
+      "env->wait_idle();\n"
+      "auto* p = holder.get();\n";
+  EXPECT_TRUE(lint_one("src/diet/x.cpp", src).empty());
+}
+
+TEST(Gclint, AllowsBlockingOutsideMiddleware) {
+  EXPECT_TRUE(lint_one("src/parallel/pool.cpp",
+                       "cv.wait(lock, [] { return !queue.empty(); });\n")
+                  .empty());
+}
+
+TEST(Gclint, McBlockingSuppressionWorks) {
+  const std::string src =
+      "// gclint: allow(mc-blocking) RealEnv client-thread wait\n"
+      "cv.wait(lock, [] { return done; });\n";
+  EXPECT_TRUE(lint_one("src/diet/x.cpp", src).empty());
+}
+
 // ---------- comment and string immunity ----------
 
 TEST(Gclint, IgnoresCommentsAndStrings) {
@@ -304,10 +349,11 @@ TEST(Gclint, UnknownRuleInDirectiveIsItselfReported) {
 
 TEST(Gclint, RuleListIsStable) {
   const auto& names = gclint::rule_names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_NE(std::find(names.begin(), names.end(), "unchecked-status"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "hot-string"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mc-blocking"), names.end());
 }
 
 }  // namespace

@@ -9,14 +9,15 @@
 // the trace topology must all match the seed-0 baseline exactly.
 #include <gtest/gtest.h>
 
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "check/statehash.hpp"
 #include "des/engine.hpp"
 #include "diet/client.hpp"
 #include "diet/deployment.hpp"
+#include "mc/tracehash.hpp"
 #include "naming/registry.hpp"
 #include "net/simenv.hpp"
 #include "obs/trace.hpp"
@@ -28,69 +29,12 @@ namespace {
 constexpr int kTieSeeds = 32;  ///< fuzz seeds checked against baseline 0
 
 // ---------- hashing helpers ----------
-
-/// FNV-1a accumulator; doubles are hashed by bit pattern, so two runs
-/// match only if every value is bitwise identical.
-struct Fnv {
-  std::uint64_t h = 1469598103934665603ULL;
-
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void i64(std::int64_t v) { bytes(&v, sizeof v); }
-  void d(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-};
-
-/// Order-independent hash of the trace as a multiset of topology tuples.
-/// Span ids and record order legitimately permute across tie-break seeds
-/// (they are allocation-order artifacts), so each span is reduced to
-/// (phase, name, track, trace id, parent's NAME, ts, dur) and the
-/// per-tuple hashes are combined commutatively.
-std::uint64_t trace_topology_hash() {
-  const std::vector<obs::TraceEvent> events = obs::Tracer::instance().events();
-  std::map<obs::SpanId, std::string> span_names;
-  for (const auto& ev : events) {
-    if (ev.span_id != 0) span_names[ev.span_id] = ev.name;
-  }
-  std::uint64_t sum = 0;
-  std::uint64_t mix = 0;
-  for (const auto& ev : events) {
-    Fnv f;
-    f.u64(static_cast<std::uint64_t>(ev.phase));
-    f.str(ev.name);
-    f.str(ev.track);
-    f.u64(ev.trace_id);
-    const auto parent = span_names.find(ev.parent_span);
-    f.str(parent == span_names.end() ? std::string() : parent->second);
-    f.d(ev.ts);
-    f.d(ev.dur);
-    f.u64(ev.args.size());
-    for (const auto& [key, value] : ev.args) {
-      f.str(key);
-      f.str(value);
-    }
-    sum += f.h;
-    mix ^= f.h * 1099511628211ULL;
-  }
-  Fnv out;
-  out.u64(events.size());
-  out.u64(sum);
-  out.u64(mix);
-  return out.h;
-}
+//
+// The FNV-1a accumulator and the order-independent trace-topology hash
+// this suite introduced now live in the library (the model checker and
+// the invariant layer share them): check::Fnv / check::MultisetHash in
+// check/statehash.hpp, mc::trace_topology_hash() in mc/tracehash.hpp.
+using check::Fnv;
 
 /// Enables tracing for one scenario run, on a cleared tracer.
 struct ScopedTrace {
@@ -168,7 +112,7 @@ CampaignSnapshot run_campaign(std::uint64_t tie_seed) {
   f.i64(result.network_bytes);
   f.u64(result.network_messages);
 
-  return CampaignSnapshot{f.h, trace_topology_hash(), result.makespan};
+  return CampaignSnapshot{f.h, mc::trace_topology_hash(), result.makespan};
 }
 
 TEST(ScheduleFuzz, CampaignIsTieBreakInvariant) {
@@ -274,7 +218,7 @@ HierarchySnapshot run_hierarchy(std::uint64_t tie_seed) {
   f.i64(env.bytes_sent());
   f.u64(env.messages_sent());
   f.d(engine.now());
-  return HierarchySnapshot{f.h, trace_topology_hash(), engine.now()};
+  return HierarchySnapshot{f.h, mc::trace_topology_hash(), engine.now()};
 }
 
 TEST(ScheduleFuzz, HierarchyBurstIsTieBreakInvariant) {

@@ -14,7 +14,7 @@ namespace {
 constexpr const char* kRules[] = {"rand",           "wallclock",
                                   "thread",         "unchecked-status",
                                   "unordered-iter", "dtm-store",
-                                  "hot-string"};
+                                  "hot-string",     "mc-blocking"};
 
 /// A file after preprocessing: stripped code lines plus suppression state.
 struct Prepared {
@@ -279,6 +279,52 @@ void check_thread(const Prepared& file, std::vector<Finding>& findings) {
 }
 
 // ---------------------------------------------------------------------------
+// mc-blocking: wall-clock sleeps and unbounded blocking waits in the
+// middleware layers (src/diet, src/dtm). Those layers run under the DPOR
+// model checker (src/mc), which owns the virtual clock and explores one
+// dispatch at a time — a host-time sleep or an open-ended wait there
+// either stalls exploration or hides an ordering behind real time where
+// the checker cannot permute it. Timer work belongs on Env::post_after;
+// the few legitimate RealEnv-only blocking paths carry a suppression.
+
+void check_mc_blocking(const Prepared& file, std::vector<Finding>& findings) {
+  if (!in_dir(file, "/diet/") && !in_dir(file, "/dtm/")) return;
+  // sleep_for/sleep_until: always wrong here, even bounded — they block
+  // the dispatch thread on the host clock.
+  static const std::regex sleep(R"(\b(sleep_for|sleep_until)\s*\()");
+  // member wait() with no deadline: condition_variable::wait,
+  // future::wait, semaphore-style wait. wait_for/wait_until (bounded)
+  // and names like wait_idle do not match.
+  static const std::regex wait(R"((\.|->)\s*wait\s*\()");
+  // future<T>::get blocks until the value exists; only identifiers that
+  // look like futures are flagged (smart-pointer .get() is everywhere).
+  static const std::regex future_get(
+      R"(\b\w*future\w*\s*(\.|->)\s*get\s*\(\s*\))");
+  // counting_semaphore::acquire and friends.
+  static const std::regex acquire(R"((\.|->)\s*acquire\s*\(\s*\))");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& line = file.lines[i];
+    const char* what = nullptr;
+    if (std::regex_search(line, sleep)) {
+      what = "wall-clock sleep";
+    } else if (std::regex_search(line, wait)) {
+      what = "unbounded wait()";
+    } else if (std::regex_search(line, future_get)) {
+      what = "blocking future get()";
+    } else if (std::regex_search(line, acquire)) {
+      what = "semaphore acquire()";
+    }
+    if (what != nullptr) {
+      report(file, i, "mc-blocking",
+             std::string(what) +
+                 " in model-checked middleware; use Env::post_after (or a "
+                 "bounded wait_for) so src/mc can explore around it",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // unchecked-status: a bare expression-statement call to a function whose
 // declaration (anywhere in the input set) returns Status or Result<...>.
 
@@ -516,6 +562,7 @@ std::vector<Finding> lint(const std::vector<FileInput>& files) {
     check_unordered_iter(file, findings);
     check_dtm_store(file, findings);
     check_hot_string(file, findings);
+    check_mc_blocking(file, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

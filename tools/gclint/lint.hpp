@@ -30,6 +30,13 @@
 //                    obs::tracing()/obs::metrics_on() cold branch — label
 //                    and trace names must be built lazily or cached, never
 //                    per event/message
+//   mc-blocking      wall-clock sleeps (sleep_for/sleep_until) or
+//                    unbounded blocking (cv/future .wait(), future .get(),
+//                    semaphore .acquire()) in src/diet/ or src/dtm/ — the
+//                    model checker (src/mc) drives those layers one
+//                    dispatch at a time on a virtual clock and cannot
+//                    explore past a host-time wait; RealEnv-only blocking
+//                    paths carry a gclint: allow
 #pragma once
 
 #include <string>
