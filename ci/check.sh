@@ -64,6 +64,35 @@ print(f"pingstorm with sampler on: {100 * ratio:.1f}% of sampler-off")
 assert ratio > 0.90, "time-series sampler overhead blew past 10% on pingstorm"
 PY
 
+step "serving smoke (bench_serving --quick + federated digest gate)"
+# Same tripwire philosophy as bench-smoke: the quick sweep sustains ~400
+# req/s single-MA on this container, so only a serving-path collapse trips
+# the 300 floor. bench_serving itself asserts 0 failed calls and digest
+# equality across the 1- and 2-MA sweep points.
+./build/bench/bench_serving --quick --floor 300 \
+  --json build/BENCH_serving_smoke.json
+python3 - build/BENCH_serving_smoke.json <<'PY'
+import json, sys
+runs = json.load(open(sys.argv[1]))["runs"]
+assert len(runs) >= 2, "quick sweep lost its MA points"
+assert all(r["failed"] == 0 for r in runs), "serving run failed calls"
+assert len({r["science_digest"] for r in runs}) == 1, \
+    "science digest depends on the MA count"
+fed = [r for r in runs if r["mas"] > 1]
+assert fed and all(r["peer_forwards"] > 0 for r in fed), \
+    "federated run never exercised peer forwarding"
+print(f"{len(runs)} serving runs, 0 failed, digest "
+      f"{runs[0]['science_digest']} across mas="
+      f"{sorted(r['mas'] for r in runs)}")
+PY
+# The campaign itself must also be MA-count-invariant: the paper's 22
+# sub-simulation experiment split across a 2-MA federation has to land on
+# the same science digest as the stock single-MA run.
+D1=$(./build/examples/zoom_campaign --subsims 22 --digest | grep 'science digest')
+D2=$(./build/examples/zoom_campaign --subsims 22 --mas 2 --digest | grep 'science digest')
+[[ -n "$D1" && "${D1#*: }" == "${D2#*: }" ]]
+echo "campaign digest single-MA == 2-MA federation (${D1#*: })"
+
 step "gcprof over a 22-sub-sim campaign (schema + determinism)"
 # Two campaigns, different tie-break seeds: the journal and time-series
 # exports must be byte-identical (virtual-time sampling, trace-id-sorted

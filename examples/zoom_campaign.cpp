@@ -18,6 +18,8 @@
 //                                        # (results must not change)
 //   ./zoom_campaign --persistence persistent --policy mct-data
 //                                        # DTM: replica catalog + locality
+//   ./zoom_campaign --mas 2 --digest     # federated: 2 MA hierarchies,
+//                                        # print the science digest
 //
 // Fault plans (--fault-plan, or the GC_FAULT_PLAN environment variable)
 // are spelled "preset[,key=value...]" with presets none, drop-only,
@@ -78,6 +80,13 @@ int main(int argc, char** argv) {
   const bool chaos =
       !config.fault_plan.empty() && config.fault_plan != "none";
 
+  // Federation: --mas N splits the hierarchy into N peered MA shards.
+  // --digest prints the science digest even fault-free (it is only in the
+  // chaos report otherwise), so runs can be compared across --mas values;
+  // the default report stays byte-identical to the pre-federation binary.
+  config.federation_mas = static_cast<int>(args.get_int("mas", 1));
+  const bool print_digest = args.has("digest");
+
   std::string persistence = args.get("persistence", "");
   if (persistence.empty()) {
     if (const char* env_mode = std::getenv("GC_PERSISTENCE")) {
@@ -129,6 +138,17 @@ int main(int argc, char** argv) {
   std::printf("network traffic          : %s in %llu messages\n",
               gc::format_bytes(result.network_bytes).c_str(),
               static_cast<unsigned long long>(result.network_messages));
+  if (config.federation_mas > 1) {
+    std::printf("federation               : %d MAs, %llu peer forwards, "
+                "%llu peer replies\n",
+                config.federation_mas,
+                static_cast<unsigned long long>(result.federation_forwards),
+                static_cast<unsigned long long>(result.federation_replies));
+  }
+  if (print_digest) {
+    std::printf("science digest           : %016llx\n",
+                static_cast<unsigned long long>(result.science_digest));
+  }
   // Printed only under --persistence so the default report stays
   // byte-identical to the pre-DTM harness.
   if (persistent) {

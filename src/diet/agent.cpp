@@ -60,6 +60,127 @@ void Agent::shutdown() {
       child.hb_timer = 0;
     }
   }
+  for (auto& peer : peers_) {
+    if (peer.hb_timer != 0) {
+      env()->cancel_timer(peer.hb_timer);
+      peer.hb_timer = 0;
+    }
+  }
+}
+
+void Agent::set_federation(std::uint32_t ma_uid,
+                           std::uint64_t request_key_base) {
+  GC_CHECK_MSG(kind_ == Kind::kMaster, "only MAs federate");
+  GC_CHECK_MSG(ma_uid != 0, "federation uid 0 is reserved for 'unfederated'");
+  ma_uid_ = ma_uid;
+  next_key_ = request_key_base + 1;
+}
+
+void Agent::connect_peer(net::Endpoint peer_endpoint) {
+  GC_CHECK_MSG(kind_ == Kind::kMaster, "only MAs federate");
+  GC_CHECK_MSG(ma_uid_ != 0, "set_federation() before connect_peer()");
+  if (find_peer(peer_endpoint) == nullptr) {
+    Peer peer;
+    peer.endpoint = peer_endpoint;
+    peers_.push_back(std::move(peer));
+    arm_peer_deadline(peer_endpoint);
+  }
+  // Always announce, even if the peer was already learned passively from
+  // ITS announce — it still needs ours.
+  PeerAnnounceMsg msg;
+  msg.ma_uid = ma_uid_;
+  msg.name = name_;
+  msg.services.assign(services_.begin(), services_.end());
+  env()->send(net::Envelope{endpoint(), peer_endpoint, kPeerAnnounce,
+                            msg.encode(), 0});
+  if (tuning_.heartbeat_period > 0.0 && !peer_beat_armed_) {
+    peer_beat_armed_ = true;
+    arm_peer_beat();
+  }
+}
+
+Agent::Peer* Agent::find_peer(net::Endpoint endpoint) {
+  for (auto& peer : peers_) {
+    if (peer.endpoint == endpoint) return &peer;
+  }
+  return nullptr;
+}
+
+void Agent::arm_peer_beat() {
+  const std::uint64_t epoch = epoch_;
+  env()->post_after_as(endpoint(), tuning_.heartbeat_period, [this, epoch]() {
+    if (epoch != epoch_ || failed_) return;
+    HeartbeatMsg beat;
+    beat.seq = ++heartbeat_seq_;
+    const net::Bytes payload = beat.encode();
+    // Dead-marked peers are beaten too: our beacons are what revive us in
+    // THEIR watchdog once a partition ends.
+    for (const auto& peer : peers_) {
+      env()->send(
+          net::Envelope{endpoint(), peer.endpoint, kHeartbeat, payload, 0});
+    }
+    arm_peer_beat();
+  });
+}
+
+void Agent::arm_peer_deadline(net::Endpoint peer_endpoint) {
+  if (tuning_.heartbeat_timeout <= 0.0) return;
+  Peer* peer = find_peer(peer_endpoint);
+  if (peer == nullptr) return;
+  if (peer->hb_timer != 0) env()->cancel_timer(peer->hb_timer);
+  peer->hb_timer = env()->post_after_as(
+      endpoint(), tuning_.heartbeat_timeout, [this, peer_endpoint]() {
+        if (failed_) return;
+        Peer* p = find_peer(peer_endpoint);
+        if (p == nullptr || !p->alive) return;
+        p->alive = false;
+        p->hb_timer = 0;
+        ++peer_stats_.evictions;
+        GC_WARN << "agent " << name_ << ": no heartbeat from peer MA "
+                << (p->name.empty() ? "(unannounced)" : p->name) << " for "
+                << tuning_.heartbeat_timeout << "s, ejecting the shard";
+        if (obs::tracing()) {
+          obs::Tracer::instance().instant(env()->now(), "peer-dead:" + p->name,
+                                          "agent:" + name_, 0);
+        }
+        if (obs::metrics_on()) {
+          obs::Metrics::instance()
+              .counter("diet_federation_peer_evictions_total",
+                       {{"agent", name_}})
+              .inc();
+        }
+      });
+}
+
+void Agent::announce_to_peers() {
+  PeerAnnounceMsg msg;
+  msg.ma_uid = ma_uid_;
+  msg.name = name_;
+  msg.services.assign(services_.begin(), services_.end());
+  const net::Bytes payload = msg.encode();
+  for (const auto& peer : peers_) {
+    env()->send(
+        net::Envelope{endpoint(), peer.endpoint, kPeerAnnounce, payload, 0});
+  }
+}
+
+void Agent::handle_peer_announce(const net::Envelope& envelope) {
+  GC_CHECK_MSG(kind_ == Kind::kMaster, "peer announces go MA to MA");
+  const PeerAnnounceMsg msg = PeerAnnounceMsg::decode(envelope.payload);
+  Peer* peer = find_peer(envelope.from);
+  if (peer == nullptr) {
+    // The peer announced before our own connect_peer() ran (federation
+    // wiring is symmetric but not atomic); learn it now.
+    Peer p;
+    p.endpoint = envelope.from;
+    peers_.push_back(std::move(p));
+    peer = &peers_.back();
+    arm_peer_deadline(envelope.from);
+  }
+  peer->uid = msg.ma_uid;
+  peer->name = msg.name;
+  peer->services.clear();
+  peer->services.insert(msg.services.begin(), msg.services.end());
 }
 
 Agent::Child* Agent::find_child(net::Endpoint endpoint) {
@@ -111,7 +232,23 @@ void Agent::arm_child_deadline(net::Endpoint child_endpoint) {
 
 void Agent::handle_heartbeat(const net::Envelope& envelope) {
   Child* child = find_child(envelope.from);
-  if (child == nullptr) return;  // from an evicted or unknown sender
+  if (child == nullptr) {
+    // Not a child: maybe a peer MA's federation beacon.
+    Peer* peer = find_peer(envelope.from);
+    if (peer == nullptr) return;  // from an evicted or unknown sender
+    if (!peer->alive) {
+      peer->alive = true;
+      GC_WARN << "agent " << name_ << ": heartbeat from ejected peer MA "
+              << peer->name << ", re-admitting the shard";
+      if (obs::tracing()) {
+        obs::Tracer::instance().instant(env()->now(),
+                                        "peer-revive:" + peer->name,
+                                        "agent:" + name_, 0);
+      }
+    }
+    arm_peer_deadline(envelope.from);
+    return;
+  }
   if (!child->alive) {
     // A heartbeat from a dead-marked child heals it: either the beacons
     // were merely dropped, or the partition around it ended.
@@ -129,6 +266,10 @@ void Agent::handle_heartbeat(const net::Envelope& envelope) {
 }
 
 void Agent::propagate_services() {
+  // The MA's analogue of telling a parent: keep every peer MA's view of
+  // this shard's services current (runs on the same triggers — child
+  // registration and eviction).
+  if (kind_ == Kind::kMaster && !peers_.empty()) announce_to_peers();
   if (parent_ == net::kNullEndpoint) return;
   AgentRegisterMsg msg;
   msg.name = name_;
@@ -186,6 +327,15 @@ void Agent::on_message(const net::Envelope& envelope) {
       break;
     case kHeartbeat:
       handle_heartbeat(envelope);
+      break;
+    case kPeerAnnounce:
+      handle_peer_announce(envelope);
+      break;
+    case kPeerCollect:
+      handle_peer_collect(envelope);
+      break;
+    case kPeerCandidates:
+      handle_peer_candidates(envelope);
       break;
     case dtm::kDataRegister:
       handle_data_register(envelope);
@@ -298,6 +448,10 @@ void Agent::handle_submit(const net::Envelope& envelope) {
   pending.in_bytes = msg.in_bytes;
   pending.trace_id = envelope.trace_id;
   pending.deps = msg.deps;
+  // Federation entry point: this MA is the origin, with the full hop
+  // budget. Both stay zero on an unfederated MA.
+  pending.origin_uid = ma_uid_;
+  pending.peer_budget = peers_.empty() ? 0 : tuning_.peer_ttl;
 
   RequestCollectMsg collect;
   collect.request_key = next_key_++;
@@ -340,7 +494,21 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
       targets.push_back(child.endpoint);
     }
   }
-  pending.expected = targets.size();
+  // Federation fan-out: forward to capable peer shards when the hop budget
+  // allows — on every request under federate_always, otherwise only when
+  // no local child offers the service (a shard miss).
+  std::vector<net::Endpoint> peer_targets;
+  if (kind_ == Kind::kMaster && !peers_.empty() && pending.peer_budget > 0 &&
+      (tuning_.federate_always || targets.empty())) {
+    for (const auto& peer : peers_) {
+      if (!peer.alive) continue;  // ejected shard
+      if (peer.uid == pending.origin_uid) continue;  // never back to origin
+      if (peer.endpoint == pending.reply_to) continue;  // nor to the asker
+      if (peer.services.count(pending.service) == 0) continue;
+      peer_targets.push_back(peer.endpoint);
+    }
+  }
+  pending.expected = targets.size() + peer_targets.size();
   pending.asked = targets;
   if (obs::tracing()) {
     pending.span = obs::Tracer::instance().begin_span(
@@ -361,8 +529,9 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
     return;
   }
 
-  if (targets.empty()) {
-    // No capable child: answer (empty) after the processing delay.
+  if (targets.empty() && peer_targets.empty()) {
+    // No capable child (or peer): answer (empty) after the processing
+    // delay.
     process_for(noisy(tuning_.processing_delay),
                 [this, key]() { finalize(key); });
     return;
@@ -374,22 +543,45 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
       msg.timeout_s > 0.0 ? msg.timeout_s : tuning_.collect_timeout;
   RequestCollectMsg forwarded = msg;
   forwarded.timeout_s = 0.6 * budget;
+  // Children are inside this hierarchy: strip the federation section so
+  // intra-hierarchy collects keep their pre-federation bytes.
+  forwarded.origin_uid = 0;
+  forwarded.ttl = 0;
+  // Peers get the section: who the origin is (loop detection) and how many
+  // further hops they may grant.
+  RequestCollectMsg peer_forwarded = msg;
+  peer_forwarded.timeout_s = 0.6 * budget;
+  peer_forwarded.origin_uid = pending.origin_uid;
+  peer_forwarded.ttl = pending.peer_budget > 0 ? pending.peer_budget - 1 : 0;
 
   // Fan-out costs exclusive CPU: base processing plus marshalling one
-  // collect message per child.
+  // collect message per child/peer.
   process_for(
       noisy(tuning_.processing_delay) +
-          tuning_.per_message_cost * static_cast<double>(1 + targets.size()),
-      [this, key, forwarded, targets, budget, trace_id]() {
+          tuning_.per_message_cost *
+              static_cast<double>(1 + targets.size() + peer_targets.size()),
+      [this, key, forwarded, peer_forwarded, targets, peer_targets, budget,
+       trace_id]() {
         if (failed_) return;
         if (obs::metrics_on()) {
           obs::Metrics::instance()
               .counter("diet_agent_forwards_total", {{"agent", name_}})
               .inc(targets.size());
+          if (!peer_targets.empty()) {
+            obs::Metrics::instance()
+                .counter("diet_federation_forwards_total",
+                         {{"agent", name_}})
+                .inc(peer_targets.size());
+          }
         }
         for (const net::Endpoint target : targets) {
           env()->send(net::Envelope{endpoint(), target, kRequestCollect,
                                     forwarded.encode(), 0, trace_id});
+        }
+        peer_stats_.forwards += peer_targets.size();
+        for (const net::Endpoint target : peer_targets) {
+          env()->send(net::Envelope{endpoint(), target, kPeerCollect,
+                                    peer_forwarded.encode(), 0, trace_id});
         }
         // Schedule with whatever arrived if a child never answers.
         const net::TimerId timer = env()->post_after(budget, [this, key]() {
@@ -410,22 +602,63 @@ void Agent::start_collect(std::uint64_t key, Pending pending,
 
 void Agent::handle_candidates(const net::Envelope& envelope) {
   CandidatesMsg msg = CandidatesMsg::decode(envelope.payload);
-  auto it = pending_.find(msg.request_key);
+  accumulate_candidates(msg.request_key, std::move(msg.candidates),
+                        envelope.from);
+}
+
+void Agent::handle_peer_collect(const net::Envelope& envelope) {
+  GC_CHECK_MSG(kind_ == Kind::kMaster, "peer collects go MA to MA");
+  const RequestCollectMsg msg = RequestCollectMsg::decode(envelope.payload);
+  if (msg.origin_uid == ma_uid_) {
+    // The forward looped back to the shard the request entered at. On
+    // dense federation graphs TTL alone cannot prevent this; the origin
+    // check does.
+    ++peer_stats_.loop_drops;
+    return;
+  }
+  if (!seen_peer_collects_.insert(msg.request_key).second) {
+    // Cross-MA dedup: the same request reached this shard along two
+    // federation paths (or was duplicated on the wire). Collect once,
+    // drop the copies silently — the first collect's answer serves all.
+    ++peer_stats_.dup_drops;
+    return;
+  }
+  Pending pending;
+  pending.from_peer = true;
+  pending.reply_to = envelope.from;
+  pending.service = msg.desc.path();
+  pending.in_bytes = msg.in_bytes;
+  pending.trace_id = envelope.trace_id;
+  pending.deps = msg.deps;
+  pending.origin_uid = msg.origin_uid;
+  pending.peer_budget = msg.ttl;
+  start_collect(msg.request_key, std::move(pending), msg);
+}
+
+void Agent::handle_peer_candidates(const net::Envelope& envelope) {
+  PeerCandidatesMsg msg = PeerCandidatesMsg::decode(envelope.payload);
+  accumulate_candidates(msg.request_key, std::move(msg.candidates),
+                        envelope.from);
+}
+
+void Agent::accumulate_candidates(std::uint64_t key,
+                                  std::vector<sched::Candidate> candidates,
+                                  net::Endpoint from) {
+  auto it = pending_.find(key);
   if (it == pending_.end()) return;  // late answer after timeout
   Pending& pending = it->second;
   // A duplicated answer would double-count towards `expected` and list
-  // its candidates twice; one answer per child per request.
-  if (!pending.answered.insert(envelope.from).second) return;
+  // its candidates twice; one answer per child/peer per request.
+  if (!pending.answered.insert(from).second) return;
   pending.received += 1;
   // Unmarshalling one reply (and its candidate list) is exclusive CPU.
   charge_cpu(tuning_.per_message_cost *
-             static_cast<double>(1 + msg.candidates.size()));
-  for (auto& candidate : msg.candidates) {
+             static_cast<double>(1 + candidates.size()));
+  for (auto& candidate : candidates) {
     pending.candidates.push_back(std::move(candidate));
   }
   if (pending.received >= pending.expected && !pending.finalizing) {
     pending.finalizing = true;
-    const std::uint64_t key = msg.request_key;
     process_for(noisy(tuning_.processing_delay) +
                     tuning_.per_message_cost *
                         static_cast<double>(pending.candidates.size()),
@@ -471,6 +704,30 @@ void Agent::finalize(std::uint64_t key) {
   // are not serialized, so each level's fill is independent).
   fill_locality(pending);
   policy_->rank(pending.candidates, request, rng_);
+
+  if (kind_ == Kind::kMaster && pending.from_peer) {
+    // Answer the asking MA with this shard's best candidates, truncated to
+    // the federation's top-k bound: fan-in at the originating MA stays
+    // constant per shard regardless of subtree size. The policy ranked
+    // best-first above, so truncation keeps the strongest.
+    if (tuning_.peer_top_k > 0 &&
+        pending.candidates.size() > tuning_.peer_top_k) {
+      pending.candidates.resize(tuning_.peer_top_k);
+    }
+    PeerCandidatesMsg up;
+    up.request_key = key;
+    up.ma_uid = ma_uid_;
+    up.candidates = std::move(pending.candidates);
+    ++peer_stats_.replies;
+    peer_stats_.candidates_returned += up.candidates.size();
+    ++requests_handled_;
+    if (pending.span != 0) {
+      obs::Tracer::instance().end_span(pending.span, env()->now());
+    }
+    env()->send(net::Envelope{endpoint(), pending.reply_to, kPeerCandidates,
+                              up.encode(), 0, pending.trace_id});
+    return;
+  }
 
   if (kind_ == Kind::kMaster) {
     GC_CHECK_MSG(pending.from_client, "MA finalizing a non-client request");
@@ -645,17 +902,45 @@ void Agent::handle_data_locate(const net::Envelope& envelope) {
       answer.replicas.push_back(info);
     }
   }
-  if (!answer.replicas.empty() || parent_ == net::kNullEndpoint) {
+  if (!answer.replicas.empty()) {
     // Answer straight to the requesting SED — the reply does not retrace
-    // the locate's path down the tree. At the root an empty answer is
-    // final: nobody in the hierarchy holds the id.
+    // the locate's path down the tree.
     env()->send(net::Envelope{endpoint(), msg.requester_endpoint,
                               dtm::kDataLocation, answer.encode(), 0,
                               envelope.trace_id});
     return;
   }
-  env()->send(net::Envelope{endpoint(), parent_, dtm::kDataLocate,
-                            envelope.payload, 0, envelope.trace_id});
+  if (parent_ != net::kNullEndpoint) {
+    env()->send(net::Envelope{endpoint(), parent_, dtm::kDataLocate,
+                              envelope.payload, 0, envelope.trace_id});
+    return;
+  }
+  // Root with no replica. A locate that already crossed a federation edge
+  // ends here: a miss stays silent (another shard — or nobody — answers;
+  // the requester's fetch timeout is the miss path). Locates that
+  // originated in this hierarchy cross the edge once before giving up.
+  if (msg.federated) return;
+  if (kind_ == Kind::kMaster && !peers_.empty()) {
+    dtm::DataLocateMsg forwarded = msg;
+    forwarded.federated = true;
+    const net::Bytes payload = forwarded.encode();
+    bool asked_any = false;
+    for (const auto& peer : peers_) {
+      if (!peer.alive) continue;
+      env()->send(net::Envelope{endpoint(), peer.endpoint, dtm::kDataLocate,
+                                payload, 0, envelope.trace_id});
+      asked_any = true;
+    }
+    // A peer with replicas answers the requester directly; an all-miss
+    // surfaces as the requester's fetch timeout. Either way this MA's
+    // empty answer must NOT race ahead and kill the fetch early.
+    if (asked_any) return;
+  }
+  // Truly final: nobody in the (unfederated or peer-less) hierarchy holds
+  // the id; the empty answer makes the SED fail the fetch immediately.
+  env()->send(net::Envelope{endpoint(), msg.requester_endpoint,
+                            dtm::kDataLocation, answer.encode(), 0,
+                            envelope.trace_id});
 }
 
 void Agent::fill_locality(Pending& pending) {
@@ -690,6 +975,17 @@ void Agent::handle_job_done(const net::Envelope& envelope) {
   if (kind_ == Kind::kMaster) {
     auto it = outstanding_.find(msg.sed_uid);
     if (it != outstanding_.end() && it->second > 0.0) it->second -= 1.0;
+    // Federation: assignments cross shards, so completions must too. The
+    // MA that hears a done from its own hierarchy relays it to every peer
+    // (each decrements its own outstanding_ if it ever assigned that SED);
+    // a relayed done — sender is a peer — is never re-relayed.
+    if (!peers_.empty() && find_peer(envelope.from) == nullptr) {
+      for (const auto& peer : peers_) {
+        if (!peer.alive) continue;
+        env()->send(net::Envelope{endpoint(), peer.endpoint, kJobDone,
+                                  envelope.payload, 0, envelope.trace_id});
+      }
+    }
     return;
   }
   if (parent_ != net::kNullEndpoint) {

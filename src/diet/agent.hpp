@@ -57,6 +57,19 @@ struct AgentTuning {
   /// their next heartbeat (a drop-tolerant alternative to the strike
   /// eviction above, which erases for good). 0 disables the watchdog.
   double heartbeat_timeout = 0.0;
+
+  // --- MA federation (multi-hierarchy deployments) ---
+  /// Total federation hops a request may take from the MA it entered at.
+  /// 1 = forward to direct peers only (their peers see ttl 0 and answer
+  /// from their own shard); 0 disables forwarding entirely.
+  std::uint32_t peer_ttl = 1;
+  /// Bounded candidate fan-in: a peer MA answers with at most this many
+  /// (ranked-best) candidates, so merge cost at the originating MA stays
+  /// constant per shard no matter how large the peer's subtree is. 0 = all.
+  std::size_t peer_top_k = 4;
+  /// Forward to capable peers on every request, not only when no local
+  /// child offers the service (the on-miss default).
+  bool federate_always = false;
 };
 
 class Agent final : public net::Actor {
@@ -108,6 +121,28 @@ class Agent final : public net::Actor {
     return catalog_;
   }
 
+  // --- MA federation -------------------------------------------------
+  /// Gives this MA its federation identity: a nonzero uid (loop detection)
+  /// and a disjoint request-key namespace (keys must be unique across the
+  /// whole federation, since forwarded collects keep their key).
+  void set_federation(std::uint32_t ma_uid, std::uint64_t request_key_base);
+  /// MA only: adds a peer MA and announces this shard's services to it.
+  /// Requires set_federation() first. Idempotent per endpoint.
+  void connect_peer(net::Endpoint peer);
+  [[nodiscard]] std::uint32_t ma_uid() const { return ma_uid_; }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+  /// Federation counters, exposed for tests and the serving bench.
+  struct PeerStats {
+    std::uint64_t forwards = 0;    ///< kPeerCollect sent to peers
+    std::uint64_t replies = 0;     ///< kPeerCandidates answered
+    std::uint64_t dup_drops = 0;   ///< same key arrived twice (multi-path)
+    std::uint64_t loop_drops = 0;  ///< forward looped back to its origin
+    std::uint64_t evictions = 0;   ///< peers the watchdog marked dead
+    std::uint64_t candidates_returned = 0;  ///< total across replies
+  };
+  [[nodiscard]] const PeerStats& peer_stats() const { return peer_stats_; }
+
  private:
   struct Child {
     net::Endpoint endpoint;
@@ -120,8 +155,25 @@ class Agent final : public net::Actor {
     net::TimerId hb_timer = 0;   ///< pending heartbeat deadline
   };
 
+  /// A peer MA in the federation. Unlike children, peers are equals: they
+  /// are never evicted for good, only marked dead by the heartbeat
+  /// watchdog (shard ejection) until their beacons resume.
+  struct Peer {
+    net::Endpoint endpoint = net::kNullEndpoint;
+    std::uint32_t uid = 0;  ///< 0 until its announce arrives
+    std::string name;
+    std::set<std::string> services;
+    bool alive = true;
+    net::TimerId hb_timer = 0;
+  };
+
   struct Pending {
     bool from_client = false;
+    bool from_peer = false;  ///< kPeerCollect: answer with kPeerCandidates
+    /// MA uid the request entered the federation at (loop detection).
+    std::uint32_t origin_uid = 0;
+    /// Federation hops this agent may still grant when forwarding.
+    std::uint32_t peer_budget = 0;
     net::Endpoint reply_to = net::kNullEndpoint;
     std::uint64_t client_request_id = 0;
     std::string service;
@@ -147,6 +199,9 @@ class Agent final : public net::Actor {
   void handle_candidates(const net::Envelope& envelope);
   void handle_job_done(const net::Envelope& envelope);
   void handle_heartbeat(const net::Envelope& envelope);
+  void handle_peer_announce(const net::Envelope& envelope);
+  void handle_peer_collect(const net::Envelope& envelope);
+  void handle_peer_candidates(const net::Envelope& envelope);
   void handle_data_register(const net::Envelope& envelope);
   void handle_data_unregister(const net::Envelope& envelope);
   void handle_data_locate(const net::Envelope& envelope);
@@ -158,9 +213,21 @@ class Agent final : public net::Actor {
   void fill_locality(Pending& pending);
   void update_catalog_gauge();
   [[nodiscard]] Child* find_child(net::Endpoint endpoint);
+  [[nodiscard]] Peer* find_peer(net::Endpoint endpoint);
   /// (Re)arms the heartbeat deadline for one child.
   void arm_child_deadline(net::Endpoint child_endpoint);
   void arm_heartbeat();
+  /// (Re)arms the shard-ejection deadline for one peer MA.
+  void arm_peer_deadline(net::Endpoint peer_endpoint);
+  /// Periodic liveness beacons to every peer MA (armed once, on the first
+  /// connect_peer, when a heartbeat period is configured).
+  void arm_peer_beat();
+  void announce_to_peers();
+  /// Shared tail of handle_candidates / handle_peer_candidates: merge one
+  /// answer into the pending collect and finalize when all arrived.
+  void accumulate_candidates(std::uint64_t key,
+                             std::vector<sched::Candidate> candidates,
+                             net::Endpoint from);
 
   void start_collect(std::uint64_t key, Pending pending,
                      const RequestCollectMsg& msg);
@@ -186,6 +253,14 @@ class Agent final : public net::Actor {
 
   net::Endpoint parent_ = net::kNullEndpoint;
   std::vector<Child> children_;
+  /// MA only: peer master agents, in connect order (deterministic fan-out).
+  std::vector<Peer> peers_;
+  std::uint32_t ma_uid_ = 0;  ///< 0 = not federated
+  bool peer_beat_armed_ = false;
+  PeerStats peer_stats_;
+  /// Peer-collect keys already expanded here, so the same request arriving
+  /// along two federation paths (or duplicated on the wire) collects once.
+  std::set<std::uint64_t> seen_peer_collects_;
   std::set<std::string> services_;
   /// Which SEDs below this agent hold which persistent data ids.
   dtm::ReplicaCatalog catalog_;

@@ -219,7 +219,9 @@ void Client::start_attempt(std::uint64_t call_id) {
   // retrying under the old id — the SED's dedup journal then swallows a
   // retry that lands on the SED that already ran the lost attempt.
   if (!check::mutation_enabled(check::Mutation::kStaleReplyReuseWire)) {
-    call.wire_id = 0x8000000000000000ULL | ++next_retry_wire_;
+    // The id base keeps retry wires disjoint across clients too — the
+    // SED's at-most-once journal is keyed by wire id alone.
+    call.wire_id = 0x8000000000000000ULL | id_base_ | ++next_retry_wire_;
   }
   wire_to_call_[call.wire_id] = call_id;
   call.reply_seen = false;

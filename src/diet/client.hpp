@@ -73,6 +73,17 @@ class Client final : public net::Actor {
   explicit Client(std::string name) : name_(std::move(name)) {}
   Client(std::string name, const Tuning& tuning)
       : name_(std::move(name)), tuning_(tuning) {}
+  /// `id_base` partitions the call-id space: this client's ids are
+  /// base+1, base+2, ... Call ids double as trace ids and as the SED-side
+  /// at-most-once dedup keys, so clients sharing a hierarchy MUST use
+  /// disjoint bases (the load generator hands client k base k<<32).
+  /// Must leave bit 63 clear — it marks retry wire ids.
+  Client(std::string name, const Tuning& tuning, std::uint64_t id_base)
+      : name_(std::move(name)),
+        tuning_(tuning),
+        id_base_(id_base),
+        next_id_(id_base + 1),
+        next_submission_(id_base + 1) {}
 
   /// Points this client at its Master Agent (diet_initialize resolves the
   /// MA name from the configuration file to this endpoint).
@@ -155,6 +166,7 @@ class Client final : public net::Actor {
   Tuning tuning_;
   net::Endpoint ma_ = net::kNullEndpoint;
   double submit_busy_until_ = 0.0;
+  std::uint64_t id_base_ = 0;
   std::atomic<std::uint64_t> next_id_{1};
   struct QueuedSubmission {
     Profile profile;

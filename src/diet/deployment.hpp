@@ -44,6 +44,19 @@ struct DeploymentSpec {
   std::vector<LaSpec> las;
   std::vector<SedSpec> seds;
   std::uint64_t seed = 42;
+
+  // --- federation (all defaults preserve the single-hierarchy behavior) ---
+  /// SED uids are assigned sed_uid_base + 1 .. sed_uid_base + N in spec
+  /// order. Shards of a federation need disjoint ranges: uids key the MA's
+  /// outstanding bookkeeping, the replica catalogs, and SED dedup journals
+  /// federation-wide.
+  std::uint64_t sed_uid_base = 0;
+  /// Nonzero makes the MA federation-capable (Agent::set_federation);
+  /// each shard of a federation needs a distinct uid.
+  std::uint32_t ma_uid = 0;
+  /// Request keys this MA mints start here; shards need disjoint ranges
+  /// because forwarded collects keep their key across the federation.
+  std::uint64_t request_key_base = 0;
 };
 
 class Deployment {
@@ -64,13 +77,58 @@ class Deployment {
   [[nodiscard]] std::size_t sed_count() const { return seds_.size(); }
   [[nodiscard]] Sed& sed(std::size_t i) { return *seds_.at(i); }
 
-  /// Finds a SED by uid (uids are assigned 1..N in spec order).
+  /// Finds a SED by uid (uids are assigned base+1..base+N in spec order).
   [[nodiscard]] Sed* sed_by_uid(std::uint64_t uid);
 
  private:
   std::unique_ptr<Agent> ma_;
   std::vector<std::unique_ptr<Agent>> las_;
   std::vector<std::unique_ptr<Sed>> seds_;
+  std::uint64_t sed_uid_base_ = 0;
+};
+
+/// A federation of MA hierarchies on one Env: N shards, each its own
+/// Deployment, with every MA pair cross-connected as peers. Shard uid
+/// ranges (SED uids, MA uids, request-key bases) are assigned here so
+/// callers only write per-shard specs; actor names must still be unique
+/// across the whole federation (the shared Registry is flat).
+class Federation {
+ public:
+  Federation(net::Env& env, naming::Registry& registry,
+             ServiceTable& services, std::vector<DeploymentSpec> shards);
+  /// Per-shard service tables (services[i] backs shards[i]); this is how a
+  /// federation models sites that offer different service sets, so a
+  /// request only a remote shard can serve exercises the peer forwarding
+  /// path. Tables must outlive the federation.
+  Federation(net::Env& env, naming::Registry& registry,
+             std::vector<ServiceTable*> services,
+             std::vector<DeploymentSpec> shards);
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Deployment& shard(std::size_t i) { return *shards_.at(i); }
+  [[nodiscard]] Agent& ma(std::size_t i) { return shards_.at(i)->ma(); }
+
+  /// Federation-wide flat views (shard-major order), so fault-plan
+  /// schedules and reports can index SEDs/LAs exactly like a single
+  /// Deployment's.
+  [[nodiscard]] std::size_t sed_count() const;
+  [[nodiscard]] Sed& sed(std::size_t i);
+  [[nodiscard]] std::size_t la_count() const;
+  [[nodiscard]] Agent& la(std::size_t i);
+  [[nodiscard]] Sed* sed_by_uid(std::uint64_t uid);
+
+ private:
+  /// Shared constructor body (a delegating constructor would leave the
+  /// single-table overload's `shards.size()` read unsequenced against
+  /// moving `shards` into the delegate's parameter).
+  void init(net::Env& env, naming::Registry& registry,
+            std::vector<ServiceTable*> services,
+            std::vector<DeploymentSpec> shards);
+
+  std::vector<std::unique_ptr<Deployment>> shards_;
 };
 
 }  // namespace gc::diet

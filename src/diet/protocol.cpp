@@ -101,7 +101,21 @@ net::Bytes RequestCollectMsg::encode() const {
   desc.serialize(w);
   w.i64(in_bytes);
   w.f64(timeout_s);
-  encode_deps(w, deps);
+  // The federation section is trailing-optional as a unit. Intra-hierarchy
+  // collects (origin/ttl both zero) keep the exact pre-federation bytes;
+  // federated ones always write the dep count — even 0 — so the decoder
+  // can tell "empty deps + federation section" from "deps only".
+  if (origin_uid == 0 && ttl == 0) {
+    encode_deps(w, deps);
+  } else {
+    w.u32(static_cast<std::uint32_t>(deps.size()));
+    for (const auto& dep : deps) {
+      w.str(dep.data_id);
+      w.i64(dep.bytes);
+    }
+    w.u32(origin_uid);
+    w.u32(ttl);
+  }
   return finish(w);
 }
 
@@ -113,6 +127,10 @@ RequestCollectMsg RequestCollectMsg::decode(const net::Bytes& payload) {
   m.in_bytes = r.i64();
   m.timeout_s = r.f64();
   m.deps = decode_deps(r);
+  if (r.remaining() >= 8) {
+    m.origin_uid = r.u32();
+    m.ttl = r.u32();
+  }
   return m;
 }
 
@@ -241,6 +259,42 @@ HeartbeatMsg HeartbeatMsg::decode(const net::Bytes& payload) {
   HeartbeatMsg m;
   m.uid = r.u64();
   m.seq = r.u64();
+  return m;
+}
+
+net::Bytes PeerAnnounceMsg::encode() const {
+  net::Writer w;
+  w.u32(ma_uid);
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(services.size()));
+  for (const auto& s : services) w.str(s);
+  return finish(w);
+}
+
+PeerAnnounceMsg PeerAnnounceMsg::decode(const net::Bytes& payload) {
+  net::Reader r(payload);
+  PeerAnnounceMsg m;
+  m.ma_uid = r.u32();
+  m.name = r.str();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) m.services.push_back(r.str());
+  return m;
+}
+
+net::Bytes PeerCandidatesMsg::encode() const {
+  net::Writer w;
+  w.u64(request_key);
+  w.u32(ma_uid);
+  sched::serialize_candidates(w, candidates);
+  return finish(w);
+}
+
+PeerCandidatesMsg PeerCandidatesMsg::decode(const net::Bytes& payload) {
+  net::Reader r(payload);
+  PeerCandidatesMsg m;
+  m.request_key = r.u64();
+  m.ma_uid = r.u32();
+  m.candidates = sched::deserialize_candidates(r);
   return m;
 }
 

@@ -43,6 +43,10 @@ enum MsgType : std::uint32_t {
   kJobDone = 23,
   kLoadReport = 30,
   kHeartbeat = 31,
+  // --- MA federation (peer master agents, multi-hierarchy deployments) ---
+  kPeerAnnounce = 32,    ///< MA -> peer MA: name/uid + offered services
+  kPeerCollect = 33,     ///< MA -> peer MA: forwarded RequestCollectMsg
+  kPeerCandidates = 34,  ///< peer MA -> MA: top-k merged answer
 };
 
 struct SedRegisterMsg {
@@ -96,6 +100,14 @@ struct RequestCollectMsg {
   double timeout_s = 0.0;
   /// Persistent inputs, forwarded from the submit (trailing-optional).
   std::vector<DataDep> deps;
+  /// Federation section (trailing-optional as a unit): uid of the MA the
+  /// request entered the federation at, and how many further peer hops the
+  /// receiving MA may still grant. Both zero on every intra-hierarchy
+  /// collect, which keeps the pre-federation encoding byte-identical; when
+  /// either is set the dep count is always written (possibly 0) so the
+  /// section's position is unambiguous.
+  std::uint32_t origin_uid = 0;
+  std::uint32_t ttl = 0;
 
   net::Bytes encode() const;
   static RequestCollectMsg decode(const net::Bytes& payload);
@@ -169,6 +181,30 @@ struct HeartbeatMsg {
 
   net::Bytes encode() const;
   static HeartbeatMsg decode(const net::Bytes& payload);
+};
+
+/// MA -> peer MA advertisement: sent on federation connect and whenever
+/// the sender's service set changes, so every peer knows which shards can
+/// answer which services before forwarding a collect.
+struct PeerAnnounceMsg {
+  std::uint32_t ma_uid = 0;
+  std::string name;
+  std::vector<std::string> services;  ///< service paths offered by the shard
+
+  net::Bytes encode() const;
+  static PeerAnnounceMsg decode(const net::Bytes& payload);
+};
+
+/// Peer MA's answer to a kPeerCollect: the shard's best candidates,
+/// already sorted and truncated to the federation's top-k bound so
+/// candidate fan-in at the originating MA stays constant per peer.
+struct PeerCandidatesMsg {
+  std::uint64_t request_key = 0;
+  std::uint32_t ma_uid = 0;  ///< answering shard, for tracing
+  std::vector<sched::Candidate> candidates;
+
+  net::Bytes encode() const;
+  static PeerCandidatesMsg decode(const net::Bytes& payload);
 };
 
 struct LoadReportMsg {

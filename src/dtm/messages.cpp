@@ -55,6 +55,7 @@ net::Bytes DataLocateMsg::encode() const {
   w.str(data_id);
   w.u64(requester_uid);
   w.u32(requester_endpoint);
+  if (federated) w.u8(1);  // trailing-optional: absent when false
   return w.take();
 }
 
@@ -64,6 +65,7 @@ DataLocateMsg DataLocateMsg::decode(const net::Bytes& payload) {
   m.data_id = r.str();
   m.requester_uid = r.u64();
   m.requester_endpoint = r.u32();
+  if (r.remaining() > 0) m.federated = r.u8() != 0;
   return m;
 }
 

@@ -71,6 +71,12 @@ struct DataLocateMsg {
   std::string data_id;
   std::uint64_t requester_uid = 0;
   net::Endpoint requester_endpoint = net::kNullEndpoint;
+  /// Set when a root MA forwards the locate across a federation edge.
+  /// A peer that receives it answers the requester only on a hit (a miss
+  /// stays silent — another peer may hold the data) and never re-forwards.
+  /// Trailing-optional on the wire: absent when false, so intra-hierarchy
+  /// locates keep their pre-federation encoding.
+  bool federated = false;
 
   net::Bytes encode() const;
   static DataLocateMsg decode(const net::Bytes& payload);

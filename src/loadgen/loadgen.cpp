@@ -1,0 +1,132 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace gc::loadgen {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates per-client streams drawn from one
+/// spec seed, so client k's arrivals do not shadow client k+1's.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int draw_profile(const std::vector<RequestProfile>& profiles, double total,
+                 Rng& rng) {
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    x -= profiles[i].weight;
+    if (x < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(profiles.size()) - 1;
+}
+
+void canonical_sort(std::vector<Arrival>* plan) {
+  std::sort(plan->begin(), plan->end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.at_s != b.at_s) return a.at_s < b.at_s;
+              if (a.client != b.client) return a.client < b.client;
+              return a.seq < b.seq;
+            });
+}
+
+}  // namespace
+
+std::vector<Arrival> plan_poisson(const LoadSpec& spec, double start_s) {
+  GC_CHECK_MSG(spec.clients > 0 && spec.requests_per_client > 0,
+               "empty load plan");
+  GC_CHECK_MSG(spec.arrival_rate_hz > 0.0, "arrival rate must be positive");
+  GC_CHECK_MSG(!spec.profiles.empty(), "load plan needs a profile mix");
+  double total_weight = 0.0;
+  for (const auto& profile : spec.profiles) {
+    GC_CHECK_MSG(profile.weight > 0.0, "profile weights must be positive");
+    total_weight += profile.weight;
+  }
+  // Per-client thinning of the aggregate rate: N independent exponential
+  // streams of rate r/N superpose to Poisson(r).
+  const double mean_gap =
+      static_cast<double>(spec.clients) / spec.arrival_rate_hz;
+  std::vector<Arrival> plan;
+  plan.reserve(static_cast<std::size_t>(spec.clients) *
+               static_cast<std::size_t>(spec.requests_per_client));
+  for (int client = 0; client < spec.clients; ++client) {
+    Rng rng(spec.seed ^ mix(static_cast<std::uint64_t>(client) + 1));
+    double t = start_s;
+    for (int seq = 0; seq < spec.requests_per_client; ++seq) {
+      t += rng.exponential(mean_gap);
+      Arrival arrival;
+      arrival.client = client;
+      arrival.seq = seq;
+      arrival.at_s = t;
+      arrival.profile = draw_profile(spec.profiles, total_weight, rng);
+      plan.push_back(arrival);
+    }
+  }
+  canonical_sort(&plan);
+  return plan;
+}
+
+gc::Status write_trace(const std::string& path,
+                       const std::vector<Arrival>& plan) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_error(ErrorCode::kIoError, "cannot write trace: " + path);
+  }
+  std::fprintf(f, "# gridcosmo loadgen trace v1: client seq at_s profile\n");
+  for (const auto& a : plan) {
+    std::fprintf(f, "%d %d %.17g %d\n", a.client, a.seq, a.at_s, a.profile);
+  }
+  std::fclose(f);
+  return gc::Status::ok();
+}
+
+gc::Status read_trace(const std::string& path, std::vector<Arrival>* plan) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return make_error(ErrorCode::kNotFound, "cannot read trace: " + path);
+  }
+  plan->clear();
+  char line[256];
+  int lineno = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '\n' || *p == '\0') continue;
+    Arrival a;
+    if (std::sscanf(p, "%d %d %lg %d", &a.client, &a.seq, &a.at_s,
+                    &a.profile) != 4) {
+      std::fclose(f);
+      return make_error(ErrorCode::kInvalidArgument,
+                        strformat("%s:%d: bad trace line", path.c_str(),
+                                  lineno));
+    }
+    plan->push_back(a);
+  }
+  std::fclose(f);
+  canonical_sort(plan);
+  return gc::Status::ok();
+}
+
+std::vector<Arrival> plan_arrivals(const LoadSpec& spec, double start_s) {
+  if (!spec.trace_path.empty()) {
+    std::vector<Arrival> plan;
+    const gc::Status st = read_trace(spec.trace_path, &plan);
+    GC_CHECK_MSG(st.is_ok(), st.to_string());
+    return plan;
+  }
+  return plan_poisson(spec, start_s);
+}
+
+}  // namespace gc::loadgen

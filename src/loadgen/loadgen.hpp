@@ -1,0 +1,80 @@
+// Deterministic open-loop load generator (cf. the paper's Section 5.2
+// client farm, scaled up).
+//
+// The generator turns a LoadSpec into a *plan*: a flat, canonically
+// ordered list of arrivals, each naming the client that issues it, the
+// request profile it draws, and the absolute simulated time it enters the
+// system. Open-loop means arrival times never depend on response times —
+// a client whose previous call is still in flight submits anyway, which
+// is what exposes queueing collapse at saturation.
+//
+// Determinism contract: every stochastic choice draws from a per-client
+// Rng stream seeded from (spec.seed, client index) only, so the plan is a
+// pure function of the spec — independent of scheduling, tie seeds, and
+// the number of worker threads. Plans can be written to a trace file and
+// replayed bit-identically (doubles round-trip via %.17g).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gc::loadgen {
+
+/// One kind of request the mix can draw. `service` is a DIET service name
+/// (the serving harness registers them on the federation's SEDs).
+struct RequestProfile {
+  std::string service;
+  /// Bytes of IN data shipped with the call (a persistent profile ships
+  /// them once, then by reference — the paper's GRAFIC1-style reuse).
+  std::uint64_t in_bytes = 8;
+  double weight = 1.0;  ///< relative draw probability in the mix
+  bool persistent = false;
+};
+
+struct LoadSpec {
+  int clients = 1000;
+  int requests_per_client = 2;
+  /// Aggregate Poisson arrival rate across all clients, in requests per
+  /// simulated second. Each client's stream is exponential with mean
+  /// clients/rate, so the superposition is Poisson(rate).
+  double arrival_rate_hz = 500.0;
+  /// Non-empty replays this trace file instead of sampling Poisson
+  /// arrivals (profiles/seed/rate are then ignored; clients still bounds
+  /// the client index space).
+  std::string trace_path;
+  std::vector<RequestProfile> profiles;
+  std::uint64_t seed = 42;
+};
+
+/// One planned request: client `client` submits a `profile` request at
+/// absolute simulated time `at_s`. `seq` numbers the client's own
+/// arrivals from 0.
+struct Arrival {
+  int client = 0;
+  int seq = 0;
+  double at_s = 0.0;
+  int profile = 0;  ///< index into LoadSpec::profiles (or trace's mix)
+};
+
+/// Samples the Poisson plan: per-client exponential inter-arrival streams
+/// plus weighted profile draws, merged and canonically sorted by
+/// (at_s, client, seq). Requires a non-empty profile mix.
+std::vector<Arrival> plan_poisson(const LoadSpec& spec, double start_s);
+
+/// Writes a plan as a replayable text trace (one line per arrival,
+/// doubles printed with %.17g so replay is bit-exact).
+gc::Status write_trace(const std::string& path,
+                       const std::vector<Arrival>& plan);
+
+/// Reads a trace written by write_trace (or by hand; format:
+/// `client seq at_s profile` per line, `#` comments ignored).
+gc::Status read_trace(const std::string& path, std::vector<Arrival>* plan);
+
+/// Plans per the spec: replays spec.trace_path when set, else samples
+/// Poisson arrivals starting at `start_s`.
+std::vector<Arrival> plan_arrivals(const LoadSpec& spec, double start_s);
+
+}  // namespace gc::loadgen

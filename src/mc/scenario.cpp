@@ -277,6 +277,103 @@ void crash_heal_scenario(RunContext& ctx) {
                "the LA watchdog must have evicted the crashed SED");
 }
 
+/// 2-MA federation, 1 LA x 1 SED per shard, federate_always: call 1's
+/// collect crosses the mesh and merges both shards' candidates; MA2 then
+/// dies, MA1's peer watchdog ejects the whole shard, and call 2 completes
+/// from the surviving shard alone. Properties: no lost calls, the
+/// ejection happened, and no forward ever targets the dead peer.
+void federation_crash_scenario(RunContext& ctx) {
+  net::UniformTopology topology(5e-3, 1.25e8);
+  net::SimEnv env(ctx.engine, topology);
+  // Duplicate the peer shard's first answer with zero lag: both copies
+  // land at MA1 in one tie group, and the explorer proves the per-peer
+  // answer dedup (a duplicated kPeerCandidates must not double-merge the
+  // peer's candidates) in every ordering.
+  fault::ScriptedHook hook;
+  hook.duplicate(diet::kPeerCandidates, 1, 0.0);
+  env.set_fault_hook(&hook);
+  naming::Registry registry;
+  diet::ServiceTable services;
+  GC_CHECK(services.add(double_desc(), double_solve()).is_ok());
+
+  std::vector<diet::DeploymentSpec> shards;
+  for (int s = 0; s < 2; ++s) {
+    diet::DeploymentSpec spec;
+    spec.ma_name = "MA" + std::to_string(s + 1);
+    spec.ma_node = static_cast<net::NodeId>(10 * s + 1);
+    spec.agent_tuning.delay_noise_cv = 0.0;
+    spec.sed_tuning.delay_noise_cv = 0.0;
+    // Staggered coprime cadences (as crash_heal): no two beacon streams
+    // land at identical timestamps, so the explorer never has to permute
+    // equivalent beat orderings.
+    spec.agent_tuning.heartbeat_period = s == 0 ? 0.19 : 0.23;
+    spec.agent_tuning.heartbeat_timeout = 0.7;
+    spec.agent_tuning.federate_always = true;
+    diet::DeploymentSpec::LaSpec la;
+    la.name = "LA" + std::to_string(s + 1);
+    la.node = static_cast<net::NodeId>(10 * s + 2);
+    diet::DeploymentSpec::SedSpec sed;
+    sed.name = "SeD" + std::to_string(s + 1);
+    sed.node = static_cast<net::NodeId>(10 * s + 3);
+    sed.host_power = 1.0;
+    sed.machines = 1;
+    sed.heartbeat_period = s == 0 ? 0.29 : 0.31;
+    la.sed_indexes.push_back(0);
+    spec.seds.push_back(sed);
+    spec.las.push_back(la);
+    shards.push_back(std::move(spec));
+  }
+  diet::Federation fed(env, registry, services, std::move(shards));
+  diet::Client client("client");
+  env.attach(client, 0);
+  client.connect(registry.resolve("MA1").value());
+  for (std::size_t s = 0; s < fed.shard_count(); ++s) {
+    diet::Deployment& shard = fed.shard(s);
+    ctx.owner_names[shard.ma().endpoint()] = shard.ma().name();
+    ctx.owner_names[shard.la(0).endpoint()] = shard.la(0).name();
+    ctx.owner_names[shard.sed(0).endpoint()] = shard.sed(0).name();
+  }
+  ctx.owner_names[client.endpoint()] = client.name();
+  ctx.engine.run_until(1.0);
+
+  int completions = 0;
+  const auto submit_double = [&client, &completions](std::int32_t in) {
+    diet::Profile profile("double", 0, 0, 1);
+    profile.arg(0).set_scalar<std::int32_t>(in, diet::BaseType::kInt,
+                                            diet::Persistence::kVolatile);
+    profile.arg(1).desc.type = diet::DataType::kScalar;
+    profile.arg(1).desc.base = diet::BaseType::kInt;
+    client.call_async(std::move(profile),
+                      [&completions](const gc::Status& status,
+                                     diet::Profile& out) {
+                        (void)out;
+                        if (status.is_ok()) ++completions;
+                      });
+  };
+  submit_double(1);  // crosses the mesh: both shards answer the collect
+
+  // Call 1 is done well before t=1.6 (deterministic delays); kill the
+  // peer shard's MA. Its beacons stop mid-stream.
+  ctx.engine.schedule_at(1.6, [&fed] { fed.ma(1).fail(); });
+  // MA1's watchdog (timeout 0.7) must eject the shard by ~2.4; from then
+  // on the dead peer is skipped, not forwarded to.
+  std::uint64_t forwards_at_eject = 0;
+  ctx.engine.schedule_at(2.45, [&fed, &forwards_at_eject] {
+    GC_INVARIANT(fed.ma(0).peer_stats().evictions >= 1,
+                 "MA1 never ejected the dead peer shard");
+    forwards_at_eject = fed.ma(0).peer_stats().forwards;
+  });
+  ctx.engine.schedule_at(2.5, [&submit_double] { submit_double(2); });
+  ctx.engine.run_until(3.2);
+
+  if (current_run_aborted()) return;
+  expect_all_completed(client, completions, 2);
+  GC_INVARIANT(fed.ma(0).peer_stats().forwards >= 1,
+               "call 1 never crossed the federation mesh");
+  GC_INVARIANT(fed.ma(0).peer_stats().forwards == forwards_at_eject,
+               "a collect was forwarded to the ejected peer shard");
+}
+
 /// 1 MA / 2 LAs / 4 symmetric SEDs, fault-free; two calls race through
 /// both subtrees.
 void hierarchy_scenario(RunContext& ctx) {
@@ -326,6 +423,9 @@ const std::vector<Scenario>& scenarios() {
       {"crash_heal",
        "1MA/1LA/2SED, persistent data, SED crash -> eviction -> heal",
        &crash_heal_scenario},
+      {"federation_crash",
+       "2-MA federation, peer MA crash -> shard ejection, no lost calls",
+       &federation_crash_scenario},
       {"hierarchy", "1MA/2LA/4SED, 2 volatile calls, fault-free",
        &hierarchy_scenario},
   };

@@ -1,0 +1,52 @@
+#include "platform/generator.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "platform/machine.hpp"
+
+namespace gc::platform {
+
+GeneratedPlatform make_fattree(const FatTreeConfig& config) {
+  GC_CHECK(config.pods > 0 && config.clusters_per_pod > 0 &&
+           config.seds_per_cluster > 0 && config.machines_per_sed > 0);
+  GeneratedPlatform g{
+      Platform(config.core_latency_s, config.core_bandwidth_bps),
+      config,
+      {},
+      {},
+      {}};
+  const MachineModel model = opteron(config.opteron_model);
+  g.ma_nodes.reserve(static_cast<std::size_t>(config.pods));
+  g.client_nodes.reserve(static_cast<std::size_t>(config.pods));
+  g.clusters.reserve(
+      static_cast<std::size_t>(config.pods * config.clusters_per_pod));
+  for (int pod = 0; pod < config.pods; ++pod) {
+    const SiteId site = g.platform.add_site(strformat("pod%02d", pod));
+    // Control cluster: one node for the pod's MA, one for its client
+    // swarm (thousands of simulated clients share it, like processes on a
+    // submission frontal).
+    const ClusterId ctrl = g.platform.add_cluster(
+        site, strformat("pod%02d-ctrl", pod), model, 2, config.edge_latency_s,
+        config.edge_bandwidth_bps);
+    g.ma_nodes.push_back(g.platform.cluster(ctrl).nodes[0]);
+    g.client_nodes.push_back(g.platform.cluster(ctrl).nodes[1]);
+    for (int c = 0; c < config.clusters_per_pod; ++c) {
+      // Node 0 of each edge cluster runs the LA; the rest are SED
+      // frontals.
+      const ClusterId edge = g.platform.add_cluster(
+          site, strformat("pod%02d-edge%02d", pod, c), model,
+          1 + config.seds_per_cluster, config.edge_latency_s,
+          config.edge_bandwidth_bps);
+      GeneratedCluster gen;
+      gen.cluster = edge;
+      gen.pod = pod;
+      const auto& nodes = g.platform.cluster(edge).nodes;
+      gen.la_node = nodes[0];
+      gen.sed_nodes.assign(nodes.begin() + 1, nodes.end());
+      g.clusters.push_back(std::move(gen));
+    }
+  }
+  return g;
+}
+
+}  // namespace gc::platform

@@ -1,0 +1,59 @@
+// Synthetic large-scale platform generator (cf. SimGrid's FatTreeZone).
+//
+// Produces a multi-site fat-tree: `pods` sites hanging off a core layer,
+// each pod holding `clusters_per_pod` edge clusters of SED frontals, plus
+// one small control cluster per pod for that pod's MA and client swarm.
+// Latency follows tree distance — one edge hop inside a cluster, two hops
+// (via the pod's aggregation layer) between clusters of one pod, and the
+// core latency between pods — which is exactly the three-tier model
+// platform::Platform already prices.
+//
+// The defaults build 16 x 4 x 16 = 1024 SEDs; the serving bench drives
+// thousands of clients against it.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace gc::platform {
+
+struct FatTreeConfig {
+  int pods = 16;              ///< sites under the core layer
+  int clusters_per_pod = 4;   ///< edge clusters per pod
+  int seds_per_cluster = 16;  ///< SED frontals per edge cluster
+  int machines_per_sed = 8;   ///< compute nodes behind each SED
+  /// CPU model of every compute cluster (homogeneous fabric, like one
+  /// generation of a production fat-tree).
+  int opteron_model = 250;
+  double edge_latency_s = 0.05e-3;        ///< one edge-switch hop
+  double core_latency_s = 0.5e-3;         ///< pod-to-pod via the core
+  double edge_bandwidth_bps = 10e9 / 8.0;  ///< 10 Gb/s edge links
+  double core_bandwidth_bps = 40e9 / 8.0;  ///< 40 Gb/s core links
+};
+
+/// One edge cluster of the generated tree: its LA's node plus the SED
+/// frontal nodes, with the owning pod for shard assignment.
+struct GeneratedCluster {
+  ClusterId cluster = 0;
+  int pod = 0;
+  net::NodeId la_node = 0;
+  std::vector<net::NodeId> sed_nodes;
+};
+
+struct GeneratedPlatform {
+  Platform platform;
+  FatTreeConfig config;
+  /// Per pod: the control-cluster nodes hosting an MA and its clients.
+  std::vector<net::NodeId> ma_nodes;
+  std::vector<net::NodeId> client_nodes;
+  std::vector<GeneratedCluster> clusters;  ///< pod-major order
+
+  [[nodiscard]] int sed_count() const {
+    return config.pods * config.clusters_per_pod * config.seds_per_cluster;
+  }
+};
+
+GeneratedPlatform make_fattree(const FatTreeConfig& config);
+
+}  // namespace gc::platform

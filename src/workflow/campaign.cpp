@@ -44,6 +44,74 @@ std::uint64_t science_digest_of(std::vector<ScienceTuple> tuples) {
   return h;
 }
 
+/// Splits a single-hierarchy spec into `mas` federation shards: LAs (and
+/// their SEDs) round-robin, every shard MA on the original MA's node.
+/// All shards offer the same services, so the on-miss forwarding default
+/// would never leave the local shard — shards run federate_always.
+std::vector<diet::DeploymentSpec> split_for_federation(
+    const diet::DeploymentSpec& spec, int mas) {
+  GC_CHECK_MSG(mas >= 2 && static_cast<std::size_t>(mas) <= spec.las.size(),
+               "federation_mas must be in [2, LA count]");
+  std::vector<diet::DeploymentSpec> shards(static_cast<std::size_t>(mas));
+  for (int s = 0; s < mas; ++s) {
+    diet::DeploymentSpec& shard = shards[static_cast<std::size_t>(s)];
+    shard.ma_name = "MA" + std::to_string(s + 1);
+    shard.ma_node = spec.ma_node;
+    shard.policy = spec.policy;
+    shard.agent_tuning = spec.agent_tuning;
+    shard.agent_tuning.federate_always = true;
+    shard.sed_tuning = spec.sed_tuning;
+    shard.seed = spec.seed + 1000003ULL * static_cast<std::uint64_t>(s);
+  }
+  for (std::size_t i = 0; i < spec.las.size(); ++i) {
+    diet::DeploymentSpec& shard = shards[i % static_cast<std::size_t>(mas)];
+    diet::DeploymentSpec::LaSpec la = spec.las[i];
+    std::vector<int> remapped;
+    remapped.reserve(la.sed_indexes.size());
+    for (const int idx : la.sed_indexes) {
+      remapped.push_back(static_cast<int>(shard.seds.size()));
+      shard.seds.push_back(spec.seds.at(static_cast<std::size_t>(idx)));
+    }
+    la.sed_indexes = std::move(remapped);
+    shard.las.push_back(std::move(la));
+  }
+  return shards;
+}
+
+/// The classic single hierarchy or an N-shard federation behind one
+/// surface, so the campaign body below is identical for both. N=1
+/// constructs exactly the pre-federation Deployment (byte-identical runs).
+struct CampaignHierarchy {
+  std::unique_ptr<diet::Deployment> single;
+  std::unique_ptr<diet::Federation> fed;
+  std::vector<net::NodeId> sed_nodes;  ///< flat order, for isolate/heal
+
+  [[nodiscard]] diet::Agent& ma() {
+    return single ? single->ma() : fed->ma(0);
+  }
+  [[nodiscard]] std::size_t sed_count() const {
+    return single ? single->sed_count() : fed->sed_count();
+  }
+  [[nodiscard]] diet::Sed& sed(std::size_t i) {
+    return single ? single->sed(i) : fed->sed(i);
+  }
+  [[nodiscard]] std::size_t la_count() const {
+    return single ? single->la_count() : fed->la_count();
+  }
+  [[nodiscard]] diet::Agent& la(std::size_t i) {
+    return single ? single->la(i) : fed->la(i);
+  }
+  /// Watchdog firings across every MA (one in the classic shape).
+  [[nodiscard]] std::uint64_t ma_heartbeat_evictions() const {
+    if (single) return single->ma().heartbeat_evictions();
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < fed->shard_count(); ++s) {
+      n += fed->ma(s).heartbeat_evictions();
+    }
+    return n;
+  }
+};
+
 }  // namespace
 
 diet::DeploymentSpec deployment_spec_from_g5k(
@@ -121,7 +189,23 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
   GC_CHECK(register_services(services, service_options).is_ok());
 
   const diet::DeploymentSpec spec = deployment_spec_from_g5k(g5k, cfg);
-  diet::Deployment deployment(env, registry, services, spec);
+  CampaignHierarchy deployment;
+  if (cfg.federation_mas > 1) {
+    auto shard_specs = split_for_federation(spec, cfg.federation_mas);
+    for (const auto& shard : shard_specs) {
+      for (const auto& sed : shard.seds) {
+        deployment.sed_nodes.push_back(sed.node);
+      }
+    }
+    deployment.fed = std::make_unique<diet::Federation>(
+        env, registry, services, std::move(shard_specs));
+  } else {
+    deployment.single =
+        std::make_unique<diet::Deployment>(env, registry, services, spec);
+    for (const auto& sed : spec.seds) {
+      deployment.sed_nodes.push_back(sed.node);
+    }
+  }
   if (cfg.policy_factory) {
     deployment.ma().set_policy(cfg.policy_factory());
   }
@@ -206,7 +290,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           break;
         case fault::ProcessFault::Kind::kSedIsolate: {
           ++result.sed_isolations;
-          const net::NodeId node = spec.seds.at(index).node;
+          const net::NodeId node = deployment.sed_nodes.at(index);
           env.post_after(delay, [&deployment, &injector, index, node]() {
             GC_WARN << "fault plan: isolating " << deployment.sed(index).name();
             injector->isolate(node);
@@ -214,7 +298,7 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           break;
         }
         case fault::ProcessFault::Kind::kSedHeal: {
-          const net::NodeId node = spec.seds.at(index).node;
+          const net::NodeId node = deployment.sed_nodes.at(index);
           env.post_after(delay, [&deployment, &injector, index, node]() {
             GC_WARN << "fault plan: healing " << deployment.sed(index).name();
             injector->heal(node);
@@ -418,9 +502,17 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
     result.messages_duplicated = injector->stats().duplicated.load();
     result.messages_delayed = injector->stats().delayed.load();
   }
-  result.heartbeat_evictions = deployment.ma().heartbeat_evictions();
+  result.heartbeat_evictions = deployment.ma_heartbeat_evictions();
   for (std::size_t i = 0; i < deployment.la_count(); ++i) {
     result.heartbeat_evictions += deployment.la(i).heartbeat_evictions();
+  }
+  if (deployment.fed) {
+    for (std::size_t s = 0; s < deployment.fed->shard_count(); ++s) {
+      const diet::Agent::PeerStats& stats =
+          deployment.fed->ma(s).peer_stats();
+      result.federation_forwards += stats.forwards;
+      result.federation_replies += stats.replies;
+    }
   }
 
   // Campaign phases as spans (timestamps reconstructed from the records,

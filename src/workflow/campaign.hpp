@@ -72,6 +72,13 @@ struct CampaignConfig {
   /// Seed for every fault decision (message tampering, victim selection,
   /// fault times). Same plan + same seed = bit-identical chaos run.
   std::uint64_t fault_seed = 1;
+
+  /// Number of federated MA hierarchies. 1 (the default) builds the exact
+  /// pre-federation single hierarchy; N > 1 splits the deployment's LAs
+  /// round-robin into N shards whose MAs peer in a full mesh (with
+  /// federate_always, since every shard offers the same services). The
+  /// client still talks to MA1; the science digest must not depend on N.
+  int federation_mas = 1;
 };
 
 struct SedSummary {
@@ -117,6 +124,10 @@ struct CampaignResult {
   std::uint64_t la_deaths = 0;
   std::uint64_t sed_isolations = 0;
   std::uint64_t heartbeat_evictions = 0;  ///< watchdog firings, all agents
+
+  // Federation accounting (zero when federation_mas == 1).
+  std::uint64_t federation_forwards = 0;  ///< collects sent MA -> peer MA
+  std::uint64_t federation_replies = 0;   ///< peer candidate lists returned
 };
 
 /// Runs the campaign on the simulated Grid'5000 deployment of Section 5.1.

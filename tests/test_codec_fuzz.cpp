@@ -18,6 +18,7 @@
 #include "io/namelist.hpp"
 #include "io/tar.hpp"
 #include "naming/registry.hpp"
+#include "net/codec.hpp"
 
 namespace gc {
 namespace {
@@ -257,6 +258,131 @@ TEST(CodecFuzz, HeartbeatMsg) {
     diet::HeartbeatMsg msg;
     msg.uid = rng.next_u64();
     msg.seq = rng.next_u64();
+    return msg;
+  });
+}
+
+// ---------- federation message fuzz ----------
+
+TEST(CodecFuzz, RequestCollectMsgFederated) {
+  roundtrip<diet::RequestCollectMsg>([](Rng& rng) {
+    diet::RequestCollectMsg msg;
+    msg.request_key = rng.next_u64();
+    msg.desc = random_desc(rng);
+    msg.in_bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
+    msg.timeout_s = rng.uniform(0.0, 30.0);
+    msg.deps = random_deps(rng);
+    // Sometimes both zero (legacy form), sometimes a real fed section —
+    // including ttl 0 with a nonzero origin, which must still encode it.
+    if (rng.uniform_u64(3) != 0) {
+      msg.origin_uid = static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+      msg.ttl = static_cast<std::uint32_t>(rng.uniform_u64(4));
+    }
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, PeerAnnounceMsg) {
+  roundtrip<diet::PeerAnnounceMsg>([](Rng& rng) {
+    diet::PeerAnnounceMsg msg;
+    msg.ma_uid = static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+    msg.name = random_name(rng);
+    const std::uint64_t services = rng.uniform_u64(6);
+    for (std::uint64_t i = 0; i < services; ++i) {
+      msg.services.push_back(random_name(rng));
+    }
+    return msg;
+  });
+}
+
+TEST(CodecFuzz, PeerCandidatesMsg) {
+  roundtrip<diet::PeerCandidatesMsg>([](Rng& rng) {
+    diet::PeerCandidatesMsg msg;
+    msg.request_key = rng.next_u64();
+    msg.ma_uid = static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+    const std::uint64_t count = rng.uniform_u64(8);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      msg.candidates.push_back(random_candidate(rng));
+    }
+    return msg;
+  });
+}
+
+/// The federation section must be trailing-optional: bytes written by the
+/// pre-federation encoder (no origin/ttl) decode with both fields zero,
+/// and a message with both fields zero re-encodes to those exact bytes.
+TEST(CodecCompat, CollectPreFederationEnvelopeDecodes) {
+  Rng rng(20260809);
+  for (int round = 0; round < kRounds; ++round) {
+    diet::RequestCollectMsg msg;
+    msg.request_key = rng.next_u64();
+    msg.desc = random_desc(rng);
+    msg.in_bytes = static_cast<std::int64_t>(rng.uniform_u64(1ULL << 40));
+    msg.timeout_s = rng.uniform(0.0, 30.0);
+    msg.deps = random_deps(rng);
+
+    // The pre-federation wire form, written by hand: key, desc, in_bytes,
+    // timeout, then the deps section only when non-empty.
+    net::Writer w;
+    w.u64(msg.request_key);
+    msg.desc.serialize(w);
+    w.i64(msg.in_bytes);
+    w.f64(msg.timeout_s);
+    if (!msg.deps.empty()) {
+      w.u32(static_cast<std::uint32_t>(msg.deps.size()));
+      for (const auto& dep : msg.deps) {
+        w.str(dep.data_id);
+        w.i64(dep.bytes);
+      }
+    }
+    const net::Bytes legacy = w.take();
+
+    const diet::RequestCollectMsg back =
+        diet::RequestCollectMsg::decode(legacy);
+    EXPECT_EQ(back.origin_uid, 0u) << "round " << round;
+    EXPECT_EQ(back.ttl, 0u) << "round " << round;
+    EXPECT_EQ(back.deps.size(), msg.deps.size()) << "round " << round;
+    // origin/ttl are zero, so re-encoding must reproduce the old bytes.
+    EXPECT_EQ(msg.encode(), legacy) << "round " << round;
+    EXPECT_EQ(back.encode(), legacy) << "round " << round;
+  }
+}
+
+TEST(CodecCompat, LocatePreFederationEnvelopeDecodes) {
+  Rng rng(20260810);
+  for (int round = 0; round < kRounds; ++round) {
+    dtm::DataLocateMsg msg;
+    msg.data_id = random_name(rng);
+    msg.requester_uid = rng.next_u64();
+    msg.requester_endpoint =
+        static_cast<net::Endpoint>(rng.uniform_u64(1 << 16));
+
+    net::Writer w;
+    w.str(msg.data_id);
+    w.u64(msg.requester_uid);
+    w.u32(msg.requester_endpoint);
+    const net::Bytes legacy = w.take();
+
+    const dtm::DataLocateMsg back = dtm::DataLocateMsg::decode(legacy);
+    EXPECT_FALSE(back.federated) << "round " << round;
+    EXPECT_EQ(msg.encode(), legacy) << "round " << round;
+
+    // And the federated flag survives its own roundtrip.
+    msg.federated = true;
+    const dtm::DataLocateMsg fed =
+        dtm::DataLocateMsg::decode(msg.encode());
+    EXPECT_TRUE(fed.federated) << "round " << round;
+  }
+}
+
+TEST(CodecFuzz, DataLocateMsgFederated) {
+  roundtrip<dtm::DataLocateMsg>([](Rng& rng) {
+    dtm::DataLocateMsg msg;
+    msg.data_id = random_name(rng);
+    msg.requester_uid = rng.next_u64();
+    msg.requester_endpoint =
+        static_cast<net::Endpoint>(rng.uniform_u64(1 << 16));
+    msg.federated = rng.uniform_u64(2) == 1;
     return msg;
   });
 }

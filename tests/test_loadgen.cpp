@@ -1,0 +1,190 @@
+// Load-generator suite (ISSUE 9): the open-loop driver must be fully
+// deterministic — the same spec plans the same arrivals, a written trace
+// replays the Poisson run that produced it bit-for-bit, two same-seed
+// serving runs hash identically (journal included), and scrambling the
+// DES tie-break must not change any outcome.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+#include "loadgen/serving.hpp"
+#include "platform/generator.hpp"
+
+namespace gc {
+namespace {
+
+loadgen::LoadSpec small_spec() {
+  loadgen::LoadSpec spec;
+  spec.clients = 40;
+  spec.requests_per_client = 3;
+  spec.arrival_rate_hz = 200.0;
+  spec.profiles = loadgen::default_mix();
+  spec.seed = 7;
+  return spec;
+}
+
+// ---------- the arrival plan ----------
+
+TEST(LoadgenPlan, PoissonPlanIsAPureFunctionOfTheSpec) {
+  const auto first = loadgen::plan_poisson(small_spec(), 10.0);
+  const auto replay = loadgen::plan_poisson(small_spec(), 10.0);
+  ASSERT_EQ(first.size(), 40u * 3u);
+  ASSERT_EQ(first.size(), replay.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].client, replay[i].client);
+    EXPECT_EQ(first[i].seq, replay[i].seq);
+    EXPECT_EQ(first[i].at_s, replay[i].at_s);  // bitwise
+    EXPECT_EQ(first[i].profile, replay[i].profile);
+  }
+
+  loadgen::LoadSpec other = small_spec();
+  other.seed = 8;
+  const auto different = loadgen::plan_poisson(other, 10.0);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    any_diff = any_diff || first[i].at_s != different[i].at_s;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LoadgenPlan, PlanIsCanonicallyOrderedAndComplete) {
+  const auto plan = loadgen::plan_poisson(small_spec(), 5.0);
+  std::vector<int> per_client(40, 0);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i].at_s, 5.0);
+    EXPECT_GE(plan[i].profile, 0);
+    per_client[static_cast<std::size_t>(plan[i].client)] += 1;
+    if (i > 0) {
+      const auto& a = plan[i - 1];
+      const auto& b = plan[i];
+      const bool ordered =
+          a.at_s < b.at_s ||
+          (a.at_s == b.at_s &&
+           (a.client < b.client ||
+            (a.client == b.client && a.seq < b.seq)));
+      EXPECT_TRUE(ordered) << "plan not canonically sorted at " << i;
+    }
+  }
+  for (const int count : per_client) EXPECT_EQ(count, 3);
+}
+
+TEST(LoadgenPlan, TraceRoundTripsBitForBit) {
+  const std::string path = testing::TempDir() + "gc_loadgen_trace.txt";
+  const auto plan = loadgen::plan_poisson(small_spec(), 2.0);
+  ASSERT_TRUE(loadgen::write_trace(path, plan).is_ok());
+
+  std::vector<loadgen::Arrival> back;
+  ASSERT_TRUE(loadgen::read_trace(path, &back).is_ok());
+  ASSERT_EQ(back.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back[i].client, plan[i].client);
+    EXPECT_EQ(back[i].seq, plan[i].seq);
+    EXPECT_EQ(back[i].at_s, plan[i].at_s);  // %.17g survives the trip
+    EXPECT_EQ(back[i].profile, plan[i].profile);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoadgenPlan, MissingTraceIsAnError) {
+  std::vector<loadgen::Arrival> plan;
+  EXPECT_FALSE(
+      loadgen::read_trace("/nonexistent/trace.txt", &plan).is_ok());
+}
+
+// ---------- the fat-tree generator ----------
+
+TEST(LoadgenPlatform, FattreeShapeMatchesTheConfig) {
+  platform::FatTreeConfig config;
+  config.pods = 3;
+  config.clusters_per_pod = 2;
+  config.seds_per_cluster = 4;
+  config.machines_per_sed = 2;
+  const platform::GeneratedPlatform gen = platform::make_fattree(config);
+  EXPECT_EQ(gen.sed_count(), 3u * 2u * 4u);
+  EXPECT_EQ(gen.ma_nodes.size(), 3u);
+  EXPECT_EQ(gen.client_nodes.size(), 3u);
+  ASSERT_EQ(gen.clusters.size(), 3u * 2u);
+  for (const auto& cluster : gen.clusters) {
+    EXPECT_EQ(cluster.sed_nodes.size(), 4u);
+    for (const net::NodeId sed_node : cluster.sed_nodes) {
+      EXPECT_NE(sed_node, cluster.la_node);
+    }
+  }
+}
+
+// ---------- serving-run determinism ----------
+
+loadgen::ServingConfig tiny_serving(int mas) {
+  loadgen::ServingConfig config;
+  config.topology.pods = 2;
+  config.topology.clusters_per_pod = 1;
+  config.topology.seds_per_cluster = 2;
+  config.topology.machines_per_sed = 2;
+  config.mas = mas;
+  config.load.clients = 24;
+  config.load.requests_per_client = 2;
+  config.load.arrival_rate_hz = 100.0;
+  config.load.seed = 11;
+  return config;
+}
+
+TEST(LoadgenServing, SameSeedRunsAreBitIdentical) {
+  const loadgen::ServingReport first = loadgen::run_serving(tiny_serving(2));
+  const loadgen::ServingReport replay =
+      loadgen::run_serving(tiny_serving(2));
+  EXPECT_EQ(first.ok, 48u);
+  EXPECT_EQ(first.failed, 0u);
+  EXPECT_EQ(first.state_hash, replay.state_hash);
+  EXPECT_EQ(first.science_digest, replay.science_digest);
+  EXPECT_EQ(first.p50_s, replay.p50_s);            // bitwise
+  EXPECT_EQ(first.makespan_s, replay.makespan_s);  // bitwise
+  EXPECT_EQ(first.events, replay.events);
+  EXPECT_EQ(first.journal_jsonl, replay.journal_jsonl);
+  EXPECT_FALSE(first.journal_jsonl.empty());
+}
+
+TEST(LoadgenServing, TieSeedScramblesNothingObservable) {
+  loadgen::ServingConfig scrambled = tiny_serving(2);
+  scrambled.tie_seed = 5;
+  const loadgen::ServingReport base = loadgen::run_serving(tiny_serving(2));
+  const loadgen::ServingReport run = loadgen::run_serving(scrambled);
+  // Same-time events may execute in any order; nothing the harness
+  // reports is allowed to depend on which (the `--tie-seed` contract).
+  EXPECT_EQ(run.state_hash, base.state_hash);
+  EXPECT_EQ(run.science_digest, base.science_digest);
+  EXPECT_EQ(run.makespan_s, base.makespan_s);
+}
+
+TEST(LoadgenServing, TraceReplayReproducesThePoissonRun) {
+  const std::string path = testing::TempDir() + "gc_serving_trace.txt";
+  loadgen::ServingConfig recording = tiny_serving(1);
+  recording.trace_out = path;
+  const loadgen::ServingReport original = loadgen::run_serving(recording);
+  ASSERT_EQ(original.failed, 0u);
+
+  loadgen::ServingConfig replaying = tiny_serving(1);
+  replaying.load.trace_path = path;
+  const loadgen::ServingReport replay = loadgen::run_serving(replaying);
+  EXPECT_EQ(replay.arrivals, original.arrivals);
+  EXPECT_EQ(replay.state_hash, original.state_hash);
+  EXPECT_EQ(replay.science_digest, original.science_digest);
+  EXPECT_EQ(replay.journal_jsonl, original.journal_jsonl);
+  std::remove(path.c_str());
+}
+
+TEST(LoadgenServing, FederationDoesNotChangeTheScience) {
+  // 1 vs 2 MAs over the same arrival plan: different scheduling, wildly
+  // different timings — identical science digest.
+  const loadgen::ServingReport one = loadgen::run_serving(tiny_serving(1));
+  const loadgen::ServingReport two = loadgen::run_serving(tiny_serving(2));
+  EXPECT_EQ(one.failed, 0u);
+  EXPECT_EQ(two.failed, 0u);
+  EXPECT_EQ(one.science_digest, two.science_digest);
+  EXPECT_GT(two.peer.forwards, 0u);
+}
+
+}  // namespace
+}  // namespace gc

@@ -62,7 +62,8 @@ TEST(McSmoke, SleepSetsPruneAtLeastTenfold) {
 }
 
 TEST(McSmoke, FaultScenariosExploreClean) {
-  for (const char* name : {"small_dup", "small_drop", "crash_heal"}) {
+  for (const char* name :
+       {"small_dup", "small_drop", "crash_heal", "federation_crash"}) {
     const mc::Result result = mc::explore(scenario(name).fn);
     EXPECT_TRUE(result.complete) << name;
     EXPECT_FALSE(result.violation_found)
