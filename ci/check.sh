@@ -64,6 +64,40 @@ print(f"pingstorm with sampler on: {100 * ratio:.1f}% of sampler-off")
 assert ratio > 0.90, "time-series sampler overhead blew past 10% on pingstorm"
 PY
 
+step "network smoke (bench_network --quick --floor + compat digest gate)"
+# The contention-aware flow model, end to end: the congested campaign must
+# keep the volatile vs persistent+mct-data makespan separation above 20%,
+# MPWide-style striping must beat a single stream on the lossy WAN, and
+# the compat row (contention off) must land on the stock paper digest —
+# the flow model has to be invisible when disabled.
+./build/bench/bench_network --quick --floor \
+  --json build/BENCH_network_smoke.json
+python3 - build/BENCH_network_smoke.json <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+summary = next(r for r in rows if r["table"] == "summary")
+compat = next(r for r in rows if r["table"] == "compat")
+congested = [r for r in rows if r["table"] == "congested"]
+assert summary["separation"] >= 0.20, \
+    f'separation {summary["separation"]:.2%} < 20%'
+assert summary["striping_gain"] >= 1.05, \
+    f'striping gain {summary["striping_gain"]:.2f}x < 1.05x'
+assert compat["flows_completed"] == 0, "contention off but flows ran"
+assert all(r["flows_completed"] > 0 for r in congested), \
+    "contention on but a congested row ran no flows"
+assert all(r.get("failed_calls", 0) == 0 for r in rows), \
+    "a campaign lost calls"
+print(f'separation {summary["separation"]:.1%}, '
+      f'striping gain {summary["striping_gain"]:.2f}x, '
+      f'compat digest {compat["science_digest"]}')
+PY
+# Contention-off digest gate: with the flow model compiled in but
+# disabled, the stock 22-sub-sim campaign must still produce the exact
+# pre-flow-model science digest.
+DN=$(./build/examples/zoom_campaign --subsims 22 --digest | grep 'science digest')
+[[ "${DN#*: }" == "f4a58abe6945215d" ]]
+echo "contention-off campaign digest pinned (${DN#*: })"
+
 step "serving smoke (bench_serving --quick + federated digest gate)"
 # Same tripwire philosophy as bench-smoke: the quick sweep sustains ~400
 # req/s single-MA on this container, so only a serving-path collapse trips

@@ -20,6 +20,13 @@
 //                                        # DTM: replica catalog + locality
 //   ./zoom_campaign --mas 2 --digest     # federated: 2 MA hierarchies,
 //                                        # print the science digest
+//   ./zoom_campaign --contention --wan-scale 0.05
+//                                        # flow-model network: transfers
+//                                        # fair-share the narrowed WAN
+//   ./zoom_campaign --contention --wan-streams 4 --wan-per-stream 2e6
+//                                        # MPWide-style striped transfers
+//                                        # on a lossy (per-stream-capped)
+//                                        # backbone
 //
 // Fault plans (--fault-plan, or the GC_FAULT_PLAN environment variable)
 // are spelled "preset[,key=value...]" with presets none, drop-only,
@@ -33,6 +40,16 @@
 // id-only references and missing data travels SED-to-SED). --replicas N
 // (GC_REPLICAS) additionally write-replicates fresh persistent data to N
 // SEDs. See DESIGN.md, "Data management".
+//
+// Network contention (--contention, or GC_CONTENTION=1) switches bulk
+// transfers from the closed-form latency+bytes/bw cost to the flow model:
+// concurrent transfers fair-share every link on their route and NFS
+// staging charges the cluster disks. --wan-scale F (GC_WAN_SCALE)
+// narrows the RENATER backbone, --wan-streams K (GC_WAN_STREAMS) stripes
+// bulk dtm pushes over K parallel streams, --wan-per-stream B caps each
+// stream at B bytes/s (the lossy-WAN TCP ceiling striping exists to
+// beat), --wan-relay routes stripes through the requester's LA. See
+// DESIGN.md, "Network & disk model".
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -110,6 +127,29 @@ int main(int argc, char** argv) {
     config.services.output_mode = gc::diet::Persistence::kPersistent;
   }
 
+  // Contention flow model + WAN engine. Flags win; GC_ envs supply
+  // defaults so scripted sweeps need no argv surgery.
+  bool contention_default = false;
+  if (const char* env_c = std::getenv("GC_CONTENTION")) {
+    contention_default = std::atol(env_c) != 0;
+  }
+  config.contention = args.has("contention") || contention_default;
+  long streams_default = 1;
+  if (const char* env_s = std::getenv("GC_WAN_STREAMS")) {
+    streams_default = std::atol(env_s);
+  }
+  config.wan_streams =
+      static_cast<int>(args.get_int("wan-streams", streams_default));
+  double wan_scale_default = 1.0;
+  if (const char* env_ws = std::getenv("GC_WAN_SCALE")) {
+    wan_scale_default = std::atof(env_ws);
+  }
+  config.wan_bandwidth_scale = args.get_double("wan-scale", wan_scale_default);
+  config.wan_per_stream_bps = args.get_double("wan-per-stream", 0.0);
+  config.wan_relay = args.has("wan-relay");
+  config.wan_compression = args.get_double("wan-compression", 0.0);
+  config.wan_compress_bps = args.get_double("wan-compress-bps", 0.0);
+
   std::printf("zoom campaign: %d sub-simulations of %d^3 particles, "
               "%d nested boxes, policy '%s', %d machines/SED\n\n",
               config.sub_simulations, config.resolution, config.nb_box,
@@ -148,6 +188,16 @@ int main(int argc, char** argv) {
   if (print_digest) {
     std::printf("science digest           : %016llx\n",
                 static_cast<unsigned long long>(result.science_digest));
+  }
+  // Printed only under --contention so the default report stays
+  // byte-identical to the pre-flow-model harness.
+  if (config.contention) {
+    std::printf("network contention       : %llu flows (peak %llu "
+                "concurrent), wan x%.2f, %d stream%s\n",
+                static_cast<unsigned long long>(result.flows_completed),
+                static_cast<unsigned long long>(result.peak_active_flows),
+                config.wan_bandwidth_scale, config.wan_streams,
+                config.wan_streams == 1 ? "" : "s");
   }
   // Printed only under --persistence so the default report stays
   // byte-identical to the pre-DTM harness.

@@ -118,8 +118,9 @@ class EventFn {
 
  private:
   /// Sized for SimEnv's per-message delivery lambda in GC_CHECK builds
-  /// (captured Envelope + stream bookkeeping = 80 bytes).
-  static constexpr std::size_t kInlineBytes = 80;
+  /// (captured Envelope + stream bookkeeping = 88 bytes since the
+  /// envelope gained its out-of-band flag).
+  static constexpr std::size_t kInlineBytes = 88;
 
   void move_from(EventFn& other) noexcept {
     invoke_ = other.invoke_;

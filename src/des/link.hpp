@@ -8,6 +8,9 @@
 //    Used by the ablation benches to show when contention starts to matter.
 #pragma once
 
+// gclint: allow-file(net-cost) — this IS a cost model (the standalone DES
+// link primitive), not a consumer bypassing Env::estimate_transfer_s.
+
 #include <cstdint>
 #include <functional>
 

@@ -346,6 +346,9 @@ void Agent::on_message(const net::Envelope& envelope) {
     case dtm::kDataLocate:
       handle_data_locate(envelope);
       break;
+    case dtm::kDataStripe:
+      handle_data_stripe(envelope);
+      break;
     case kLoadReport:
       break;  // monitoring data; agents store nothing extra in this repo
     case kRegisterAck:
@@ -943,6 +946,24 @@ void Agent::handle_data_locate(const net::Envelope& envelope) {
                             envelope.trace_id});
 }
 
+void Agent::handle_data_stripe(const net::Envelope& envelope) {
+  // WAN-engine relay hop: a striped bulk transfer routed through this
+  // agent (MPWide's store-and-forward path segmentation). Forward the
+  // stripe unchanged — same payload, same modeled byte charge, still
+  // out-of-band — to its final receiver.
+  const dtm::DataStripeMsg msg = dtm::DataStripeMsg::decode(envelope.payload);
+  if (msg.dest_endpoint == net::kNullEndpoint ||
+      msg.dest_endpoint == endpoint()) {
+    GC_WARN << "agent " << name_ << ": stripe relay with no onward hop";
+    return;
+  }
+  net::Envelope out{endpoint(), msg.dest_endpoint, dtm::kDataStripe,
+                    envelope.payload, envelope.modeled_extra_bytes,
+                    envelope.trace_id};
+  out.oob = true;
+  env()->send(out);
+}
+
 void Agent::fill_locality(Pending& pending) {
   if (pending.deps.empty()) return;
   for (auto& candidate : pending.candidates) {
@@ -959,8 +980,10 @@ void Agent::fill_locality(Pending& pending) {
       bytes += static_cast<double>(dep.bytes);
       double best = -1.0;
       for (const auto& [uid, info] : *replicas) {
+        // Contention-aware when the flow model is on: mct-data ranks a
+        // candidate behind a congested path below one with idle links.
         const double t =
-            env()->topology().transfer_time(info.node, cand_node, dep.bytes);
+            env()->estimate_transfer_s(info.node, cand_node, dep.bytes);
         if (best < 0.0 || t < best) best = t;
       }
       if (best > 0.0) xfer += best;

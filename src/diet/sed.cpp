@@ -141,6 +141,7 @@ void Sed::fail() {
   }
   fetches_.clear();
   blocked_.clear();
+  stripes_.clear();  // partially reassembled transfers die with the crash
   if constexpr (check::kEnabled) live_calls_.reset();
   queued_work_s_ = 0.0;
   // Running contexts are abandoned: their finish() becomes a no-op send
@@ -183,6 +184,9 @@ void Sed::on_message(const net::Envelope& envelope) {
       break;
     case dtm::kDataPush:
       handle_data_push(envelope);
+      break;
+    case dtm::kDataStripe:
+      handle_data_stripe(envelope);
       break;
     case dtm::kDataReplicate:
       handle_data_replicate(envelope);
@@ -430,8 +434,10 @@ void Sed::handle_data_location(const net::Envelope& envelope) {
   double best_time = 0.0;
   for (const auto& replica : msg.replicas) {
     if (replica.sed_uid == uid_) continue;
+    // Contention-aware when the flow model is on: a congested path ranks
+    // worse than an idle one even if its raw links are faster.
     const double t =
-        env()->topology().transfer_time(replica.node, node(), replica.bytes);
+        env()->estimate_transfer_s(replica.node, node(), replica.bytes);
     if (best == nullptr || t < best_time ||
         (t == best_time && replica.sed_uid < best->sed_uid)) {
       best = &replica;
@@ -446,69 +452,187 @@ void Sed::handle_data_location(const net::Envelope& envelope) {
   dtm::DataPullMsg pull;
   pull.data_id = msg.data_id;
   pull.requester_uid = uid_;
+  if (tuning_.wan.relay && parent_ != net::kNullEndpoint) {
+    pull.relay_endpoint = parent_;  // stripes hop through our LA
+  }
   env()->send(net::Envelope{endpoint(), best->endpoint, dtm::kDataPull,
                             pull.encode(), 0, envelope.trace_id});
 }
 
 void Sed::handle_data_pull(const net::Envelope& envelope) {
   const dtm::DataPullMsg msg = dtm::DataPullMsg::decode(envelope.payload);
-  dtm::DataPushMsg push;
-  push.data_id = msg.data_id;
+  push_data(msg, envelope.from, envelope.trace_id);
+}
+
+void Sed::push_data(const dtm::DataPullMsg& msg, net::Endpoint requester,
+                    obs::TraceId trace) {
   const dtm::Blob* stored = data_manager_.lookup(msg.data_id);
-  std::int64_t extra = 0;
-  if (stored != nullptr) {
+  if (stored == nullptr) {
+    // Evicted between the catalog answer and the pull: a not-found push
+    // (never striped — there are no bytes to stripe).
+    dtm::DataPushMsg push;
+    push.data_id = msg.data_id;
+    env()->send(net::Envelope{endpoint(), requester, dtm::kDataPush,
+                              push.encode(), 0, trace});
+    return;
+  }
+  const std::int64_t total = stored->charged_bytes;
+  // The requester holds a copy once the transfer lands: our entry now has
+  // a replica elsewhere and becomes a preferred eviction victim.
+  data_manager_.set_replica_hint(msg.data_id, 1);
+  if (obs::metrics_on()) {
+    // Per-link accounting, same label convention as net_bytes_total:
+    // this transfer rides node() -> requester's node.
+    const std::string link = "n" + std::to_string(node()) + "->n" +
+                             std::to_string(env()->node_of(requester));
+    obs::Metrics::instance()
+        .counter("diet_dtm_bytes_moved_total",
+                 {{"sed", name_}, {"link", link}})
+        .inc(static_cast<std::uint64_t>(total));
+  }
+  if (!tuning_.wan.striping(total)) {
+    dtm::DataPushMsg push;
+    push.data_id = msg.data_id;
     push.found = true;
     push.value = stored->value;
-    push.charged_bytes = stored->charged_bytes;
-    extra = std::max<std::int64_t>(
-        0, stored->charged_bytes -
-               static_cast<std::int64_t>(stored->value.size()));
-    // The requester holds a copy once the push lands: our entry now has a
-    // replica elsewhere and becomes a preferred eviction victim.
-    data_manager_.set_replica_hint(msg.data_id, 1);
-    if (obs::metrics_on()) {
-      // Per-link accounting, same label convention as net_bytes_total:
-      // this transfer rides node() -> requester's node.
-      const std::string link =
-          "n" + std::to_string(node()) + "->n" +
-          std::to_string(env()->node_of(envelope.from));
-      obs::Metrics::instance()
-          .counter("diet_dtm_bytes_moved_total",
-                   {{"sed", name_}, {"link", link}})
-          .inc(static_cast<std::uint64_t>(stored->charged_bytes));
-    }
+    push.charged_bytes = total;
+    const std::int64_t extra = std::max<std::int64_t>(
+        0, total - static_cast<std::int64_t>(stored->value.size()));
+    env()->send(net::Envelope{endpoint(), requester, dtm::kDataPush,
+                              push.encode(), extra, trace});
+    return;
   }
-  env()->send(net::Envelope{endpoint(), envelope.from, dtm::kDataPush,
-                            push.encode(), extra, envelope.trace_id});
+
+  // MPWide-style striped transfer: split the bulk push into K stripes,
+  // each an out-of-band envelope — its own parallel stream under the
+  // contention flow model. Stripe 0 carries the serialized value; the
+  // others charge their slice purely through modeled_extra_bytes.
+  const int streams = tuning_.wan.streams;
+  const std::uint64_t transfer_id = (uid_ << 32) | ++stripe_counter_;
+  double compression = tuning_.wan.compression;
+  if (compression < 0.0) compression = 0.0;
+  if (compression >= 1.0) compression = 0.99;
+  std::int64_t wire_total = total;
+  if (compression > 0.0) {
+    wire_total = static_cast<std::int64_t>(static_cast<double>(total) *
+                                           (1.0 - compression));
+    // Stripe 0's physical payload still travels: never charge less.
+    wire_total = std::max<std::int64_t>(
+        wire_total, static_cast<std::int64_t>(stored->value.size()));
+  }
+  const net::Endpoint to =
+      (tuning_.wan.relay && msg.relay_endpoint != net::kNullEndpoint)
+          ? msg.relay_endpoint
+          : requester;
+  const std::int64_t share = wire_total / streams;
+  std::vector<net::Envelope> stripes;
+  stripes.reserve(static_cast<std::size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    dtm::DataStripeMsg stripe;
+    stripe.transfer_id = transfer_id;
+    stripe.data_id = msg.data_id;
+    stripe.stripe_index = static_cast<std::uint32_t>(i);
+    stripe.stripe_count = static_cast<std::uint32_t>(streams);
+    stripe.found = true;
+    stripe.total_bytes = total;
+    stripe.dest_endpoint = requester;
+    std::int64_t stripe_bytes = share;
+    std::int64_t extra = share;
+    if (i == 0) {
+      stripe_bytes = wire_total - share * (streams - 1);  // + remainder
+      stripe.value = stored->value;
+      extra = std::max<std::int64_t>(
+          0, stripe_bytes - static_cast<std::int64_t>(stored->value.size()));
+    }
+    net::Envelope out{endpoint(), to, dtm::kDataStripe, stripe.encode(),
+                      extra, trace};
+    out.oob = true;  // parallel streams skip FIFO serialization
+    stripes.push_back(std::move(out));
+  }
+  const double compress_s =
+      (compression > 0.0 && tuning_.wan.compress_bps > 0.0)
+          ? static_cast<double>(total) / tuning_.wan.compress_bps
+          : 0.0;
+  if (compress_s > 0.0) {
+    // Compression is sender-side CPU: the stripes leave after it.
+    const std::uint64_t epoch = epoch_;
+    env()->post_after(compress_s, [this, stripes = std::move(stripes),
+                                   epoch]() {
+      if (failed_ || epoch != epoch_) return;
+      for (const auto& out : stripes) env()->send(out);
+    });
+    return;
+  }
+  for (const auto& out : stripes) env()->send(out);
 }
 
 void Sed::handle_data_push(const net::Envelope& envelope) {
   const dtm::DataPushMsg msg = dtm::DataPushMsg::decode(envelope.payload);
-  auto it = fetches_.find(msg.data_id);
-  if (!msg.found) {
+  finish_fetch(msg.data_id, msg.found, msg.value, msg.charged_bytes,
+               envelope.trace_id);
+}
+
+void Sed::handle_data_stripe(const net::Envelope& envelope) {
+  // Relay hops are handled by agents; a stripe reaching a SED is ours.
+  const dtm::DataStripeMsg msg = dtm::DataStripeMsg::decode(envelope.payload);
+  StripeAssembly& assembly = stripes_[msg.transfer_id];
+  if (assembly.count == 0) assembly.count = msg.stripe_count;
+  GC_CHECK_MSG(assembly.count == msg.stripe_count,
+               "stripe count changed mid-transfer");
+  ++assembly.received;
+  if (msg.stripe_index == 0) assembly.value = msg.value;
+  assembly.total_bytes = msg.total_bytes;
+  if (assembly.received < assembly.count) return;
+  StripeAssembly done = std::move(assembly);
+  stripes_.erase(msg.transfer_id);
+  const double inflate_s =
+      (tuning_.wan.compression > 0.0 && tuning_.wan.compress_bps > 0.0)
+          ? static_cast<double>(done.total_bytes) / tuning_.wan.compress_bps
+          : 0.0;
+  if (inflate_s > 0.0) {
+    // Decompression is receiver-side CPU before the value is usable.
+    const std::string data_id = msg.data_id;
+    const obs::TraceId trace = envelope.trace_id;
+    const std::uint64_t epoch = epoch_;
+    env()->post_after(inflate_s, [this, data_id, value = std::move(done.value),
+                                  total = done.total_bytes, trace, epoch]() {
+      if (failed_ || epoch != epoch_) return;
+      finish_fetch(data_id, true, value, total, trace);
+    });
+    return;
+  }
+  finish_fetch(msg.data_id, true, done.value, done.total_bytes,
+               envelope.trace_id);
+}
+
+void Sed::finish_fetch(const std::string& data_id, bool found,
+                       const net::Bytes& value, std::int64_t charged_bytes,
+                       obs::TraceId trace) {
+  auto it = fetches_.find(data_id);
+  if (!found) {
     // The peer evicted it between the catalog answer and our pull.
-    if (it != fetches_.end()) fail_fetch(msg.data_id);
+    if (it != fetches_.end()) fail_fetch(data_id);
     return;
   }
   dtm::Blob blob;
-  blob.value = msg.value;
-  blob.charged_bytes = msg.charged_bytes;
-  const bool fresh = data_manager_.store(msg.data_id, std::move(blob));
+  blob.value = value;
+  blob.charged_bytes = charged_bytes;
+  const bool fresh = data_manager_.store(data_id, std::move(blob));
   // The pusher still holds the value: both copies are replicated now.
-  data_manager_.set_replica_hint(msg.data_id, 1);
+  data_manager_.set_replica_hint(data_id, 1);
   if (fresh && parent_ != net::kNullEndpoint) {
     dtm::DataRegisterMsg reg;
-    reg.data_id = msg.data_id;
-    reg.holder = dtm::ReplicaInfo{uid_, endpoint(), node(), msg.charged_bytes};
+    reg.data_id = data_id;
+    reg.holder = dtm::ReplicaInfo{uid_, endpoint(), node(), charged_bytes};
     reg.replicas = 1;  // a pulled copy never cascades replication
     env()->send(net::Envelope{endpoint(), parent_, dtm::kDataRegister,
-                              reg.encode(), 0, envelope.trace_id});
+                              reg.encode(), 0, trace});
   }
   if (it == fetches_.end()) return;  // replication copy: nobody is waiting
   FetchState fetch = std::move(it->second);
   fetches_.erase(it);
   if (fetch.timer != 0) env()->cancel_timer(fetch.timer);
-  const ArgValue stored = decode_blob(msg.value);
+  const ArgValue stored = decode_blob(value);
   for (const std::uint64_t call_id : fetch.waiters) {
     auto blocked = blocked_.find(call_id);
     if (blocked == blocked_.end()) continue;  // failed via another id
@@ -516,11 +640,11 @@ void Sed::handle_data_push(const net::Envelope& envelope) {
     for (int i = 0; i <= call.job.profile.last_inout(); ++i) {
       ArgValue& arg = call.job.profile.arg(i);
       if (arg.has_value() && arg.is_reference() &&
-          arg.data_id() == msg.data_id) {
+          arg.data_id() == data_id) {
         arg.materialize_from(stored);
       }
     }
-    call.missing.erase(msg.data_id);
+    call.missing.erase(data_id);
     if (call.missing.empty()) {
       PendingJob job = std::move(call.job);
       blocked_.erase(blocked);
@@ -540,6 +664,9 @@ void Sed::handle_data_replicate(const net::Envelope& envelope) {
   dtm::DataPullMsg pull;
   pull.data_id = msg.data_id;
   pull.requester_uid = uid_;
+  if (tuning_.wan.relay && parent_ != net::kNullEndpoint) {
+    pull.relay_endpoint = parent_;
+  }
   env()->send(net::Envelope{endpoint(), msg.holder.endpoint, dtm::kDataPull,
                             pull.encode(), 0, envelope.trace_id});
 }

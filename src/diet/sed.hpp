@@ -34,6 +34,7 @@
 #include "diet/service.hpp"
 #include "dtm/datamgr.hpp"
 #include "dtm/messages.hpp"
+#include "dtm/wan.hpp"
 #include "net/env.hpp"
 #include "obs/trace.hpp"
 
@@ -68,6 +69,9 @@ struct SedTuning {
   /// Period of liveness heartbeats to the parent agent; 0 disables them
   /// (the default, so fault-free runs send no extra messages).
   double heartbeat_period = 0.0;
+  /// MPWide-style WAN transfer engine for bulk dtm pushes (striping,
+  /// relay, compression). Defaults are the classic single-stream push.
+  dtm::WanTuning wan;
   /// Scratch directory for real service executions.
   std::string work_dir = "/tmp";
 };
@@ -161,12 +165,32 @@ class Sed final : public net::Actor {
     bool pull_sent = false;
   };
 
+  /// Reassembly of one in-flight striped transfer, keyed by transfer id.
+  struct StripeAssembly {
+    std::uint32_t received = 0;
+    std::uint32_t count = 0;
+    net::Bytes value;  ///< from stripe 0
+    std::int64_t total_bytes = 0;
+  };
+
   void handle_collect(const net::Envelope& envelope);
   void handle_call(const net::Envelope& envelope);
   void handle_data_location(const net::Envelope& envelope);
   void handle_data_pull(const net::Envelope& envelope);
   void handle_data_push(const net::Envelope& envelope);
+  void handle_data_stripe(const net::Envelope& envelope);
   void handle_data_replicate(const net::Envelope& envelope);
+  /// Completion of one data fetch however it arrived (single push or
+  /// reassembled stripes): store the value, register the replica, and
+  /// unblock every call waiting on `data_id`.
+  void finish_fetch(const std::string& data_id, bool found,
+                    const net::Bytes& value, std::int64_t charged_bytes,
+                    obs::TraceId trace);
+  /// Ships `data_id` to `requester`: one classic push, or — when the WAN
+  /// engine says so — striped parallel out-of-band streams, optionally
+  /// relayed through the requester's parent agent.
+  void push_data(const dtm::DataPullMsg& msg, net::Endpoint requester,
+                 obs::TraceId trace);
   /// Runs the admission tail (estimator, spans, queue) for a job whose
   /// data is fully materialized.
   void admit_job(PendingJob job, const ServiceEntry* entry);
@@ -207,6 +231,10 @@ class Sed final : public net::Actor {
   std::map<std::string, FetchState> fetches_;
   /// Calls parked while their referenced data is in flight, by call id.
   std::map<std::uint64_t, BlockedCall> blocked_;
+  /// Striped transfers being reassembled, by transfer id (ordered for
+  /// deterministic teardown).
+  std::map<std::uint64_t, StripeAssembly> stripes_;
+  std::uint64_t stripe_counter_ = 0;  ///< transfer-id minting (sender side)
   /// Call ids live on this SED (queued or running); a client retry only
   /// reuses an id after its result message went out (GC_CHECK builds).
   check::UniqueIds live_calls_{"sed live call ids"};

@@ -92,6 +92,9 @@ net::Bytes DataPullMsg::encode() const {
   net::Writer w;
   w.str(data_id);
   w.u64(requester_uid);
+  // Trailing-optional: absent when null, so plain pulls keep their
+  // pre-WAN-engine encoding.
+  if (relay_endpoint != net::kNullEndpoint) w.u32(relay_endpoint);
   return w.take();
 }
 
@@ -100,6 +103,34 @@ DataPullMsg DataPullMsg::decode(const net::Bytes& payload) {
   DataPullMsg m;
   m.data_id = r.str();
   m.requester_uid = r.u64();
+  if (r.remaining() > 0) m.relay_endpoint = r.u32();
+  return m;
+}
+
+net::Bytes DataStripeMsg::encode() const {
+  net::Writer w;
+  w.u64(transfer_id);
+  w.str(data_id);
+  w.u32(stripe_index);
+  w.u32(stripe_count);
+  w.u8(found ? 1 : 0);
+  w.bytes(value);
+  w.i64(total_bytes);
+  w.u32(dest_endpoint);
+  return w.take();
+}
+
+DataStripeMsg DataStripeMsg::decode(const net::Bytes& payload) {
+  net::Reader r(payload);
+  DataStripeMsg m;
+  m.transfer_id = r.u64();
+  m.data_id = r.str();
+  m.stripe_index = r.u32();
+  m.stripe_count = r.u32();
+  m.found = r.u8() != 0;
+  m.value = r.bytes();
+  m.total_bytes = r.i64();
+  m.dest_endpoint = r.u32();
   return m;
 }
 

@@ -37,6 +37,7 @@ enum DtmMsgType : std::uint32_t {
   kDataPull = 44,
   kDataPush = 45,
   kDataReplicate = 46,
+  kDataStripe = 47,
 };
 
 void serialize_replica(net::Writer& w, const ReplicaInfo& info);
@@ -95,6 +96,11 @@ struct DataLocationMsg {
 struct DataPullMsg {
   std::string data_id;
   std::uint64_t requester_uid = 0;
+  /// WAN-engine relay hint: when non-null, striped replies may be routed
+  /// through this agent (the requester's parent LA) instead of directly,
+  /// store-and-forward — the MPWide-style multi-hop path. Trailing-
+  /// optional on the wire so plain pulls keep their classic encoding.
+  net::Endpoint relay_endpoint = net::kNullEndpoint;
 
   net::Bytes encode() const;
   static DataPullMsg decode(const net::Bytes& payload);
@@ -110,6 +116,28 @@ struct DataPushMsg {
 
   net::Bytes encode() const;
   static DataPushMsg decode(const net::Bytes& payload);
+};
+
+/// One stripe of an MPWide-style striped bulk transfer. The holder SED
+/// splits a big push into `stripe_count` stripes, each sent as its own
+/// out-of-band envelope (= its own parallel connection under the flow
+/// model); stripe 0 carries the serialized value, the rest charge their
+/// slice via Envelope::modeled_extra_bytes. Stripes may hop through an
+/// agent (relay) that forwards them to `dest_endpoint`; the receiving SED
+/// reassembles by `transfer_id` and completes the fetch when all stripes
+/// arrived.
+struct DataStripeMsg {
+  std::uint64_t transfer_id = 0;  ///< (holder uid << 32) | counter
+  std::string data_id;
+  std::uint32_t stripe_index = 0;
+  std::uint32_t stripe_count = 1;
+  bool found = false;
+  net::Bytes value;  ///< serialized ArgValue; only on stripe 0
+  std::int64_t total_bytes = 0;  ///< full transfer size (all stripes)
+  net::Endpoint dest_endpoint = net::kNullEndpoint;  ///< final receiver
+
+  net::Bytes encode() const;
+  static DataStripeMsg decode(const net::Bytes& payload);
 };
 
 /// Parent LA -> SED: "pull a copy of `data_id` from `holder`"

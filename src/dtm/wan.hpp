@@ -1,0 +1,38 @@
+// MPWide-style WAN transfer engine knobs (Groen et al.: striped parallel
+// TCP streams, store-and-forward relay hops, optional compression — the
+// techniques that kept the CosmoGrid simulations fed across continents).
+//
+// Applied by SEDs to their bulk dtm pushes (pull replies and write-
+// replication). Striping only changes modeled time under the contention
+// flow model, where each stripe is an independent flow: on a WAN link
+// with a per-stream cap (lossy TCP), K stripes sustain up to K times the
+// single-stream throughput; under fair sharing they also claim a K/(K+n)
+// share against n competitors. With the flow model off, stripes still
+// travel but the closed-form cost makes them a wash — the engine is
+// honest, not a free speedup.
+#pragma once
+
+#include <cstdint>
+
+namespace gc::dtm {
+
+struct WanTuning {
+  /// Parallel streams per bulk transfer (1 = classic single push).
+  int streams = 1;
+  /// Transfers below this size never stripe (stripe overhead dominates).
+  std::int64_t stripe_min_bytes = 1 << 20;
+  /// Route stripes through the requester's parent LA (store-and-forward
+  /// relay; hop pipelining across stripes) instead of SED-to-SED direct.
+  bool relay = false;
+  /// Modeled compression: fraction of bulk bytes shaved off the wire
+  /// (0 = off). Charged as CPU time at compress_bps before sending.
+  double compression = 0.0;
+  /// Compressor throughput in bytes/s; 0 = compression is free CPU-wise.
+  double compress_bps = 0.0;
+
+  [[nodiscard]] bool striping(std::int64_t bytes) const {
+    return streams > 1 && bytes >= stripe_min_bytes;
+  }
+};
+
+}  // namespace gc::dtm

@@ -166,6 +166,7 @@ ServingReport run_serving(const ServingConfig& config) {
   des::Engine engine;
   engine.set_tie_break_seed(config.tie_seed);
   net::SimEnv env(engine, fabric.platform);
+  if (config.contention) env.enable_contention();
   naming::Registry registry;
 
   std::unique_ptr<fault::Injector> injector;

@@ -54,6 +54,9 @@ struct ServingConfig {
   /// queue on the MAs.
   double call_deadline_s = 3600.0;
   double work_seconds = 0.05;  ///< modeled compute of the "work" service
+  /// Contention-aware network model: bulk transfers fair-share the fabric
+  /// links (net::FlowModel) instead of being priced on an idle network.
+  bool contention = false;
   /// Captures the per-request obs::Journal (cleared at start; jsonl
   /// returned in the report). Costs memory at 10^4+ requests.
   bool journal = true;

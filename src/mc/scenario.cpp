@@ -13,6 +13,7 @@
 #include "dtm/catalog.hpp"
 #include "fault/scripted.hpp"
 #include "naming/registry.hpp"
+#include "net/flow.hpp"
 #include "net/simenv.hpp"
 
 namespace gc::mc {
@@ -374,6 +375,62 @@ void federation_crash_scenario(RunContext& ctx) {
                "a collect was forwarded to the ejected peer shard");
 }
 
+/// Contention flow model under the checker: 1 MA / 1 LA / 3 SEDs, one
+/// persistent call with replication_factor 3. The holder's LA fans the
+/// fresh value out to both siblings, whose striped WAN pulls (2 streams
+/// each) race as four fluid flows on the holder's shared egress link.
+/// Properties: the call completes, every SED ends up holding a replica,
+/// and the stripes actually ran through the flow model — in every
+/// inequivalent ordering of the racing pulls and stripe completions.
+void wan_race_scenario(RunContext& ctx) {
+  net::UniformTopology topology(5e-3, 1.25e8);
+  net::SimEnv env(ctx.engine, topology);
+  env.enable_contention(/*min_flow_bytes=*/1024);
+  naming::Registry registry;
+  diet::ServiceTable services;
+  GC_CHECK(services.add(sum_desc(), sum_solve()).is_ok());
+
+  diet::DeploymentSpec spec = make_spec(1, 3);
+  spec.sed_tuning.replication_factor = 3;
+  spec.sed_tuning.wan.streams = 2;
+  spec.sed_tuning.wan.stripe_min_bytes = 4096;
+  diet::Deployment deployment(env, registry, services, spec);
+  diet::Client client("client");
+  env.attach(client, 0);
+  client.connect(registry.resolve("MA1").value());
+  name_owners(ctx, deployment, client);
+  ctx.engine.run_until(1.0);
+
+  // 2048 doubles = 16 KiB on the wire: above the stripe floor, so each
+  // replicate pull ships as 2 out-of-band stripes.
+  const std::vector<double> data(2048, 0.5);
+  int completions = 0;
+  diet::Profile profile("sum", 0, 0, 1);
+  profile.arg(0).set_vector<double>(data, diet::BaseType::kDouble,
+                                    diet::Persistence::kPersistent);
+  profile.arg(1).desc.type = diet::DataType::kScalar;
+  profile.arg(1).desc.base = diet::BaseType::kDouble;
+  client.call_async(std::move(profile),
+                    [&completions](const gc::Status& status,
+                                   diet::Profile& out) {
+                      (void)out;
+                      if (status.is_ok()) ++completions;
+                    });
+  ctx.engine.run();
+
+  if (current_run_aborted()) return;
+  expect_all_completed(client, completions, 1);
+  for (std::size_t i = 0; i < deployment.sed_count(); ++i) {
+    GC_INVARIANT(deployment.sed(i).data_manager().count() == 1,
+                 deployment.sed(i).name() +
+                     " never received its write-replica of the "
+                     "persistent argument");
+  }
+  const net::FlowModel* flow = env.flow_model();
+  GC_INVARIANT(flow != nullptr && flow->flows_completed() >= 4,
+               "the replicate pulls never ran as striped flows");
+}
+
 /// 1 MA / 2 LAs / 4 symmetric SEDs, fault-free; two calls race through
 /// both subtrees.
 void hierarchy_scenario(RunContext& ctx) {
@@ -428,6 +485,10 @@ const std::vector<Scenario>& scenarios() {
        &federation_crash_scenario},
       {"hierarchy", "1MA/2LA/4SED, 2 volatile calls, fault-free",
        &hierarchy_scenario},
+      {"wan_race",
+       "1MA/1LA/3SED, contention on: 2 striped WAN replica pulls race on "
+       "the holder's shared egress link",
+       &wan_race_scenario},
   };
   return all;
 }

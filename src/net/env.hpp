@@ -102,6 +102,17 @@ class Env {
     return 0;
   }
 
+  /// Modeled one-way time for `bytes` from `a` to `b` *as of now*: the
+  /// topology's closed-form transfer_time, except under a contention model
+  /// (SimEnv with flows enabled), where the current congestion census is
+  /// priced in. All byte-costing outside src/net + src/platform goes
+  /// through here (gclint rule net-cost), so schedulers see congestion.
+  [[nodiscard]] virtual double estimate_transfer_s(NodeId a, NodeId b,
+                                                   std::int64_t bytes) const {
+    // gclint: allow(net-cost) the seam the rule funnels callers into
+    return topology().transfer_time(a, b, bytes);
+  }
+
   [[nodiscard]] const Topology& topology() const { return *topology_; }
 
  protected:

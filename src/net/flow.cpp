@@ -1,0 +1,259 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "check/invariant.hpp"
+#include "common/log.hpp"
+
+namespace gc::net {
+
+namespace linkkey {
+
+std::string name(std::uint64_t key) {
+  const auto kind = static_cast<Kind>(key >> 56);
+  const auto a = (key >> 28) & 0xfffffffULL;
+  const auto b = key & 0xfffffffULL;
+  // gclint: allow-file(hot-string) cold path, once per link ever seen
+  switch (kind) {
+    case kPair:
+      return "pair:n" + std::to_string(a) + "-n" + std::to_string(b);
+    case kNicOut:
+      return "nic-out:n" + std::to_string(a);
+    case kNicIn:
+      return "nic-in:n" + std::to_string(a);
+    case kLan:
+      return "lan:c" + std::to_string(a);
+    case kWan:
+      return "wan:s" + std::to_string(a) + "-s" + std::to_string(b);
+    case kDiskRead:
+      return "disk-rd:c" + std::to_string(a);
+    case kDiskWrite:
+      return "disk-wr:c" + std::to_string(a);
+  }
+  return "link:" + std::to_string(key);
+}
+
+}  // namespace linkkey
+
+FlowModel::FlowId FlowModel::start(const Route& route, std::int64_t bytes,
+                                   DoneFn done) {
+  GC_CHECK_MSG(!route.empty(), "flow over an empty route");
+  GC_CHECK_MSG(bytes >= 0, "flow with negative bytes");
+  const double now = engine_.now();
+  advance_to(now);
+
+  const FlowId id = next_id_++;
+  Flow& flow = flows_[id];
+  flow.id = id;
+  flow.bytes = static_cast<double>(bytes);
+  flow.remaining_bytes = flow.bytes;
+  flow.start_time = now;
+  flow.latency_s = route.latency_s;
+  flow.done = std::move(done);
+  flow.hop_count = route.hop_count;
+  for (int i = 0; i < route.hop_count; ++i) {
+    const LinkRef& hop = route.hops[i];
+    flow.hop_keys[i] = hop.key;
+    auto [it, inserted] = links_.try_emplace(hop.key);
+    LinkState& link = it->second;
+    if (inserted) {
+      link.capacity_bps = hop.capacity_bps;
+      link.per_flow_cap_bps = hop.per_flow_cap_bps;
+    }
+    ++link.active;
+    if (hop.per_flow_cap_bps > 0.0 &&
+        (flow.cap_bps <= 0.0 || hop.per_flow_cap_bps < flow.cap_bps)) {
+      flow.cap_bps = hop.per_flow_cap_bps;
+    }
+  }
+
+  ++started_;
+  peak_active_ = std::max(peak_active_, static_cast<int>(flows_.size()));
+  solve(now);
+  GC_CHECK_MSG(flow.rate > 0.0, "new flow got no bandwidth");
+  return id;
+}
+
+double FlowModel::estimate(const Route& route, std::int64_t bytes) const {
+  if (route.empty()) return 0.0;
+  double rate = 0.0;
+  for (int i = 0; i < route.hop_count; ++i) {
+    const LinkRef& hop = route.hops[i];
+    int active = 0;
+    auto it = links_.find(hop.key);
+    if (it != links_.end()) active = it->second.active;
+    double share = hop.capacity_bps / static_cast<double>(active + 1);
+    if (hop.per_flow_cap_bps > 0.0 && hop.per_flow_cap_bps < share) {
+      share = hop.per_flow_cap_bps;
+    }
+    if (rate <= 0.0 || share < rate) rate = share;
+  }
+  GC_CHECK_MSG(rate > 0.0, "estimate over a zero-capacity route");
+  return route.latency_s + static_cast<double>(bytes) / rate;
+}
+
+void FlowModel::advance_to(double now) {
+  GC_CHECK_MSG(now >= last_advance_, "flow clock moved backwards");
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_bytes -= flow.rate * dt;
+    if (flow.remaining_bytes < 0.0) flow.remaining_bytes = 0.0;
+  }
+}
+
+void FlowModel::solve(double now) {
+  ++recomputes_;
+  for (auto& [key, link] : links_) {
+    link.residual = link.capacity_bps;
+    link.unfrozen = 0;
+  }
+  // Participants: flows still transferring after `now`. Flows completing
+  // within the current tie group keep their (about-to-fire) rates.
+  solve_scratch_.clear();
+  for (auto& [id, flow] : flows_) {
+    if (flow.rate > 0.0 && flow.completion_at <= now) continue;
+    flow.alloc = 0.0;
+    flow.frozen = false;
+    solve_scratch_.push_back(&flow);
+    for (int i = 0; i < flow.hop_count; ++i) {
+      ++links_.find(flow.hop_keys[i])->second.unfrozen;
+    }
+  }
+
+  // Progressive filling: raise all unfrozen allocations together until a
+  // link saturates or a flow hits its per-flow cap; freeze, repeat. The
+  // resulting max-min allocation is unique, so iteration order (here: id
+  // and key order) cannot leak into the outcome.
+  int unfrozen = static_cast<int>(solve_scratch_.size());
+  const int max_iters =
+      unfrozen + static_cast<int>(links_.size()) + 4;  // each iter freezes
+  int iters = 0;
+  while (unfrozen > 0) {
+    GC_CHECK_MSG(++iters <= max_iters, "progressive filling diverged");
+    double delta = -1.0;
+    for (const auto& [key, link] : links_) {
+      if (link.unfrozen == 0) continue;
+      const double fair = link.residual / link.unfrozen;
+      if (delta < 0.0 || fair < delta) delta = fair;
+    }
+    for (const Flow* flow : solve_scratch_) {
+      if (flow->frozen || flow->cap_bps <= 0.0) continue;
+      const double slack = flow->cap_bps - flow->alloc;
+      if (delta < 0.0 || slack < delta) delta = slack;
+    }
+    GC_CHECK_MSG(delta > 0.0, "progressive filling stalled");
+    for (Flow* flow : solve_scratch_) {
+      if (!flow->frozen) flow->alloc += delta;
+    }
+    for (auto& [key, link] : links_) {
+      if (link.unfrozen > 0) link.residual -= delta * link.unfrozen;
+    }
+    for (Flow* flow : solve_scratch_) {
+      if (flow->frozen) continue;
+      bool freeze =
+          flow->cap_bps > 0.0 &&
+          flow->cap_bps - flow->alloc <= flow->cap_bps * 1e-12;
+      for (int i = 0; !freeze && i < flow->hop_count; ++i) {
+        const LinkState& link = links_.find(flow->hop_keys[i])->second;
+        if (link.residual <= link.capacity_bps * 1e-12) freeze = true;
+      }
+      if (!freeze) continue;
+      flow->frozen = true;
+      --unfrozen;
+      for (int i = 0; i < flow->hop_count; ++i) {
+        --links_.find(flow->hop_keys[i])->second.unfrozen;
+      }
+    }
+  }
+
+  if constexpr (check::kEnabled) {
+    for (const auto& [key, link] : links_) {
+      GC_INVARIANT(link.residual >= -link.capacity_bps * 1e-9,
+                   "flow allocation exceeds link capacity");
+    }
+  }
+
+  // Scratch is in id order, so event sequence numbers are deterministic.
+  for (Flow* flow : solve_scratch_) {
+    GC_CHECK_MSG(flow->alloc > 0.0, "participant got no bandwidth");
+    if (flow->rate == 0.0) {
+      // Fresh flow: first allocation.
+      flow->rate = flow->alloc;
+      flow->first_rate = flow->alloc;
+    } else if (flow->alloc != flow->rate) {
+      flow->rate = flow->alloc;
+      flow->rate_changed = true;
+      ++flow->epoch;  // the pending completion event goes stale
+    } else {
+      continue;  // rate unchanged: the pending completion stands
+    }
+    flow->completion_at = now + flow->remaining_bytes / flow->rate;
+    schedule_completion(flow->id, *flow);
+  }
+
+  if (obs::metrics_on()) {
+    for (auto& [key, link] : links_) {
+      if (link.active == 0 && link.flows_gauge == nullptr) continue;
+      if (link.flows_gauge == nullptr) {
+        auto& m = obs::Metrics::instance();
+        const obs::Labels labels = {{"link", linkkey::name(key)}};
+        link.flows_gauge = &m.gauge("net_link_active_flows", labels);
+        link.util_gauge = &m.gauge("net_link_utilization", labels);
+      }
+      link.flows_gauge->set(static_cast<double>(link.active));
+      double used = 0.0;
+      for (const auto& [id, flow] : flows_) {
+        for (int i = 0; i < flow.hop_count; ++i) {
+          if (flow.hop_keys[i] == key) used += flow.rate;
+        }
+      }
+      link.util_gauge->set(link.capacity_bps > 0.0 ? used / link.capacity_bps
+                                                   : 0.0);
+    }
+  }
+}
+
+void FlowModel::schedule_completion(FlowId id, Flow& flow) {
+  const std::uint64_t epoch = flow.epoch;
+  // Root-owned (owner 0): the handler mutates the shared flow table and
+  // other flows' schedules — conservatively dependent with everything.
+  engine_.schedule_at(
+      flow.completion_at, [this, id, epoch]() { on_completion(id, epoch); },
+      des::EventTag::kGeneric, /*owner=*/0);
+}
+
+void FlowModel::on_completion(FlowId id, std::uint64_t epoch) {
+  auto it = flows_.find(id);
+  if (it == flows_.end() || it->second.epoch != epoch) return;  // stale
+  Flow& flow = it->second;
+  const double now = engine_.now();
+  advance_to(now);
+
+  // Delivery = completion + propagation. When the rate never changed the
+  // closed form reproduces Topology::transfer_time bit-for-bit (same
+  // expression tree), so a lone flow on an idle network is
+  // indistinguishable from the contention-off model.
+  double delivery_at;
+  if (!flow.rate_changed) {
+    delivery_at =
+        flow.start_time + (flow.latency_s + flow.bytes / flow.first_rate);
+  } else {
+    delivery_at = now + flow.latency_s;
+  }
+  if (delivery_at < now) delivery_at = now;
+
+  DoneFn done = std::move(flow.done);
+  for (int i = 0; i < flow.hop_count; ++i) {
+    --links_.find(flow.hop_keys[i])->second.active;
+  }
+  flows_.erase(it);
+  ++completed_;
+  solve(now);
+  done(delivery_at);
+}
+
+}  // namespace gc::net

@@ -1,0 +1,120 @@
+// Contention-aware transfer model: concurrent bulk transfers as fluid
+// flows that fair-share link capacity.
+//
+// Each flow is a (route, bytes) pair. Whenever a flow starts or finishes,
+// every active flow's rate is recomputed by max-min progressive filling
+// over the capacitated links of the routes, honoring per-flow rate caps
+// (the lossy-WAN single-stream ceiling that makes MPWide-style striping
+// pay off). Between recomputations rates are constant, so each flow's
+// completion instant is exact — no timestep.
+//
+// Determinism: the allocation a max-min solve produces is unique (it does
+// not depend on iteration order), flows and links are iterated in id/key
+// order, and completion times are pure functions of the allocation — so a
+// run is bit-identical under any engine tie-break seed.
+//
+// The model never cancels calendar events (a cancel against another
+// owner's event would couple the two owners in the model checker's
+// independence relation). Instead, completion events carry an epoch: when
+// a flow's rate changes, its epoch is bumped and a fresh event scheduled
+// at the new completion instant; stale events fire as no-ops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+
+namespace gc::net {
+
+class FlowModel {
+ public:
+  using FlowId = std::uint64_t;
+  /// Called exactly once when the flow's last byte has been sent;
+  /// `delivery_at` is when that byte arrives (completion + latency). For a
+  /// flow whose rate never changed, delivery_at reduces exactly — same
+  /// floating-point expression — to start + (latency + bytes/bottleneck),
+  /// the classic Topology::transfer_time formula.
+  using DoneFn = std::function<void(double delivery_at)>;
+
+  explicit FlowModel(des::Engine& engine) : engine_(engine) {}
+  FlowModel(const FlowModel&) = delete;
+  FlowModel& operator=(const FlowModel&) = delete;
+
+  /// Starts a flow of `bytes` over `route` (must be non-empty). Recomputes
+  /// all rates; `done` fires from a root-owned calendar event.
+  FlowId start(const Route& route, std::int64_t bytes, DoneFn done);
+
+  /// What a NEW flow over `route` would get right now, given the current
+  /// active-flow census: latency + bytes / min over hops of
+  /// min(per_flow_cap, capacity / (active + 1)). The congestion signal
+  /// surfaced to mct-data scheduling estimates — a snapshot, not a
+  /// promise.
+  [[nodiscard]] double estimate(const Route& route, std::int64_t bytes) const;
+
+  [[nodiscard]] int active_flows() const {
+    return static_cast<int>(flows_.size());
+  }
+  [[nodiscard]] std::uint64_t flows_started() const { return started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const { return completed_; }
+  [[nodiscard]] int peak_active_flows() const { return peak_active_; }
+  [[nodiscard]] std::uint64_t rate_recomputes() const { return recomputes_; }
+
+ private:
+  struct Flow {
+    FlowId id = 0;
+    double remaining_bytes = 0.0;
+    double bytes = 0.0;
+    double rate = 0.0;        ///< current allocation, bytes/s
+    double first_rate = 0.0;  ///< allocation at start
+    bool rate_changed = false;
+    double start_time = 0.0;
+    double latency_s = 0.0;
+    double completion_at = 0.0;  ///< when the last byte leaves the source
+    std::uint64_t epoch = 0;     ///< invalidates stale completion events
+    int hop_count = 0;
+    std::uint64_t hop_keys[Route::kMaxHops] = {};
+    double cap_bps = 0.0;  ///< per-flow ceiling over the route (0 = none)
+    DoneFn done;
+    // solve() scratch
+    double alloc = 0.0;
+    bool frozen = false;
+  };
+
+  struct LinkState {
+    double capacity_bps = 0.0;
+    double per_flow_cap_bps = 0.0;
+    int active = 0;  ///< flows currently crossing this link
+    obs::Gauge* util_gauge = nullptr;
+    obs::Gauge* flows_gauge = nullptr;
+    // solve() scratch
+    double residual = 0.0;
+    int unfrozen = 0;
+  };
+
+  /// Drains transferred bytes from every flow up to `now`.
+  void advance_to(double now);
+  /// Max-min progressive filling over flows whose completion lies strictly
+  /// after `now` (flows completing in the current tie group keep their
+  /// rates and fire untouched — recomputing them would reorder ties).
+  void solve(double now);
+  void schedule_completion(FlowId id, Flow& flow);
+  void on_completion(FlowId id, std::uint64_t epoch);
+
+  des::Engine& engine_;
+  std::map<FlowId, Flow> flows_;           ///< id order = deterministic
+  std::map<std::uint64_t, LinkState> links_;  ///< key order = deterministic
+  std::vector<Flow*> solve_scratch_;
+  double last_advance_ = 0.0;
+  FlowId next_id_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t recomputes_ = 0;
+  int peak_active_ = 0;
+};
+
+}  // namespace gc::net

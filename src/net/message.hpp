@@ -29,6 +29,11 @@ struct Envelope {
   /// the request's behalf). 0 = untraced. Modeled as riding in the fixed
   /// 32-byte header, so it does not change wire_size().
   std::uint64_t trace_id = 0;
+  /// Out-of-band: delivery skips the per-(src,dst) FIFO stream — each oob
+  /// message travels as its own parallel connection (the WAN engine's
+  /// stripes). Ordering/reassembly is the sender protocol's job. Ignored
+  /// when the contention model is off.
+  bool oob = false;
 
   /// Size charged to the network model: fixed header + payload + bulk data.
   [[nodiscard]] std::int64_t wire_size() const {

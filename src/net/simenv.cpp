@@ -25,7 +25,29 @@ obs::Labels link_labels(NodeId src, NodeId dst) {
 Endpoint SimEnv::do_attach(Actor& actor, NodeId node) {
   const Endpoint ep = next_endpoint_++;
   actors_.emplace(ep, Entry{&actor, node});
+  nodes_.emplace(ep, node);
   return ep;
+}
+
+void SimEnv::enable_contention(std::int64_t min_flow_bytes) {
+  GC_CHECK_MSG(min_flow_bytes > 0, "min_flow_bytes must be positive");
+  min_flow_bytes_ = min_flow_bytes;
+  if (flow_ == nullptr) flow_ = std::make_unique<FlowModel>(engine_);
+}
+
+double SimEnv::estimate_transfer_s(NodeId a, NodeId b,
+                                   std::int64_t bytes) const {
+  if (flow_ == nullptr || a == b || bytes < min_flow_bytes_) {
+    return topology().transfer_time(a, b, bytes);
+  }
+  Route route;
+  topology().route(a, b, route);
+  // Bulk estimates include the disk/NFS stage a file-backed transfer pays
+  // (stage off the holder's storage, onto the destination's).
+  route.add(topology().disk_read(a));
+  route.add(topology().disk_write(b));
+  if (route.empty()) return topology().transfer_time(a, b, bytes);
+  return flow_->estimate(route, bytes);
 }
 
 const std::map<std::pair<NodeId, NodeId>, std::int64_t>&
@@ -76,7 +98,9 @@ void SimEnv::send(Envelope envelope) {
   // Fault injection: tampered messages (dropped, duplicated, delayed)
   // leave the per-stream FIFO model and deliver out of band; clean
   // messages — and everything when no hook is installed — take the exact
-  // pre-existing path.
+  // pre-existing path. Tampered messages stay on the closed-form cost
+  // even in contention mode: a dropped or duplicated datagram is outside
+  // the stream/flow abstraction by design.
   if (fault_hook_ != nullptr) {
     const FaultDecision decision = fault_hook_->on_message(
         engine_.now(), stream.src, stream.dst, envelope, ++stream.fault_seq);
@@ -110,23 +134,121 @@ void SimEnv::send(Envelope envelope) {
     }
   }
 
+  if (flow_ != nullptr) {
+    const bool bulk = wire >= min_flow_bytes_ && stream.src != stream.dst;
+    if (envelope.oob) {
+      // Out-of-band lane (WAN-engine stripes): its own parallel
+      // connection, never serialized behind the stream, never FIFO-checked.
+      if (bulk) {
+        const NodeId src = stream.src;
+        Route route;
+        topology().route(stream.src, stream.dst, route);
+        if (envelope.modeled_extra_bytes > 0) {
+          Route staged;
+          staged.latency_s = route.latency_s;
+          staged.add(topology().disk_read(stream.src));
+          for (int i = 0; i < route.hop_count; ++i) staged.add(route.hops[i]);
+          staged.add(topology().disk_write(stream.dst));
+          route = staged;
+        }
+        flow_->start(route, wire,
+                     [this, stream_key, src,
+                      env = std::move(envelope)](double delivery_at) mutable {
+                       schedule_delivery(delivery_at, std::move(env), src,
+                                         stream_key, 0);
+                     });
+      } else {
+        schedule_delivery(engine_.now() + delay, std::move(envelope),
+                          stream.src, stream_key, 0);
+      }
+      return;
+    }
+    std::uint64_t fifo_seq = 0;
+    if constexpr (check::kEnabled) fifo_seq = ++stream.fifo_seq;
+    if (stream.busy) {
+      // A bulk flow owns the stream: queue behind it, in send order.
+      stream.held.emplace_back(std::move(envelope), fifo_seq);
+      return;
+    }
+    if (bulk) {
+      dispatch_bulk(stream, stream_key, std::move(envelope), fifo_seq);
+      return;
+    }
+    // Small control message on an idle stream: closed form, FIFO-clamped.
+    deliver_clamped(stream, stream_key, std::move(envelope), fifo_seq,
+                    engine_.now() + delay);
+    return;
+  }
+
   // FIFO per connection: never deliver before an earlier message on the
   // same (src, dst) endpoint pair. The bump past the previous delivery is
   // *strict* (one ulp) so two messages on one stream never share a
   // timestamp — the engine's same-timestamp tie-break is then free to
   // reorder without ever breaking stream order (see test_schedule_fuzz).
-  SimTime deliver_at = engine_.now() + delay;
+  std::uint64_t fifo_seq = 0;
+  if constexpr (check::kEnabled) fifo_seq = ++stream.fifo_seq;
+  deliver_clamped(stream, stream_key, std::move(envelope), fifo_seq,
+                  engine_.now() + delay);
+}
+
+void SimEnv::deliver_clamped(StreamState& stream, std::uint64_t stream_key,
+                             Envelope envelope, std::uint64_t fifo_seq,
+                             SimTime deliver_at) {
   if (stream.clock_valid && deliver_at <= stream.clock) {
     deliver_at = std::nextafter(stream.clock,
                                 std::numeric_limits<SimTime>::infinity());
   }
   stream.clock = deliver_at;
   stream.clock_valid = true;
-  std::uint64_t fifo_seq = 0;
-  if constexpr (check::kEnabled) fifo_seq = ++stream.fifo_seq;
-
   schedule_delivery(deliver_at, std::move(envelope), stream.src, stream_key,
                     fifo_seq);
+}
+
+void SimEnv::dispatch_bulk(StreamState& stream, std::uint64_t stream_key,
+                           Envelope envelope, std::uint64_t fifo_seq) {
+  stream.busy = true;
+  Route route;
+  topology().route(stream.src, stream.dst, route);
+  if (envelope.modeled_extra_bytes > 0) {
+    // File-backed bulk data (IC staging, result tarballs): the transfer
+    // reads off the source's disk/NFS and lands on the destination's —
+    // both stages are links of the flow, charged at their bandwidth.
+    Route staged;
+    staged.latency_s = route.latency_s;
+    staged.add(topology().disk_read(stream.src));
+    for (int i = 0; i < route.hop_count; ++i) staged.add(route.hops[i]);
+    staged.add(topology().disk_write(stream.dst));
+    route = staged;
+  }
+  const std::int64_t wire = envelope.wire_size();
+  flow_->start(
+      route, wire,
+      [this, stream_key, fifo_seq,
+       env = std::move(envelope)](double delivery_at) mutable {
+        auto it = streams_.find(stream_key);
+        GC_CHECK_MSG(it != streams_.end(), "stream vanished mid-flow");
+        StreamState& s = it->second;
+        deliver_clamped(s, stream_key, std::move(env), fifo_seq, delivery_at);
+        s.busy = false;
+        drain_held(s, stream_key);
+      });
+}
+
+void SimEnv::drain_held(StreamState& stream, std::uint64_t stream_key) {
+  while (!stream.held.empty() && !stream.busy) {
+    Envelope env = std::move(stream.held.front().first);
+    const std::uint64_t fifo_seq = stream.held.front().second;
+    stream.held.pop_front();
+    const std::int64_t wire = env.wire_size();
+    if (wire >= min_flow_bytes_ && stream.src != stream.dst) {
+      dispatch_bulk(stream, stream_key, std::move(env), fifo_seq);
+    } else {
+      const double delay =
+          topology().transfer_time(stream.src, stream.dst, wire);
+      deliver_clamped(stream, stream_key, std::move(env), fifo_seq,
+                      engine_.now() + delay);
+    }
+  }
 }
 
 void SimEnv::schedule_delivery(SimTime at, Envelope envelope, NodeId src,

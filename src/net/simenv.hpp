@@ -1,7 +1,20 @@
 // DES-backed Env: virtual time, modeled transfer and computation costs.
+//
+// Two transfer models, selected per run:
+//  - default: every message is priced with the closed-form
+//    Topology::transfer_time at send time (the pre-contention model,
+//    byte-identical to historical runs);
+//  - contention (enable_contention()): bulk messages become fluid flows in
+//    a net::FlowModel that fair-shares link capacity along the topology's
+//    route, with a per-cluster disk/NFS stage for file-backed transfers.
+//    Small control messages keep the closed form but still honor stream
+//    FIFO order behind any bulk flow in progress on their stream.
 #pragma once
 
+#include <deque>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -9,6 +22,7 @@
 #include "des/engine.hpp"
 #include "net/env.hpp"
 #include "net/fault.hpp"
+#include "net/flow.hpp"
 #include "obs/metrics.hpp"
 
 namespace gc::net {
@@ -42,10 +56,32 @@ class SimEnv final : public Env {
 
   [[nodiscard]] bool is_simulated() const override { return true; }
 
+  /// Answers from the permanent attach ledger, so endpoints stay
+  /// resolvable after detach (a dead SED still has a node). An endpoint
+  /// that was NEVER attached is a caller bug: invariant violation in
+  /// GC_CHECK builds, node 0 in release.
   [[nodiscard]] NodeId node_of(Endpoint endpoint) const override {
-    auto it = actors_.find(endpoint);
-    return it != actors_.end() ? it->second.node : 0;
+    auto it = nodes_.find(endpoint);
+    GC_INVARIANT(it != nodes_.end(),
+                 "node_of(" + std::to_string(endpoint) +
+                     "): endpoint was never attached");
+    return it != nodes_.end() ? it->second : 0;
   }
+
+  /// Switches bulk transfers (wire size >= min_flow_bytes) to the
+  /// fair-sharing flow model. Must be called before traffic starts; the
+  /// default (off) send path is byte-identical to the pre-flow-model env.
+  void enable_contention(std::int64_t min_flow_bytes = 4096);
+
+  [[nodiscard]] bool contention_enabled() const { return flow_ != nullptr; }
+  /// nullptr when contention is off.
+  [[nodiscard]] const FlowModel* flow_model() const { return flow_.get(); }
+
+  /// Congestion-aware when contention is on: prices `bytes` at the
+  /// current fair share of the route (including the disk stage for bulk
+  /// sizes); otherwise the closed form.
+  [[nodiscard]] double estimate_transfer_s(NodeId a, NodeId b,
+                                           std::int64_t bytes) const override;
 
   [[nodiscard]] des::Engine& engine() { return engine_; }
 
@@ -66,10 +102,22 @@ class SimEnv final : public Env {
   bytes_by_node_pair() const;
 
  private:
+  struct StreamState;
+
   Endpoint do_attach(Actor& actor, NodeId node) override;
   /// Schedules one delivery; fifo_seq 0 = out-of-band (no FIFO check).
   void schedule_delivery(SimTime at, Envelope envelope, NodeId src,
                          std::uint64_t stream_key, std::uint64_t fifo_seq);
+  /// FIFO-clamps `deliver_at` against the stream clock, advances it, and
+  /// schedules the delivery (the tail of the classic send path).
+  void deliver_clamped(StreamState& stream, std::uint64_t stream_key,
+                       Envelope envelope, std::uint64_t fifo_seq,
+                       SimTime deliver_at);
+  /// Starts envelope as a flow occupying its stream; on completion the
+  /// stream un-busies and held messages drain in order.
+  void dispatch_bulk(StreamState& stream, std::uint64_t stream_key,
+                     Envelope envelope, std::uint64_t fifo_seq);
+  void drain_held(StreamState& stream, std::uint64_t stream_key);
 
   struct Entry {
     Actor* actor;
@@ -93,6 +141,10 @@ class SimEnv final : public Env {
     std::uint64_t fifo_seq = 0;   ///< send counter (GC_CHECK builds only)
     std::uint64_t fault_seq = 0;  ///< maintained while a hook is installed
     std::int64_t bytes = 0;       ///< ledger behind bytes_by_node_pair()
+    /// Contention mode: a bulk flow is in progress on this stream; later
+    /// sends queue in `held` and dispatch in order when it completes.
+    bool busy = false;
+    std::deque<std::pair<Envelope, std::uint64_t>> held;
     /// Lazily bound per-link instruments ("n<src>->n<dst>" label built
     /// once per stream, not per message); Metrics::reset() never
     /// invalidates them.
@@ -104,10 +156,14 @@ class SimEnv final : public Env {
   des::Engine& engine_;
   Endpoint next_endpoint_ = 1;
   std::unordered_map<Endpoint, Entry> actors_;
+  /// Permanent endpoint -> node ledger; unlike actors_, never erased.
+  std::unordered_map<Endpoint, NodeId> nodes_;
   std::unordered_map<std::uint64_t, StreamState> streams_;
   /// Delivery-order monitor (GC_CHECK builds only).
   check::FifoMonitor fifo_{"simenv per-stream delivery"};
   FaultHook* fault_hook_ = nullptr;
+  std::unique_ptr<FlowModel> flow_;  ///< non-null = contention mode
+  std::int64_t min_flow_bytes_ = 4096;
   std::int64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   /// Rebuilt by bytes_by_node_pair() from the stream ledgers.

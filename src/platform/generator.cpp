@@ -16,6 +16,9 @@ GeneratedPlatform make_fattree(const FatTreeConfig& config) {
       {},
       {}};
   const MachineModel model = opteron(config.opteron_model);
+  if (config.core_per_stream_bps > 0.0) {
+    g.platform.set_wan_per_stream_bps(config.core_per_stream_bps);
+  }
   g.ma_nodes.reserve(static_cast<std::size_t>(config.pods));
   g.client_nodes.reserve(static_cast<std::size_t>(config.pods));
   g.clusters.reserve(

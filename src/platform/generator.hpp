@@ -30,6 +30,10 @@ struct FatTreeConfig {
   double core_latency_s = 0.5e-3;         ///< pod-to-pod via the core
   double edge_bandwidth_bps = 10e9 / 8.0;  ///< 10 Gb/s edge links
   double core_bandwidth_bps = 40e9 / 8.0;  ///< 40 Gb/s core links
+  /// Per-flow ceiling on core (pod-to-pod) links, 0 = none. Under the
+  /// contention model this is the single-stream WAN TCP ceiling; striped
+  /// transfers open several flows to get past it.
+  double core_per_stream_bps = 0.0;
 };
 
 /// One edge cluster of the generated tree: its LA's node plus the SED

@@ -13,7 +13,8 @@ struct ClusterSpec {
 };
 }  // namespace
 
-G5kDeployment make_grid5000(int machines_per_sed) {
+G5kDeployment make_grid5000(int machines_per_sed,
+                            const G5kOptions& options) {
   // RENATER backbone between sites: ~20 ms effective one-way delay for a
   // CORBA message (propagation via the Paris hub + TCP/ORB overheads),
   // 1 Gb/s towards the provincial sites. Calibrated against the paper's
@@ -76,6 +77,15 @@ G5kDeployment make_grid5000(int machines_per_sed) {
   const Cluster& sagittaire = d.platform.cluster(0);
   d.ma_node = sagittaire.nodes.back();
   d.client_node = d.ma_node;
+
+  // Contention-experiment knobs; the defaults are exact no-ops, keeping
+  // the stock deployment (and every run priced on it) untouched.
+  if (options.wan_bandwidth_scale != 1.0) {
+    d.platform.scale_wan_bandwidth(options.wan_bandwidth_scale);
+  }
+  if (options.wan_per_stream_bps > 0.0) {
+    d.platform.set_wan_per_stream_bps(options.wan_per_stream_bps);
+  }
   return d;
 }
 

@@ -41,8 +41,20 @@ struct G5kDeployment {
   std::vector<SedPlacement> seds;
 };
 
+/// Tuning knobs for contention experiments; the default is the paper's
+/// deployment, untouched.
+struct G5kOptions {
+  /// Scales every WAN link's bandwidth (1.0 = RENATER as calibrated).
+  /// bench_network narrows the pipes (< 1) to create congestion.
+  double wan_bandwidth_scale = 1.0;
+  /// Per-flow ceiling on WAN links (0 = none): the lossy-WAN single-TCP
+  /// throughput ceiling that MPWide-style striping sidesteps.
+  double wan_per_stream_bps = 0.0;
+};
+
 /// Builds the Section 5.1 deployment. `machines_per_sed` defaults to the
 /// paper's 16.
-G5kDeployment make_grid5000(int machines_per_sed = 16);
+G5kDeployment make_grid5000(int machines_per_sed = 16,
+                            const G5kOptions& options = {});
 
 }  // namespace gc::platform

@@ -32,8 +32,9 @@ ClusterId Platform::add_cluster(SiteId site, const std::string& name,
 }
 
 void Platform::set_wan_link(SiteId a, SiteId b, double latency_s,
-                            double bandwidth_bps) {
-  wan_links_[wan_key(a, b)] = WanLink{latency_s, bandwidth_bps};
+                            double bandwidth_bps, double per_stream_bps) {
+  wan_links_[wan_key(a, b)] = WanLink{latency_s, bandwidth_bps,
+                                      per_stream_bps};
 }
 
 double Platform::latency(net::NodeId a, net::NodeId b) const {
@@ -56,7 +57,54 @@ double Platform::bandwidth(net::NodeId a, net::NodeId b) const {
   if (na.cluster == nb.cluster) return clusters_[na.cluster].lan_bandwidth_bps;
   if (na.site == nb.site) return clusters_[na.cluster].lan_bandwidth_bps;
   auto it = wan_links_.find(wan_key(na.site, nb.site));
-  return it != wan_links_.end() ? it->second.bandwidth_bps : wan_bandwidth_;
+  const double bps =
+      it != wan_links_.end() ? it->second.bandwidth_bps : wan_bandwidth_;
+  return bps * wan_scale_;
+}
+
+void Platform::route(net::NodeId a, net::NodeId b, net::Route& out) const {
+  out.clear();
+  if (a == b) return;
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  const Cluster& ca = clusters_[na.cluster];
+  const Cluster& cb = clusters_[nb.cluster];
+  out.latency_s = latency(a, b);
+  out.add(net::LinkRef{net::linkkey::make(net::linkkey::kLan, na.cluster),
+                       ca.lan_bandwidth_bps, 0.0});
+  if (na.cluster == nb.cluster) return;  // one switched LAN, one hop
+  if (na.site != nb.site) {
+    const auto key = wan_key(na.site, nb.site);
+    auto it = wan_links_.find(key);
+    const double bps =
+        (it != wan_links_.end() ? it->second.bandwidth_bps : wan_bandwidth_) *
+        wan_scale_;
+    double cap =
+        it != wan_links_.end() && it->second.per_stream_bps > 0.0
+            ? it->second.per_stream_bps
+            : wan_per_stream_bps_;
+    if (cap > 0.0) cap *= wan_scale_;
+    const SiteId lo = na.site < nb.site ? na.site : nb.site;
+    const SiteId hi = na.site < nb.site ? nb.site : na.site;
+    out.add(net::LinkRef{net::linkkey::make(net::linkkey::kWan, lo, hi), bps,
+                         cap});
+  }
+  out.add(net::LinkRef{net::linkkey::make(net::linkkey::kLan, nb.cluster),
+                       cb.lan_bandwidth_bps, 0.0});
+}
+
+net::LinkRef Platform::disk_read(net::NodeId n) const {
+  const Node& nd = node(n);
+  return net::LinkRef{
+      net::linkkey::make(net::linkkey::kDiskRead, nd.cluster),
+      clusters_[nd.cluster].nfs_read_bps, 0.0};
+}
+
+net::LinkRef Platform::disk_write(net::NodeId n) const {
+  const Node& nd = node(n);
+  return net::LinkRef{
+      net::linkkey::make(net::linkkey::kDiskWrite, nd.cluster),
+      clusters_[nd.cluster].nfs_write_bps, 0.0};
 }
 
 }  // namespace gc::platform

@@ -36,6 +36,11 @@ struct Cluster {
   std::vector<net::NodeId> nodes;
   double lan_latency_s;
   double lan_bandwidth_bps;
+  /// Shared NFS server bandwidth (Section 4.1: one storage system per
+  /// cluster). Charged as a disk stage on file-backed bulk transfers when
+  /// the contention model is on; ~125 MB/s matches a GbE-attached NFS.
+  double nfs_read_bps = 1.25e8;
+  double nfs_write_bps = 1.25e8;
 };
 
 struct Node {
@@ -61,12 +66,37 @@ class Platform final : public net::Topology {
                         double lan_bandwidth_bps = 1e9 / 8.0);
 
   /// Overrides the WAN link between two sites (symmetric).
+  /// `per_stream_bps` > 0 caps any single flow's share of the link — the
+  /// lossy-WAN TCP ceiling an MPWide-style striped transfer sidesteps.
   void set_wan_link(SiteId a, SiteId b, double latency_s,
-                    double bandwidth_bps);
+                    double bandwidth_bps, double per_stream_bps = 0.0);
+
+  /// Default per-flow cap for WAN links without an explicit override
+  /// (0 = uncapped). Applies to defaulted and explicit links alike when
+  /// they carry no cap of their own.
+  void set_wan_per_stream_bps(double bps) { wan_per_stream_bps_ = bps; }
+
+  /// Scales every WAN link's bandwidth (and per-flow cap) by `factor`
+  /// without touching LAN or disks — how the congestion bench narrows the
+  /// inter-site pipes. Affects links added before AND after the call.
+  void scale_wan_bandwidth(double factor) {
+    GC_CHECK(factor > 0.0);
+    wan_scale_ = factor;
+  }
+
+  /// NFS bandwidth override for one cluster's disk stage.
+  void set_cluster_nfs(ClusterId id, double read_bps, double write_bps) {
+    GC_CHECK(id < clusters_.size());
+    clusters_[id].nfs_read_bps = read_bps;
+    clusters_[id].nfs_write_bps = write_bps;
+  }
 
   // --- net::Topology ---
   [[nodiscard]] double latency(net::NodeId a, net::NodeId b) const override;
   [[nodiscard]] double bandwidth(net::NodeId a, net::NodeId b) const override;
+  void route(net::NodeId a, net::NodeId b, net::Route& out) const override;
+  [[nodiscard]] net::LinkRef disk_read(net::NodeId n) const override;
+  [[nodiscard]] net::LinkRef disk_write(net::NodeId n) const override;
 
   // --- queries ---
   [[nodiscard]] const Node& node(net::NodeId id) const {
@@ -98,12 +128,15 @@ class Platform final : public net::Topology {
 
   double wan_latency_;
   double wan_bandwidth_;
+  double wan_per_stream_bps_ = 0.0;
+  double wan_scale_ = 1.0;
   std::vector<Site> sites_;
   std::vector<Cluster> clusters_;
   std::vector<Node> nodes_;
   struct WanLink {
     double latency_s;
     double bandwidth_bps;
+    double per_stream_bps = 0.0;
   };
   std::unordered_map<std::uint64_t, WanLink> wan_links_;
 };

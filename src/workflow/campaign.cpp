@@ -169,12 +169,25 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
   if (cfg.replicas > 1) {
     cfg.sed_tuning.replication_factor = cfg.replicas;
   }
+  // WAN-engine knobs reach the SEDs through their tuning; only non-default
+  // values are applied so a caller-set sed_tuning.wan survives.
+  if (cfg.wan_streams > 1) cfg.sed_tuning.wan.streams = cfg.wan_streams;
+  if (cfg.wan_relay) cfg.sed_tuning.wan.relay = true;
+  if (cfg.wan_compression > 0.0) {
+    cfg.sed_tuning.wan.compression = cfg.wan_compression;
+    cfg.sed_tuning.wan.compress_bps = cfg.wan_compress_bps;
+  }
 
-  platform::G5kDeployment g5k = platform::make_grid5000(cfg.machines_per_sed);
+  platform::G5kOptions g5k_options;
+  g5k_options.wan_bandwidth_scale = cfg.wan_bandwidth_scale;
+  g5k_options.wan_per_stream_bps = cfg.wan_per_stream_bps;
+  platform::G5kDeployment g5k =
+      platform::make_grid5000(cfg.machines_per_sed, g5k_options);
 
   des::Engine engine;
   engine.set_tie_break_seed(cfg.tie_break_seed);
   net::SimEnv env(engine, g5k.platform);
+  if (cfg.contention) env.enable_contention();
   naming::Registry registry;
 
   std::unique_ptr<fault::Injector> injector;
@@ -489,6 +502,10 @@ CampaignResult run_grid5000_campaign(const CampaignConfig& config) {
           static_cast<double>(cfg.sub_simulations + 1);
   result.network_bytes = env.bytes_sent();
   result.network_messages = env.messages_sent();
+  if (const net::FlowModel* flow = env.flow_model()) {
+    result.flows_completed = flow->flows_completed();
+    result.peak_active_flows = flow->peak_active_flows();
+  }
   for (const auto& [pair, bytes] : env.bytes_by_node_pair()) {
     if (g5k.platform.node(pair.first).site !=
         g5k.platform.node(pair.second).site) {

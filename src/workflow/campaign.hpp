@@ -73,6 +73,25 @@ struct CampaignConfig {
   /// fault times). Same plan + same seed = bit-identical chaos run.
   std::uint64_t fault_seed = 1;
 
+  /// Contention-aware network & disk model: bulk transfers become flows
+  /// that fair-share link capacity (net::FlowModel) instead of being
+  /// priced instantly on an idle network. Off by default — the paper's
+  /// closed-form costs — and bit-identical to the pre-flow-model runs.
+  bool contention = false;
+  /// MPWide-style WAN engine knobs, applied to every SED's bulk dtm
+  /// pushes when set: parallel stripes per transfer (>1 enables striping),
+  /// relay through the requester's LA, modeled compression.
+  int wan_streams = 1;
+  bool wan_relay = false;
+  double wan_compression = 0.0;
+  double wan_compress_bps = 0.0;
+  /// Scales every RENATER WAN link's bandwidth (1.0 = the paper's 2.5
+  /// Gb/s); < 1 narrows the backbone to provoke congestion.
+  double wan_bandwidth_scale = 1.0;
+  /// Per-stream TCP ceiling on WAN links in bytes/s (0 = none): the lossy
+  /// long-fat-network effect striped transfers exist to beat.
+  double wan_per_stream_bps = 0.0;
+
   /// Number of federated MA hierarchies. 1 (the default) builds the exact
   /// pre-federation single hierarchy; N > 1 splits the deployment's LAs
   /// round-robin into N shards whose MAs peer in a full mesh (with
@@ -128,6 +147,10 @@ struct CampaignResult {
   // Federation accounting (zero when federation_mas == 1).
   std::uint64_t federation_forwards = 0;  ///< collects sent MA -> peer MA
   std::uint64_t federation_replies = 0;   ///< peer candidate lists returned
+
+  // Flow-model accounting (zero when contention is off).
+  std::uint64_t flows_completed = 0;    ///< bulk transfers run as flows
+  std::uint64_t peak_active_flows = 0;  ///< max simultaneous flows
 };
 
 /// Runs the campaign on the simulated Grid'5000 deployment of Section 5.1.

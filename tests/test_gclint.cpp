@@ -299,6 +299,41 @@ TEST(Gclint, McBlockingSuppressionWorks) {
   EXPECT_TRUE(lint_one("src/diet/x.cpp", src).empty());
 }
 
+// ---------- net-cost ----------
+
+TEST(Gclint, FlagsTransferTimeOutsideNetAndPlatform) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/diet/x.cpp",
+               "const double t = env()->topology().transfer_time(a, b, n);\n"),
+      "net-cost"));
+  EXPECT_TRUE(has_rule(
+      lint_one("src/sched/x.cpp",
+               "double bps = topo.bandwidth(a, b);\n"),
+      "net-cost"));
+}
+
+TEST(Gclint, AllowsCostArithmeticInNetAndPlatform) {
+  const std::string src =
+      "const double t = topology().transfer_time(a, b, n);\n"
+      "const double bps = bandwidth(a, b);\n";
+  EXPECT_TRUE(lint_one("src/net/simenv.cpp", src).empty());
+  EXPECT_TRUE(lint_one("src/platform/platform.cpp", src).empty());
+}
+
+TEST(Gclint, AllowsEstimateTransferEverywhere) {
+  EXPECT_TRUE(
+      lint_one("src/diet/x.cpp",
+               "const double t = env()->estimate_transfer_s(a, b, n);\n")
+          .empty());
+}
+
+TEST(Gclint, NetCostSuppressionWorks) {
+  const std::string src =
+      "// gclint: allow(net-cost) closed-form by design: idle-network bound\n"
+      "const double t = topo.transfer_time(a, b, n);\n";
+  EXPECT_TRUE(lint_one("src/diet/x.cpp", src).empty());
+}
+
 // ---------- comment and string immunity ----------
 
 TEST(Gclint, IgnoresCommentsAndStrings) {
@@ -349,11 +384,12 @@ TEST(Gclint, UnknownRuleInDirectiveIsItselfReported) {
 
 TEST(Gclint, RuleListIsStable) {
   const auto& names = gclint::rule_names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 9u);
   EXPECT_NE(std::find(names.begin(), names.end(), "unchecked-status"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "hot-string"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mc-blocking"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "net-cost"), names.end());
 }
 
 }  // namespace

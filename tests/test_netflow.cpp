@@ -1,0 +1,342 @@
+// Tests for the contention flow model (net/flow.hpp) and the SimEnv
+// pieces that feed it: the node ledger behind node_of, the closed-form
+// fallback, bulk/FIFO interaction, and determinism under tie seeds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "common/rng.hpp"
+#include "des/engine.hpp"
+#include "net/flow.hpp"
+#include "net/simenv.hpp"
+#include "net/topology.hpp"
+
+namespace gc::net {
+namespace {
+
+static_assert(check::kEnabled,
+              "this suite requires a GC_CHECK=ON build (the default)");
+
+Route one_link_route(double latency_s, double capacity_bps,
+                     double per_flow_cap_bps = 0.0) {
+  Route route;
+  route.latency_s = latency_s;
+  route.add(LinkRef{linkkey::make(linkkey::kLan, 1), capacity_bps,
+                    per_flow_cap_bps});
+  return route;
+}
+
+// ---------- FlowModel: exact single-flow reduction ----------
+
+TEST(FlowModel, SingleFlowReducesExactlyToClosedForm) {
+  des::Engine engine;
+  FlowModel model(engine);
+  const double latency = 0.011;
+  const double bps = 1.25e8;
+  const std::int64_t bytes = 3'000'000;
+  double delivered = -1.0;
+  model.start(one_link_route(latency, bps), bytes,
+              [&](double at) { delivered = at; });
+  engine.run();
+  // Bit-exact: the uncontended flow uses the same floating-point
+  // expression tree as Topology::transfer_time.
+  EXPECT_EQ(delivered, latency + static_cast<double>(bytes) / bps);
+  EXPECT_EQ(model.flows_completed(), 1u);
+  EXPECT_EQ(model.active_flows(), 0);
+}
+
+// ---------- fair sharing ----------
+
+TEST(FlowModel, TwoEqualFlowsHalveTheLink) {
+  des::Engine engine;
+  FlowModel model(engine);
+  const double bps = 1e8;
+  const std::int64_t bytes = 1'000'000;
+  std::vector<double> delivered;
+  for (int i = 0; i < 2; ++i) {
+    model.start(one_link_route(0.0, bps), bytes,
+                [&](double at) { delivered.push_back(at); });
+  }
+  engine.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  // Each flow runs at bps/2 the whole way: both finish at 2x the solo time.
+  const double expected = 2.0 * static_cast<double>(bytes) / bps;
+  EXPECT_NEAR(delivered[0], expected, 1e-9);
+  EXPECT_NEAR(delivered[1], expected, 1e-9);
+}
+
+TEST(FlowModel, LateArrivalSlowsTheFirstFlow) {
+  des::Engine engine;
+  FlowModel model(engine);
+  const double bps = 1e8;
+  double first = -1.0;
+  double second = -1.0;
+  model.start(one_link_route(0.0, bps), 2'000'000,
+              [&](double at) { first = at; });
+  engine.schedule_at(0.01, [&]() {
+    model.start(one_link_route(0.0, bps), 1'000'000,
+                [&](double at) { second = at; });
+  });
+  engine.run();
+  // Flow 1 alone for 10 ms (1 MB done), then shares: 1 MB left at 50 MB/s
+  // = 20 ms more. Flow 2's 1 MB at 50 MB/s, then the remainder alone.
+  EXPECT_NEAR(first, 0.03, 1e-9);
+  EXPECT_GT(second, 0.02);  // slower than it would have been alone
+  EXPECT_LE(second, 0.031);
+}
+
+// ---------- capacity is a hard ceiling (property, any seed) ----------
+
+class FlowSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowSeeded,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(FlowSeeded, AggregateThroughputNeverExceedsLinkCapacity) {
+  Rng rng(GetParam());
+  des::Engine engine;
+  FlowModel model(engine);
+  const double bps = 5e7;
+  double total_bytes = 0.0;
+  double last_delivery = 0.0;
+  double first_start = -1.0;
+  const int flows = 12;
+  for (int i = 0; i < flows; ++i) {
+    const double start = rng.uniform() * 0.05;
+    const auto bytes =
+        static_cast<std::int64_t>(1'000'000 + rng.uniform_u64(4'000'000));
+    total_bytes += static_cast<double>(bytes);
+    if (first_start < 0.0 || start < first_start) first_start = start;
+    engine.schedule_at(start, [&model, &last_delivery, bytes]() {
+      model.start(one_link_route(0.0, 5e7), bytes, [&](double at) {
+        if (at > last_delivery) last_delivery = at;
+      });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(model.flows_completed(), static_cast<std::uint64_t>(flows));
+  // The link carried total_bytes in (last_delivery - first_start) seconds;
+  // a fluid link of capacity C cannot do better than C.
+  const double elapsed = last_delivery - first_start;
+  EXPECT_GE(elapsed * bps, total_bytes * (1.0 - 1e-9));
+}
+
+// ---------- per-flow caps: why striping wins ----------
+
+TEST(FlowModel, PerFlowCapThrottlesASingleStream) {
+  des::Engine engine;
+  FlowModel model(engine);
+  // 100 MB/s link, but one stream can only sustain 10 MB/s (lossy WAN).
+  double delivered = -1.0;
+  model.start(one_link_route(0.0, 1e8, 1e7), 40'000'000,
+              [&](double at) { delivered = at; });
+  engine.run();
+  EXPECT_NEAR(delivered, 4.0, 1e-9);  // 40 MB at 10 MB/s
+}
+
+TEST(FlowModel, StripingBeatsTheSingleStreamOnACappedLink) {
+  des::Engine engine;
+  FlowModel model(engine);
+  // The same 40 MB as 4 parallel stripes: each gets its own 10 MB/s cap,
+  // aggregate 40 MB/s, 4x faster than the single stream above.
+  double last = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    model.start(one_link_route(0.0, 1e8, 1e7), 10'000'000, [&](double at) {
+      if (at > last) last = at;
+    });
+  }
+  engine.run();
+  EXPECT_NEAR(last, 1.0, 1e-9);
+}
+
+// ---------- estimates ----------
+
+TEST(FlowModel, EstimateMatchesClosedFormWhenIdle) {
+  des::Engine engine;
+  FlowModel model(engine);
+  const Route route = one_link_route(0.007, 2e8);
+  EXPECT_EQ(model.estimate(route, 5'000'000),
+            0.007 + 5'000'000.0 / 2e8);
+}
+
+TEST(FlowModel, EstimateSeesCongestion) {
+  des::Engine engine;
+  FlowModel model(engine);
+  const Route route = one_link_route(0.0, 1e8);
+  const double idle = model.estimate(route, 1'000'000);
+  model.start(route, 50'000'000, [](double) {});
+  const double busy = model.estimate(route, 1'000'000);
+  EXPECT_NEAR(busy, 2.0 * idle, 1e-9);  // would share with one active flow
+  engine.run();
+}
+
+// ---------- SimEnv: node ledger / node_of ----------
+
+std::vector<std::string> g_violations;
+void record_violation(const char* /*file*/, int /*line*/,
+                      const std::string& what) {
+  g_violations.push_back(what);
+}
+
+/// Swaps in a recording invariant handler for the test's scope.
+struct Capture {
+  Capture() {
+    g_violations.clear();
+    check::reset_failure_count();
+    check::set_failure_handler(&record_violation);
+  }
+  ~Capture() { check::set_failure_handler(nullptr); }
+  [[nodiscard]] std::size_t count() const {
+    return static_cast<std::size_t>(check::failure_count());
+  }
+};
+
+class RecordingActor final : public Actor {
+ public:
+  void on_message(const Envelope& envelope) override {
+    arrivals.push_back({envelope.type, env()->now()});
+  }
+  std::vector<std::pair<std::uint32_t, double>> arrivals;
+};
+
+TEST(SimEnvNodeOf, AnswersFromTheAttachLedger) {
+  des::Engine engine;
+  UniformTopology topo(0.001, 1e8);
+  SimEnv env(engine, topo);
+  RecordingActor actor;
+  const Endpoint ep = env.attach(actor, /*node=*/3);
+  EXPECT_EQ(env.node_of(ep), 3u);
+  // The ledger is permanent: a detached (crashed) endpoint still answers —
+  // its placement was real, and costing against it must not regress to
+  // node 0.
+  env.detach(ep);
+  EXPECT_EQ(env.node_of(ep), 3u);
+}
+
+TEST(SimEnvNodeOf, UnknownEndpointTripsTheInvariant) {
+  Capture capture;
+  des::Engine engine;
+  UniformTopology topo(0.001, 1e8);
+  SimEnv env(engine, topo);
+  RecordingActor actor;
+  env.attach(actor, 1);
+  EXPECT_EQ(capture.count(), 0u);
+  // An endpoint that was never attached is a wiring bug, not a crash:
+  // debug builds flag it, the conservative node-0 answer is kept.
+  EXPECT_EQ(env.node_of(Endpoint{40404}), 0u);
+  EXPECT_EQ(capture.count(), 1u);
+}
+
+// ---------- SimEnv contention mode ----------
+
+TEST(SimEnvContention, OffByDefaultAndClosedForm) {
+  des::Engine engine;
+  UniformTopology topo(0.001, 1e8);
+  SimEnv env(engine, topo);
+  EXPECT_FALSE(env.contention_enabled());
+  EXPECT_EQ(env.estimate_transfer_s(1, 2, 123456),
+            topo.transfer_time(1, 2, 123456));
+}
+
+TEST(SimEnvContention, SingleBulkMessageKeepsTheClosedFormTime) {
+  des::Engine engine;
+  UniformTopology topo(0.002, 1e8);
+  SimEnv env(engine, topo);
+  env.enable_contention();
+  RecordingActor sender;
+  RecordingActor receiver;
+  const Endpoint src = env.attach(sender, 1);
+  const Endpoint dst = env.attach(receiver, 2);
+  Envelope msg{src, dst, 77, Bytes(1024, 0), 9'000'000};
+  env.send(msg);
+  engine.run();
+  ASSERT_EQ(receiver.arrivals.size(), 1u);
+  // One uncontended flow: same arithmetic as the closed form.
+  EXPECT_EQ(receiver.arrivals[0].second,
+            topo.transfer_time(1, 2, msg.wire_size()));
+}
+
+TEST(SimEnvContention, BulkFlowHoldsLaterFifoMessages) {
+  des::Engine engine;
+  UniformTopology topo(0.0, 1e6);
+  SimEnv env(engine, topo);
+  env.enable_contention();
+  RecordingActor sender;
+  RecordingActor receiver;
+  const Endpoint src = env.attach(sender, 1);
+  const Endpoint dst = env.attach(receiver, 2);
+  env.send(Envelope{src, dst, 1, Bytes{}, 1'000'000});  // ~1 s bulk flow
+  env.send(Envelope{src, dst, 2, Bytes{1, 2, 3}, 0});   // small chaser
+  engine.run();
+  ASSERT_EQ(receiver.arrivals.size(), 2u);
+  // FIFO per stream survives the flow model: the small message neither
+  // overtakes nor lands before the bulk bytes that precede it.
+  EXPECT_EQ(receiver.arrivals[0].first, 1u);
+  EXPECT_EQ(receiver.arrivals[1].first, 2u);
+  EXPECT_GE(receiver.arrivals[1].second, receiver.arrivals[0].second);
+}
+
+TEST(SimEnvContention, OutOfBandStripesBypassTheFifoHold) {
+  des::Engine engine;
+  UniformTopology topo(0.0, 1e6);
+  SimEnv env(engine, topo);
+  env.enable_contention();
+  RecordingActor sender;
+  RecordingActor receiver;
+  const Endpoint src = env.attach(sender, 1);
+  const Endpoint dst = env.attach(receiver, 2);
+  env.send(Envelope{src, dst, 1, Bytes{}, 1'000'000});  // ~1 s bulk flow
+  Envelope oob{src, dst, 2, Bytes{}, 100'000};
+  oob.oob = true;
+  env.send(oob);  // an out-of-band stripe: its own flow, no hold
+  engine.run();
+  ASSERT_EQ(receiver.arrivals.size(), 2u);
+  // The stripe shares the link (fair split) but does not wait for the
+  // bulk flow to finish: it lands first.
+  EXPECT_EQ(receiver.arrivals[0].first, 2u);
+  EXPECT_LT(receiver.arrivals[0].second, receiver.arrivals[1].second);
+}
+
+// ---------- determinism: tie seeds must not change flow outcomes ----------
+
+TEST_P(FlowSeeded, TieSeedsDoNotChangeDeliveryTimes) {
+  auto run = [](std::uint64_t tie_seed) {
+    des::Engine engine;
+    engine.set_tie_break_seed(tie_seed);
+    UniformTopology topo(0.001, 1e7);
+    SimEnv env(engine, topo);
+    env.enable_contention();
+    RecordingActor a;
+    RecordingActor b;
+    RecordingActor c;
+    const Endpoint ea = env.attach(a, 1);
+    const Endpoint eb = env.attach(b, 2);
+    const Endpoint ec = env.attach(c, 3);
+    // Three bulk transfers starting at the same instant plus chasers —
+    // maximal tie pressure on the calendar.
+    env.send(Envelope{ea, eb, 1, Bytes{}, 4'000'000});
+    env.send(Envelope{ea, ec, 2, Bytes{}, 4'000'000});
+    env.send(Envelope{eb, ec, 3, Bytes{}, 2'000'000});
+    env.send(Envelope{ea, eb, 4, Bytes{9}, 0});
+    engine.run();
+    std::vector<double> times;
+    for (const auto* actor : {&a, &b, &c}) {
+      for (const auto& [type, at] : actor->arrivals) {
+        times.push_back(at);
+      }
+    }
+    return times;
+  };
+  const auto baseline = run(0);
+  const auto seeded = run(GetParam());
+  ASSERT_EQ(baseline.size(), seeded.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(baseline[i], seeded[i]) << "delivery " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gc::net

@@ -263,5 +263,34 @@ TEST_P(Seeded, CampaignInvariants) {
   EXPECT_LT(result.finding_mean, 0.060);
 }
 
+// ---------- contention flow model: tie-seed bit-identity ----------
+
+TEST_P(Seeded, ContentionCampaignIsTieSeedInvariant) {
+  auto run = [&](std::uint64_t tie_seed) {
+    workflow::CampaignConfig config;
+    config.sub_simulations = 12;
+    config.contention = true;
+    config.wan_bandwidth_scale = 0.05;  // force real congestion
+    config.shipped_input_bytes = 64 << 20;
+    config.input_mode = diet::Persistence::kPersistent;
+    config.policy = "mct-data";
+    config.tie_break_seed = tie_seed;
+    return workflow::run_grid5000_campaign(config);
+  };
+  const workflow::CampaignResult baseline = run(0);
+  const workflow::CampaignResult seeded = run(GetParam());
+  EXPECT_GT(baseline.flows_completed, 0u);
+  // Flow scheduling is deterministic: scrambling same-timestamp event
+  // order must leave every outcome bit-identical.
+  EXPECT_EQ(baseline.makespan, seeded.makespan);
+  EXPECT_EQ(baseline.science_digest, seeded.science_digest);
+  EXPECT_EQ(baseline.flows_completed, seeded.flows_completed);
+  EXPECT_EQ(baseline.network_bytes, seeded.network_bytes);
+  ASSERT_EQ(baseline.zoom2.size(), seeded.zoom2.size());
+  for (std::size_t i = 0; i < baseline.zoom2.size(); ++i) {
+    EXPECT_EQ(baseline.zoom2[i].completed, seeded.zoom2[i].completed);
+  }
+}
+
 }  // namespace
 }  // namespace gc

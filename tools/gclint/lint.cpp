@@ -14,7 +14,8 @@ namespace {
 constexpr const char* kRules[] = {"rand",           "wallclock",
                                   "thread",         "unchecked-status",
                                   "unordered-iter", "dtm-store",
-                                  "hot-string",     "mc-blocking"};
+                                  "hot-string",     "mc-blocking",
+                                  "net-cost"};
 
 /// A file after preprocessing: stripped code lines plus suppression state.
 struct Prepared {
@@ -532,6 +533,30 @@ void check_hot_string(const Prepared& file, std::vector<Finding>& findings) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// net-cost: direct Topology::transfer_time / bandwidth arithmetic outside
+// the network and platform layers. Those formulas price a transfer on an
+// idle network; any scheduler or subsystem computing its own byte costs
+// from them silently ignores congestion once the flow model is on. The
+// blessed entry point everywhere else is Env::estimate_transfer_s, which
+// answers contention-aware when enabled and falls back to the closed form
+// when not.
+
+void check_net_cost(const Prepared& file, std::vector<Finding>& findings) {
+  if (in_dir(file, "/net/") || in_dir(file, "/platform/")) return;
+  static const std::regex pattern(R"(\b(transfer_time|bandwidth)\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    std::smatch match;
+    if (std::regex_search(file.lines[i], match, pattern)) {
+      report(file, i, "net-cost",
+             "direct " + std::string(match[1]) +
+                 "() cost arithmetic outside src/net//src/platform; use "
+                 "Env::estimate_transfer_s so congestion is priced in",
+             findings);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_names() {
@@ -563,6 +588,7 @@ std::vector<Finding> lint(const std::vector<FileInput>& files) {
     check_dtm_store(file, findings);
     check_hot_string(file, findings);
     check_mc_blocking(file, findings);
+    check_net_cost(file, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
